@@ -1,0 +1,268 @@
+//! Block-Krylov Padé reduction — the MPVL-like comparator (refs. 6 and 7 of the paper).
+//!
+//! Projects the transformed system onto the block Krylov space
+//! `K_q(E', R') = span{R', E'R', …, E'^{q−1}R'}` with a block
+//! Gram–Schmidt Lanczos process. The projection is a congruence (so
+//! passivity is preserved, as in the paper's reference 7) and matches moments of
+//! `Y(s)` — a Padé-type approximation, in contrast to PACT's pole
+//! analysis.
+//!
+//! The implementation deliberately mirrors the *memory behaviour* the
+//! paper criticizes: the whole block basis (`q·m` vectors of length `n`)
+//! is retained and every new block is orthogonalized against all of it
+//! — `O(m·n)` storage and `O(m²·n)` work per block, versus LASO's two
+//! working vectors.
+
+use pact::{Partitions, ReducedModel, Transform1};
+use pact_lanczos::SymOp;
+use pact_sparse::{axpy, dot, norm2, sym_eig, DMat, EigenError, FactorError, Ordering};
+
+/// Result of a block-Krylov Padé reduction.
+#[derive(Clone, Debug)]
+pub struct KrylovReduction {
+    /// The reduced model (same form as PACT's: exact first two moments
+    /// plus a diagonalized internal block).
+    pub model: ReducedModel,
+    /// Number of length-`n` basis vectors stored (the memory figure the
+    /// paper compares in Table 4).
+    pub basis_vectors: usize,
+    /// Modelled bytes for the Lanczos block storage (`basis_vectors · n
+    /// · 8`).
+    pub basis_memory_bytes: usize,
+    /// Vector–vector products spent on orthogonalization.
+    pub orthogonalizations: usize,
+}
+
+/// Error from the block-Krylov reduction.
+#[derive(Clone, Debug)]
+pub enum KrylovError {
+    /// `D` was not positive definite.
+    Factor(FactorError),
+    /// The projected eigenproblem failed.
+    Eigen(EigenError),
+}
+
+impl std::fmt::Display for KrylovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KrylovError::Factor(e) => write!(f, "krylov: {e}"),
+            KrylovError::Eigen(e) => write!(f, "krylov: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KrylovError {}
+
+impl From<FactorError> for KrylovError {
+    fn from(e: FactorError) -> Self {
+        KrylovError::Factor(e)
+    }
+}
+impl From<EigenError> for KrylovError {
+    fn from(e: EigenError) -> Self {
+        KrylovError::Eigen(e)
+    }
+}
+
+/// Reduces with `q` Krylov blocks (each of up to `m` vectors). The
+/// reduced network has at most `q·m` internal nodes — note how this
+/// couples model size to port count, unlike PACT where the retained
+/// pole count is set by the cutoff alone.
+///
+/// # Errors
+///
+/// See [`KrylovError`].
+pub fn block_krylov_reduce(
+    parts: &Partitions,
+    port_names: &[String],
+    q: usize,
+    ordering: Ordering,
+) -> Result<KrylovReduction, KrylovError> {
+    let t1 = Transform1::compute(parts, ordering)?;
+    let n = parts.n;
+    let m = parts.m;
+    let mut orth_count = 0usize;
+
+    // Starting block: columns of R' = F⁻¹P, obtained from r2-of-identity:
+    // we need the actual columns, so build them via the operator pieces.
+    // R' column j = F⁻¹ (r_j − E D⁻¹ q_j).
+    let qt = parts.q.transpose();
+    let rt = parts.r.transpose();
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    if n > 0 {
+        let mut block: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for j in 0..m {
+            let mut qj = vec![0.0; n];
+            for (i, v) in qt.row_iter(j) {
+                qj[i] = v;
+            }
+            let mut rj = vec![0.0; n];
+            for (i, v) in rt.row_iter(j) {
+                rj[i] = v;
+            }
+            let x = t1.chol.solve(&qj);
+            let ex = parts.e.matvec(&x);
+            let p: Vec<f64> = rj.iter().zip(&ex).map(|(r, e)| r - e).collect();
+            block.push(t1.chol.fsolve(&p));
+        }
+        let op = t1.e_prime_operator(parts);
+        let mut next_block = block;
+        for _ in 0..q {
+            let mut accepted: Vec<Vec<f64>> = Vec::new();
+            for mut v in next_block {
+                let n0 = norm2(&v);
+                if n0 == 0.0 {
+                    continue;
+                }
+                // Full orthogonalization against the entire basis (the
+                // expensive part the paper's Section 4 analyzes).
+                for _pass in 0..2 {
+                    for b in basis.iter().chain(&accepted) {
+                        let pr = dot(b, &v);
+                        axpy(-pr, b, &mut v);
+                        orth_count += 1;
+                    }
+                }
+                // Deflation threshold relative to the vector's pre-orth
+                // magnitude (E' can scale vectors by ~1e-10 in SI units).
+                let nv = norm2(&v);
+                if nv > 1e-8 * n0 {
+                    pact_sparse::scale(1.0 / nv, &mut v);
+                    accepted.push(v);
+                }
+            }
+            if accepted.is_empty() {
+                break;
+            }
+            // Next block: E' applied to each accepted vector.
+            let mut nb = Vec::with_capacity(accepted.len());
+            let mut y = vec![0.0; n];
+            for v in &accepted {
+                op.apply(v, &mut y);
+                nb.push(y.clone());
+            }
+            basis.extend(accepted);
+            next_block = nb;
+        }
+    }
+
+    // Project E' onto the basis and diagonalize so the reduced model has
+    // PACT's canonical (Λ, R'') form.
+    let k = basis.len();
+    let model = if k == 0 {
+        ReducedModel {
+            a1: t1.a1.clone(),
+            b1: t1.b1.clone(),
+            r2: DMat::zeros(0, m),
+            lambdas: Vec::new(),
+            port_names: port_names.to_vec(),
+        }
+    } else {
+        let op = t1.e_prime_operator(parts);
+        let mut ep_proj = DMat::zeros(k, k);
+        let mut y = vec![0.0; n];
+        for (j, v) in basis.iter().enumerate() {
+            op.apply(v, &mut y);
+            for (i, u) in basis.iter().enumerate() {
+                ep_proj[(i, j)] = dot(u, &y);
+            }
+        }
+        ep_proj.symmetrize();
+        let eig = sym_eig(&ep_proj)?;
+        // Rotate the basis by the eigenvectors: u_i = Σ_j z_ji b_j.
+        let mut ritz: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for col in (0..k).rev() {
+            let mut u = vec![0.0; n];
+            for (j, b) in basis.iter().enumerate() {
+                axpy(eig.vectors[(j, col)], b, &mut u);
+            }
+            ritz.push(u);
+        }
+        let lambdas: Vec<f64> = (0..k).rev().map(|c| eig.values[c].max(0.0)).collect();
+        let r2 = t1.r2_rows(parts, &ritz);
+        ReducedModel {
+            a1: t1.a1.clone(),
+            b1: t1.b1.clone(),
+            r2,
+            lambdas,
+            port_names: port_names.to_vec(),
+        }
+    };
+    Ok(KrylovReduction {
+        model,
+        basis_vectors: k,
+        basis_memory_bytes: k * n * 8,
+        orthogonalizations: orth_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_netlist::{extract_rc, parse};
+
+    fn ladder_parts(nseg: usize) -> (Partitions, Vec<String>) {
+        let mut deck = String::from("* l\nV1 p0 0 1\nI2 pN 0 0\n");
+        for i in 0..nseg {
+            let a = if i == 0 { "p0".into() } else { format!("n{i}") };
+            let b = if i == nseg - 1 {
+                "pN".into()
+            } else {
+                format!("n{}", i + 1)
+            };
+            deck.push_str(&format!("R{i} {a} {b} {}\n", 250.0 / nseg as f64));
+            deck.push_str(&format!("C{i} {b} 0 {}\n", 1.35e-12 / nseg as f64));
+        }
+        deck.push_str(".end\n");
+        let ex = extract_rc(&parse(&deck).unwrap(), &[]).unwrap();
+        let ports = ex.network.node_names[..ex.network.num_ports].to_vec();
+        (Partitions::split(&ex.network.stamp()), ports)
+    }
+
+    #[test]
+    fn krylov_model_matches_exact_at_low_frequency() {
+        let (parts, ports) = ladder_parts(30);
+        let red = block_krylov_reduce(&parts, &ports, 3, Ordering::Rcm).unwrap();
+        let fa = pact::FullAdmittance::new(&parts);
+        for &f in &[1e7, 1e8, 1e9] {
+            let exact = fa.y_at(f).unwrap();
+            let approx = red.model.y_at(f);
+            for i in 0..parts.m {
+                for j in 0..parts.m {
+                    let rel = (approx[(i, j)] - exact[(i, j)]).abs()
+                        / exact[(i, j)].abs().max(1e-12);
+                    assert!(rel < 0.05, "f={f:e} ({i},{j}) rel={rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_preserves_passivity() {
+        let (parts, ports) = ladder_parts(25);
+        let red = block_krylov_reduce(&parts, &ports, 3, Ordering::Rcm).unwrap();
+        assert!(red.model.is_passive(1e-8));
+    }
+
+    #[test]
+    fn memory_scales_with_blocks_and_ports() {
+        let (parts, ports) = ladder_parts(30);
+        let r1 = block_krylov_reduce(&parts, &ports, 1, Ordering::Rcm).unwrap();
+        let r3 = block_krylov_reduce(&parts, &ports, 3, Ordering::Rcm).unwrap();
+        assert!(r3.basis_vectors > r1.basis_vectors);
+        assert!(r3.basis_memory_bytes > r1.basis_memory_bytes);
+        // Basis never exceeds q·m.
+        assert!(r3.basis_vectors <= 3 * parts.m);
+    }
+
+    #[test]
+    fn zero_internal_nodes() {
+        let deck = "* t\nV1 a 0 1\nV2 b 0 1\nR1 a b 50\nC1 a b 1p\n.end\n";
+        let ex = extract_rc(&parse(deck).unwrap(), &[]).unwrap();
+        let ports = ex.network.node_names.clone();
+        let parts = Partitions::split(&ex.network.stamp());
+        let red = block_krylov_reduce(&parts, &ports, 2, Ordering::Natural).unwrap();
+        assert_eq!(red.basis_vectors, 0);
+        assert_eq!(red.model.num_poles(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! Lanczos orthogonalization policy, Cholesky ordering, dense vs LASO
+//! pole analysis, and the sparsification heuristic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pact::{CutoffSpec, EigenStrategy, ReduceOptions, Transform1};
+use pact_gen::{substrate_mesh, MeshSpec};
+use pact_lanczos::{eigs_above, LanczosConfig, Reorthogonalization};
+use pact_netlist::sparsify_preserving_passivity;
+use pact_sparse::{Ordering, SparseCholesky};
+
+fn mesh(nx: usize, ny: usize, nz: usize, m: usize) -> pact_netlist::RcNetwork {
+    substrate_mesh(&MeshSpec {
+        nx,
+        ny,
+        nz,
+        num_contacts: m,
+        ..MeshSpec::table2()
+    })
+}
+
+fn bench_reorthogonalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reorth");
+    group.sample_size(10);
+    let net = mesh(12, 12, 5, 16);
+    let parts = pact::Partitions::split(&net.stamp());
+    let t1 = Transform1::compute(&parts, Ordering::Rcm).expect("t1");
+    let lambda_c = CutoffSpec::new(1e9, 0.05).expect("spec").lambda_c();
+    for reorth in [
+        Reorthogonalization::None,
+        Reorthogonalization::Selective,
+        Reorthogonalization::Full,
+    ] {
+        let cfg = LanczosConfig {
+            reorth,
+            ..LanczosConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{reorth:?}")),
+            &cfg,
+            |b, cfg| {
+                let op = t1.e_prime_operator(&parts);
+                b.iter(|| eigs_above(&op, lambda_c, cfg).expect("laso"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ordering");
+    group.sample_size(10);
+    let net = mesh(12, 12, 6, 16);
+    let parts = pact::Partitions::split(&net.stamp());
+    for ord in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree, Ordering::NestedDissection] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ord:?}")),
+            &ord,
+            |b, &o| {
+                b.iter(|| SparseCholesky::factor(&parts.d, o).expect("factor"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_eigen_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dense_vs_laso");
+    group.sample_size(10);
+    let net = mesh(8, 8, 5, 12); // n ≈ 300: both strategies feasible
+    for (label, eigen) in [
+        ("dense", EigenStrategy::Dense),
+        ("laso", EigenStrategy::Laso(LanczosConfig::default())),
+    ] {
+        let opts = ReduceOptions {
+            cutoff: CutoffSpec::new(1e9, 0.05).expect("spec"),
+            eigen,
+            ordering: Ordering::Rcm,
+            dense_threshold: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, o| {
+            b.iter(|| pact::reduce_network(&net, o).expect("reduce"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sparsify");
+    let net = mesh(12, 12, 5, 25);
+    let opts = ReduceOptions {
+        cutoff: CutoffSpec::new(3e9, 0.05).expect("spec"),
+        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        ordering: Ordering::Rcm,
+        dense_threshold: 0,
+    };
+    let red = pact::reduce_network(&net, &opts).expect("reduce");
+    let (g, _) = red.model.to_matrices_normalized();
+    for &tol in &[0.0, 1e-9, 1e-6, 1e-3] {
+        group.bench_with_input(BenchmarkId::from_parameter(tol), &tol, |b, &t| {
+            b.iter(|| {
+                let mut gg = g.clone();
+                if t > 0.0 {
+                    sparsify_preserving_passivity(&mut gg, t);
+                }
+                gg
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reorthogonalization,
+    bench_ordering,
+    bench_eigen_strategy,
+    bench_sparsify
+);
+criterion_main!(benches);

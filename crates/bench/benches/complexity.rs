@@ -1,0 +1,45 @@
+//! Section-4 complexity bench: PACT vs the block-Krylov Padé baseline as
+//! the port count grows, on a fixed-size substrate mesh. Complements the
+//! `section4_complexity` binary with statistically sampled timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact_baselines::block_krylov_reduce;
+use pact_gen::{substrate_mesh, MeshSpec};
+use pact_lanczos::LanczosConfig;
+use pact_sparse::Ordering;
+
+fn bench_ports_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complexity_ports_sweep");
+    group.sample_size(10);
+    for &m in &[8usize, 24, 64] {
+        let spec = MeshSpec {
+            nx: 16,
+            ny: 16,
+            nz: 4,
+            num_contacts: m,
+            ..MeshSpec::table2()
+        };
+        let net = substrate_mesh(&spec);
+        let parts = pact::Partitions::split(&net.stamp());
+        let ports: Vec<String> = net.node_names[..net.num_ports].to_vec();
+
+        let opts = ReduceOptions {
+            cutoff: CutoffSpec::new(1e9, 0.05).expect("spec"),
+            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            ordering: Ordering::Rcm,
+            dense_threshold: 0,
+        };
+        group.bench_with_input(BenchmarkId::new("pact", m), &net, |b, n| {
+            b.iter(|| pact::reduce_network(n, &opts).expect("pact"));
+        });
+        group.bench_with_input(BenchmarkId::new("pade_block", m), &parts, |b, p| {
+            b.iter(|| block_krylov_reduce(p, &ports, 2, Ordering::Rcm).expect("krylov"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ports_sweep);
+criterion_main!(benches);

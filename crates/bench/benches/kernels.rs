@@ -1,0 +1,99 @@
+//! Criterion benches for the numerical kernels underlying PACT:
+//! sparse Cholesky factorization of `D`, LASO pole analysis, the first
+//! congruence transform, and the end-to-end reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pact::{CutoffSpec, EigenStrategy, Partitions, ReduceOptions, Transform1};
+use pact_gen::{substrate_mesh, MeshSpec};
+use pact_lanczos::{eigs_above, LanczosConfig};
+use pact_sparse::{Ordering, SparseCholesky};
+
+fn mesh_parts(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    contacts: usize,
+) -> (pact_netlist::RcNetwork, Partitions) {
+    let spec = MeshSpec {
+        nx,
+        ny,
+        nz,
+        num_contacts: contacts,
+        ..MeshSpec::table2()
+    };
+    let net = substrate_mesh(&spec);
+    let parts = Partitions::split(&net.stamp());
+    (net, parts)
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_factor_D");
+    group.sample_size(10);
+    for (label, dims) in [("mesh_500", (10, 10, 5)), ("mesh_2k", (16, 16, 8))] {
+        let (_, parts) = mesh_parts(dims.0, dims.1, dims.2, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &parts, |b, p| {
+            b.iter(|| SparseCholesky::factor(&p.d, Ordering::Rcm).expect("factor"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform1_moments");
+    group.sample_size(10);
+    for &m in &[8usize, 32] {
+        let (_, parts) = mesh_parts(14, 14, 5, m);
+        group.bench_with_input(BenchmarkId::new("ports", m), &parts, |b, p| {
+            b.iter(|| Transform1::compute(p, Ordering::Rcm).expect("t1"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_laso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laso_eigs_above");
+    group.sample_size(10);
+    let (_, parts) = mesh_parts(14, 14, 5, 16);
+    let t1 = Transform1::compute(&parts, Ordering::Rcm).expect("t1");
+    let lambda_c = CutoffSpec::new(1e9, 0.05).expect("spec").lambda_c();
+    group.bench_function("mesh_1k_cutoff_1GHz", |b| {
+        let op = t1.e_prime_operator(&parts);
+        b.iter(|| eigs_above(&op, lambda_c, &LanczosConfig::default()).expect("laso"));
+    });
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_end_to_end");
+    group.sample_size(10);
+    for (label, dims) in [("mesh_500", (10, 10, 5)), ("mesh_1k", (14, 14, 5))] {
+        let spec = MeshSpec {
+            nx: dims.0,
+            ny: dims.1,
+            nz: dims.2,
+            num_contacts: 25,
+            ..MeshSpec::table2()
+        };
+        let net = substrate_mesh(&spec);
+        let opts = ReduceOptions {
+            cutoff: CutoffSpec::new(1e9, 0.05).expect("spec"),
+            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            ordering: Ordering::Rcm,
+            dense_threshold: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &net, |b, n| {
+            b.iter(|| pact::reduce_network(n, &opts).expect("reduce"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_transform1,
+    bench_laso,
+    bench_reduce
+);
+criterion_main!(benches);

@@ -1,0 +1,1113 @@
+//! # pact-circuit
+//!
+//! A SPICE-class circuit simulator standing in for HSPICE in the PACT
+//! paper's evaluation: DC operating point (Newton–Raphson with gmin
+//! stepping), transient analysis (trapezoidal/backward-Euler companion
+//! models with source-breakpoint alignment), and small-signal AC sweeps —
+//! all over the sparse LU kernel of `pact-sparse`.
+//!
+//! Devices: resistors, capacitors, independent V/I sources (DC, PULSE,
+//! PWL, SIN) and level-1 MOSFETs with gate and drain/source-to-body
+//! junction capacitances (the substrate-noise injection path of the
+//! paper's Figure 6 experiment).
+//!
+//! The simulator exists so that every table and figure comparing
+//! "HSPICE on the original network" vs "HSPICE on the reduced network"
+//! can be regenerated: both netlists run through the same engine, so the
+//! relative speed/memory/waveform comparisons are faithful.
+//!
+//! ```
+//! use pact_circuit::Circuit;
+//! use pact_netlist::parse;
+//!
+//! // RC low-pass step response: v(out) rises toward 1 V with τ = 1 ns.
+//! let deck = "* rc\nV1 in 0 pwl(0 0 1p 1)\nR1 in out 1k\nC1 out 0 1p\n.end\n";
+//! let ckt = Circuit::from_netlist(&parse(deck)?)?;
+//! let tr = ckt.transient(10e-12, 5e-9)?;
+//! let v = tr.voltage("out").unwrap();
+//! assert!(*v.last().unwrap() > 0.98);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod mosfet;
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use pact_netlist::{is_ground, ElementKind, Netlist, Waveform};
+use pact_sparse::{Complex64, CscMat, SparseLu};
+
+pub use mosfet::{eval_level1, stamp_level1, MosOp, Mosfet};
+
+/// Minimum conductance from every node to ground (SPICE `GMIN`).
+const GMIN: f64 = 1e-12;
+/// Newton voltage-update limit per iteration (V).
+const STEP_LIMIT: f64 = 1.0;
+/// Newton convergence: `|Δv| ≤ VNTOL + RELTOL·|v|`.
+const VNTOL: f64 = 1e-6;
+/// Relative part of the Newton convergence criterion.
+const RELTOL: f64 = 1e-4;
+/// Maximum Newton iterations per solve stage.
+const MAX_NEWTON: usize = 100;
+
+/// Error from building or simulating a circuit.
+#[derive(Clone, Debug)]
+pub enum CircuitError {
+    /// A MOSFET references a model with no `.MODEL` card.
+    UnknownModel {
+        /// Element name.
+        element: String,
+        /// Missing model name.
+        model: String,
+    },
+    /// The Newton iteration failed to converge.
+    NoConvergence {
+        /// Analysis phase that failed (e.g. "dc", "transient t=...").
+        context: String,
+    },
+    /// The MNA matrix was singular.
+    Singular {
+        /// Analysis phase.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::UnknownModel { element, model } => {
+                write!(f, "element {element} references unknown model `{model}`")
+            }
+            CircuitError::NoConvergence { context } => {
+                write!(f, "newton iteration failed to converge ({context})")
+            }
+            CircuitError::Singular { context } => write!(f, "singular MNA matrix ({context})"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A two-terminal linear branch with `None` = ground terminals.
+#[derive(Clone, Copy, Debug)]
+struct Branch2 {
+    a: Option<usize>,
+    b: Option<usize>,
+    value: f64,
+}
+
+/// An independent source instance.
+#[derive(Clone, Debug)]
+struct Source {
+    p: Option<usize>,
+    n: Option<usize>,
+    wave: Waveform,
+    name: String,
+}
+
+/// A compiled circuit ready for analysis.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    /// Non-ground node names, index = MNA unknown.
+    nodes: Vec<String>,
+    resistors: Vec<Branch2>,
+    /// Physical + MOSFET parasitic capacitors.
+    capacitors: Vec<Branch2>,
+    vsources: Vec<Source>,
+    isources: Vec<Source>,
+    mosfets: Vec<Mosfet>,
+}
+
+/// Work statistics from an analysis, feeding the paper's tables.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Matrix factorizations performed.
+    pub factorizations: usize,
+    /// Total Newton iterations.
+    pub newton_iterations: usize,
+    /// Time steps (transient) or frequency points (AC).
+    pub steps: usize,
+    /// Steps rejected by adaptive LTE control.
+    pub steps_rejected: usize,
+    /// Nonzeros in the last LU factorization (fill-in).
+    pub factor_nnz: usize,
+    /// Modelled peak memory in bytes: LU factors + solution storage.
+    pub modelled_memory_bytes: usize,
+    /// Wall-clock seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl Circuit {
+    /// Compiles a parsed netlist into a simulatable circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownModel`] for MOSFETs without a model card.
+    pub fn from_netlist(nl: &Netlist) -> Result<Self, CircuitError> {
+        // Hierarchical decks are flattened transparently.
+        if !nl.instances.is_empty() {
+            let flat = nl.flatten().map_err(|e| CircuitError::Singular {
+                context: format!("flatten: {e}"),
+            })?;
+            return Self::from_netlist(&flat);
+        }
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut nodes = Vec::new();
+        let mut lookup = |name: &str, nodes: &mut Vec<String>| -> Option<usize> {
+            if is_ground(name) {
+                return None;
+            }
+            if let Some(&i) = index.get(name) {
+                return Some(i);
+            }
+            let i = nodes.len();
+            nodes.push(name.to_owned());
+            index.insert(name.to_owned(), i);
+            Some(i)
+        };
+        let mut ckt = Circuit {
+            nodes: Vec::new(),
+            resistors: Vec::new(),
+            capacitors: Vec::new(),
+            vsources: Vec::new(),
+            isources: Vec::new(),
+            mosfets: Vec::new(),
+        };
+        for e in &nl.elements {
+            match &e.kind {
+                ElementKind::Resistor { a, b, ohms } => {
+                    let a = lookup(a, &mut nodes);
+                    let b = lookup(b, &mut nodes);
+                    ckt.resistors.push(Branch2 { a, b, value: *ohms });
+                }
+                ElementKind::Capacitor { a, b, farads } => {
+                    let a = lookup(a, &mut nodes);
+                    let b = lookup(b, &mut nodes);
+                    ckt.capacitors.push(Branch2 {
+                        a,
+                        b,
+                        value: *farads,
+                    });
+                }
+                ElementKind::VSource { p, n, wave } => {
+                    let p = lookup(p, &mut nodes);
+                    let n = lookup(n, &mut nodes);
+                    ckt.vsources.push(Source {
+                        p,
+                        n,
+                        wave: wave.clone(),
+                        name: e.name.clone(),
+                    });
+                }
+                ElementKind::ISource { p, n, wave } => {
+                    let p = lookup(p, &mut nodes);
+                    let n = lookup(n, &mut nodes);
+                    ckt.isources.push(Source {
+                        p,
+                        n,
+                        wave: wave.clone(),
+                        name: e.name.clone(),
+                    });
+                }
+                ElementKind::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    model,
+                    w,
+                    l,
+                } => {
+                    let mm =
+                        nl.models
+                            .get(model)
+                            .ok_or_else(|| CircuitError::UnknownModel {
+                                element: e.name.clone(),
+                                model: model.clone(),
+                            })?;
+                    let d = lookup(d, &mut nodes);
+                    let g = lookup(g, &mut nodes);
+                    let s = lookup(s, &mut nodes);
+                    let b = lookup(b, &mut nodes);
+                    let mos = Mosfet::from_model(mm, d, g, s, b, *w, *l);
+                    // Parasitic capacitances become plain capacitors.
+                    for (x, y, c) in [
+                        (mos.g, mos.s, mos.cgs),
+                        (mos.g, mos.d, mos.cgd),
+                        (mos.d, mos.b, mos.cdb),
+                        (mos.s, mos.b, mos.csb),
+                    ] {
+                        if c > 0.0 && x != y {
+                            ckt.capacitors.push(Branch2 {
+                                a: x,
+                                b: y,
+                                value: c,
+                            });
+                        }
+                    }
+                    ckt.mosfets.push(mos);
+                }
+            }
+        }
+        ckt.nodes = nodes;
+        Ok(ckt)
+    }
+
+    /// Non-ground node names in MNA order.
+    pub fn node_names(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Index of a node by name.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n == name)
+    }
+
+    /// Number of MNA unknowns (nodes + voltage-source branch currents).
+    pub fn dim(&self) -> usize {
+        self.nodes.len() + self.vsources.len()
+    }
+
+    /// Counts: `(nodes, resistors, capacitors incl. parasitics, mosfets)`.
+    pub fn device_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.nodes.len(),
+            self.resistors.len(),
+            self.capacitors.len(),
+            self.mosfets.len(),
+        )
+    }
+
+    /// Stamps the time-invariant linear parts (resistors + gmin).
+    fn stamp_linear_g(&self, trips: &mut Vec<(usize, usize, f64)>, gmin: f64) {
+        let mut cond = |a: Option<usize>, b: Option<usize>, g: f64| match (a, b) {
+            (Some(i), Some(j)) if i != j => {
+                trips.push((i, i, g));
+                trips.push((j, j, g));
+                trips.push((i, j, -g));
+                trips.push((j, i, -g));
+            }
+            (Some(i), None) | (None, Some(i)) => trips.push((i, i, g)),
+            _ => {}
+        };
+        for r in &self.resistors {
+            cond(r.a, r.b, 1.0 / r.value);
+        }
+        for i in 0..self.nodes.len() {
+            trips.push((i, i, gmin));
+        }
+    }
+
+    /// Stamps voltage-source rows/columns; `vals[k]` is source `k`'s
+    /// value at the evaluation time.
+    fn stamp_vsources(&self, trips: &mut Vec<(usize, usize, f64)>, rhs: &mut [f64], vals: &[f64]) {
+        let nn = self.nodes.len();
+        for (k, src) in self.vsources.iter().enumerate() {
+            let row = nn + k;
+            if let Some(p) = src.p {
+                trips.push((row, p, 1.0));
+                trips.push((p, row, 1.0));
+            }
+            if let Some(n) = src.n {
+                trips.push((row, n, -1.0));
+                trips.push((n, row, -1.0));
+            }
+            rhs[row] = vals[k];
+        }
+    }
+
+    /// Stamps current sources at time `t`.
+    fn stamp_isources(&self, rhs: &mut [f64], t: f64) {
+        for src in &self.isources {
+            let i = src.wave.eval(t);
+            if let Some(p) = src.p {
+                rhs[p] -= i;
+            }
+            if let Some(n) = src.n {
+                rhs[n] += i;
+            }
+        }
+    }
+
+    /// Solves one Newton stage at fixed linear stamps; returns the
+    /// solution.
+    #[allow(clippy::too_many_arguments)]
+    fn newton(
+        &self,
+        x0: &[f64],
+        gmin: f64,
+        vvals: &[f64],
+        t: f64,
+        cap_geq: f64,
+        cap_ieq: Option<&[f64]>,
+        context: &str,
+        stats: &mut SimStats,
+    ) -> Result<Vec<f64>, CircuitError> {
+        let dim = self.dim();
+        let nn = self.nodes.len();
+        let mut x = x0.to_vec();
+        for iter in 0..MAX_NEWTON {
+            let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(
+                4 * self.resistors.len() + 8 * self.mosfets.len() + 4 * self.vsources.len() + nn,
+            );
+            let mut rhs = vec![0.0; dim];
+            self.stamp_linear_g(&mut trips, gmin);
+            self.stamp_vsources(&mut trips, &mut rhs, vvals);
+            self.stamp_isources(&mut rhs, t);
+            // Capacitor companions (transient only).
+            if let Some(ieq) = cap_ieq {
+                for (ci, c) in self.capacitors.iter().enumerate() {
+                    let geq = cap_geq * c.value;
+                    match (c.a, c.b) {
+                        (Some(i), Some(j)) if i != j => {
+                            trips.push((i, i, geq));
+                            trips.push((j, j, geq));
+                            trips.push((i, j, -geq));
+                            trips.push((j, i, -geq));
+                            rhs[i] += ieq[ci];
+                            rhs[j] -= ieq[ci];
+                        }
+                        (Some(i), None) => {
+                            trips.push((i, i, geq));
+                            rhs[i] += ieq[ci];
+                        }
+                        (None, Some(j)) => {
+                            trips.push((j, j, geq));
+                            rhs[j] -= ieq[ci];
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for m in &self.mosfets {
+                stamp_level1(m, &x[..nn], &mut trips, &mut rhs);
+            }
+            let a = CscMat::from_triplets(dim, dim, &trips);
+            let lu = SparseLu::factor(&a).map_err(|_| CircuitError::Singular {
+                context: context.to_owned(),
+            })?;
+            stats.factorizations += 1;
+            stats.factor_nnz = lu.factor_nnz();
+            let xn = lu.solve(&rhs);
+            stats.newton_iterations += 1;
+            // Linear circuits converge in one solve.
+            if self.mosfets.is_empty() {
+                return Ok(xn);
+            }
+            // Damped update + convergence test on node voltages.
+            let mut converged = true;
+            for i in 0..dim {
+                let mut dv = xn[i] - x[i];
+                if i < nn {
+                    dv = dv.clamp(-STEP_LIMIT, STEP_LIMIT);
+                    if dv.abs() > VNTOL + RELTOL * (x[i] + dv).abs() {
+                        converged = false;
+                    }
+                }
+                x[i] += dv;
+            }
+            if converged && iter > 0 {
+                return Ok(x);
+            }
+        }
+        Err(CircuitError::NoConvergence {
+            context: context.to_owned(),
+        })
+    }
+
+    /// Computes the DC operating point with gmin stepping.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError`] on Newton failure or singular matrices.
+    pub fn dc_operating_point(&self) -> Result<DcSolution, CircuitError> {
+        let start = Instant::now();
+        let mut stats = SimStats::default();
+        let vvals: Vec<f64> = self.vsources.iter().map(|s| s.wave.dc_value()).collect();
+        let mut x = vec![0.0; self.dim()];
+        for gmin in [1e-3, 1e-5, 1e-7, 1e-9, GMIN] {
+            x = self.newton(&x, gmin, &vvals, 0.0, 0.0, None, "dc", &mut stats)?;
+        }
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        stats.modelled_memory_bytes = stats.factor_nnz * 16 + self.dim() * 8 * 4;
+        Ok(DcSolution {
+            x,
+            nodes: self.nodes.clone(),
+            stats,
+        })
+    }
+
+    /// Runs a transient analysis with fixed step `tstep` (snapped to
+    /// source breakpoints) from 0 to `tstop`, trapezoidal integration
+    /// with backward-Euler starts.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError`] on Newton failure or singular matrices.
+    pub fn transient(&self, tstep: f64, tstop: f64) -> Result<TranResult, CircuitError> {
+        self.transient_with(&TranOptions::fixed(tstep, tstop))
+    }
+
+    /// Runs a transient analysis per [`TranOptions`] — fixed-step or
+    /// adaptive with trapezoidal local-truncation-error control
+    /// (`LTE ≈ h³·v‴/12` estimated from third divided differences, the
+    /// classic SPICE scheme).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError`] on Newton failure, singular matrices, or when
+    /// adaptive control cannot meet the tolerance above the minimum step.
+    pub fn transient_with(&self, opt: &TranOptions) -> Result<TranResult, CircuitError> {
+        let tstop = opt.tstop;
+        let start = Instant::now();
+        let dc = self.dc_operating_point()?;
+        let mut stats = dc.stats;
+        let nn = self.nodes.len();
+        let mut x = dc.x.clone();
+
+        // Collect and sort breakpoints from all sources.
+        let mut breakpoints: Vec<f64> = Vec::new();
+        for s in self.vsources.iter().chain(&self.isources) {
+            breakpoints.extend(s.wave.breakpoints(tstop));
+        }
+        breakpoints.retain(|&t| t > 0.0);
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+        let mut times = vec![0.0];
+        let mut waves: Vec<Vec<f64>> = vec![x[..nn].to_vec()];
+        // Per-capacitor branch current (trapezoidal memory).
+        let mut icap = vec![0.0; self.capacitors.len()];
+        let mut t = 0.0;
+        let mut bp_idx = 0;
+        // A step leaving t=0 or a breakpoint uses backward Euler
+        // (trapezoidal needs a consistent capacitor current history).
+        let mut use_be = true;
+        let h_min = opt.tstep * opt.min_step_factor;
+        let mut h_next = if opt.adaptive {
+            // Start conservatively: breakpoints and startup transients
+            // live at small time scales.
+            (opt.tstep * 0.1).max(h_min)
+        } else {
+            opt.tstep
+        };
+        let vab = |c: &Branch2, xx: &[f64]| {
+            let va = c.a.map_or(0.0, |i| xx[i]);
+            let vb = c.b.map_or(0.0, |i| xx[i]);
+            va - vb
+        };
+        while t < tstop - 1e-18 {
+            let mut rejections = 0usize;
+            loop {
+                let mut h = h_next;
+                let mut hit_bp = false;
+                if bp_idx < breakpoints.len() && t + h >= breakpoints[bp_idx] - 1e-18 {
+                    let bph = breakpoints[bp_idx] - t;
+                    if bph > 1e-18 {
+                        h = bph;
+                    }
+                    hit_bp = true;
+                }
+                if t + h > tstop {
+                    h = tstop - t;
+                }
+                let tn = t + h;
+                // Companion parameters per capacitor.
+                let (geq_per_c, ieqs): (f64, Vec<f64>) = if use_be {
+                    let g = 1.0 / h;
+                    (
+                        g,
+                        self.capacitors
+                            .iter()
+                            .map(|c| g * c.value * vab(c, &x))
+                            .collect(),
+                    )
+                } else {
+                    let g = 2.0 / h;
+                    (
+                        g,
+                        self.capacitors
+                            .iter()
+                            .enumerate()
+                            .map(|(ci, c)| g * c.value * vab(c, &x) + icap[ci])
+                            .collect(),
+                    )
+                };
+                let vvals: Vec<f64> = self.vsources.iter().map(|s| s.wave.eval(tn)).collect();
+                let xn = self.newton(
+                    &x,
+                    GMIN,
+                    &vvals,
+                    tn,
+                    geq_per_c,
+                    Some(&ieqs),
+                    &format!("transient t={tn:.3e}"),
+                    &mut stats,
+                )?;
+                // Adaptive: estimate the local truncation error —
+                // trapezoidal LTE ≈ (h³/2)·DD3 from the last four points;
+                // backward-Euler (restart) LTE ≈ h²·DD2 from the last
+                // three — and accept/reject/grow accordingly.
+                if opt.adaptive {
+                    let k = times.len();
+                    let err = if !use_be && k >= 3 {
+                        let hist = [
+                            (times[k - 3], &waves[k - 3]),
+                            (times[k - 2], &waves[k - 2]),
+                            (times[k - 1], &waves[k - 1]),
+                        ];
+                        Some(worst_lte_trap(&hist, tn, &xn[..nn], h, opt))
+                    } else if use_be && k >= 2 {
+                        let hist = [
+                            (times[k - 2], &waves[k - 2]),
+                            (times[k - 1], &waves[k - 1]),
+                        ];
+                        Some(worst_lte_be(&hist, tn, &xn[..nn], h, opt))
+                    } else {
+                        None
+                    };
+                    if let Some(err) = err {
+                        if err > 1.0 && h > h_min * 1.001 && rejections < 16 {
+                            rejections += 1;
+                            h_next = (h * 0.5).max(h_min);
+                            stats.steps_rejected += 1;
+                            continue; // retry from the same state
+                        }
+                        // Step accepted: pick the next step size. BE is
+                        // first order ⇒ square-root growth law.
+                        let grow = if err > 0.0 {
+                            let g = if use_be {
+                                (1.0 / err).sqrt()
+                            } else {
+                                (1.0 / err).cbrt()
+                            };
+                            g.clamp(0.3, 2.0) * 0.9
+                        } else {
+                            2.0
+                        };
+                        h_next = (h * grow.max(1e-2)).clamp(h_min, opt.tstep);
+                    }
+                }
+                // Commit the step.
+                for (ci, c) in self.capacitors.iter().enumerate() {
+                    let dv = vab(c, &xn) - vab(c, &x);
+                    let g = if use_be { 1.0 } else { 2.0 } / h * c.value;
+                    icap[ci] = if use_be { g * dv } else { g * dv - icap[ci] };
+                }
+                x = xn;
+                t = tn;
+                times.push(t);
+                waves.push(x[..nn].to_vec());
+                stats.steps += 1;
+                if hit_bp {
+                    while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + 1e-18 {
+                        bp_idx += 1;
+                    }
+                    use_be = true;
+                    if opt.adaptive {
+                        h_next = (opt.tstep * 0.05).max(h_min);
+                    }
+                } else {
+                    use_be = false;
+                }
+                break;
+            }
+        }
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        stats.modelled_memory_bytes =
+            stats.factor_nnz * 16 + self.dim() * 8 * 4 + waves.len() * nn * 8;
+        Ok(TranResult {
+            times,
+            waves,
+            nodes: self.nodes.clone(),
+            stats,
+        })
+    }
+
+    /// Small-signal AC sweep: linearizes MOSFETs at the DC operating
+    /// point and solves the complex MNA system at each frequency with a
+    /// unit excitation.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError`] on DC failure, unknown excitation targets, or
+    /// singular complex matrices.
+    pub fn ac_sweep(
+        &self,
+        freqs: &[f64],
+        excitation: &AcExcitation,
+    ) -> Result<AcResult, CircuitError> {
+        let start = Instant::now();
+        let dc = self.dc_operating_point()?;
+        let mut stats = dc.stats;
+        let nn = self.nodes.len();
+        let dim = self.dim();
+
+        // Real conductance stamps: resistors + gmin + linearized MOSFETs.
+        let mut gtrips: Vec<(usize, usize, f64)> = Vec::new();
+        let mut dummy_rhs = vec![0.0; dim];
+        self.stamp_linear_g(&mut gtrips, GMIN);
+        for m in &self.mosfets {
+            stamp_level1(m, &dc.x[..nn], &mut gtrips, &mut dummy_rhs);
+        }
+        // V-source constraint rows (AC value 0 unless excited).
+        for (k, src) in self.vsources.iter().enumerate() {
+            let row = nn + k;
+            if let Some(p) = src.p {
+                gtrips.push((row, p, 1.0));
+                gtrips.push((p, row, 1.0));
+            }
+            if let Some(n) = src.n {
+                gtrips.push((row, n, -1.0));
+                gtrips.push((n, row, -1.0));
+            }
+        }
+        // Capacitor susceptance pattern.
+        let mut ctrips: Vec<(usize, usize, f64)> = Vec::new();
+        for c in &self.capacitors {
+            match (c.a, c.b) {
+                (Some(i), Some(j)) if i != j => {
+                    ctrips.push((i, i, c.value));
+                    ctrips.push((j, j, c.value));
+                    ctrips.push((i, j, -c.value));
+                    ctrips.push((j, i, -c.value));
+                }
+                (Some(i), None) | (None, Some(i)) => ctrips.push((i, i, c.value)),
+                _ => {}
+            }
+        }
+
+        let mut rhs_template = vec![Complex64::ZERO; dim];
+        match excitation {
+            AcExcitation::CurrentInto(node) => {
+                let idx = self
+                    .node_index(node)
+                    .ok_or_else(|| CircuitError::Singular {
+                        context: format!("ac: unknown node {node}"),
+                    })?;
+                rhs_template[idx] = Complex64::ONE;
+            }
+            AcExcitation::VSource(name) => {
+                let k = self
+                    .vsources
+                    .iter()
+                    .position(|s| s.name.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| CircuitError::Singular {
+                        context: format!("ac: unknown source {name}"),
+                    })?;
+                rhs_template[nn + k] = Complex64::ONE;
+            }
+        }
+
+        let mut voltages = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            let w = 2.0 * std::f64::consts::PI * f;
+            let mut trips: Vec<(usize, usize, Complex64)> =
+                Vec::with_capacity(gtrips.len() + ctrips.len());
+            for &(i, j, g) in &gtrips {
+                trips.push((i, j, Complex64::from_real(g)));
+            }
+            for &(i, j, c) in &ctrips {
+                trips.push((i, j, Complex64::new(0.0, w * c)));
+            }
+            let a = CscMat::from_triplets(dim, dim, &trips);
+            let lu = SparseLu::factor(&a).map_err(|_| CircuitError::Singular {
+                context: format!("ac f={f:e}"),
+            })?;
+            stats.factorizations += 1;
+            stats.factor_nnz = lu.factor_nnz();
+            let x = lu.solve(&rhs_template);
+            voltages.push(x[..nn].to_vec());
+            stats.steps += 1;
+        }
+        stats.elapsed_seconds = start.elapsed().as_secs_f64();
+        stats.modelled_memory_bytes =
+            stats.factor_nnz * 32 + dim * 16 * 4 + voltages.len() * nn * 16;
+        Ok(AcResult {
+            freqs: freqs.to_vec(),
+            voltages,
+            nodes: self.nodes.clone(),
+            stats,
+        })
+    }
+}
+
+/// Transient-analysis options for [`Circuit::transient_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct TranOptions {
+    /// Maximum (fixed-mode: the) time step in seconds.
+    pub tstep: f64,
+    /// Stop time in seconds.
+    pub tstop: f64,
+    /// Enable LTE-controlled adaptive stepping.
+    pub adaptive: bool,
+    /// Relative LTE tolerance per node voltage.
+    pub lte_reltol: f64,
+    /// Absolute LTE tolerance in volts.
+    pub lte_abstol: f64,
+    /// Minimum step as a fraction of `tstep`.
+    pub min_step_factor: f64,
+}
+
+impl TranOptions {
+    /// Fixed-step configuration (the `.TRAN tstep tstop` semantics).
+    pub fn fixed(tstep: f64, tstop: f64) -> Self {
+        TranOptions {
+            tstep,
+            tstop,
+            adaptive: false,
+            lte_reltol: 1e-3,
+            lte_abstol: 1e-5,
+            min_step_factor: 1e-4,
+        }
+    }
+
+    /// Adaptive configuration: `tstep` becomes the *maximum* step; the
+    /// controller shrinks into fast transients and stretches across
+    /// quiescent intervals.
+    pub fn adaptive(max_step: f64, tstop: f64) -> Self {
+        TranOptions {
+            adaptive: true,
+            ..TranOptions::fixed(max_step, tstop)
+        }
+    }
+}
+
+/// Worst normalized backward-Euler LTE over all nodes:
+/// `LTE_i ≈ (h²/2)·v″ ≈ h²·DD2_i`, normalized like the trapezoidal
+/// variant; > 1 means reject.
+fn worst_lte_be(
+    hist: &[(f64, &Vec<f64>); 2],
+    tn: f64,
+    vn: &[f64],
+    h: f64,
+    opt: &TranOptions,
+) -> f64 {
+    let (t0, v0) = (hist[0].0, hist[0].1);
+    let (t1, v1) = (hist[1].0, hist[1].1);
+    let mut worst = 0.0f64;
+    for i in 0..vn.len() {
+        let d01 = (v1[i] - v0[i]) / (t1 - t0);
+        let d1n = (vn[i] - v1[i]) / (tn - t1);
+        let dd2 = (d1n - d01) / (tn - t0);
+        let lte = h * h * dd2.abs();
+        let tol = opt.lte_abstol + opt.lte_reltol * vn[i].abs();
+        worst = worst.max(lte / tol);
+    }
+    worst
+}
+
+/// Worst normalized trapezoidal LTE over all nodes:
+/// `LTE_i ≈ (h³/2)·DD3_i`, normalized by `abstol + reltol·|v_i|`; > 1
+/// means reject.
+fn worst_lte_trap(
+    hist: &[(f64, &Vec<f64>); 3],
+    tn: f64,
+    vn: &[f64],
+    h: f64,
+    opt: &TranOptions,
+) -> f64 {
+    let (t0, v0) = (hist[0].0, hist[0].1);
+    let (t1, v1) = (hist[1].0, hist[1].1);
+    let (t2, v2) = (hist[2].0, hist[2].1);
+    let mut worst = 0.0f64;
+    for i in 0..vn.len() {
+        // Third divided difference over (t0, t1, t2, tn).
+        let d01 = (v1[i] - v0[i]) / (t1 - t0);
+        let d12 = (v2[i] - v1[i]) / (t2 - t1);
+        let d2n = (vn[i] - v2[i]) / (tn - t2);
+        let dd2a = (d12 - d01) / (t2 - t0);
+        let dd2b = (d2n - d12) / (tn - t1);
+        let dd3 = (dd2b - dd2a) / (tn - t0);
+        let lte = 0.5 * h * h * h * dd3.abs();
+        let tol = opt.lte_abstol + opt.lte_reltol * vn[i].abs();
+        worst = worst.max(lte / tol);
+    }
+    worst
+}
+
+/// AC excitation selector.
+#[derive(Clone, Debug)]
+pub enum AcExcitation {
+    /// Inject a unit AC current into the named node (for transimpedance).
+    CurrentInto(String),
+    /// Drive the named voltage source with unit AC magnitude.
+    VSource(String),
+}
+
+/// DC operating-point solution.
+#[derive(Clone, Debug)]
+pub struct DcSolution {
+    /// Full MNA solution (node voltages then source currents).
+    pub x: Vec<f64>,
+    nodes: Vec<String>,
+    /// Work statistics.
+    pub stats: SimStats,
+}
+
+impl DcSolution {
+    /// Voltage of a named node (0 for ground), `None` if unknown.
+    pub fn voltage(&self, name: &str) -> Option<f64> {
+        if is_ground(name) {
+            return Some(0.0);
+        }
+        self.nodes.iter().position(|n| n == name).map(|i| self.x[i])
+    }
+}
+
+/// Transient waveform set.
+#[derive(Clone, Debug)]
+pub struct TranResult {
+    /// Time points.
+    pub times: Vec<f64>,
+    /// Node-voltage vectors per time point.
+    pub waves: Vec<Vec<f64>>,
+    nodes: Vec<String>,
+    /// Work statistics.
+    pub stats: SimStats,
+}
+
+impl TranResult {
+    /// The waveform of one node across all time points.
+    pub fn voltage(&self, name: &str) -> Option<Vec<f64>> {
+        if is_ground(name) {
+            return Some(vec![0.0; self.times.len()]);
+        }
+        let i = self.nodes.iter().position(|n| n == name)?;
+        Some(self.waves.iter().map(|w| w[i]).collect())
+    }
+
+    /// Linear interpolation of a node voltage at an arbitrary time.
+    pub fn voltage_at(&self, name: &str, t: f64) -> Option<f64> {
+        let v = self.voltage(name)?;
+        if t <= self.times[0] {
+            return Some(v[0]);
+        }
+        for k in 1..self.times.len() {
+            if t <= self.times[k] {
+                let (t0, t1) = (self.times[k - 1], self.times[k]);
+                let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 1.0 };
+                return Some(v[k - 1] + (v[k] - v[k - 1]) * frac);
+            }
+        }
+        v.last().copied()
+    }
+}
+
+/// AC sweep result: complex node voltages per frequency.
+#[derive(Clone, Debug)]
+pub struct AcResult {
+    /// Swept frequencies in Hz.
+    pub freqs: Vec<f64>,
+    /// Complex node voltages per frequency.
+    pub voltages: Vec<Vec<Complex64>>,
+    nodes: Vec<String>,
+    /// Work statistics.
+    pub stats: SimStats,
+}
+
+impl AcResult {
+    /// Complex voltage of a node across the sweep.
+    pub fn voltage(&self, name: &str) -> Option<Vec<Complex64>> {
+        if is_ground(name) {
+            return Some(vec![Complex64::ZERO; self.freqs.len()]);
+        }
+        let i = self.nodes.iter().position(|n| n == name)?;
+        Some(self.voltages.iter().map(|w| w[i]).collect())
+    }
+}
+
+/// Logarithmically spaced frequency points, `points_per_decade` per
+/// decade from `fstart` to `fstop` inclusive (the `.AC DEC` grid; the
+/// paper's Figure 5 sweep uses 81 points over 3 decades).
+///
+/// # Panics
+///
+/// Panics on a non-positive or empty range.
+pub fn log_frequencies(points_per_decade: usize, fstart: f64, fstop: f64) -> Vec<f64> {
+    assert!(fstart > 0.0 && fstop > fstart && points_per_decade > 0);
+    let decades = (fstop / fstart).log10();
+    let total = (decades * points_per_decade as f64).round() as usize;
+    (0..=total)
+        .map(|k| fstart * 10f64.powf(k as f64 / points_per_decade as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_netlist::parse;
+
+    #[test]
+    fn resistive_divider_dc() {
+        let deck = "* div\nV1 in 0 10\nR1 in mid 1k\nR2 mid 0 1k\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        assert!((dc.voltage("mid").unwrap() - 5.0).abs() < 1e-6);
+        assert!((dc.voltage("in").unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_step_response_time_constant() {
+        let deck = "* rc\nV1 in 0 pwl(0 0 1p 1)\nR1 in out 1k\nC1 out 0 1p\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(5e-12, 5e-9).unwrap();
+        // v(τ) = 1 − e⁻¹ ≈ 0.632 at t = 1 ns (+1 ps ramp offset).
+        let v_tau = tr.voltage_at("out", 1.001e-9).unwrap();
+        assert!(
+            (v_tau - 0.632).abs() < 0.01,
+            "v(tau) = {v_tau}, expected ~0.632"
+        );
+        let v_end = *tr.voltage("out").unwrap().last().unwrap();
+        assert!(v_end > 0.99);
+    }
+
+    #[test]
+    fn inverter_dc_transfer() {
+        let deck = "\
+* inv
+.model nch nmos (vto=0.7 kp=110u lambda=0.04)
+.model pch pmos (vto=-0.9 kp=40u lambda=0.05)
+Vdd vdd 0 5
+Vin in 0 0
+M1 out in 0 0 nch w=4u l=1u
+M2 out in vdd vdd pch w=8u l=1u
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        // Input low → output high.
+        assert!(
+            dc.voltage("out").unwrap() > 4.9,
+            "out = {}",
+            dc.voltage("out").unwrap()
+        );
+    }
+
+    #[test]
+    fn inverter_switches_in_transient() {
+        let deck = "\
+* inv tran
+.model nch nmos (vto=0.7 kp=110u lambda=0.04)
+.model pch pmos (vto=-0.9 kp=40u lambda=0.05)
+Vdd vdd 0 5
+Vin in 0 pulse(0 5 1n 0.1n 0.1n 4n 10n)
+M1 out in 0 0 nch w=4u l=1u
+M2 out in vdd vdd pch w=8u l=1u
+Cl out 0 20f
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(50e-12, 8e-9).unwrap();
+        // Before the pulse: out high. During the pulse: out low.
+        assert!(tr.voltage_at("out", 0.9e-9).unwrap() > 4.5);
+        assert!(tr.voltage_at("out", 4.0e-9).unwrap() < 0.5);
+        // After the pulse falls: recovers high.
+        assert!(tr.voltage_at("out", 7.9e-9).unwrap() > 4.0);
+    }
+
+    #[test]
+    fn ac_rc_lowpass_pole() {
+        let deck = "* rc\nV1 in 0 dc 0\nR1 in out 1k\nC1 out 0 1p\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-12);
+        let freqs = vec![f3db / 100.0, f3db, f3db * 100.0];
+        let ac = ckt
+            .ac_sweep(&freqs, &AcExcitation::VSource("V1".into()))
+            .unwrap();
+        let v = ac.voltage("out").unwrap();
+        assert!((v[0].abs() - 1.0).abs() < 1e-3);
+        assert!((v[1].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!(v[2].abs() < 0.02);
+    }
+
+    #[test]
+    fn ac_transimpedance_of_resistor() {
+        // Unit current into node through 50Ω to ground: Z = 50.
+        let deck = "* z\nR1 a 0 50\nI1 0 a dc 0\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let ac = ckt
+            .ac_sweep(&[1e6], &AcExcitation::CurrentInto("a".into()))
+            .unwrap();
+        let v = ac.voltage("a").unwrap();
+        assert!((v[0].re - 50.0).abs() < 1e-6);
+        assert!(v[0].im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_model_is_error() {
+        let deck = "* e\nM1 a b 0 0 nosuch\n.end\n";
+        let r = Circuit::from_netlist(&parse(deck).unwrap());
+        assert!(matches!(r, Err(CircuitError::UnknownModel { .. })));
+    }
+
+    #[test]
+    fn breakpoints_are_hit_exactly() {
+        let deck = "* bp\nV1 a 0 pulse(0 1 1n 0 0 2n 10n)\nR1 a 0 1k\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(0.3e-9, 5e-9).unwrap();
+        // There must be time points at the pulse edges (1n, 3n).
+        assert!(tr.times.iter().any(|&t| (t - 1e-9).abs() < 1e-15));
+        assert!(tr.times.iter().any(|&t| (t - 3e-9).abs() < 1e-15));
+    }
+
+    #[test]
+    fn log_frequency_grid() {
+        let f = log_frequencies(27, 1e7, 1e10);
+        assert_eq!(f.len(), 82); // 3 decades * 27 + 1
+        assert!((f[0] - 1e7).abs() < 1.0);
+        assert!((f.last().unwrap() - 1e10).abs() / 1e10 < 1e-9);
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let deck = "* s\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1p\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(1e-10, 1e-9).unwrap();
+        assert!(tr.stats.steps >= 10);
+        assert!(tr.stats.factorizations > 0);
+        assert!(tr.stats.modelled_memory_bytes > 0);
+    }
+
+    #[test]
+    fn capacitor_coupling_injects_charge() {
+        // A fast edge couples through a floating cap into a resistive
+        // node — the mechanism of substrate noise injection.
+        let deck = "\
+* coupling
+V1 a 0 pulse(0 5 1n 0.2n 0.2n 3n 10n)
+C1 a sub 10f
+Rsub sub 0 10k
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(20e-12, 3e-9).unwrap();
+        let v = tr.voltage("sub").unwrap();
+        let peak = v.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak > 0.05, "expected coupling spike, peak = {peak}");
+        // And it decays back toward zero.
+        assert!(v.last().unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn negative_rc_from_reduced_models_is_accepted() {
+        // Reduced netlists legitimately contain negative R/C; the MNA
+        // solver must handle them (only the aggregate model is passive).
+        let deck = "\
+* neg
+V1 a 0 1
+R1 a b 100
+Rn b c -500
+R2 c 0 100
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        // Series: 100 - 500 + 100 = -300 total; i = 1/-300; v(c) = i*100.
+        let vc = dc.voltage("c").unwrap();
+        assert!((vc - 100.0 / -300.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,260 @@
+//! Numerical-accuracy tests of the simulator against closed-form
+//! solutions: integration order, conservation, linear-network theory and
+//! small-signal consistency.
+
+use pact_circuit::{AcExcitation, Circuit};
+use pact_netlist::parse;
+
+/// RC discharge: v(t) = V0·e^{−t/RC}, exact reference for step-size
+/// convergence.
+fn rc_decay_error(tstep: f64) -> f64 {
+    // Start charged via PWL that drops at t=0+, then free decay.
+    let deck = "\
+* decay
+V1 in 0 pwl(0 1 0.2n 1 0.21n 0)
+R1 in out 1k
+C1 out 0 1p
+.end
+";
+    let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+    let tr = ckt.transient(tstep, 5e-9).unwrap();
+    // After the source drops (t > 0.21 ns) the output decays through R
+    // toward 0 with τ = 1 ns.
+    let t0 = 0.21e-9;
+    let v0 = tr.voltage_at("out", t0).unwrap();
+    let mut worst: f64 = 0.0;
+    for &t in &[1e-9, 2e-9, 4e-9] {
+        let v = tr.voltage_at("out", t).unwrap();
+        let expect = v0 * (-(t - t0) / 1e-9).exp();
+        worst = worst.max((v - expect).abs());
+    }
+    worst
+}
+
+#[test]
+fn trapezoidal_converges_at_second_order() {
+    let e_coarse = rc_decay_error(100e-12);
+    let e_fine = rc_decay_error(25e-12);
+    // 4x smaller step ⇒ ~16x smaller error for a 2nd-order method; allow
+    // slack for breakpoint-restart BE steps.
+    assert!(
+        e_fine < e_coarse / 6.0,
+        "expected ~2nd order: coarse {e_coarse:.3e}, fine {e_fine:.3e}"
+    );
+}
+
+#[test]
+fn charge_is_conserved_in_cap_divider() {
+    // A charged capacitor dumped into another: final voltage from charge
+    // conservation, independent of the resistor in between.
+    let deck = "\
+* share
+V1 a 0 pwl(0 1 0.1n 1 0.11n 0)
+Rsw a top 1
+Rs top mid 100
+C1 mid 0 2p
+C2 btm 0 1p
+Rj mid btm 50
+.end
+";
+    // Simplify: drive C1 to ~1 V, then watch C1 (2p) share with C2 (1p):
+    // v_final = 2/(2+1) · v_start (charge conservation) if the source
+    // branch is disconnected. Our switch is a resistor, so instead verify
+    // that mid and btm converge to the same voltage (charge equalized).
+    let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+    let tr = ckt.transient(10e-12, 20e-9).unwrap();
+    let v_mid = tr.voltage_at("mid", 20e-9).unwrap();
+    let v_btm = tr.voltage_at("btm", 20e-9).unwrap();
+    assert!(
+        (v_mid - v_btm).abs() < 1e-3,
+        "caps failed to equalize: {v_mid} vs {v_btm}"
+    );
+}
+
+#[test]
+fn thevenin_equivalence() {
+    // Two decks that are Thevenin-equivalent must give identical node
+    // voltages at the shared port.
+    let a = "* thev a\nV1 s 0 10\nR1 s out 2k\nR2 out 0 2k\n.end\n";
+    let b = "* thev b\nV1 s 0 5\nR1 s out 1k\n Rload out 0 1meg\n.end\n";
+    // a: Thevenin at `out` = 5 V behind 1 kΩ. b: same with explicit load.
+    let ca = Circuit::from_netlist(&parse(a).unwrap()).unwrap();
+    let cb = Circuit::from_netlist(&parse(b).unwrap()).unwrap();
+    let va = ca.dc_operating_point().unwrap().voltage("out").unwrap();
+    let vb = cb.dc_operating_point().unwrap().voltage("out").unwrap();
+    // a is unloaded: out = 5 V (up to the simulator's GMIN leakage);
+    // b has a 1 MΩ load: 4.995 V.
+    assert!((va - 5.0).abs() < 1e-6);
+    assert!((vb - 5.0 * 1e6 / (1e6 + 1e3)).abs() < 1e-6);
+}
+
+#[test]
+fn ac_matches_transient_steady_state() {
+    // Drive an RC low-pass with a sine in transient; after several
+    // periods the amplitude must match the AC sweep's magnitude.
+    let f = 200e6;
+    let deck = format!(
+        "* sine\nV1 in 0 sin(0 1 {f})\nR1 in out 1k\nC1 out 0 1p\n.end\n"
+    );
+    let ckt = Circuit::from_netlist(&parse(&deck).unwrap()).unwrap();
+    let ac = ckt
+        .ac_sweep(&[f], &AcExcitation::VSource("V1".into()))
+        .unwrap();
+    let mag_ac = ac.voltage("out").unwrap()[0].abs();
+
+    let period = 1.0 / f;
+    let tr = ckt.transient(period / 200.0, 12.0 * period).unwrap();
+    let v = tr.voltage("out").unwrap();
+    // Peak over the last two periods.
+    let start = tr
+        .times
+        .iter()
+        .position(|&t| t >= 10.0 * period)
+        .unwrap();
+    let peak = v[start..].iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    assert!(
+        (peak - mag_ac).abs() < 0.02 * mag_ac.max(1e-12),
+        "transient peak {peak:.4} vs AC magnitude {mag_ac:.4}"
+    );
+}
+
+#[test]
+fn adaptive_stepping_matches_fixed_with_fewer_steps() {
+    use pact_circuit::TranOptions;
+    // A pulse with long quiescent intervals: adaptive stepping should
+    // stretch across them while staying accurate through the edges.
+    let deck = "\
+* adapt
+V1 in 0 pulse(0 1 2n 0.1n 0.1n 10n 40n)
+R1 in out 1k
+C1 out 0 2p
+.end
+";
+    let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+    let fine = ckt.transient(5e-12, 30e-9).unwrap();
+    let adapt = ckt
+        .transient_with(&TranOptions::adaptive(2e-9, 30e-9))
+        .unwrap();
+    assert!(
+        adapt.stats.steps * 4 < fine.stats.steps,
+        "adaptive should use far fewer steps: {} vs {}",
+        adapt.stats.steps,
+        fine.stats.steps
+    );
+    // Accuracy versus the fine fixed-step reference, compared at the
+    // adaptive run's own time points (no interpolation across its long
+    // accepted steps).
+    let err_of = |tr: &pact_circuit::TranResult| {
+        let av = tr.voltage("out").unwrap();
+        let mut worst: f64 = 0.0;
+        for (k, &t) in tr.times.iter().enumerate() {
+            let b = fine.voltage_at("out", t).unwrap();
+            worst = worst.max((av[k] - b).abs());
+        }
+        worst
+    };
+    // LTE control bounds per-step error; the accumulated global error at
+    // the default reltol=1e-3 lands at a few 10⁻² of the swing.
+    let worst = err_of(&adapt);
+    assert!(worst < 0.05, "adaptive error {worst} too large");
+    // Tightening the tolerance must tighten the result.
+    let tight = ckt
+        .transient_with(&TranOptions {
+            lte_reltol: 5e-5,
+            lte_abstol: 5e-7,
+            ..TranOptions::adaptive(2e-9, 30e-9)
+        })
+        .unwrap();
+    let worst_tight = err_of(&tight);
+    assert!(
+        worst_tight < worst / 2.0,
+        "tighter LTE tolerance should shrink error: {worst_tight} vs {worst}"
+    );
+    assert!(tight.stats.steps > adapt.stats.steps);
+}
+
+#[test]
+fn adaptive_rejects_steps_through_sharp_transients() {
+    use pact_circuit::TranOptions;
+    // With a generous max step, the controller must cut into the RC edge
+    // and report at least some rejections or step shrinkage.
+    let deck = "\
+* sharp
+V1 in 0 pulse(0 5 1n 0.05n 0.05n 5n 20n)
+R1 in out 200
+C1 out 0 1p
+.end
+";
+    let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+    let adapt = ckt
+        .transient_with(&TranOptions::adaptive(5e-9, 10e-9))
+        .unwrap();
+    // Minimum observed spacing after the edge must be well below max step.
+    let min_dt = adapt
+        .times
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::MAX, f64::min);
+    assert!(min_dt < 1e-9, "controller never shrank: min dt {min_dt:e}");
+    // Several τ after the fall edge (τ = 200 ps, fall at ~6.1 ns) the
+    // output must have decayed.
+    let v_end = adapt.voltage_at("out", 7.6e-9).unwrap();
+    assert!(v_end < 0.5, "output should have fallen, got {v_end}");
+}
+
+#[test]
+fn mosfet_current_matches_square_law_in_dc() {
+    // Saturated NMOS with drain resistor: solve the quadratic by hand and
+    // compare the operating point.
+    let deck = "\
+* bias
+.model nch nmos (vto=1.0 kp=100u lambda=0)
+Vdd vdd 0 10
+Vg g 0 3
+M1 d g 0 0 nch w=10u l=1u
+Rd vdd d 1k
+.end
+";
+    let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+    let dc = ckt.dc_operating_point().unwrap();
+    let vd = dc.voltage("d").unwrap();
+    // id = 0.5·kp·(W/L)·(vgs−vt)² = 0.5·100u·10·4 = 2 mA; vd = 10 − 2 = 8 V
+    // (> vov = 2 V, so saturation assumption holds).
+    assert!((vd - 8.0).abs() < 1e-3, "vd = {vd}");
+}
+
+#[test]
+fn ring_oscillator_oscillates() {
+    // A 3-stage ring oscillator — a stringent nonlinear transient test:
+    // the simulator must sustain oscillation, not damp to a fixed point.
+    let deck = "\
+* ring
+.model nch nmos (vto=0.7 kp=110u lambda=0.04)
+.model pch pmos (vto=-0.9 kp=40u lambda=0.05)
+Vdd vdd 0 5
+M1n n2 n1 0 0 nch w=4u l=1u
+M1p n2 n1 vdd vdd pch w=8u l=1u
+M2n n3 n2 0 0 nch w=4u l=1u
+M2p n3 n2 vdd vdd pch w=8u l=1u
+M3n n1 n3 0 0 nch w=4u l=1u
+M3p n1 n3 vdd vdd pch w=8u l=1u
+C1 n1 0 10f
+C2 n2 0 10f
+C3 n3 0 10f
+* kick to break the metastable symmetric start
+I1 0 n1 pwl(0 0 0.1n 1m 0.2n 0)
+.end
+";
+    let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+    let tr = ckt.transient(10e-12, 10e-9).unwrap();
+    let v = tr.voltage("n1").unwrap();
+    // In the second half of the window the node must still swing.
+    let half = v.len() / 2;
+    let max = v[half..].iter().cloned().fold(f64::MIN, f64::max);
+    let min = v[half..].iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max - min > 2.0,
+        "ring oscillator damped out: swing {:.3} V",
+        max - min
+    );
+}

@@ -1,0 +1,306 @@
+//! The reduced-order model produced by PACT and its evaluations.
+//!
+//! After both congruence transforms and pole dropping, the network is
+//! described by (eq. 10–12 of the paper):
+//!
+//! ```text
+//! G'' = [ A'  0 ]        C'' = [ B'   R''ᵀ ]
+//!       [ 0   I ]               [ R''  Λ    ]
+//!
+//! Y(s) = A' + sB' − Σᵢ s² rᵢᵀrᵢ / (1 + s λᵢ)
+//! ```
+//!
+//! with one retained pole per row `rᵢ` of `R''` at `s = −1/λᵢ`.
+
+use pact_netlist::{sparsify_preserving_passivity, unstamp, Element};
+use pact_sparse::{sym_eig, Complex64, DMat, EigenError};
+
+/// A passive reduced-order multiport RC model.
+///
+/// With the `serde` feature enabled the model serializes, so expensive
+/// reductions of large parasitic networks can be cached and reloaded
+/// across simulation runs.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReducedModel {
+    /// Exact DC port conductance `A'` (`m×m`).
+    pub a1: DMat<f64>,
+    /// Exact first-moment port susceptance `B'` (`m×m`).
+    pub b1: DMat<f64>,
+    /// Transformed connection rows `R''` (`k×m`), one per retained pole.
+    pub r2: DMat<f64>,
+    /// Retained eigenvalues `λᵢ` of `E'` (descending), each a pole at
+    /// `−1/λᵢ` rad/s.
+    pub lambdas: Vec<f64>,
+    /// Port node names (length `m`), preserved for netlist output.
+    pub port_names: Vec<String>,
+}
+
+impl ReducedModel {
+    /// Number of ports `m`.
+    pub fn num_ports(&self) -> usize {
+        self.a1.nrows()
+    }
+
+    /// Number of retained poles = internal nodes of the reduced network.
+    pub fn num_poles(&self) -> usize {
+        self.lambdas.len()
+    }
+
+    /// Retained pole frequencies in Hz (ascending).
+    pub fn pole_frequencies(&self) -> Vec<f64> {
+        let mut f: Vec<f64> = self
+            .lambdas
+            .iter()
+            .map(|l| 1.0 / (2.0 * std::f64::consts::PI * l))
+            .collect();
+        f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        f
+    }
+
+    /// Evaluates the reduced multiport admittance `Y(jω)` at frequency
+    /// `f` Hz (eq. 12).
+    pub fn y_at(&self, f: f64) -> DMat<Complex64> {
+        let m = self.num_ports();
+        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let s2 = s * s;
+        let mut y = DMat::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                y[(i, j)] = Complex64::from_real(self.a1[(i, j)]) + s.scale(self.b1[(i, j)]);
+            }
+        }
+        for (p, &lam) in self.lambdas.iter().enumerate() {
+            let denom = Complex64::ONE + s.scale(lam);
+            let coef = s2 / denom;
+            for i in 0..m {
+                let ri = self.r2[(p, i)];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    let rj = self.r2[(p, j)];
+                    if rj != 0.0 {
+                        y[(i, j)] -= coef.scale(ri * rj);
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Assembles the reduced `(G'', C'')` matrices of dimension `m + k`
+    /// (ports first, then one internal node per retained pole).
+    pub fn to_matrices(&self) -> (DMat<f64>, DMat<f64>) {
+        self.matrices_with_scale(false)
+    }
+
+    /// Like [`ReducedModel::to_matrices`], but each internal row is
+    /// rescaled by the diagonal congruence `α_p = −Σ_j r''_pj / λ_p`, which
+    /// zeroes the internal rows' capacitive ground terms. `Y(s)` is
+    /// invariant; the emitted netlist needs one fewer element per pole and
+    /// its values sit in a physical range (this is the normalization behind
+    /// the paper's eq. 20, whose internal diagonal is 32 mS rather than
+    /// 1 S).
+    pub fn to_matrices_normalized(&self) -> (DMat<f64>, DMat<f64>) {
+        self.matrices_with_scale(true)
+    }
+
+    fn matrices_with_scale(&self, normalize: bool) -> (DMat<f64>, DMat<f64>) {
+        let m = self.num_ports();
+        let k = self.num_poles();
+        let dim = m + k;
+        let mut g = DMat::zeros(dim, dim);
+        let mut c = DMat::zeros(dim, dim);
+        for i in 0..m {
+            for j in 0..m {
+                g[(i, j)] = self.a1[(i, j)];
+                c[(i, j)] = self.b1[(i, j)];
+            }
+        }
+        for p in 0..k {
+            let row_sum: f64 = (0..m).map(|j| self.r2[(p, j)]).sum();
+            let alpha = if normalize && self.lambdas[p] > 0.0 && row_sum != 0.0 {
+                -row_sum / self.lambdas[p]
+            } else {
+                1.0
+            };
+            g[(m + p, m + p)] = alpha * alpha;
+            c[(m + p, m + p)] = alpha * alpha * self.lambdas[p];
+            for j in 0..m {
+                c[(m + p, j)] = alpha * self.r2[(p, j)];
+                c[(j, m + p)] = alpha * self.r2[(p, j)];
+            }
+        }
+        (g, c)
+    }
+
+    /// Verifies passivity: both reduced matrices must be non-negative
+    /// definite (the paper's Section 3 invariant). Returns the smallest
+    /// eigenvalue of each, which must be ≥ `−tol·‖M‖`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EigenError`] from the dense eigensolver.
+    pub fn passivity_margins(&self) -> Result<(f64, f64), EigenError> {
+        let (g, c) = self.to_matrices();
+        let ge = sym_eig(&g)?;
+        let ce = sym_eig(&c)?;
+        Ok((
+            ge.values.first().copied().unwrap_or(0.0),
+            ce.values.first().copied().unwrap_or(0.0),
+        ))
+    }
+
+    /// `true` when both matrices are non-negative definite within a
+    /// relative tolerance.
+    pub fn is_passive(&self, rel_tol: f64) -> bool {
+        match self.passivity_margins() {
+            Ok((gmin, cmin)) => {
+                let (g, c) = self.to_matrices();
+                gmin >= -rel_tol * g.norm_max().max(1e-300)
+                    && cmin >= -rel_tol * c.norm_max().max(1e-300)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Converts the reduced model into SPICE RC elements (possibly with
+    /// negative values — reduced models generally need them), applying the
+    /// sparsification heuristic with threshold `sparsify_tol` (0 disables).
+    ///
+    /// Internal nodes are named `<prefix>_p<i>`.
+    pub fn to_netlist_elements(&self, prefix: &str, sparsify_tol: f64) -> Vec<Element> {
+        let (mut g, mut c) = self.to_matrices_normalized();
+        if sparsify_tol > 0.0 {
+            sparsify_preserving_passivity(&mut g, sparsify_tol);
+            sparsify_preserving_passivity(&mut c, sparsify_tol);
+        }
+        let mut names = self.port_names.clone();
+        for i in 0..self.num_poles() {
+            names.push(format!("{prefix}_p{i}"));
+        }
+        unstamp(&g, &c, &names, prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> ReducedModel {
+        // 2 ports, 1 pole — shaped like the paper's eq. (20) example.
+        ReducedModel {
+            a1: DMat::from_rows(&[&[4e-3, -4e-3], &[-4e-3, 4e-3]]),
+            b1: DMat::from_rows(&[&[443e-15, 225e-15], &[225e-15, 457e-15]]),
+            r2: DMat::from_rows(&[&[-16.5e-9, -16.5e-9]]),
+            lambdas: vec![1.0 / (2.0 * std::f64::consts::PI * 4.7e9)],
+            port_names: vec!["1".into(), "2".into()],
+        }
+    }
+
+    /// With the `serde` feature on, the model must be serializable with
+    /// any format crate the user brings (checked at compile time — the
+    /// workspace deliberately carries no format dependency).
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_traits_are_implemented() {
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<ReducedModel>();
+    }
+
+    #[test]
+    fn counts_and_pole_frequencies() {
+        let m = toy_model();
+        assert_eq!(m.num_ports(), 2);
+        assert_eq!(m.num_poles(), 1);
+        let f = m.pole_frequencies();
+        assert!((f[0] - 4.7e9).abs() / 4.7e9 < 1e-12);
+    }
+
+    #[test]
+    fn dc_admittance_is_a1() {
+        let m = toy_model();
+        let y0 = m.y_at(0.0);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((y0[(i, j)].re - m.a1[(i, j)]).abs() < 1e-18);
+                assert_eq!(y0[(i, j)].im, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn low_frequency_slope_is_b1() {
+        let m = toy_model();
+        let f = 1e2; // far below the pole: Y ≈ A' + jωB' + O(ω³)
+        let y = m.y_at(f);
+        let w = 2.0 * std::f64::consts::PI * f;
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (y[(i, j)].im - w * m.b1[(i, j)]).abs() < 1e-4 * w * m.b1[(i, j)].abs(),
+                    "imag mismatch at ({i},{j}): {} vs {}",
+                    y[(i, j)].im,
+                    w * m.b1[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrices_shape_and_symmetry() {
+        let m = toy_model();
+        let (g, c) = m.to_matrices();
+        assert_eq!(g.nrows(), 3);
+        assert_eq!(g.asymmetry(), 0.0);
+        assert_eq!(c.asymmetry(), 0.0);
+        assert_eq!(g[(2, 2)], 1.0);
+        assert_eq!(c[(2, 2)], m.lambdas[0]);
+        assert_eq!(c[(2, 0)], m.r2[(0, 0)]);
+    }
+
+    #[test]
+    fn netlist_elements_restamp_to_matrices() {
+        let m = toy_model();
+        let els = m.to_netlist_elements("red", 0.0);
+        assert!(!els.is_empty());
+        // Every element references a known node.
+        for e in &els {
+            for n in e.nodes() {
+                assert!(
+                    n == "0" || n == "1" || n == "2" || n.starts_with("red_p"),
+                    "unknown node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_matrices_zero_internal_ground_caps() {
+        let m = toy_model();
+        let (g, c) = m.to_matrices_normalized();
+        // Internal row sum of C must be (numerically) zero.
+        let row: f64 = (0..3).map(|j| c[(2, j)]).sum();
+        assert!(row.abs() < 1e-18 * c.norm_max());
+        // Same pole: λ = C/G on the internal diagonal is preserved.
+        assert!((c[(2, 2)] / g[(2, 2)] - m.lambdas[0]).abs() < 1e-22);
+        // And matches the paper's eq. 20 shape: off-diagonals of C equal
+        // the negated half of the internal diagonal.
+        assert!((c[(2, 0)] - c[(2, 1)]).abs() < 1e-25);
+        assert!((c[(2, 2)] + 2.0 * c[(2, 0)]).abs() < 1e-18 * c.norm_max());
+    }
+
+    #[test]
+    fn y_matrix_is_symmetric_at_all_frequencies() {
+        let m = toy_model();
+        for &f in &[1e6, 1e8, 1e9, 5e9, 2e10] {
+            let y = m.y_at(f);
+            for i in 0..2 {
+                for j in 0..i {
+                    assert!((y[(i, j)] - y[(j, i)]).abs() < 1e-18);
+                }
+            }
+        }
+    }
+}

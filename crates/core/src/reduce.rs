@@ -1,0 +1,309 @@
+//! The top-level PACT reduction driver.
+//!
+//! `reduce` chains the two congruence transforms: Cholesky-based
+//! conversion of the internal blocks (Section 3.1), then pole analysis of
+//! `E'` (Section 3.2) keeping only eigenvalues above `λ_c`, and packages
+//! the result as a [`ReducedModel`] plus work statistics.
+
+use std::time::Instant;
+
+use pact_lanczos::{eigs_above_with_stats, LanczosConfig, LanczosError, LanczosStats, SymOp};
+use pact_netlist::{RcNetwork, Stamped};
+use pact_sparse::{sym_eig, EigenError, FactorError, Ordering};
+
+use crate::cutoff::CutoffSpec;
+use crate::model::ReducedModel;
+use crate::partition::Partitions;
+use crate::transform::Transform1;
+
+/// How the eigenpairs of `E'` above the cutoff are computed.
+#[derive(Clone, Debug, Default)]
+pub enum EigenStrategy {
+    /// Dense for small `n`, LASO above `dense_threshold`.
+    #[default]
+    Auto,
+    /// Always form `E'` densely and fully decompose it (oracle; `O(n³)`).
+    Dense,
+    /// Always use the Lanczos solver with the given configuration.
+    Laso(LanczosConfig),
+}
+
+/// Options controlling a reduction.
+#[derive(Clone, Debug)]
+pub struct ReduceOptions {
+    /// Accuracy specification (max frequency + tolerance).
+    pub cutoff: CutoffSpec,
+    /// Eigen solver selection.
+    pub eigen: EigenStrategy,
+    /// Fill-reducing ordering for the Cholesky factorization of `D`.
+    pub ordering: Ordering,
+    /// `Auto` strategy switches from dense to LASO above this `n`.
+    pub dense_threshold: usize,
+}
+
+impl ReduceOptions {
+    /// Default options for a given accuracy specification.
+    pub fn new(cutoff: CutoffSpec) -> Self {
+        ReduceOptions {
+            cutoff,
+            eigen: EigenStrategy::Auto,
+            ordering: Ordering::NestedDissection,
+            dense_threshold: 400,
+        }
+    }
+}
+
+/// Work/footprint statistics for one reduction, feeding the paper's
+/// tables (reduction time, memory) and the Section-4 complexity study.
+#[derive(Clone, Debug, Default)]
+pub struct ReductionStats {
+    /// Ports `m`.
+    pub num_ports: usize,
+    /// Internal nodes `n` before reduction.
+    pub num_internal: usize,
+    /// Poles retained (internal nodes after reduction).
+    pub poles_retained: usize,
+    /// Wall-clock seconds for the whole reduction.
+    pub elapsed_seconds: f64,
+    /// Nonzeros in the Cholesky factor of `D`.
+    pub chol_nnz: usize,
+    /// Modelled bytes for the Cholesky factor (the paper's dominant term).
+    pub chol_memory_bytes: usize,
+    /// Modelled peak bytes for the whole reduction: factor + dense port
+    /// blocks + Lanczos working set.
+    pub modelled_memory_bytes: usize,
+    /// Lanczos work counters when LASO ran.
+    pub lanczos: Option<LanczosStats>,
+}
+
+/// Error from a reduction.
+#[derive(Clone, Debug)]
+pub enum ReduceError {
+    /// `D` was not positive definite (internal node without DC path).
+    Factor(FactorError),
+    /// The Lanczos solver failed to resolve the spectrum near the cutoff.
+    Lanczos(LanczosError),
+    /// The dense eigensolver failed.
+    Eigen(EigenError),
+}
+
+impl std::fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceError::Factor(e) => write!(f, "internal conductance factorization failed: {e}"),
+            ReduceError::Lanczos(e) => write!(f, "pole analysis failed: {e}"),
+            ReduceError::Eigen(e) => write!(f, "dense eigendecomposition failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+impl From<FactorError> for ReduceError {
+    fn from(e: FactorError) -> Self {
+        ReduceError::Factor(e)
+    }
+}
+impl From<LanczosError> for ReduceError {
+    fn from(e: LanczosError) -> Self {
+        ReduceError::Lanczos(e)
+    }
+}
+impl From<EigenError> for ReduceError {
+    fn from(e: EigenError) -> Self {
+        ReduceError::Eigen(e)
+    }
+}
+
+/// A completed reduction: the passive reduced model and its statistics.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The reduced-order model.
+    pub model: ReducedModel,
+    /// Work statistics.
+    pub stats: ReductionStats,
+}
+
+/// Reduces stamped network matrices with PACT.
+///
+/// `port_names` labels the leading `stamped.num_ports` rows and is carried
+/// into the model for netlist output.
+///
+/// # Errors
+///
+/// See [`ReduceError`].
+pub fn reduce(
+    stamped: &Stamped,
+    port_names: &[String],
+    opts: &ReduceOptions,
+) -> Result<Reduction, ReduceError> {
+    let start = Instant::now();
+    let parts = Partitions::split(stamped);
+    let t1 = Transform1::compute(&parts, opts.ordering)?;
+    let lambda_c = opts.cutoff.lambda_c();
+
+    let (lambdas, vectors, lanczos_stats) = match &opts.eigen {
+        EigenStrategy::Dense => dense_poles(&t1, &parts, lambda_c)?,
+        EigenStrategy::Laso(cfg) => laso_poles(&t1, &parts, lambda_c, cfg)?,
+        EigenStrategy::Auto => {
+            if parts.n <= opts.dense_threshold {
+                dense_poles(&t1, &parts, lambda_c)?
+            } else {
+                laso_poles(&t1, &parts, lambda_c, &LanczosConfig::default())?
+            }
+        }
+    };
+
+    let r2 = t1.r2_rows(&parts, &vectors);
+    let model = ReducedModel {
+        a1: t1.a1.clone(),
+        b1: t1.b1.clone(),
+        r2,
+        lambdas: lambdas.clone(),
+        port_names: port_names.to_vec(),
+    };
+
+    let m = parts.m;
+    let k = lambdas.len();
+    let chol_memory = t1.chol.memory_bytes();
+    let modelled = chol_memory
+        + 2 * m * m * 8              // A', B'
+        + k * parts.n * 8            // Ritz vectors
+        + k * m * 8                  // R''
+        + 4 * parts.n * 8; // solver workspace
+    let stats = ReductionStats {
+        num_ports: m,
+        num_internal: parts.n,
+        poles_retained: k,
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+        chol_nnz: t1.chol.l_nnz(),
+        chol_memory_bytes: chol_memory,
+        modelled_memory_bytes: modelled,
+        lanczos: lanczos_stats,
+    };
+    Ok(Reduction { model, stats })
+}
+
+/// Convenience wrapper: stamps an [`RcNetwork`] and reduces it.
+///
+/// # Errors
+///
+/// See [`ReduceError`].
+pub fn reduce_network(network: &RcNetwork, opts: &ReduceOptions) -> Result<Reduction, ReduceError> {
+    let stamped = network.stamp();
+    let ports: Vec<String> = network.node_names[..network.num_ports].to_vec();
+    reduce(&stamped, &ports, opts)
+}
+
+/// Result of a per-component reduction ([`reduce_network_components`]).
+#[derive(Clone, Debug)]
+pub struct ComponentReduction {
+    /// One reduction per connected component that has port nodes.
+    pub reductions: Vec<Reduction>,
+    /// Connected components with no port node: they cannot influence any
+    /// port and are dropped from the output entirely.
+    pub floating_dropped: usize,
+}
+
+impl ComponentReduction {
+    /// Total retained poles across all components.
+    pub fn num_poles(&self) -> usize {
+        self.reductions.iter().map(|r| r.model.num_poles()).sum()
+    }
+
+    /// Emits the SPICE elements of every component's reduced network.
+    /// Internal node names are disambiguated per component
+    /// (`<prefix><k>_p<i>`).
+    pub fn to_netlist_elements(
+        &self,
+        prefix: &str,
+        sparsify_tol: f64,
+    ) -> Vec<pact_netlist::Element> {
+        let mut out = Vec::new();
+        for (k, r) in self.reductions.iter().enumerate() {
+            out.extend(
+                r.model
+                    .to_netlist_elements(&format!("{prefix}{k}"), sparsify_tol),
+            );
+        }
+        out
+    }
+
+    /// `true` when every component's reduced model is passive.
+    pub fn is_passive(&self, rel_tol: f64) -> bool {
+        self.reductions.iter().all(|r| r.model.is_passive(rel_tol))
+    }
+}
+
+/// Reduces each connected component of the network independently.
+///
+/// Real layouts contain many electrically independent nets (the paper's
+/// multiplier parasitics are hundreds of separate RC trees); reducing
+/// them per component keeps each eigenproblem small and drops floating
+/// RC islands that no port can observe.
+///
+/// # Errors
+///
+/// See [`ReduceError`]; the first failing component aborts.
+pub fn reduce_network_components(
+    network: &RcNetwork,
+    opts: &ReduceOptions,
+) -> Result<ComponentReduction, ReduceError> {
+    let mut reductions = Vec::new();
+    let mut floating = 0usize;
+    for comp in network.connected_components() {
+        if comp.num_ports == 0 {
+            floating += 1;
+            continue;
+        }
+        reductions.push(reduce_network(&comp, opts)?);
+    }
+    Ok(ComponentReduction {
+        reductions,
+        floating_dropped: floating,
+    })
+}
+
+type Poles = (Vec<f64>, Vec<Vec<f64>>, Option<LanczosStats>);
+
+fn dense_poles(t1: &Transform1, parts: &Partitions, lambda_c: f64) -> Result<Poles, ReduceError> {
+    if parts.n == 0 {
+        return Ok((Vec::new(), Vec::new(), None));
+    }
+    let ep = t1.e_prime_dense(parts);
+    let eig = sym_eig(&ep)?;
+    let mut lambdas = Vec::new();
+    let mut vectors = Vec::new();
+    // Descending order to match the LASO path.
+    for idx in (0..parts.n).rev() {
+        let lam = eig.values[idx];
+        if lam >= lambda_c {
+            lambdas.push(lam);
+            vectors.push((0..parts.n).map(|i| eig.vectors[(i, idx)]).collect());
+        } else {
+            break;
+        }
+    }
+    Ok((lambdas, vectors, None))
+}
+
+fn laso_poles(
+    t1: &Transform1,
+    parts: &Partitions,
+    lambda_c: f64,
+    cfg: &LanczosConfig,
+) -> Result<Poles, ReduceError> {
+    if parts.n == 0 {
+        return Ok((Vec::new(), Vec::new(), None));
+    }
+    let op = t1.e_prime_operator(parts);
+    debug_assert_eq!(op.dim(), parts.n);
+    let (pairs, stats) = eigs_above_with_stats(&op, lambda_c, cfg)?;
+    let mut lambdas = Vec::with_capacity(pairs.len());
+    let mut vectors = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        lambdas.push(p.value);
+        vectors.push(p.vector);
+    }
+    Ok((lambdas, vectors, Some(stats)))
+}

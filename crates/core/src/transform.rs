@@ -1,0 +1,325 @@
+//! The first congruence transform (Section 3.1 of the paper) and the
+//! matrix-free `E'` operator it induces.
+//!
+//! With the Cholesky factor `F Fᵀ = D` (our `F` plays the paper's `L`,
+//! folding in the fill-reducing permutation) and `X = D⁻¹Q`:
+//!
+//! ```text
+//! A' = A − QᵀX                (exact 0th moment of Y at s=0)
+//! B' = B − PᵀX − XᵀR          (exact 1st moment),  P = R − EX
+//! E' = F⁻¹ E F⁻ᵀ              (never formed; applied matrix-free)
+//! ```
+//!
+//! Memory discipline follows the paper: `X` is never stored — each port
+//! column triggers sparse solves against `D`, and only `m×m` dense
+//! results are kept. The rows of `R'' = Uᵀ F⁻¹ P` needed by the second
+//! transform are likewise computed per Ritz vector from `Q`/`R` alone.
+
+use pact_lanczos::SymOp;
+use pact_sparse::{CsrMat, DMat, FactorError, Ordering, SparseCholesky};
+
+use crate::partition::Partitions;
+
+/// Result of the first congruence transform: exact moment matrices plus
+/// the factorization needed to run pole analysis on `E'`.
+#[derive(Clone, Debug)]
+pub struct Transform1 {
+    /// `A' = A − QᵀX` — the DC port conductance (0th moment), `m×m`.
+    pub a1: DMat<f64>,
+    /// `B' = B − PᵀX − XᵀR` — the 1st moment, `m×m`.
+    pub b1: DMat<f64>,
+    /// Cholesky factorization of `D`.
+    pub chol: SparseCholesky,
+    /// Number of ports.
+    pub m: usize,
+    /// Number of internal nodes.
+    pub n: usize,
+}
+
+impl Transform1 {
+    /// Runs the transform on partitioned network matrices.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError`] when `D` is not positive definite — physically, an
+    /// internal node with no DC path to any port.
+    pub fn compute(p: &Partitions, ordering: Ordering) -> Result<Self, FactorError> {
+        let chol = SparseCholesky::factor(&p.d, ordering)?;
+        let m = p.m;
+        let n = p.n;
+        let mut a1 = p.a.to_dense();
+        let mut b1 = p.b.to_dense();
+        // Column-at-a-time over ports: x_j = D⁻¹ q_j, y_j = D⁻¹ r_j,
+        // z_j = D⁻¹ (E x_j). Then
+        //   A'(:,j) = A(:,j) − Qᵀ x_j
+        //   B'(:,j) = B(:,j) − Rᵀ x_j − Qᵀ y_j + Qᵀ z_j
+        // (the +Qᵀz_j term is XᵀEX's column; all are m-vectors).
+        let qt = p.q.transpose();
+        let rt = p.r.transpose();
+        for j in 0..m {
+            let qcol = dense_col(&qt, j, n);
+            let rcol = dense_col(&rt, j, n);
+            let x = chol.solve(&qcol);
+            let y = chol.solve(&rcol);
+            let ex = p.e.matvec(&x);
+            let z = chol.solve(&ex);
+            let qtx = p.q.matvec_t(&x);
+            let rtx = p.r.matvec_t(&x);
+            let qty = p.q.matvec_t(&y);
+            let qtz = p.q.matvec_t(&z);
+            for i in 0..m {
+                a1[(i, j)] -= qtx[i];
+                b1[(i, j)] += -rtx[i] - qty[i] + qtz[i];
+            }
+        }
+        // Congruence preserves exact symmetry; scrub rounding drift so the
+        // reduced model is exactly symmetric.
+        a1.symmetrize();
+        b1.symmetrize();
+        Ok(Transform1 {
+            a1,
+            b1,
+            chol,
+            m,
+            n,
+        })
+    }
+
+    /// The row block `R''` of the transformed connection susceptance for a
+    /// set of Ritz vectors `U = [u_1 … u_k]` of `E'`:
+    /// `R''[i, :] = u_iᵀ F⁻¹ P` with `P = R − E D⁻¹ Q`, computed from the
+    /// sparse `Q`, `R`, `E` without ever forming `P` or `X`:
+    ///
+    /// ```text
+    /// v_i = F⁻ᵀ u_i,  w_i = E v_i,  z_i = D⁻¹ w_i
+    /// R''[i, :] = Rᵀ v_i − Qᵀ z_i
+    /// ```
+    pub fn r2_rows(&self, p: &Partitions, ritz_vectors: &[Vec<f64>]) -> DMat<f64> {
+        let k = ritz_vectors.len();
+        let mut r2 = DMat::zeros(k, self.m);
+        for (i, u) in ritz_vectors.iter().enumerate() {
+            let v = self.chol.ftsolve(u);
+            let w = p.e.matvec(&v);
+            let z = self.chol.solve(&w);
+            let rv = p.r.matvec_t(&v);
+            let qz = p.q.matvec_t(&z);
+            for j in 0..self.m {
+                r2[(i, j)] = rv[j] - qz[j];
+            }
+        }
+        r2
+    }
+
+    /// The matrix-free operator `E' = F⁻¹ E F⁻ᵀ` for the Lanczos solver.
+    pub fn e_prime_operator<'a>(&'a self, p: &'a Partitions) -> EPrimeOp<'a> {
+        EPrimeOp {
+            chol: &self.chol,
+            e: &p.e,
+        }
+    }
+
+    /// Materializes `E'` as a dense matrix — `O(n²)` memory, intended for
+    /// small networks and as the dense-eigendecomposition path.
+    pub fn e_prime_dense(&self, p: &Partitions) -> DMat<f64> {
+        let n = self.n;
+        let op = self.e_prime_operator(p);
+        let mut out = DMat::zeros(n, n);
+        let mut col = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[j] = 1.0;
+            op.apply(&e, &mut col);
+            out.col_mut(j).copy_from_slice(&col);
+        }
+        // Symmetric by construction up to rounding.
+        out.symmetrize();
+        out
+    }
+}
+
+/// Extracts a dense column `j` from the CSR transpose (`at` = `Aᵀ`, so its
+/// row `j` is `A`'s column `j`).
+fn dense_col(at: &CsrMat, j: usize, len: usize) -> Vec<f64> {
+    let mut out = vec![0.0; len];
+    for (i, v) in at.row_iter(j) {
+        out[i] = v;
+    }
+    out
+}
+
+/// Matrix-free symmetric operator `x ↦ F⁻¹ E (F⁻ᵀ x)`.
+#[derive(Clone, Copy, Debug)]
+pub struct EPrimeOp<'a> {
+    chol: &'a SparseCholesky,
+    e: &'a CsrMat,
+}
+
+impl SymOp for EPrimeOp<'_> {
+    fn dim(&self) -> usize {
+        self.e.nrows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let v = self.chol.ftsolve(x);
+        let w = self.e.matvec(&v);
+        let out = self.chol.fsolve(&w);
+        y.copy_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_netlist::{extract_rc, parse, Stamped};
+    use pact_sparse::sym_eig;
+
+    fn ladder(nseg: usize) -> (Stamped, Partitions) {
+        // nseg-segment RC line between two ports.
+        let mut deck = String::from("* ladder\nV1 p0 0 1\nRld pN 0 1k\nIprobe pN 0 0\n");
+        let rseg = 250.0 / nseg as f64;
+        let cseg = 1.35e-12 / nseg as f64;
+        for i in 0..nseg {
+            let a = if i == 0 {
+                "p0".to_owned()
+            } else {
+                format!("n{i}")
+            };
+            let b = if i == nseg - 1 {
+                "pN".to_owned()
+            } else {
+                format!("n{}", i + 1)
+            };
+            deck.push_str(&format!("R{i} {a} {b} {rseg}\n"));
+            deck.push_str(&format!("C{i} {b} 0 {cseg}\n"));
+        }
+        deck.push_str(".end\n");
+        let nl = parse(&deck).unwrap();
+        let ex = extract_rc(&nl, &[]).unwrap();
+        let st = ex.network.stamp();
+        let p = Partitions::split(&st);
+        (st, p)
+    }
+
+    #[test]
+    fn moments_match_direct_computation() {
+        // A' must equal A − QᵀD⁻¹Q computed densely.
+        let (_, p) = ladder(6);
+        let t1 = Transform1::compute(&p, Ordering::Rcm).unwrap();
+        let dd = p.d.to_dense();
+        let dinv = pact_sparse::invert(&dd).unwrap();
+        let qd = p.q.to_dense();
+        let rd = p.r.to_dense();
+        let x = dinv.matmul(&qd);
+        let a1_direct = &p.a.to_dense() - &qd.transpose().matmul(&x);
+        assert!((&t1.a1 - &a1_direct).norm_max() < 1e-12);
+        // B' = B − RᵀX − XᵀR + XᵀEX
+        let ed = p.e.to_dense();
+        let b1_direct = {
+            let rtx = rd.transpose().matmul(&x);
+            let xtr = x.transpose().matmul(&rd);
+            let xtex = x.transpose().matmul(&ed.matmul(&x));
+            let mut b = p.b.to_dense();
+            b = &(&b - &rtx) - &xtr;
+            &b + &xtex
+        };
+        assert!(
+            (&t1.b1 - &b1_direct).norm_max() < 1e-20,
+            "B' mismatch {:e}",
+            (&t1.b1 - &b1_direct).norm_max()
+        );
+    }
+
+    #[test]
+    fn e_prime_spectrum_matches_pencil() {
+        // Eigenvalues of E' equal generalized eigenvalues of (E, D).
+        let (_, p) = ladder(5);
+        let t1 = Transform1::compute(&p, Ordering::MinDegree).unwrap();
+        let ep = t1.e_prime_dense(&p);
+        let eig = sym_eig(&ep).unwrap();
+        // Direct: solve det(E - λD) = 0 via dense D^{-1}E spectrum
+        // (similar matrix D^{-1/2} E D^{-1/2} shares eigenvalues with E').
+        let dd = p.d.to_dense();
+        let ed = p.e.to_dense();
+        let dinv = pact_sparse::invert(&dd).unwrap();
+        let m = dinv.matmul(&ed);
+        // Eigenvalues of (non-symmetric) D⁻¹E match E' spectrum; compare
+        // via traces of powers which are basis independent.
+        let tr1: f64 = m.diag().iter().sum();
+        let tr1_e: f64 = eig.values.iter().sum();
+        assert!((tr1 - tr1_e).abs() < 1e-10 * tr1.abs().max(1e-30));
+        let m2 = m.matmul(&m);
+        let tr2: f64 = m2.diag().iter().sum();
+        let tr2_e: f64 = eig.values.iter().map(|v| v * v).sum();
+        assert!((tr2 - tr2_e).abs() < 1e-10 * tr2.abs().max(1e-30));
+    }
+
+    #[test]
+    fn e_prime_operator_matches_dense() {
+        let (_, p) = ladder(7);
+        let t1 = Transform1::compute(&p, Ordering::Rcm).unwrap();
+        let dense = t1.e_prime_dense(&p);
+        let op = t1.e_prime_operator(&p);
+        let n = p.n;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut y = vec![0.0; n];
+        op.apply(&x, &mut y);
+        let yd = dense.matvec(&x);
+        for (a, b) in y.iter().zip(&yd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn e_prime_is_nonnegative_definite() {
+        let (_, p) = ladder(8);
+        let t1 = Transform1::compute(&p, Ordering::Rcm).unwrap();
+        let ep = t1.e_prime_dense(&p);
+        let eig = sym_eig(&ep).unwrap();
+        for &v in &eig.values {
+            assert!(v >= -1e-14, "negative eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn r2_rows_match_direct() {
+        let (_, p) = ladder(5);
+        let t1 = Transform1::compute(&p, Ordering::Natural).unwrap();
+        let ep = t1.e_prime_dense(&p);
+        let eig = sym_eig(&ep).unwrap();
+        let n = p.n;
+        // Use the top 2 eigenvectors as "Ritz vectors".
+        let vecs: Vec<Vec<f64>> = (n - 2..n)
+            .map(|k| (0..n).map(|i| eig.vectors[(i, k)]).collect())
+            .collect();
+        let r2 = t1.r2_rows(&p, &vecs);
+        // Direct: R'' = Uᵀ F⁻¹ P with P = R − E D⁻¹ Q (all dense).
+        let dd = p.d.to_dense();
+        let dinv = pact_sparse::invert(&dd).unwrap();
+        let pmat = {
+            let x = dinv.matmul(&p.q.to_dense());
+            &p.r.to_dense() - &p.e.to_dense().matmul(&x)
+        };
+        for (i, u) in vecs.iter().enumerate() {
+            // u^T F^{-1} P  = (F^{-T} u)^T P
+            let v = t1.chol.ftsolve(u);
+            let expect = pmat.matvec_t(&v);
+            for j in 0..p.m {
+                assert!(
+                    (r2[(i, j)] - expect[j]).abs() < 1e-12 * expect[j].abs().max(1e-15),
+                    "R'' mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn floating_internal_node_is_error() {
+        // An internal node connected only through capacitors has no DC
+        // path: D is singular.
+        let nl = parse("* float\nV1 p 0 1\nR1 p a 100\nC1 a b 1p\nC2 b 0 1p\nM1 x p 0 0 n\n.model n nmos()\n.end\n").unwrap();
+        let ex = extract_rc(&nl, &[]).unwrap();
+        let st = ex.network.stamp();
+        let p = Partitions::split(&st);
+        assert!(Transform1::compute(&p, Ordering::Rcm).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Post-reduction verification: sample the exact and reduced multiport
+//! admittances over a frequency grid and report the error profile — the
+//! check behind the paper's Figure 5 error bars, packaged as an API (and
+//! the `rcfit --verify` flag).
+
+use pact_sparse::Complex64;
+
+use crate::admittance::FullAdmittance;
+use crate::cutoff::CutoffSpec;
+use crate::model::ReducedModel;
+use crate::partition::Partitions;
+
+/// One sampled frequency point of a verification run.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorSample {
+    /// Frequency in Hz.
+    pub frequency: f64,
+    /// Worst entrywise deviation `|Y_red − Y_exact|` normalized by
+    /// `‖Y_exact(f)‖_max`.
+    pub worst_relative_error: f64,
+}
+
+/// Error-profile report from [`verify_reduction`].
+#[derive(Clone, Debug)]
+pub struct VerificationReport {
+    /// Per-frequency samples (ascending frequency).
+    pub samples: Vec<ErrorSample>,
+    /// Largest error at or below the specification's `f_max`.
+    pub worst_in_band: f64,
+    /// Largest error anywhere in the sampled grid.
+    pub worst_overall: f64,
+    /// The specification's tolerance, for pass/fail.
+    pub tolerance: f64,
+    /// Smallest eigenvalues of the reduced `(G'', C'')` pair.
+    pub passivity_margins: (f64, f64),
+}
+
+impl VerificationReport {
+    /// `true` when the in-band error respects the tolerance (with a small
+    /// slack for multi-pole accumulation, see the cutoff module) and the
+    /// model is passive.
+    pub fn passes(&self) -> bool {
+        self.worst_in_band <= 1.5 * self.tolerance
+            && self.passivity_margins.0 >= -1e-9
+            && self.passivity_margins.1 >= -1e-9
+    }
+}
+
+/// Samples `points` log-spaced frequencies from `f_max/100` to
+/// `2·f_max` and compares the reduced admittance against the exact one.
+///
+/// # Errors
+///
+/// Returns a message when the exact admittance cannot be evaluated
+/// (singular `(D + sE)` — not possible for well-posed RC networks) or
+/// the passivity eigensolve fails.
+pub fn verify_reduction(
+    parts: &Partitions,
+    model: &ReducedModel,
+    spec: &CutoffSpec,
+    points: usize,
+) -> Result<VerificationReport, String> {
+    let full = FullAdmittance::new(parts);
+    let f_max = spec.f_max();
+    let f_lo = f_max / 100.0;
+    let f_hi = f_max * 2.0;
+    let m = model.num_ports();
+    let mut samples = Vec::with_capacity(points);
+    let mut worst_in_band = 0.0f64;
+    let mut worst_overall = 0.0f64;
+    for k in 0..points.max(2) {
+        let f = f_lo * (f_hi / f_lo).powf(k as f64 / (points.max(2) - 1) as f64);
+        let ye = full.y_at(f).map_err(|e| e.to_string())?;
+        let yr = model.y_at(f);
+        let scale = max_abs(&ye, m).max(1e-300);
+        let mut worst = 0.0f64;
+        for i in 0..m {
+            for j in 0..m {
+                worst = worst.max((yr[(i, j)] - ye[(i, j)]).abs() / scale);
+            }
+        }
+        samples.push(ErrorSample {
+            frequency: f,
+            worst_relative_error: worst,
+        });
+        worst_overall = worst_overall.max(worst);
+        if f <= f_max * (1.0 + 1e-12) {
+            worst_in_band = worst_in_band.max(worst);
+        }
+    }
+    let passivity_margins = model.passivity_margins().map_err(|e| e.to_string())?;
+    Ok(VerificationReport {
+        samples,
+        worst_in_band,
+        worst_overall,
+        tolerance: spec.tolerance(),
+        passivity_margins,
+    })
+}
+
+fn max_abs(y: &pact_sparse::DMat<Complex64>, m: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..m {
+        for j in 0..m {
+            worst = worst.max(y[(i, j)].abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reduce_network, ReduceOptions};
+    use pact_netlist::{extract_rc, parse};
+
+    fn ladder() -> pact_netlist::RcNetwork {
+        let mut deck = String::from("* l\nV1 p0 0 1\nM1 q pN 0 0 n\n.model n nmos()\n");
+        for i in 0..40 {
+            let a = if i == 0 { "p0".into() } else { format!("n{i}") };
+            let b = if i == 39 { "pN".into() } else { format!("n{}", i + 1) };
+            deck.push_str(&format!("R{i} {a} {b} 6.25\nC{i} {b} 0 33.75f\n"));
+        }
+        extract_rc(&parse(&deck).unwrap(), &[]).unwrap().network
+    }
+
+    #[test]
+    fn good_reduction_passes_verification() {
+        let net = ladder();
+        let spec = CutoffSpec::new(3e9, 0.05).unwrap();
+        let red = reduce_network(&net, &ReduceOptions::new(spec)).unwrap();
+        let parts = Partitions::split(&net.stamp());
+        let report = verify_reduction(&parts, &red.model, &spec, 25).unwrap();
+        assert!(
+            report.passes(),
+            "in-band {:.3} %, margins {:?}",
+            report.worst_in_band * 100.0,
+            report.passivity_margins
+        );
+        assert_eq!(report.samples.len(), 25);
+        // Error grows with frequency.
+        assert!(report.worst_overall >= report.worst_in_band);
+    }
+
+    #[test]
+    fn truncated_model_fails_verification() {
+        // Drop the retained pole terms from a reduction whose cutoff is
+        // low: the bare two-moment model cannot track the band.
+        let net = ladder();
+        let spec = CutoffSpec::new(20e9, 0.05).unwrap();
+        let red = reduce_network(&net, &ReduceOptions::new(spec)).unwrap();
+        assert!(red.model.num_poles() >= 2);
+        let mut crippled = red.model.clone();
+        crippled.lambdas.clear();
+        crippled.r2 = pact_sparse::DMat::zeros(0, crippled.num_ports());
+        let parts = Partitions::split(&net.stamp());
+        let report = verify_reduction(&parts, &crippled, &spec, 25).unwrap();
+        assert!(
+            !report.passes(),
+            "crippled model should fail: in-band {:.3} %",
+            report.worst_in_band * 100.0
+        );
+    }
+}

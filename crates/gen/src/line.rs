@@ -1,0 +1,277 @@
+//! RC transmission-line and inverter-pair generators (the paper's
+//! Figure 2 circuit and the Figure 3 comparison variants).
+
+use pact_netlist::{Element, MosModel, Netlist, Waveform};
+
+/// A distributed RC line discretized into lumped segments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineSpec {
+    /// Number of lumped segments (the paper uses 100, and 2 for the
+    /// naive comparison).
+    pub segments: usize,
+    /// Total distributed resistance in ohms (paper: 250 Ω).
+    pub r_total: f64,
+    /// Total distributed capacitance in farads (paper: 1.35 pF).
+    pub c_total: f64,
+}
+
+impl Default for LineSpec {
+    fn default() -> Self {
+        LineSpec {
+            segments: 100,
+            r_total: 250.0,
+            c_total: 1.35e-12,
+        }
+    }
+}
+
+/// Emits the elements of a lumped RC line between `input` and `output`,
+/// naming internal nodes `<prefix>0`, `<prefix>1`, ….
+///
+/// Each segment is an L-section (series R, shunt C at the far end), with
+/// an extra half-capacitor at the input for symmetry — total R and C
+/// match the spec exactly.
+pub fn rc_line_elements(
+    spec: &LineSpec,
+    input: &str,
+    output: &str,
+    prefix: &str,
+) -> Vec<Element> {
+    assert!(spec.segments >= 1, "need at least one segment");
+    let n = spec.segments;
+    let rseg = spec.r_total / n as f64;
+    let cseg = spec.c_total / n as f64;
+    let node = |i: usize| -> String {
+        if i == 0 {
+            input.to_owned()
+        } else if i == n {
+            output.to_owned()
+        } else {
+            format!("{prefix}{i}")
+        }
+    };
+    let mut out = Vec::with_capacity(2 * n + 1);
+    // Half cap at the near end, half at the far end, full in between:
+    // sums to c_total.
+    out.push(Element::capacitor(
+        format!("C{prefix}_in"),
+        node(0),
+        "0",
+        cseg / 2.0,
+    ));
+    for i in 0..n {
+        out.push(Element::resistor(
+            format!("R{prefix}{i}"),
+            node(i),
+            node(i + 1),
+            rseg,
+        ));
+        let c = if i == n - 1 { cseg / 2.0 } else { cseg };
+        out.push(Element::capacitor(
+            format!("C{prefix}{i}"),
+            node(i + 1),
+            "0",
+            c,
+        ));
+    }
+    out
+}
+
+/// Emits a CMOS inverter (2 MOSFETs). Body terminals are explicit so
+/// substrate experiments can reroute them.
+#[allow(clippy::too_many_arguments)]
+pub fn inverter(
+    name: &str,
+    input: &str,
+    output: &str,
+    vdd: &str,
+    nbody: &str,
+    pbody: &str,
+    wn: f64,
+    wp: f64,
+) -> Vec<Element> {
+    vec![
+        Element {
+            name: format!("MN{name}"),
+            kind: pact_netlist::ElementKind::Mosfet {
+                d: output.to_owned(),
+                g: input.to_owned(),
+                s: "0".to_owned(),
+                b: nbody.to_owned(),
+                model: "nch".to_owned(),
+                w: wn,
+                l: 1e-6,
+            },
+        },
+        Element {
+            name: format!("MP{name}"),
+            kind: pact_netlist::ElementKind::Mosfet {
+                d: output.to_owned(),
+                g: input.to_owned(),
+                s: vdd.to_owned(),
+                b: pbody.to_owned(),
+                model: "pch".to_owned(),
+                w: wp,
+                l: 1e-6,
+            },
+        },
+    ]
+}
+
+/// Adds the default NMOS/PMOS model cards used by all generated decks.
+pub fn add_default_models(nl: &mut Netlist) {
+    let n = MosModel::default_nmos("nch");
+    let p = MosModel::default_pmos("pch");
+    nl.models.insert(n.name.clone(), n);
+    nl.models.insert(p.name.clone(), p);
+}
+
+/// Builds the paper's Figure 2 deck: a large CMOS inverter driving a
+/// second inverter through the RC line, with a pulsed input.
+///
+/// Pass `LineSpec { segments: 0, .. }` is invalid; use `segments: 1` with
+/// tiny values for the "no line" variant, or [`no_line_deck`].
+pub fn inverter_pair_deck(line: &LineSpec) -> Netlist {
+    let mut nl = Netlist::new(format!(
+        "inverter pair over {}-segment RC line",
+        line.segments
+    ));
+    add_default_models(&mut nl);
+    nl.elements.push(Element {
+        name: "Vdd".to_owned(),
+        kind: pact_netlist::ElementKind::VSource {
+            p: "vdd".to_owned(),
+            n: "0".to_owned(),
+            wave: Waveform::Dc(5.0),
+        },
+    });
+    nl.elements.push(Element {
+        name: "Vin".to_owned(),
+        kind: pact_netlist::ElementKind::VSource {
+            p: "in".to_owned(),
+            n: "0".to_owned(),
+            wave: Waveform::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                td: 0.2e-9,
+                tr: 0.1e-9,
+                tf: 0.1e-9,
+                pw: 2.4e-9,
+                per: 5e-9,
+            },
+        },
+    });
+    // Driver: large inverter (the paper's W/L = 100 for the first stage).
+    nl.elements
+        .extend(inverter("drv", "in", "line_in", "vdd", "0", "vdd", 100e-6, 200e-6));
+    nl.elements
+        .extend(rc_line_elements(line, "line_in", "line_out", "ln"));
+    // Receiver inverter.
+    nl.elements
+        .extend(inverter("rcv", "line_out", "out", "vdd", "0", "vdd", 4e-6, 8e-6));
+    // Small output load.
+    nl.elements
+        .push(Element::capacitor("Cload", "out", "0", 20e-15));
+    nl
+}
+
+/// The same circuit with the line replaced by a direct wire (the "no
+/// line" trace of Figure 3).
+pub fn no_line_deck() -> Netlist {
+    let mut nl = Netlist::new("inverter pair, no line");
+    add_default_models(&mut nl);
+    nl.elements.push(Element {
+        name: "Vdd".to_owned(),
+        kind: pact_netlist::ElementKind::VSource {
+            p: "vdd".to_owned(),
+            n: "0".to_owned(),
+            wave: Waveform::Dc(5.0),
+        },
+    });
+    nl.elements.push(Element {
+        name: "Vin".to_owned(),
+        kind: pact_netlist::ElementKind::VSource {
+            p: "in".to_owned(),
+            n: "0".to_owned(),
+            wave: Waveform::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                td: 0.2e-9,
+                tr: 0.1e-9,
+                tf: 0.1e-9,
+                pw: 2.4e-9,
+                per: 5e-9,
+            },
+        },
+    });
+    nl.elements
+        .extend(inverter("drv", "in", "mid", "vdd", "0", "vdd", 100e-6, 200e-6));
+    // Tiny series resistor so `mid` keeps the same port classification.
+    nl.elements
+        .push(Element::resistor("Rwire", "mid", "mid2", 1e-3));
+    nl.elements
+        .extend(inverter("rcv", "mid2", "out", "vdd", "0", "vdd", 4e-6, 8e-6));
+    nl.elements
+        .push(Element::capacitor("Cload", "out", "0", 20e-15));
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_netlist::{extract_rc, ElementKind};
+
+    #[test]
+    fn line_totals_match_spec() {
+        let spec = LineSpec::default();
+        let els = rc_line_elements(&spec, "a", "b", "x");
+        let rsum: f64 = els
+            .iter()
+            .filter_map(|e| match &e.kind {
+                ElementKind::Resistor { ohms, .. } => Some(*ohms),
+                _ => None,
+            })
+            .sum();
+        let csum: f64 = els
+            .iter()
+            .filter_map(|e| match &e.kind {
+                ElementKind::Capacitor { farads, .. } => Some(*farads),
+                _ => None,
+            })
+            .sum();
+        assert!((rsum - 250.0).abs() < 1e-9);
+        assert!((csum - 1.35e-12).abs() < 1e-24);
+        // 100 R + 101 C elements.
+        assert_eq!(els.len(), 201);
+    }
+
+    #[test]
+    fn deck_extracts_with_two_ports() {
+        let nl = inverter_pair_deck(&LineSpec::default());
+        let ex = extract_rc(&nl, &[]).unwrap();
+        // Ports: line_in (driver drain) and line_out (receiver gate);
+        // `out` only touches Cload + receiver → also a port.
+        assert!(ex.network.num_ports >= 2);
+        assert!(ex.network.node_index("line_in").unwrap() < ex.network.num_ports);
+        assert!(ex.network.node_index("line_out").unwrap() < ex.network.num_ports);
+        assert_eq!(ex.network.num_internal(), 99);
+    }
+
+    #[test]
+    fn single_segment_line() {
+        let spec = LineSpec {
+            segments: 1,
+            r_total: 100.0,
+            c_total: 1e-12,
+        };
+        let els = rc_line_elements(&spec, "a", "b", "x");
+        assert_eq!(els.len(), 3); // Cin/2, R, Cout/2
+    }
+
+    #[test]
+    fn models_present() {
+        let nl = inverter_pair_deck(&LineSpec::default());
+        assert!(nl.models.contains_key("nch"));
+        assert!(nl.models.contains_key("pch"));
+    }
+}

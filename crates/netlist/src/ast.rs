@@ -1,0 +1,783 @@
+//! Netlist data model: elements, source waveforms, device models and
+//! analysis cards, plus the SPICE writer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::units::format_value;
+
+/// A parsed SPICE deck.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Netlist {
+    /// First line of the deck (SPICE treats it as a title).
+    pub title: String,
+    /// Circuit elements in deck order.
+    pub elements: Vec<Element>,
+    /// `.MODEL` cards by model name (lower-cased).
+    pub models: BTreeMap<String, MosModel>,
+    /// `.TRAN`/`.AC` analysis requests.
+    pub analyses: Vec<Analysis>,
+    /// `.SUBCKT` definitions by lower-cased name; expand instances with
+    /// [`Netlist::flatten`].
+    pub subckts: BTreeMap<String, Subckt>,
+    /// Unexpanded subcircuit instances (`X` cards); consumed by
+    /// [`Netlist::flatten`].
+    pub instances: Vec<SubcktInstance>,
+}
+
+impl Netlist {
+    /// An empty netlist with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Netlist {
+            title: title.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// All node names referenced by any element, excluding ground.
+    pub fn node_names(&self) -> Vec<String> {
+        let mut set = std::collections::BTreeSet::new();
+        for e in &self.elements {
+            for n in e.nodes() {
+                if !is_ground(&n) {
+                    set.insert(n);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Counts elements by a predicate (used for table statistics).
+    pub fn count(&self, pred: impl Fn(&Element) -> bool) -> usize {
+        self.elements.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Expands every subcircuit instance into flat elements.
+    ///
+    /// Instance-internal nodes are renamed `<instance-path>.<node>`;
+    /// nodes bound to instance terminals take the caller's names, so
+    /// hierarchical decks flatten into ordinary flat netlists (ground
+    /// passes through untouched). Nesting is supported to depth 50.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlattenError`].
+    pub fn flatten(&self) -> Result<Netlist, FlattenError> {
+        let mut out = Netlist {
+            title: self.title.clone(),
+            elements: self.elements.clone(),
+            models: self.models.clone(),
+            analyses: self.analyses.clone(),
+            subckts: BTreeMap::new(),
+            instances: Vec::new(),
+        };
+        for inst in &self.instances {
+            expand_instance(inst, &self.subckts, &inst.name.to_ascii_lowercase(), 0, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Recursively expands one instance into `out`.
+fn expand_instance(
+    inst: &SubcktInstance,
+    defs: &BTreeMap<String, Subckt>,
+    path: &str,
+    depth: usize,
+    out: &mut Netlist,
+) -> Result<(), FlattenError> {
+    if depth > 50 {
+        return Err(FlattenError::TooDeep {
+            instance: path.to_owned(),
+        });
+    }
+    let def = defs
+        .get(&inst.subckt)
+        .ok_or_else(|| FlattenError::UnknownSubckt {
+            instance: path.to_owned(),
+            subckt: inst.subckt.clone(),
+        })?;
+    if def.ports.len() != inst.nodes.len() {
+        return Err(FlattenError::PortMismatch {
+            instance: path.to_owned(),
+            expected: def.ports.len(),
+            got: inst.nodes.len(),
+        });
+    }
+    let map_node = |name: &str| -> String {
+        if is_ground(name) {
+            return name.to_owned();
+        }
+        if let Some(pos) = def.ports.iter().position(|p| p.eq_ignore_ascii_case(name)) {
+            return inst.nodes[pos].clone();
+        }
+        format!("{path}.{name}")
+    };
+    for e in &def.elements {
+        let mut e2 = e.clone();
+        e2.name = format!("{}.{path}", e.name);
+        match &mut e2.kind {
+            ElementKind::Resistor { a, b, .. } | ElementKind::Capacitor { a, b, .. } => {
+                *a = map_node(a);
+                *b = map_node(b);
+            }
+            ElementKind::Mosfet { d, g, s, b, .. } => {
+                *d = map_node(d);
+                *g = map_node(g);
+                *s = map_node(s);
+                *b = map_node(b);
+            }
+            ElementKind::VSource { p, n, .. } | ElementKind::ISource { p, n, .. } => {
+                *p = map_node(p);
+                *n = map_node(n);
+            }
+        }
+        out.elements.push(e2);
+    }
+    for nested in &def.instances {
+        let nested_bound = SubcktInstance {
+            name: nested.name.clone(),
+            nodes: nested.nodes.iter().map(|n| map_node(n)).collect(),
+            subckt: nested.subckt.clone(),
+        };
+        let nested_path = format!("{path}.{}", nested.name.to_ascii_lowercase());
+        expand_instance(&nested_bound, defs, &nested_path, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+/// A `.SUBCKT` definition: named ports and a body of elements (which may
+/// itself instantiate other subcircuits).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Subckt {
+    /// Subcircuit name (lower-cased).
+    pub name: String,
+    /// Port node names in declaration order.
+    pub ports: Vec<String>,
+    /// Body elements (node names are subcircuit-local).
+    pub elements: Vec<Element>,
+    /// Nested instances inside the body.
+    pub instances: Vec<SubcktInstance>,
+}
+
+/// An `X` card: a subcircuit instantiation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubcktInstance {
+    /// Instance name (`X1`, `Xcore`, …).
+    pub name: String,
+    /// Nodes bound to the subcircuit's ports, in order.
+    pub nodes: Vec<String>,
+    /// Referenced subcircuit name (lower-cased).
+    pub subckt: String,
+}
+
+/// Error from flattening subcircuit instances.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlattenError {
+    /// An instance references an undefined subcircuit.
+    UnknownSubckt {
+        /// Instance name.
+        instance: String,
+        /// Missing definition name.
+        subckt: String,
+    },
+    /// Port count mismatch between instance and definition.
+    PortMismatch {
+        /// Instance name.
+        instance: String,
+        /// Ports the definition declares.
+        expected: usize,
+        /// Nodes the instance supplied.
+        got: usize,
+    },
+    /// Instantiation recursion exceeded the depth limit (cyclic
+    /// definitions).
+    TooDeep {
+        /// Instance path at which the limit was hit.
+        instance: String,
+    },
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenError::UnknownSubckt { instance, subckt } => {
+                write!(f, "instance {instance} references unknown subckt `{subckt}`")
+            }
+            FlattenError::PortMismatch {
+                instance,
+                expected,
+                got,
+            } => write!(
+                f,
+                "instance {instance} supplies {got} nodes, subckt declares {expected} ports"
+            ),
+            FlattenError::TooDeep { instance } => {
+                write!(f, "subcircuit nesting too deep at {instance} (cycle?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+/// `true` for the ground/common node spellings (`0`, `gnd`, `gnd!`).
+pub fn is_ground(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n == "0" || n == "gnd" || n == "gnd!" || n == "vss!"
+}
+
+/// One circuit element card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Element {
+    /// Element name including the leading type letter (`R12`, `CLOAD`, …).
+    pub name: String,
+    /// Device-specific data.
+    pub kind: ElementKind,
+}
+
+impl Element {
+    /// Creates a resistor element.
+    pub fn resistor(name: impl Into<String>, a: impl Into<String>, b: impl Into<String>, ohms: f64) -> Self {
+        Element {
+            name: name.into(),
+            kind: ElementKind::Resistor {
+                a: a.into(),
+                b: b.into(),
+                ohms,
+            },
+        }
+    }
+
+    /// Creates a capacitor element.
+    pub fn capacitor(name: impl Into<String>, a: impl Into<String>, b: impl Into<String>, farads: f64) -> Self {
+        Element {
+            name: name.into(),
+            kind: ElementKind::Capacitor {
+                a: a.into(),
+                b: b.into(),
+                farads,
+            },
+        }
+    }
+
+    /// The node names this element touches, in terminal order.
+    pub fn nodes(&self) -> Vec<String> {
+        match &self.kind {
+            ElementKind::Resistor { a, b, .. } | ElementKind::Capacitor { a, b, .. } => {
+                vec![a.clone(), b.clone()]
+            }
+            ElementKind::Mosfet { d, g, s, b, .. } => {
+                vec![d.clone(), g.clone(), s.clone(), b.clone()]
+            }
+            ElementKind::VSource { p, n, .. } | ElementKind::ISource { p, n, .. } => {
+                vec![p.clone(), n.clone()]
+            }
+        }
+    }
+
+    /// `true` for resistors and capacitors — the elements PACT reduces.
+    pub fn is_rc(&self) -> bool {
+        matches!(
+            self.kind,
+            ElementKind::Resistor { .. } | ElementKind::Capacitor { .. }
+        )
+    }
+}
+
+/// Device-specific element payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ElementKind {
+    /// Two-terminal resistor (`ohms` may be negative in reduced netlists).
+    Resistor {
+        /// First terminal.
+        a: String,
+        /// Second terminal.
+        b: String,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Two-terminal capacitor (`farads` may be negative in reduced
+    /// netlists).
+    Capacitor {
+        /// First terminal.
+        a: String,
+        /// Second terminal.
+        b: String,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+    /// Four-terminal MOSFET referencing a `.MODEL` card.
+    Mosfet {
+        /// Drain node.
+        d: String,
+        /// Gate node.
+        g: String,
+        /// Source node.
+        s: String,
+        /// Body/bulk node.
+        b: String,
+        /// Model name (lower-cased).
+        model: String,
+        /// Channel width in meters.
+        w: f64,
+        /// Channel length in meters.
+        l: f64,
+    },
+    /// Independent voltage source.
+    VSource {
+        /// Positive terminal.
+        p: String,
+        /// Negative terminal.
+        n: String,
+        /// Drive waveform.
+        wave: Waveform,
+    },
+    /// Independent current source (current flows from `p` through the
+    /// source to `n`).
+    ISource {
+        /// Positive terminal.
+        p: String,
+        /// Negative terminal.
+        n: String,
+        /// Drive waveform.
+        wave: Waveform,
+    },
+}
+
+/// Source waveform descriptions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE `PULSE(v1 v2 td tr tf pw per)`.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge.
+        td: f64,
+        /// Rise time.
+        tr: f64,
+        /// Fall time.
+        tf: f64,
+        /// Pulse width.
+        pw: f64,
+        /// Period.
+        per: f64,
+    },
+    /// Piecewise-linear `(time, value)` pairs, times strictly increasing.
+    Pwl(Vec<(f64, f64)>),
+    /// `SIN(vo va freq)`.
+    Sin {
+        /// Offset.
+        vo: f64,
+        /// Amplitude.
+        va: f64,
+        /// Frequency in Hz.
+        freq: f64,
+    },
+}
+
+impl Waveform {
+    /// Waveform value at time `t` (transient semantics).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v1,
+                v2,
+                td,
+                tr,
+                tf,
+                pw,
+                per,
+            } => {
+                if t < *td {
+                    return *v1;
+                }
+                let per = if *per > 0.0 { *per } else { f64::INFINITY };
+                let tau = (t - td) % per;
+                if tau < *tr {
+                    if *tr == 0.0 {
+                        *v2
+                    } else {
+                        v1 + (v2 - v1) * tau / tr
+                    }
+                } else if tau < tr + pw {
+                    *v2
+                } else if tau < tr + pw + tf {
+                    if *tf == 0.0 {
+                        *v1
+                    } else {
+                        v2 + (v1 - v2) * (tau - tr - pw) / tf
+                    }
+                } else {
+                    *v1
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().unwrap().1
+            }
+            Waveform::Sin { vo, va, freq } => vo + va * (2.0 * std::f64::consts::PI * freq * t).sin(),
+        }
+    }
+
+    /// DC operating-point value (value at `t = 0`).
+    pub fn dc_value(&self) -> f64 {
+        self.eval(0.0)
+    }
+
+    /// Breakpoint times the transient integrator should land on exactly.
+    pub fn breakpoints(&self, tstop: f64) -> Vec<f64> {
+        match self {
+            Waveform::Dc(_) | Waveform::Sin { .. } => Vec::new(),
+            Waveform::Pulse {
+                td, tr, tf, pw, per, ..
+            } => {
+                let mut out = Vec::new();
+                let period = if *per > 0.0 { *per } else { f64::INFINITY };
+                let mut base = *td;
+                while base < tstop {
+                    for point in [base, base + tr, base + tr + pw, base + tr + pw + tf] {
+                        if point < tstop {
+                            out.push(point);
+                        }
+                    }
+                    if period.is_infinite() {
+                        break;
+                    }
+                    base += period;
+                }
+                out
+            }
+            Waveform::Pwl(points) => points
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| t < tstop)
+                .collect(),
+        }
+    }
+}
+
+/// Level-1 MOSFET model parameters (a Shichman–Hodges device).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MosModel {
+    /// Model name (lower-cased).
+    pub name: String,
+    /// `true` for NMOS, `false` for PMOS.
+    pub nmos: bool,
+    /// Zero-bias threshold voltage (positive for NMOS, negative for PMOS).
+    pub vto: f64,
+    /// Transconductance parameter `KP` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation in 1/V.
+    pub lambda: f64,
+    /// Gate-oxide capacitance per area `COX'·W·L` proxy: gate cap per m²
+    /// (F/m²).
+    pub cox: f64,
+    /// Drain/source-to-body junction capacitance per channel width (F/m).
+    /// This is the substrate-noise injection path of the paper's adder
+    /// example.
+    pub cjb: f64,
+}
+
+impl MosModel {
+    /// A generic 0.8 µm-era NMOS model.
+    pub fn default_nmos(name: impl Into<String>) -> Self {
+        MosModel {
+            name: name.into(),
+            nmos: true,
+            vto: 0.7,
+            kp: 110e-6,
+            lambda: 0.04,
+            cox: 3.45e-3,
+            cjb: 0.4e-9,
+        }
+    }
+
+    /// A generic 0.8 µm-era PMOS model.
+    pub fn default_pmos(name: impl Into<String>) -> Self {
+        MosModel {
+            name: name.into(),
+            nmos: false,
+            vto: -0.9,
+            kp: 40e-6,
+            lambda: 0.05,
+            cox: 3.45e-3,
+            cjb: 0.4e-9,
+        }
+    }
+}
+
+/// Analysis request cards.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Analysis {
+    /// `.TRAN tstep tstop`.
+    Tran {
+        /// Suggested/print time step.
+        tstep: f64,
+        /// Stop time.
+        tstop: f64,
+    },
+    /// `.AC DEC n fstart fstop` — logarithmic sweep.
+    AcDec {
+        /// Points per decade.
+        points_per_decade: usize,
+        /// Start frequency (Hz).
+        fstart: f64,
+        /// Stop frequency (Hz).
+        fstop: f64,
+    },
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "* {}", self.title)?;
+        for m in self.models.values() {
+            writeln!(
+                f,
+                ".model {} {} (vto={} kp={} lambda={} cox={} cjb={})",
+                m.name,
+                if m.nmos { "nmos" } else { "pmos" },
+                format_value(m.vto),
+                format_value(m.kp),
+                format_value(m.lambda),
+                format_value(m.cox),
+                format_value(m.cjb)
+            )?;
+        }
+        for e in &self.elements {
+            writeln!(f, "{e}")?;
+        }
+        for a in &self.analyses {
+            match a {
+                Analysis::Tran { tstep, tstop } => {
+                    writeln!(f, ".tran {} {}", format_value(*tstep), format_value(*tstop))?;
+                }
+                Analysis::AcDec {
+                    points_per_decade,
+                    fstart,
+                    fstop,
+                } => writeln!(
+                    f,
+                    ".ac dec {points_per_decade} {} {}",
+                    format_value(*fstart),
+                    format_value(*fstop)
+                )?,
+            }
+        }
+        writeln!(f, ".end")
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ElementKind::Resistor { a, b, ohms } => {
+                write!(f, "{} {} {} {}", self.name, a, b, format_value(*ohms))
+            }
+            ElementKind::Capacitor { a, b, farads } => {
+                write!(f, "{} {} {} {}", self.name, a, b, format_value(*farads))
+            }
+            ElementKind::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+            } => write!(
+                f,
+                "{} {} {} {} {} {} w={} l={}",
+                self.name,
+                d,
+                g,
+                s,
+                b,
+                model,
+                format_value(*w),
+                format_value(*l)
+            ),
+            ElementKind::VSource { p, n, wave } | ElementKind::ISource { p, n, wave } => {
+                write!(f, "{} {} {} {}", self.name, p, n, wave)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Waveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Waveform::Dc(v) => write!(f, "dc {}", format_value(*v)),
+            Waveform::Pulse {
+                v1,
+                v2,
+                td,
+                tr,
+                tf,
+                pw,
+                per,
+            } => write!(
+                f,
+                "pulse({} {} {} {} {} {} {})",
+                format_value(*v1),
+                format_value(*v2),
+                format_value(*td),
+                format_value(*tr),
+                format_value(*tf),
+                format_value(*pw),
+                format_value(*per)
+            ),
+            Waveform::Pwl(pts) => {
+                write!(f, "pwl(")?;
+                for (i, (t, v)) in pts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{} {}", format_value(*t), format_value(*v))?;
+                }
+                write!(f, ")")
+            }
+            Waveform::Sin { vo, va, freq } => write!(
+                f,
+                "sin({} {} {})",
+                format_value(*vo),
+                format_value(*va),
+                format_value(*freq)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = Waveform::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            td: 1e-9,
+            tr: 1e-9,
+            tf: 1e-9,
+            pw: 3e-9,
+            per: 10e-9,
+        };
+        assert_eq!(w.eval(0.0), 0.0);
+        assert!((w.eval(1.5e-9) - 2.5).abs() < 1e-9); // mid-rise
+        assert_eq!(w.eval(3e-9), 5.0); // flat top
+        assert!((w.eval(5.5e-9) - 2.5).abs() < 1e-9); // mid-fall
+        assert_eq!(w.eval(8e-9), 0.0); // low
+        assert!((w.eval(11.5e-9) - 2.5).abs() < 1e-9); // second period mid-rise
+    }
+
+    #[test]
+    fn pwl_interpolates() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 5.0), (2e-9, 5.0), (3e-9, 0.0)]);
+        assert_eq!(w.eval(-1.0), 0.0);
+        assert_eq!(w.eval(0.5e-9), 2.5);
+        assert_eq!(w.eval(1.5e-9), 5.0);
+        assert_eq!(w.eval(2.5e-9), 2.5);
+        assert_eq!(w.eval(10e-9), 0.0);
+    }
+
+    #[test]
+    fn sin_and_dc() {
+        let s = Waveform::Sin {
+            vo: 1.0,
+            va: 2.0,
+            freq: 1.0,
+        };
+        assert!((s.eval(0.25) - 3.0).abs() < 1e-12);
+        assert_eq!(Waveform::Dc(3.3).eval(42.0), 3.3);
+        assert_eq!(Waveform::Dc(3.3).dc_value(), 3.3);
+    }
+
+    #[test]
+    fn pulse_breakpoints_within_window() {
+        let w = Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            td: 0.0,
+            tr: 1e-9,
+            tf: 1e-9,
+            pw: 2e-9,
+            per: 8e-9,
+        };
+        let bp = w.breakpoints(10e-9);
+        let has = |t: f64| bp.iter().any(|&b| (b - t).abs() < 1e-15);
+        assert!(has(1e-9));
+        assert!(has(3e-9));
+        assert!(has(4e-9));
+        assert!(has(8e-9));
+        assert!(bp.iter().all(|&t| t < 10e-9));
+    }
+
+    #[test]
+    fn ground_aliases() {
+        assert!(is_ground("0"));
+        assert!(is_ground("GND"));
+        assert!(is_ground("gnd!"));
+        assert!(!is_ground("out"));
+    }
+
+    #[test]
+    fn element_nodes_and_is_rc() {
+        let r = Element::resistor("R1", "a", "b", 100.0);
+        assert!(r.is_rc());
+        assert_eq!(r.nodes(), vec!["a".to_owned(), "b".to_owned()]);
+        let m = Element {
+            name: "M1".into(),
+            kind: ElementKind::Mosfet {
+                d: "d".into(),
+                g: "g".into(),
+                s: "s".into(),
+                b: "b".into(),
+                model: "nch".into(),
+                w: 1e-6,
+                l: 1e-6,
+            },
+        };
+        assert!(!m.is_rc());
+        assert_eq!(m.nodes().len(), 4);
+    }
+
+    #[test]
+    fn display_roundtrippable_tokens() {
+        let nl = {
+            let mut n = Netlist::new("test deck");
+            n.elements.push(Element::resistor("R1", "in", "out", 250.0));
+            n.elements
+                .push(Element::capacitor("C1", "out", "0", 1.35e-12));
+            n.analyses.push(Analysis::Tran {
+                tstep: 1e-11,
+                tstop: 5e-9,
+            });
+            n
+        };
+        let text = nl.to_string();
+        assert!(text.contains("R1 in out 250"));
+        assert!(text.to_lowercase().contains(".tran"));
+        assert!(text.to_lowercase().contains(".end"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # pact-netlist
+//!
+//! SPICE netlist handling for the PACT RC-reduction workspace: the
+//! SPICE-in/SPICE-out plumbing of the paper's RCFIT tool (Section 5).
+//!
+//! - [`parse`] reads a SPICE deck (R/C/M/V/I cards, `.MODEL`, `.TRAN`,
+//!   `.AC`, comments, continuations, engineering units);
+//! - [`extract_rc`] pulls every resistor and capacitor into an
+//!   [`RcNetwork`], classifying nodes by the paper's port rule;
+//! - [`RcNetwork::stamp`] builds the partitioned `G`/`C` matrices;
+//! - [`unstamp`] converts reduced matrices back into RC elements, and
+//!   [`sparsify_preserving_passivity`] implements the element-count
+//!   reduction heuristic;
+//! - [`Netlist`]'s `Display` impl writes SPICE text back out.
+//!
+//! ```
+//! use pact_netlist::{parse, extract_rc};
+//! let deck = "* line\nV1 in 0 5\nR1 in out 250\nC1 out 0 1p\nRL out 0 1k\nM1 x out 0 0 nch\n.model nch nmos()\n.end\n";
+//! let nl = parse(deck)?;
+//! let ex = extract_rc(&nl, &[])?;
+//! assert_eq!(ex.network.num_ports, 2); // `in` (V1) and `out` (M1 gate)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod network;
+mod parser;
+mod units;
+mod unstamp;
+
+pub use ast::{
+    is_ground, Analysis, Element, ElementKind, FlattenError, MosModel, Netlist, Subckt,
+    SubcktInstance, Waveform,
+};
+pub use network::{extract_rc, Branch, Extraction, NetworkError, RcNetwork, Stamped};
+pub use parser::{parse, ParseNetlistError};
+pub use units::{format_value, parse_value, ParseValueError};
+pub use unstamp::{sparsify_preserving_passivity, unstamp};
+
+/// Splices a reduced RC network back into a deck: the original RC elements
+/// are removed and the reduced elements appended, leaving all other
+/// devices, models and analyses untouched (the final box of RCFIT's
+/// flowchart).
+pub fn splice_reduced(original: &Netlist, reduced_elements: Vec<Element>) -> Netlist {
+    let mut out = Netlist {
+        title: format!("{} (RC network reduced by PACT)", original.title),
+        elements: Vec::new(),
+        models: original.models.clone(),
+        analyses: original.analyses.clone(),
+        subckts: original.subckts.clone(),
+        instances: original.instances.clone(),
+    };
+    for e in &original.elements {
+        if !e.is_rc() {
+            out.elements.push(e.clone());
+        }
+    }
+    out.elements.extend(reduced_elements);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_removes_rc_keeps_devices() {
+        let nl = parse(
+            "* t\nV1 a 0 1\nR1 a b 100\nC1 b 0 1p\nM1 c b 0 0 nch\n.model nch nmos()\n.end\n",
+        )
+        .unwrap();
+        let red = vec![Element::resistor("Rred", "a", "b", 42.0)];
+        let spliced = splice_reduced(&nl, red);
+        assert_eq!(spliced.elements.len(), 3); // V1, M1, Rred
+        assert!(spliced.elements.iter().any(|e| e.name == "Rred"));
+        assert!(spliced.elements.iter().all(|e| e.name != "R1"));
+        assert_eq!(spliced.models.len(), 1);
+    }
+}

@@ -1,0 +1,519 @@
+//! RC network extraction and matrix stamping.
+//!
+//! Implements the front half of RCFIT's flow (Figure 1): pull every
+//! resistor and capacitor out of a deck, classify nodes as *port* or
+//! *internal* (a node is a port when it touches both an RC element and a
+//! non-RC device — it connects the network to the rest of the circuit),
+//! and stamp the network into the partitioned conductance/susceptance
+//! matrices `G` and `C` with ports ordered first.
+
+use std::collections::BTreeMap;
+
+use pact_sparse::{CsrMat, TripletMat};
+
+use crate::ast::{is_ground, Element, ElementKind, Netlist};
+
+/// A two-terminal RC branch inside an [`RcNetwork`]; `None` terminals are
+/// the common/ground node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Branch {
+    /// First terminal (index into [`RcNetwork::node_names`]), or ground.
+    pub a: Option<usize>,
+    /// Second terminal, or ground.
+    pub b: Option<usize>,
+    /// Element value: ohms for resistors, farads for capacitors.
+    pub value: f64,
+}
+
+/// A multiport RC network extracted from a netlist, ports first.
+///
+/// Node index `i < num_ports` is a port; the rest are internal. The
+/// ground/common node is implicit (it is the paper's "node 0").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RcNetwork {
+    /// Node names; indices `0..num_ports` are ports.
+    pub node_names: Vec<String>,
+    /// Number of port nodes `m`.
+    pub num_ports: usize,
+    /// Resistor branches.
+    pub resistors: Vec<Branch>,
+    /// Capacitor branches.
+    pub capacitors: Vec<Branch>,
+}
+
+/// Error from extracting or stamping an RC network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetworkError {
+    /// The deck still contains unexpanded subcircuit instances; call
+    /// [`crate::Netlist::flatten`] first (RC elements hidden inside
+    /// subcircuits would otherwise be silently missed).
+    NotFlattened {
+        /// Name of the first unexpanded instance.
+        instance: String,
+    },
+    /// A resistor has a non-positive value; the stamped `G` would not be
+    /// non-negative definite.
+    NonPositiveResistor {
+        /// Element name.
+        name: String,
+        /// Offending value in ohms.
+        ohms: f64,
+    },
+    /// A capacitor has a negative value.
+    NegativeCapacitor {
+        /// Element name.
+        name: String,
+        /// Offending value in farads.
+        farads: f64,
+    },
+    /// The network has no port nodes; reduction would erase it entirely.
+    NoPorts,
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::NonPositiveResistor { name, ohms } => {
+                write!(f, "resistor {name} has non-positive value {ohms}")
+            }
+            NetworkError::NegativeCapacitor { name, farads } => {
+                write!(f, "capacitor {name} has negative value {farads}")
+            }
+            NetworkError::NoPorts => write!(f, "RC network has no port nodes"),
+            NetworkError::NotFlattened { instance } => write!(
+                f,
+                "deck contains unexpanded subcircuit instance {instance}; flatten() first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Result of [`extract_rc`]: the RC network plus the remaining (non-RC)
+/// elements of the deck.
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// The multiport RC network, ports first.
+    pub network: RcNetwork,
+    /// The elements that were *not* absorbed into the network.
+    pub rest: Vec<Element>,
+}
+
+/// Extracts all resistors and capacitors from a netlist into an
+/// [`RcNetwork`], applying the paper's port rule: *any node connected to a
+/// resistor or capacitor as well as to a device other than a resistor or
+/// capacitor is made a port node*.
+///
+/// Additional node names can be forced to be ports via `extra_ports`
+/// (e.g. observation nodes like the paper's substrate monitor port).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] for non-physical element values or a network
+/// with no ports.
+pub fn extract_rc(netlist: &Netlist, extra_ports: &[&str]) -> Result<Extraction, NetworkError> {
+    if let Some(inst) = netlist.instances.first() {
+        return Err(NetworkError::NotFlattened {
+            instance: inst.name.clone(),
+        });
+    }
+    let mut touches_rc: BTreeMap<String, bool> = BTreeMap::new();
+    let mut touches_other: BTreeMap<String, bool> = BTreeMap::new();
+    for e in &netlist.elements {
+        for node in e.nodes() {
+            if is_ground(&node) {
+                continue;
+            }
+            if e.is_rc() {
+                touches_rc.insert(node, true);
+            } else {
+                touches_other.insert(node, true);
+            }
+        }
+    }
+    // Port = RC-connected ∧ (other-connected ∨ explicitly requested).
+    let mut ports: Vec<String> = Vec::new();
+    let mut internals: Vec<String> = Vec::new();
+    for node in touches_rc.keys() {
+        let forced = extra_ports.iter().any(|p| p.eq_ignore_ascii_case(node));
+        if touches_other.contains_key(node) || forced {
+            ports.push(node.clone());
+        } else {
+            internals.push(node.clone());
+        }
+    }
+    if ports.is_empty() {
+        return Err(NetworkError::NoPorts);
+    }
+    let mut node_names = ports;
+    let num_ports = node_names.len();
+    node_names.extend(internals);
+    let index: BTreeMap<String, usize> = node_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect();
+
+    let lookup = |name: &str| -> Option<usize> {
+        if is_ground(name) {
+            None
+        } else {
+            Some(index[name])
+        }
+    };
+
+    let mut network = RcNetwork {
+        node_names,
+        num_ports,
+        resistors: Vec::new(),
+        capacitors: Vec::new(),
+    };
+    let mut rest = Vec::new();
+    for e in &netlist.elements {
+        match &e.kind {
+            ElementKind::Resistor { a, b, ohms } => {
+                if *ohms <= 0.0 {
+                    return Err(NetworkError::NonPositiveResistor {
+                        name: e.name.clone(),
+                        ohms: *ohms,
+                    });
+                }
+                network.resistors.push(Branch {
+                    a: lookup(a),
+                    b: lookup(b),
+                    value: *ohms,
+                });
+            }
+            ElementKind::Capacitor { a, b, farads } => {
+                if *farads < 0.0 {
+                    return Err(NetworkError::NegativeCapacitor {
+                        name: e.name.clone(),
+                        farads: *farads,
+                    });
+                }
+                network.capacitors.push(Branch {
+                    a: lookup(a),
+                    b: lookup(b),
+                    value: *farads,
+                });
+            }
+            _ => rest.push(e.clone()),
+        }
+    }
+    Ok(Extraction { network, rest })
+}
+
+/// The stamped matrices of an RC network: `(G + sC) x = b` with ports
+/// ordered first (eq. 1–2 of the paper).
+#[derive(Clone, Debug)]
+pub struct Stamped {
+    /// Conductance matrix `G`, `(m+n) × (m+n)`, symmetric non-negative
+    /// definite.
+    pub g: CsrMat,
+    /// Susceptance (capacitance) matrix `C`, same shape and properties.
+    pub c: CsrMat,
+    /// Number of ports `m` (leading block).
+    pub num_ports: usize,
+}
+
+impl RcNetwork {
+    /// Total node count `m + n` (excluding ground).
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of internal nodes `n`.
+    pub fn num_internal(&self) -> usize {
+        self.node_names.len() - self.num_ports
+    }
+
+    /// Stamps the network into its `G` and `C` matrices.
+    pub fn stamp(&self) -> Stamped {
+        let n = self.num_nodes();
+        let mut g = TripletMat::with_capacity(n, n, 4 * self.resistors.len());
+        for r in &self.resistors {
+            g.stamp_conductance(r.a, r.b, 1.0 / r.value);
+        }
+        let mut c = TripletMat::with_capacity(n, n, 4 * self.capacitors.len());
+        for cap in &self.capacitors {
+            c.stamp_conductance(cap.a, cap.b, cap.value);
+        }
+        Stamped {
+            g: g.to_csr(),
+            c: c.to_csr(),
+            num_ports: self.num_ports,
+        }
+    }
+
+    /// Index of a node by name, if present.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.node_names.iter().position(|n| n == name)
+    }
+
+    /// Element counts `(resistors, capacitors)` — the paper's "R's" and
+    /// "C's" table columns.
+    pub fn element_counts(&self) -> (usize, usize) {
+        (self.resistors.len(), self.capacitors.len())
+    }
+
+    /// Splits the network into its connected components (ground does not
+    /// connect components — two nets that only share the ground node are
+    /// electrically independent at the ports).
+    ///
+    /// Each component is a self-contained [`RcNetwork`] with its own
+    /// ports-first ordering; node *names* are preserved, so reduced
+    /// components can be emitted into one netlist without clashes.
+    /// Components containing no port node cannot influence any port and
+    /// are returned too (callers typically drop them).
+    pub fn connected_components(&self) -> Vec<RcNetwork> {
+        let n = self.num_nodes();
+        // Union-find over non-ground terminals.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+        for b in self.resistors.iter().chain(&self.capacitors) {
+            if let (Some(x), Some(y)) = (b.a, b.b) {
+                union(&mut parent, x, y);
+            }
+        }
+        // Group nodes by root.
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for v in 0..n {
+            let r = find(&mut parent, v);
+            groups.entry(r).or_default().push(v);
+        }
+        // Build each component with ports first (preserving global order).
+        let mut components = Vec::with_capacity(groups.len());
+        for nodes in groups.values() {
+            let ports: Vec<usize> = nodes.iter().copied().filter(|&v| v < self.num_ports).collect();
+            let internals: Vec<usize> =
+                nodes.iter().copied().filter(|&v| v >= self.num_ports).collect();
+            let mut remap = vec![usize::MAX; n];
+            let mut node_names = Vec::with_capacity(nodes.len());
+            for (new, &old) in ports.iter().chain(&internals).enumerate() {
+                remap[old] = new;
+                node_names.push(self.node_names[old].clone());
+            }
+            let map_branch = |b: &Branch| -> Option<Branch> {
+                let a = match b.a {
+                    Some(x) if remap[x] != usize::MAX => Some(remap[x]),
+                    Some(_) => return None,
+                    None => None,
+                };
+                let bb = match b.b {
+                    Some(x) if remap[x] != usize::MAX => Some(remap[x]),
+                    Some(_) => return None,
+                    None => None,
+                };
+                Some(Branch {
+                    a,
+                    b: bb,
+                    value: b.value,
+                })
+            };
+            let in_component = |b: &Branch| -> bool {
+                b.a.is_some_and(|x| remap[x] != usize::MAX)
+                    || b.b.is_some_and(|x| remap[x] != usize::MAX)
+            };
+            components.push(RcNetwork {
+                num_ports: ports.len(),
+                node_names,
+                resistors: self
+                    .resistors
+                    .iter()
+                    .filter(|b| in_component(b))
+                    .filter_map(map_branch)
+                    .collect(),
+                capacitors: self
+                    .capacitors
+                    .iter()
+                    .filter(|b| in_component(b))
+                    .filter_map(map_branch)
+                    .collect(),
+            });
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ladder_deck() -> Netlist {
+        // in --R-- mid --R-- out, caps at mid/out, driven by V at `in`,
+        // loaded by a MOSFET at `out`.
+        parse(
+            "\
+* ladder
+V1 in 0 5
+R1 in mid 125
+R2 mid out 125
+C1 mid 0 0.7p
+C2 out 0 0.65p
+M1 sink out 0 0 nch w=1u l=1u
+.model nch nmos (vto=0.7)
+.end
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn port_rule_matches_paper() {
+        let ex = extract_rc(&ladder_deck(), &[]).unwrap();
+        let net = &ex.network;
+        // `in` touches V1 (non-RC) + R1 → port. `out` touches M1 → port.
+        // `mid` touches only R/C → internal.
+        assert_eq!(net.num_ports, 2);
+        assert!(net.node_index("in").unwrap() < 2);
+        assert!(net.node_index("out").unwrap() < 2);
+        assert_eq!(net.node_index("mid").unwrap(), 2);
+        assert_eq!(net.num_internal(), 1);
+        // Non-RC elements survive in `rest`.
+        assert_eq!(ex.rest.len(), 2); // V1 and M1
+    }
+
+    #[test]
+    fn forced_extra_ports() {
+        let ex = extract_rc(&ladder_deck(), &["mid"]).unwrap();
+        assert_eq!(ex.network.num_ports, 3);
+        assert!(ex.network.node_index("mid").unwrap() < 3);
+    }
+
+    #[test]
+    fn stamping_is_symmetric_and_dominant() {
+        let ex = extract_rc(&ladder_deck(), &[]).unwrap();
+        let st = ex.network.stamp();
+        assert!(st.g.is_symmetric(0.0));
+        assert!(st.c.is_symmetric(0.0));
+        assert!(st.g.is_diag_dominant(1e-15));
+        assert!(st.c.is_diag_dominant(1e-15));
+        let n = ex.network.num_nodes();
+        assert_eq!(st.g.nrows(), n);
+        // G values: conductance 1/125 = 8 mS stamps.
+        let g_in_in = st.g.get(
+            ex.network.node_index("in").unwrap(),
+            ex.network.node_index("in").unwrap(),
+        );
+        assert!((g_in_in - 1.0 / 125.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn grounded_elements_stamp_diagonal_only() {
+        let nl = parse("* g\nV1 a 0 1\nR1 a 0 100\nC1 a 0 1p\n.end\n").unwrap();
+        let ex = extract_rc(&nl, &[]).unwrap();
+        let st = ex.network.stamp();
+        assert_eq!(st.g.nnz(), 1);
+        assert!((st.g.get(0, 0) - 0.01).abs() < 1e-15);
+        assert!((st.c.get(0, 0) - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let nl = parse("* b\nV1 a 0 1\nR1 a 0 -5\n.end\n").unwrap();
+        assert!(matches!(
+            extract_rc(&nl, &[]),
+            Err(NetworkError::NonPositiveResistor { .. })
+        ));
+    }
+
+    #[test]
+    fn no_ports_is_error() {
+        // RC-only floating network with no non-RC device and no forcing.
+        let nl = parse("* f\nR1 a b 100\nC1 b 0 1p\n.end\n").unwrap();
+        assert!(matches!(extract_rc(&nl, &[]), Err(NetworkError::NoPorts)));
+    }
+
+    #[test]
+    fn counts() {
+        let ex = extract_rc(&ladder_deck(), &[]).unwrap();
+        assert_eq!(ex.network.element_counts(), (2, 2));
+    }
+
+    #[test]
+    fn connected_components_split_independent_nets() {
+        // Two nets sharing only ground, plus a floating RC island.
+        let nl = parse(
+            "\
+* nets
+V1 a1 0 1
+R1 a1 a2 100
+C1 a2 0 1p
+M1 x a2 0 0 nch
+V2 b1 0 1
+R2 b1 b2 50
+C2 b2 0 2p
+M2 y b2 0 0 nch
+R3 f1 f2 10
+C3 f2 0 1p
+.model nch nmos()
+.end
+",
+        )
+        .unwrap();
+        let ex = extract_rc(&nl, &[]).unwrap();
+        let comps = ex.network.connected_components();
+        assert_eq!(comps.len(), 3);
+        let with_ports: Vec<_> = comps.iter().filter(|c| c.num_ports > 0).collect();
+        assert_eq!(with_ports.len(), 2);
+        // Each ported component has 2 ports (driver + receiver nodes)...
+        for c in &with_ports {
+            assert_eq!(c.num_ports, 2);
+            assert_eq!(c.num_internal(), 0);
+            let (r, cc) = c.element_counts();
+            assert_eq!((r, cc), (1, 1));
+        }
+        // ...and the floating island has none.
+        let floating = comps.iter().find(|c| c.num_ports == 0).unwrap();
+        assert_eq!(floating.num_nodes(), 2);
+    }
+
+    #[test]
+    fn components_preserve_stamps() {
+        // Stamping a component must equal the corresponding sub-block of
+        // the full stamp.
+        let nl = parse(
+            "* c\nV1 p1 0 1\nR1 p1 m 100\nC1 m 0 1p\nR2 m q 200\nM1 x q 0 0 n\nV2 p2 0 1\nR9 p2 0 5k\n.model n nmos()\n.end\n",
+        )
+        .unwrap();
+        let ex = extract_rc(&nl, &[]).unwrap();
+        let comps = ex.network.connected_components();
+        for c in &comps {
+            let st = c.stamp();
+            assert!(st.g.is_symmetric(0.0));
+            for (i, name) in c.node_names.iter().enumerate() {
+                let gi = ex.network.node_index(name).unwrap();
+                for (j, name2) in c.node_names.iter().enumerate() {
+                    let gj = ex.network.node_index(name2).unwrap();
+                    let full = ex.network.stamp();
+                    assert_eq!(st.g.get(i, j), full.g.get(gi, gj));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_component_roundtrip() {
+        let ex = extract_rc(&ladder_deck(), &[]).unwrap();
+        let comps = ex.network.connected_components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].num_ports, ex.network.num_ports);
+        assert_eq!(comps[0].num_nodes(), ex.network.num_nodes());
+    }
+}

@@ -1,0 +1,598 @@
+//! SPICE deck parser: the "input parser" box of RCFIT's flowchart.
+//!
+//! Supports the element cards the paper's examples need (R, C, M, V, I),
+//! `.MODEL` for level-1 MOSFETs, `.TRAN`/`.AC` analyses, comments (`*`),
+//! line continuations (`+`) and case-insensitive keywords with
+//! engineering-unit values.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Analysis, Element, ElementKind, MosModel, Netlist, Subckt, SubcktInstance, Waveform};
+use crate::units::parse_value;
+
+/// Error from parsing a SPICE deck, with 1-based line information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseNetlistError {
+    /// 1-based source line of the offending card.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+/// Parses a SPICE deck from text.
+///
+/// The first line is the title (SPICE convention). Unknown dot-cards are
+/// ignored with no error (HSPICE compatibility); unknown element letters
+/// are an error.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with the offending line on malformed
+/// cards.
+///
+/// ```
+/// use pact_netlist::parse;
+/// let deck = "* rc line\nR1 in out 250\nC1 out 0 1.35p\n.end\n";
+/// let nl = parse(deck)?;
+/// assert_eq!(nl.elements.len(), 2);
+/// # Ok::<(), pact_netlist::ParseNetlistError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
+    // Join continuation lines, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if let Some(rest) = line.trim_start().strip_prefix('+') {
+            if let Some(last) = logical.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest);
+                continue;
+            }
+        }
+        logical.push((idx + 1, line.to_owned()));
+    }
+
+    let mut nl = Netlist::default();
+    // Subcircuit scope: while inside `.subckt … .ends`, cards land in a
+    // scratch netlist that becomes the definition body.
+    let mut subckt_stack: Vec<(Subckt, Netlist)> = Vec::new();
+    let mut first = true;
+    for (lineno, line) in logical {
+        let trimmed = line.trim();
+        if first {
+            first = false;
+            // Title line (may be empty or a comment).
+            nl.title = trimmed.trim_start_matches('*').trim().to_owned();
+            // But some decks start immediately with a card; detect that.
+            if !looks_like_card(trimmed) {
+                continue;
+            }
+            nl.title.clear();
+        }
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        // Strip trailing `$`-style comments.
+        let body = match trimmed.find('$') {
+            Some(pos) => trimmed[..pos].trim_end(),
+            None => trimmed,
+        };
+        if body.is_empty() {
+            continue;
+        }
+        // Subcircuit scope transitions.
+        let lower = body.to_ascii_lowercase();
+        if lower.starts_with(".subckt") {
+            let toks: Vec<&str> = body.split_whitespace().collect();
+            if toks.len() < 2 {
+                return Err(err(lineno, ".subckt needs a name"));
+            }
+            subckt_stack.push((
+                Subckt {
+                    name: toks[1].to_ascii_lowercase(),
+                    ports: toks[2..].iter().map(|t| (*t).to_owned()).collect(),
+                    elements: Vec::new(),
+                    instances: Vec::new(),
+                },
+                Netlist::default(),
+            ));
+            continue;
+        }
+        if lower.starts_with(".ends") {
+            let (mut def, scope) = subckt_stack
+                .pop()
+                .ok_or_else(|| err(lineno, ".ends without matching .subckt"))?;
+            def.elements = scope.elements;
+            def.instances = scope.instances;
+            // Models declared inside a subckt are hoisted to global scope
+            // (HSPICE semantics for our purposes).
+            nl.models.extend(scope.models);
+            let target = match subckt_stack.last_mut() {
+                Some((_, outer_scope)) => outer_scope,
+                None => &mut nl,
+            };
+            let _ = target; // definitions always register globally
+            nl.subckts.insert(def.name.clone(), def);
+            continue;
+        }
+        let target = match subckt_stack.last_mut() {
+            Some((_, scope)) => scope,
+            None => &mut nl,
+        };
+        parse_card(body, lineno, target)?;
+    }
+    if let Some((def, _)) = subckt_stack.last() {
+        return Err(ParseNetlistError {
+            line: 0,
+            message: format!("unterminated .subckt `{}`", def.name),
+        });
+    }
+    Ok(nl)
+}
+
+fn looks_like_card(line: &str) -> bool {
+    let lower = line.to_ascii_lowercase();
+    let first = lower.chars().next().unwrap_or(' ');
+    matches!(first, 'r' | 'c' | 'm' | 'v' | 'i' | 'x' | '.')
+        && lower.split_whitespace().count() >= 2
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
+    ParseNetlistError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_card(body: &str, line: usize, nl: &mut Netlist) -> Result<(), ParseNetlistError> {
+    // Normalize parentheses into separate tokens for PULSE(...) forms.
+    let spaced = body.replace('(', " ( ").replace(')', " ) ").replace('=', " = ");
+    let tokens: Vec<&str> = spaced.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Ok(());
+    }
+    let head = tokens[0].to_ascii_lowercase();
+    match head.chars().next().unwrap() {
+        '.' => parse_dot_card(&head, &tokens, line, nl),
+        'r' => {
+            let (a, b, v) = two_node_value(&tokens, line)?;
+            nl.elements.push(Element {
+                name: tokens[0].to_owned(),
+                kind: ElementKind::Resistor { a, b, ohms: v },
+            });
+            Ok(())
+        }
+        'c' => {
+            let (a, b, v) = two_node_value(&tokens, line)?;
+            nl.elements.push(Element {
+                name: tokens[0].to_owned(),
+                kind: ElementKind::Capacitor { a, b, farads: v },
+            });
+            Ok(())
+        }
+        'm' => parse_mosfet(&tokens, line, nl),
+        'x' => {
+            if tokens.len() < 3 {
+                return Err(err(line, "expected `Xname node... subckt`"));
+            }
+            nl.instances.push(SubcktInstance {
+                name: tokens[0].to_owned(),
+                nodes: tokens[1..tokens.len() - 1]
+                    .iter()
+                    .map(|t| (*t).to_owned())
+                    .collect(),
+                subckt: tokens[tokens.len() - 1].to_ascii_lowercase(),
+            });
+            Ok(())
+        }
+        'v' | 'i' => {
+            let wave = parse_waveform(&tokens[3..], line)?;
+            let kind = if head.starts_with('v') {
+                ElementKind::VSource {
+                    p: tokens[1].to_owned(),
+                    n: tokens[2].to_owned(),
+                    wave,
+                }
+            } else {
+                ElementKind::ISource {
+                    p: tokens[1].to_owned(),
+                    n: tokens[2].to_owned(),
+                    wave,
+                }
+            };
+            nl.elements.push(Element {
+                name: tokens[0].to_owned(),
+                kind,
+            });
+            Ok(())
+        }
+        other => Err(err(line, format!("unsupported element type `{other}`"))),
+    }
+}
+
+fn two_node_value(
+    tokens: &[&str],
+    line: usize,
+) -> Result<(String, String, f64), ParseNetlistError> {
+    if tokens.len() < 4 {
+        return Err(err(line, "expected `NAME node1 node2 value`"));
+    }
+    let v = parse_value(tokens[3]).map_err(|e| err(line, e.to_string()))?;
+    Ok((tokens[1].to_owned(), tokens[2].to_owned(), v))
+}
+
+fn parse_mosfet(tokens: &[&str], line: usize, nl: &mut Netlist) -> Result<(), ParseNetlistError> {
+    if tokens.len() < 6 {
+        return Err(err(line, "expected `Mname d g s b model [w= l=]`"));
+    }
+    let mut w = 10e-6;
+    let mut l = 1e-6;
+    let mut i = 6;
+    while i < tokens.len() {
+        let key = tokens[i].to_ascii_lowercase();
+        if (key == "w" || key == "l") && i + 2 < tokens.len() && tokens[i + 1] == "=" {
+            let v = parse_value(tokens[i + 2]).map_err(|e| err(line, e.to_string()))?;
+            if key == "w" {
+                w = v;
+            } else {
+                l = v;
+            }
+            i += 3;
+        } else if let Some(eqpos) = key.find('=') {
+            // w=10u glued form survives `=` spacing replacement only when
+            // the token had no `=`; handle defensively.
+            let (k, v) = key.split_at(eqpos);
+            let v = parse_value(&v[1..]).map_err(|e| err(line, e.to_string()))?;
+            match k {
+                "w" => w = v,
+                "l" => l = v,
+                _ => {}
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    nl.elements.push(Element {
+        name: tokens[0].to_owned(),
+        kind: ElementKind::Mosfet {
+            d: tokens[1].to_owned(),
+            g: tokens[2].to_owned(),
+            s: tokens[3].to_owned(),
+            b: tokens[4].to_owned(),
+            model: tokens[5].to_ascii_lowercase(),
+            w,
+            l,
+        },
+    });
+    Ok(())
+}
+
+fn parse_waveform(tokens: &[&str], line: usize) -> Result<Waveform, ParseNetlistError> {
+    if tokens.is_empty() {
+        return Ok(Waveform::Dc(0.0));
+    }
+    let head = tokens[0].to_ascii_lowercase();
+    match head.as_str() {
+        "dc" => {
+            let v = tokens
+                .get(1)
+                .ok_or_else(|| err(line, "dc needs a value"))
+                .and_then(|t| parse_value(t).map_err(|e| err(line, e.to_string())))?;
+            Ok(Waveform::Dc(v))
+        }
+        "pulse" => {
+            let vals = numeric_args(&tokens[1..], line)?;
+            if vals.len() < 2 {
+                return Err(err(line, "pulse needs at least v1 v2"));
+            }
+            let get = |i: usize, d: f64| vals.get(i).copied().unwrap_or(d);
+            Ok(Waveform::Pulse {
+                v1: vals[0],
+                v2: vals[1],
+                td: get(2, 0.0),
+                tr: get(3, 0.0),
+                tf: get(4, 0.0),
+                pw: get(5, f64::INFINITY),
+                per: get(6, 0.0),
+            })
+        }
+        "pwl" => {
+            let vals = numeric_args(&tokens[1..], line)?;
+            if vals.len() % 2 != 0 {
+                return Err(err(line, "pwl needs time/value pairs"));
+            }
+            let pts: Vec<(f64, f64)> = vals.chunks(2).map(|c| (c[0], c[1])).collect();
+            for w in pts.windows(2) {
+                if w[1].0 < w[0].0 {
+                    return Err(err(line, "pwl times must be non-decreasing"));
+                }
+            }
+            Ok(Waveform::Pwl(pts))
+        }
+        "sin" => {
+            let vals = numeric_args(&tokens[1..], line)?;
+            if vals.len() < 3 {
+                return Err(err(line, "sin needs vo va freq"));
+            }
+            Ok(Waveform::Sin {
+                vo: vals[0],
+                va: vals[1],
+                freq: vals[2],
+            })
+        }
+        _ => {
+            // Bare value: `V1 a 0 5`.
+            let v = parse_value(tokens[0]).map_err(|e| err(line, e.to_string()))?;
+            Ok(Waveform::Dc(v))
+        }
+    }
+}
+
+fn numeric_args(tokens: &[&str], line: usize) -> Result<Vec<f64>, ParseNetlistError> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if *t == "(" || *t == ")" {
+            continue;
+        }
+        out.push(parse_value(t).map_err(|e| err(line, e.to_string()))?);
+    }
+    Ok(out)
+}
+
+fn parse_dot_card(
+    head: &str,
+    tokens: &[&str],
+    line: usize,
+    nl: &mut Netlist,
+) -> Result<(), ParseNetlistError> {
+    match head {
+        ".model" => {
+            if tokens.len() < 3 {
+                return Err(err(line, ".model needs name and type"));
+            }
+            let name = tokens[1].to_ascii_lowercase();
+            let kind = tokens[2].to_ascii_lowercase();
+            let mut model = match kind.as_str() {
+                "nmos" => MosModel::default_nmos(name.clone()),
+                "pmos" => MosModel::default_pmos(name.clone()),
+                other => return Err(err(line, format!("unsupported model type `{other}`"))),
+            };
+            // key = value pairs (already `=`-spaced).
+            let params = collect_params(&tokens[3..], line)?;
+            for (k, v) in params {
+                match k.as_str() {
+                    "vto" | "vt0" => model.vto = v,
+                    "kp" => model.kp = v,
+                    "lambda" => model.lambda = v,
+                    "cox" => model.cox = v,
+                    "cjb" => model.cjb = v,
+                    _ => {} // ignore unknown parameters (HSPICE decks carry many)
+                }
+            }
+            nl.models.insert(model.name.clone(), model);
+            Ok(())
+        }
+        ".tran" => {
+            let vals = numeric_args(&tokens[1..], line)?;
+            if vals.len() < 2 {
+                return Err(err(line, ".tran needs tstep tstop"));
+            }
+            nl.analyses.push(Analysis::Tran {
+                tstep: vals[0],
+                tstop: vals[1],
+            });
+            Ok(())
+        }
+        ".ac" => {
+            if tokens.len() < 5 || !tokens[1].eq_ignore_ascii_case("dec") {
+                return Err(err(line, ".ac supports `dec n fstart fstop`"));
+            }
+            let n: usize = tokens[2]
+                .parse()
+                .map_err(|_| err(line, "invalid point count"))?;
+            let fstart = parse_value(tokens[3]).map_err(|e| err(line, e.to_string()))?;
+            let fstop = parse_value(tokens[4]).map_err(|e| err(line, e.to_string()))?;
+            nl.analyses.push(Analysis::AcDec {
+                points_per_decade: n,
+                fstart,
+                fstop,
+            });
+            Ok(())
+        }
+        ".end" => Ok(()),
+        _ => Ok(()), // ignore .options, .print, .probe, ...
+    }
+}
+
+fn collect_params(
+    tokens: &[&str],
+    line: usize,
+) -> Result<BTreeMap<String, f64>, ParseNetlistError> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = tokens[i];
+        if t == "(" || t == ")" {
+            i += 1;
+            continue;
+        }
+        if i + 2 < tokens.len() && tokens[i + 1] == "=" {
+            let v = parse_value(tokens[i + 2]).map_err(|e| err(line, e.to_string()))?;
+            out.insert(t.to_ascii_lowercase(), v);
+            i += 3;
+        } else if i + 2 == tokens.len() && tokens[i + 1] == "=" {
+            return Err(err(line, format!("parameter `{t}` missing value")));
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rc_deck() {
+        let deck = "\
+* simple rc
+R1 in mid 125
+R2 mid out 125
+Cl mid 0 1.35p
+C2 out 0 0.5pF
+.tran 10p 5n
+.end
+";
+        let nl = parse(deck).unwrap();
+        assert_eq!(nl.title, "simple rc");
+        assert_eq!(nl.elements.len(), 4);
+        match &nl.elements[2].kind {
+            ElementKind::Capacitor { farads, .. } => assert!((*farads - 1.35e-12).abs() < 1e-24),
+            other => panic!("wrong kind {other:?}"),
+        }
+        assert_eq!(nl.analyses.len(), 1);
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let deck = "* t\nV1 in 0 pulse(0 5\n+ 0 1n 1n 3n 10n)\n.end\n";
+        let nl = parse(deck).unwrap();
+        match &nl.elements[0].kind {
+            ElementKind::VSource {
+                wave: Waveform::Pulse { v2, per, .. },
+                ..
+            } => {
+                assert_eq!(*v2, 5.0);
+                assert_eq!(*per, 10e-9);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mosfet_and_model() {
+        let deck = "\
+* inv
+.model nch nmos (vto=0.7 kp=110u lambda=0.04)
+.model pch pmos (vto=-0.9 kp=40u)
+M1 out in 0 0 nch w=4u l=1u
+M2 out in vdd vdd pch w=8u l=1u
+Vdd vdd 0 5
+.end
+";
+        let nl = parse(deck).unwrap();
+        assert_eq!(nl.models.len(), 2);
+        assert!(nl.models["nch"].nmos);
+        assert!((nl.models["nch"].kp - 110e-6).abs() < 1e-12);
+        assert!(!nl.models["pch"].nmos);
+        match &nl.elements[0].kind {
+            ElementKind::Mosfet { w, l, model, .. } => {
+                assert_eq!(*w, 4e-6);
+                assert_eq!(*l, 1e-6);
+                assert_eq!(model, "nch");
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sources() {
+        let deck = "* s\nV1 a 0 5\nV2 b 0 dc 3.3\nI1 c 0 pwl(0 0 1n 1m)\nV3 d 0 sin(0 1 1meg)\n.end\n";
+        let nl = parse(deck).unwrap();
+        assert_eq!(nl.elements.len(), 4);
+        match &nl.elements[0].kind {
+            ElementKind::VSource { wave, .. } => assert_eq!(wave.dc_value(), 5.0),
+            _ => panic!(),
+        }
+        match &nl.elements[2].kind {
+            ElementKind::ISource {
+                wave: Waveform::Pwl(p),
+                ..
+            } => assert_eq!(p.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_ac_card() {
+        let nl = parse("* a\nR1 a 0 1k\n.ac dec 27 10meg 10g\n.end\n").unwrap();
+        match &nl.analyses[0] {
+            Analysis::AcDec {
+                points_per_decade,
+                fstart,
+                fstop,
+            } => {
+                assert_eq!(*points_per_decade, 27);
+                assert_eq!(*fstart, 1e7);
+                assert_eq!(*fstop, 1e10);
+            }
+            other => panic!("wrong analysis {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("* t\nR1 a b\n.end\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("* t\nQ1 a b c\n.end\n").unwrap_err();
+        assert!(e.message.contains("unsupported"));
+    }
+
+    #[test]
+    fn ignores_unknown_dot_cards_and_comments() {
+        let deck = "* t\n.options post\nR1 a 0 1k $ load\n* comment\n.print v(a)\n.end\n";
+        let nl = parse(deck).unwrap();
+        assert_eq!(nl.elements.len(), 1);
+    }
+
+    #[test]
+    fn first_line_card_not_swallowed() {
+        let nl = parse("R1 a 0 1k\n.end\n").unwrap();
+        assert_eq!(nl.elements.len(), 1);
+        assert!(nl.title.is_empty());
+    }
+
+    #[test]
+    fn writer_parser_roundtrip() {
+        let deck = "\
+* roundtrip
+.model nch nmos (vto=0.7 kp=110u lambda=0.04 cox=3.45m cjb=0.4n)
+R1 in out 250
+C1 out 0 1.35p
+M1 out in 0 0 nch w=4u l=1u
+V1 in 0 pulse(0 5 0 1n 1n 3n 10n)
+.tran 10p 5n
+.end
+";
+        let nl = parse(deck).unwrap();
+        let text = nl.to_string();
+        let nl2 = parse(&text).unwrap();
+        assert_eq!(nl.elements.len(), nl2.elements.len());
+        assert_eq!(nl.models.len(), nl2.models.len());
+        assert_eq!(nl.analyses, nl2.analyses);
+        // Values survive the round trip.
+        for (a, b) in nl.elements.iter().zip(&nl2.elements) {
+            match (&a.kind, &b.kind) {
+                (
+                    ElementKind::Resistor { ohms: x, .. },
+                    ElementKind::Resistor { ohms: y, .. },
+                ) => assert!((x - y).abs() < 1e-9 * x.abs()),
+                (
+                    ElementKind::Capacitor { farads: x, .. },
+                    ElementKind::Capacitor { farads: y, .. },
+                ) => assert!((x - y).abs() < 1e-9 * x.abs()),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the netlist layer: write→parse round-trips,
+//! stamping invariants (symmetry, diagonal dominance, value conservation)
+//! and unstamp/restamp identity.
+
+use proptest::prelude::*;
+
+use pact_netlist::{
+    extract_rc, parse, unstamp, Element, ElementKind, Netlist, RcNetwork, Branch,
+};
+use pact_sparse::{DMat, TripletMat};
+
+fn value() -> impl Strategy<Value = f64> {
+    // Realistic SPICE magnitudes, positive.
+    (1e-15f64..1e6).prop_map(|v| v)
+}
+
+fn node_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}".prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn write_parse_roundtrip_rc(names in proptest::collection::vec(node_name(), 2..8),
+                                values in proptest::collection::vec(value(), 1..12)) {
+        // Build a deck of R/C elements over the node pool and one source.
+        let mut nl = Netlist::new("roundtrip");
+        nl.elements.push(Element {
+            name: "V1".into(),
+            kind: ElementKind::VSource {
+                p: names[0].clone(),
+                n: "0".into(),
+                wave: pact_netlist::Waveform::Dc(1.0),
+            },
+        });
+        for (k, v) in values.iter().enumerate() {
+            let a = names[k % names.len()].clone();
+            let b = names[(k + 1) % names.len()].clone();
+            if a == b {
+                continue;
+            }
+            if k % 2 == 0 {
+                nl.elements.push(Element::resistor(format!("R{k}"), a, b, *v));
+            } else {
+                nl.elements.push(Element::capacitor(format!("C{k}"), a, b, *v));
+            }
+        }
+        let text = nl.to_string();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(nl.elements.len(), back.elements.len());
+        for (x, y) in nl.elements.iter().zip(&back.elements) {
+            match (&x.kind, &y.kind) {
+                (ElementKind::Resistor { ohms: a, .. }, ElementKind::Resistor { ohms: b, .. }) => {
+                    prop_assert!((a - b).abs() <= 1e-5 * a.abs());
+                }
+                (ElementKind::Capacitor { farads: a, .. }, ElementKind::Capacitor { farads: b, .. }) => {
+                    prop_assert!((a - b).abs() <= 1e-5 * a.abs());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stamping_is_symmetric_nonneg(res in proptest::collection::vec(((0usize..6), (0usize..6), 1.0f64..1e5), 1..15),
+                                    caps in proptest::collection::vec(((0usize..6), 1e-15f64..1e-9), 1..8)) {
+        let net = RcNetwork {
+            node_names: (0..6).map(|i| format!("n{i}")).collect(),
+            num_ports: 2,
+            resistors: res
+                .into_iter()
+                .map(|(a, b, v)| Branch {
+                    a: Some(a),
+                    b: if a == b { None } else { Some(b) },
+                    value: v,
+                })
+                .collect(),
+            capacitors: caps
+                .into_iter()
+                .map(|(a, v)| Branch {
+                    a: Some(a),
+                    b: None,
+                    value: v,
+                })
+                .collect(),
+        };
+        let st = net.stamp();
+        prop_assert!(st.g.is_symmetric(0.0));
+        prop_assert!(st.c.is_symmetric(0.0));
+        // Stamped physical networks are weakly diagonally dominant —
+        // the paper's sufficient condition for non-negative definiteness.
+        prop_assert!(st.g.is_diag_dominant(1e-12));
+        prop_assert!(st.c.is_diag_dominant(1e-12));
+    }
+
+    #[test]
+    fn unstamp_restamp_identity(gdiag in proptest::collection::vec(0.5f64..10.0, 4),
+                                goff in proptest::collection::vec(-0.4f64..0.4, 6)) {
+        // Build a symmetric diagonally-dominant G (scaled), zero C.
+        let mut g = DMat::zeros(4, 4);
+        let mut k = 0;
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g[(i, j)] = goff[k];
+                g[(j, i)] = goff[k];
+                k += 1;
+            }
+        }
+        for i in 0..4 {
+            g[(i, i)] = gdiag[i] + 2.0; // ensure dominance
+        }
+        let c = DMat::zeros(4, 4);
+        let names: Vec<String> = (0..4).map(|i| format!("n{i}")).collect();
+        let els = unstamp(&g, &c, &names, "t");
+        // Restamp.
+        let idx = |s: &str| -> Option<usize> {
+            if s == "0" { None } else { names.iter().position(|n| n == s) }
+        };
+        let mut gt = TripletMat::new(4, 4);
+        for e in &els {
+            if let ElementKind::Resistor { a, b, ohms } = &e.kind {
+                gt.stamp_conductance(idx(a), idx(b), 1.0 / ohms);
+            }
+        }
+        let gs = gt.to_csr();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!(
+                    (gs.get(i, j) - g[(i, j)]).abs() <= 1e-10 * g.norm_max(),
+                    "mismatch at ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn port_rule_is_stable_under_element_order(seed in 0u64..1000) {
+        // Shuffling element order must not change the port set.
+        let deck = "\
+* order
+V1 a 0 1
+R1 a b 100
+R2 b c 100
+C1 c 0 1p
+M1 x c 0 0 nch
+.model nch nmos()
+.end
+";
+        let nl = parse(deck).unwrap();
+        let ex1 = extract_rc(&nl, &[]).unwrap();
+        let mut shuffled = nl.clone();
+        // Deterministic pseudo-shuffle from the seed.
+        let n = shuffled.elements.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            shuffled.elements.swap(i, j);
+        }
+        let ex2 = extract_rc(&shuffled, &[]).unwrap();
+        prop_assert_eq!(ex1.network.num_ports, ex2.network.num_ports);
+        let mut p1 = ex1.network.node_names[..ex1.network.num_ports].to_vec();
+        let mut p2 = ex2.network.node_names[..ex2.network.num_ports].to_vec();
+        p1.sort();
+        p2.sort();
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Triplet (coordinate) matrix builder.
+//!
+//! Circuit stamping naturally produces duplicate `(row, col, value)`
+//! contributions; [`TripletMat`] accumulates them and compresses to
+//! [`crate::CsrMat`] with duplicates summed, exactly the "stamping" step of
+//! RCFIT's flow (Figure 1 of the paper).
+
+use crate::csr::CsrMat;
+
+/// A coordinate-format sparse matrix under construction.
+///
+/// ```
+/// use pact_sparse::TripletMat;
+/// let mut t = TripletMat::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicates are summed on compression
+/// let m = t.to_csr();
+/// assert_eq!(m.get(0, 0), 3.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TripletMat {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMat {
+    /// An empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        TripletMat {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// An empty builder with preallocated capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        TripletMat {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (pre-compression) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `true` when no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Adds `v` at `(i, j)`. Duplicates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "triplet out of bounds");
+        if v == 0.0 {
+            return;
+        }
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+    }
+
+    /// Stamps a two-terminal admittance `g` between nodes `i` and `j`
+    /// (both in-bounds ⇒ adds the familiar `[+g, -g; -g, +g]` pattern).
+    ///
+    /// Passing `None` for a node means that terminal is the ground/common
+    /// node and only the diagonal of the other node is stamped.
+    pub fn stamp_conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
+        match (a, b) {
+            (Some(i), Some(j)) if i == j => {} // both terminals on same node: no-op
+            (Some(i), Some(j)) => {
+                self.push(i, i, g);
+                self.push(j, j, g);
+                self.push(i, j, -g);
+                self.push(j, i, -g);
+            }
+            (Some(i), None) | (None, Some(i)) => self.push(i, i, g),
+            (None, None) => {}
+        }
+    }
+
+    /// Compresses to CSR, summing duplicates and dropping exact zeros.
+    pub fn to_csr(&self) -> CsrMat {
+        CsrMat::from_triplets(self.nrows, self.ncols, &self.rows, &self.cols, &self.vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_sum() {
+        let mut t = TripletMat::new(3, 3);
+        t.push(1, 2, 1.0);
+        t.push(1, 2, 2.5);
+        t.push(0, 0, -1.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(1, 2), 3.5);
+        assert_eq!(m.get(0, 0), -1.0);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn zeros_are_skipped() {
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 1, 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stamp_conductance_pattern() {
+        let mut t = TripletMat::new(2, 2);
+        t.stamp_conductance(Some(0), Some(1), 2.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), -2.0);
+        assert_eq!(m.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn stamp_grounded_only_diagonal() {
+        let mut t = TripletMat::new(2, 2);
+        t.stamp_conductance(Some(1), None, 4.0);
+        t.stamp_conductance(None, None, 9.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_noop() {
+        let mut t = TripletMat::new(2, 2);
+        t.stamp_conductance(Some(0), Some(0), 5.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut t = TripletMat::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+}

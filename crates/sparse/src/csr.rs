@@ -1,0 +1,613 @@
+//! Compressed sparse row matrices.
+//!
+//! For the symmetric matrices of RC networks, CSR and CSC coincide, so one
+//! format serves matrix–vector products, submatrix extraction (network
+//! partitioning), permutation, and conversion into the factorization
+//! routines.
+
+use std::fmt;
+
+use crate::dense::DMat;
+
+/// A compressed-sparse-row matrix of `f64`.
+///
+/// Invariants: `indptr.len() == nrows + 1`, column indices within each row
+/// are strictly increasing, and no explicit zeros are stored by the
+/// constructors in this crate.
+///
+/// ```
+/// use pact_sparse::{TripletMat, CsrMat};
+/// let mut t = TripletMat::new(2, 2);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 0, -1.0);
+/// let m: CsrMat = t.to_csr();
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![2.0, -1.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrMat {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMat {
+    /// An `nrows × ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMat {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        CsrMat {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Builds from raw CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are structurally inconsistent (wrong lengths,
+    /// non-monotone `indptr`, unsorted or out-of-range column indices).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Self {
+        assert_eq!(indptr.len(), nrows + 1, "indptr length");
+        assert_eq!(indices.len(), data.len(), "indices/data length");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr tail");
+        for i in 0..nrows {
+            assert!(indptr[i] <= indptr[i + 1], "indptr monotonicity");
+            let row = &indices[indptr[i]..indptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "unsorted columns in row {i}");
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < ncols, "column index out of range in row {i}");
+            }
+        }
+        CsrMat {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Builds from parallel triplet arrays, summing duplicates and dropping
+    /// entries that cancel to exactly zero.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        // Count entries per row, prefix-sum, scatter, then sort+dedup rows.
+        let mut counts = vec![0usize; nrows];
+        for &r in rows {
+            counts[r] += 1;
+        }
+        let mut indptr = vec![0usize; nrows + 1];
+        for i in 0..nrows {
+            indptr[i + 1] = indptr[i] + counts[i];
+        }
+        let total = indptr[nrows];
+        let mut icol = vec![0usize; total];
+        let mut ival = vec![0f64; total];
+        let mut next = indptr.clone();
+        for k in 0..rows.len() {
+            let p = next[rows[k]];
+            icol[p] = cols[k];
+            ival[p] = vals[k];
+            next[rows[k]] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_indptr = vec![0usize; nrows + 1];
+        let mut out_icol = Vec::with_capacity(total);
+        let mut out_val = Vec::with_capacity(total);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for i in 0..nrows {
+            scratch.clear();
+            for p in indptr[i]..indptr[i + 1] {
+                scratch.push((icol[p], ival[p]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < scratch.len() {
+                let c = scratch[k].0;
+                let mut v = 0.0;
+                while k < scratch.len() && scratch[k].0 == c {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    out_icol.push(c);
+                    out_val.push(v);
+                }
+            }
+            out_indptr[i + 1] = out_icol.len();
+        }
+        CsrMat {
+            nrows,
+            ncols,
+            indptr: out_indptr,
+            indices: out_icol,
+            data: out_val,
+        }
+    }
+
+    /// Builds from a dense matrix, skipping entries with magnitude ≤ `tol`.
+    pub fn from_dense(m: &DMat<f64>, tol: f64) -> Self {
+        let mut indptr = vec![0usize; m.nrows() + 1];
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        for i in 0..m.nrows() {
+            for j in 0..m.ncols() {
+                let v = m[(i, j)];
+                if v.abs() > tol {
+                    indices.push(j);
+                    data.push(v);
+                }
+            }
+            indptr[i + 1] = indices.len();
+        }
+        CsrMat {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column-index array.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Value array, parallel to [`CsrMat::indices`].
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over `(col, value)` pairs of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let r = self.indptr[i]..self.indptr[i + 1];
+        self.indices[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.data[r].iter().copied())
+    }
+
+    /// Value at `(i, j)`, 0 when not stored. O(log nnz(row)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let row = &self.indices[self.indptr[i]..self.indptr[i + 1]];
+        match row.binary_search(&j) {
+            Ok(p) => self.data[self.indptr[i] + p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a caller-provided buffer (hot path of the
+    /// Lanczos iteration — avoids per-iteration allocation).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "output dimension mismatch");
+        for i in 0..self.nrows {
+            let mut acc = 0.0;
+            for p in self.indptr[i]..self.indptr[i + 1] {
+                acc += self.data[p] * x[self.indices[p]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Transposed product `y = Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for p in self.indptr[i]..self.indptr[i + 1] {
+                y[self.indices[p]] += self.data[p] * xi;
+            }
+        }
+        y
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMat {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.indices {
+            counts[c] += 1;
+        }
+        let mut indptr = vec![0usize; self.ncols + 1];
+        for j in 0..self.ncols {
+            indptr[j + 1] = indptr[j] + counts[j];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut data = vec![0f64; self.nnz()];
+        let mut next = indptr.clone();
+        for i in 0..self.nrows {
+            for p in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[p];
+                let q = next[j];
+                indices[q] = i;
+                data[q] = self.data[p];
+                next[j] += 1;
+            }
+        }
+        CsrMat {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Extracts the submatrix selecting `rows` and `cols` (relabelled in the
+    /// order given). Used to slice the `A/B/D/E/Q/R` partitions out of the
+    /// stamped `G` and `C` matrices.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> CsrMat {
+        let mut colmap = vec![usize::MAX; self.ncols];
+        for (newj, &j) in cols.iter().enumerate() {
+            colmap[j] = newj;
+        }
+        let mut indptr = vec![0usize; rows.len() + 1];
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        let mut rowbuf: Vec<(usize, f64)> = Vec::new();
+        for (newi, &i) in rows.iter().enumerate() {
+            rowbuf.clear();
+            for p in self.indptr[i]..self.indptr[i + 1] {
+                let nj = colmap[self.indices[p]];
+                if nj != usize::MAX {
+                    rowbuf.push((nj, self.data[p]));
+                }
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &rowbuf {
+                indices.push(c);
+                data.push(v);
+            }
+            indptr[newi + 1] = indices.len();
+        }
+        CsrMat {
+            nrows: rows.len(),
+            ncols: cols.len(),
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Symmetric permutation `P A Pᵀ` where row/col `i` of the result is
+    /// row/col `perm[i]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not square or `perm` is not a permutation of
+    /// `0..n`.
+    pub fn permute_sym(&self, perm: &[usize]) -> CsrMat {
+        assert_eq!(self.nrows, self.ncols, "permute_sym needs a square matrix");
+        assert_eq!(perm.len(), self.nrows);
+        let rows: Vec<usize> = perm.to_vec();
+        self.submatrix(&rows, &rows)
+    }
+
+    /// The main diagonal as a dense vector.
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Converts to a dense matrix (small matrices only — used in tests and
+    /// for reduced models).
+    pub fn to_dense(&self) -> DMat<f64> {
+        let mut m = DMat::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (j, v) in self.row_iter(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Sum of two matrices with the same shape.
+    pub fn add(&self, rhs: &CsrMat) -> CsrMat {
+        self.linear_comb(1.0, rhs, 1.0)
+    }
+
+    /// `alpha * self + beta * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn linear_comb(&self, alpha: f64, rhs: &CsrMat, beta: f64) -> CsrMat {
+        assert_eq!((self.nrows, self.ncols), (rhs.nrows, rhs.ncols));
+        let mut indptr = vec![0usize; self.nrows + 1];
+        let mut indices = Vec::with_capacity(self.nnz() + rhs.nnz());
+        let mut data = Vec::with_capacity(self.nnz() + rhs.nnz());
+        for i in 0..self.nrows {
+            let mut pa = self.indptr[i];
+            let mut pb = rhs.indptr[i];
+            let ea = self.indptr[i + 1];
+            let eb = rhs.indptr[i + 1];
+            while pa < ea || pb < eb {
+                let ca = if pa < ea { self.indices[pa] } else { usize::MAX };
+                let cb = if pb < eb { rhs.indices[pb] } else { usize::MAX };
+                let (c, v) = if ca < cb {
+                    let v = alpha * self.data[pa];
+                    pa += 1;
+                    (ca, v)
+                } else if cb < ca {
+                    let v = beta * rhs.data[pb];
+                    pb += 1;
+                    (cb, v)
+                } else {
+                    let v = alpha * self.data[pa] + beta * rhs.data[pb];
+                    pa += 1;
+                    pb += 1;
+                    (ca, v)
+                };
+                if v != 0.0 {
+                    indices.push(c);
+                    data.push(v);
+                }
+            }
+            indptr[i + 1] = indices.len();
+        }
+        CsrMat {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Checks symmetry within tolerance `tol` (absolute, entrywise).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr || t.indices != self.indices {
+            // Patterns may legitimately differ by explicitly-stored zeros;
+            // fall back to value comparison.
+            for i in 0..self.nrows {
+                for (j, v) in self.row_iter(i) {
+                    if (v - self.get(j, i)).abs() > tol {
+                        return false;
+                    }
+                }
+                for (j, v) in t.row_iter(i) {
+                    if (v - t.get(j, i)).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.data
+            .iter()
+            .zip(&t.data)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// `true` when every row is weakly diagonally dominant:
+    /// `a_ii ≥ Σ_{j≠i} |a_ij|` (the paper's sufficient condition for
+    /// non-negative definiteness of stamped RC matrices).
+    pub fn is_diag_dominant(&self, slack: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for i in 0..self.nrows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (j, v) in self.row_iter(i) {
+                if j == i {
+                    diag = v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            if diag + slack < off {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute entry (0 for an empty matrix).
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Debug for CsrMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMat {}x{} nnz={}",
+            self.nrows,
+            self.ncols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMat;
+
+    fn sample() -> CsrMat {
+        // [ 4 -1  0]
+        // [-1  4 -2]
+        // [ 0 -2  5]
+        let mut t = TripletMat::new(3, 3);
+        t.stamp_conductance(Some(0), Some(1), 1.0);
+        t.stamp_conductance(Some(1), Some(2), 2.0);
+        t.push(0, 0, 3.0);
+        t.push(1, 1, 1.0);
+        t.push(2, 2, 3.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn matvec_correct() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0, 1.0, 11.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let m = sample();
+        let x = [0.5, -1.0, 2.0];
+        assert_eq!(m.matvec_t(&x), m.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_equal() {
+        let m = sample();
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.transpose(), m);
+    }
+
+    #[test]
+    fn submatrix_partitions() {
+        let m = sample();
+        let d = m.submatrix(&[1, 2], &[1, 2]);
+        assert_eq!(d.get(0, 0), 4.0);
+        assert_eq!(d.get(0, 1), -2.0);
+        assert_eq!(d.get(1, 1), 5.0);
+        let q = m.submatrix(&[1, 2], &[0]);
+        assert_eq!(q.get(0, 0), -1.0);
+        assert_eq!(q.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn permute_sym_preserves_values() {
+        let m = sample();
+        let p = [2usize, 0, 1];
+        let mp = m.permute_sym(&p);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(mp.get(i, j), m.get(p[i], p[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_comb_cancels() {
+        let m = sample();
+        let z = m.linear_comb(1.0, &m, -1.0);
+        assert_eq!(z.nnz(), 0);
+        let two = m.add(&m);
+        assert_eq!(two.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn diag_dominance_detected() {
+        let m = sample();
+        assert!(m.is_diag_dominant(0.0));
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, -3.0);
+        t.push(1, 0, -3.0);
+        t.push(1, 1, 1.0);
+        assert!(!t.to_csr().is_diag_dominant(0.0));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = CsrMat::from_dense(&d, 0.0);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let m = CsrMat::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn from_raw_rejects_unsorted() {
+        let _ = CsrMat::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let idn = CsrMat::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(idn.matvec(&x), x.to_vec());
+    }
+}

@@ -1,0 +1,264 @@
+//! Dense LU factorization with partial pivoting, generic over [`Scalar`].
+//!
+//! Used for the small dense systems of reduced-order models (AC evaluation
+//! of `Y(s)` needs `(I + sΛ)⁻¹`-style solves and general dense solves for
+//! baselines) and as an oracle for the sparse solvers in tests.
+
+use crate::complex::Scalar;
+use crate::dense::DMat;
+
+/// Error from factoring a singular dense matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Column at which no acceptable pivot was found.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// A dense LU factorization `P A = L U` with partial pivoting.
+///
+/// ```
+/// use pact_sparse::{DMat, DenseLu};
+/// let a = DMat::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]]);
+/// let lu = DenseLu::factor(&a)?;
+/// let x = lu.solve(&[2.0, 4.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), pact_sparse::SingularMatrixError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DenseLu<S: Scalar = f64> {
+    n: usize,
+    /// Packed LU: strictly-lower holds L (unit diagonal implied), upper
+    /// holds U.
+    lu: DMat<S>,
+    /// Row-swap record: at step k, rows `k` and `piv[k]` were swapped.
+    piv: Vec<usize>,
+    /// Sign of the permutation (+1/−1) for determinants.
+    perm_sign: f64,
+}
+
+impl<S: Scalar> DenseLu<S> {
+    /// Factors a square dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when a pivot column is entirely zero
+    /// (to machine precision, compared against the scale of the matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor(a: &DMat<S>) -> Result<Self, SingularMatrixError> {
+        assert_eq!(a.nrows(), a.ncols(), "LU needs a square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut piv = vec![0usize; n];
+        let mut perm_sign = 1.0;
+        let scale = lu
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.modulus()));
+        let tiny = scale * 1e-300 + f64::MIN_POSITIVE;
+        for k in 0..n {
+            // Partial pivoting: largest modulus in column k at/below row k.
+            let mut best = k;
+            let mut best_mag = lu[(k, k)].modulus();
+            for i in k + 1..n {
+                let m = lu[(i, k)].modulus();
+                if m > best_mag {
+                    best = i;
+                    best_mag = m;
+                }
+            }
+            if best_mag <= tiny {
+                return Err(SingularMatrixError { column: k });
+            }
+            piv[k] = best;
+            if best != k {
+                perm_sign = -perm_sign;
+                for j in 0..n {
+                    let t = lu[(k, j)];
+                    lu[(k, j)] = lu[(best, j)];
+                    lu[(best, j)] = t;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != S::zero() {
+                    for j in k + 1..n {
+                        let sub = m * lu[(k, j)];
+                        lu[(i, j)] -= sub;
+                    }
+                }
+            }
+        }
+        Ok(DenseLu {
+            n,
+            lu,
+            piv,
+            perm_sign,
+        })
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[S]) -> Vec<S> {
+        assert_eq!(b.len(), self.n);
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A x = b` overwriting `b` with `x`.
+    pub fn solve_in_place(&self, x: &mut [S]) {
+        let n = self.n;
+        // Apply row swaps.
+        for k in 0..n {
+            let p = self.piv[k];
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+        // Forward: L y = Pb (unit lower).
+        for k in 0..n {
+            let xk = x[k];
+            if xk != S::zero() {
+                for i in k + 1..n {
+                    let sub = self.lu[(i, k)] * xk;
+                    x[i] -= sub;
+                }
+            }
+        }
+        // Backward: U x = y.
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for j in k + 1..n {
+                let sub = self.lu[(k, j)] * x[j];
+                acc -= sub;
+            }
+            x[k] = acc / self.lu[(k, k)];
+        }
+    }
+
+    /// Solves for several right-hand sides given as a dense matrix of
+    /// columns, returning `A⁻¹ B`.
+    pub fn solve_mat(&self, b: &DMat<S>) -> DMat<S> {
+        assert_eq!(b.nrows(), self.n);
+        let mut out = b.clone();
+        for j in 0..b.ncols() {
+            self.solve_in_place(out.col_mut(j));
+        }
+        out
+    }
+
+    /// The determinant `det(A)` (product of pivots times permutation sign).
+    pub fn det(&self) -> S {
+        let mut d = S::from_f64(self.perm_sign);
+        for k in 0..self.n {
+            d = d * self.lu[(k, k)];
+        }
+        d
+    }
+}
+
+/// The inverse of a small dense matrix (convenience built on [`DenseLu`]).
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if `a` is singular.
+pub fn invert<S: Scalar>(a: &DMat<S>) -> Result<DMat<S>, SingularMatrixError> {
+    let lu = DenseLu::factor(a)?;
+    Ok(lu.solve_mat(&DMat::identity(a.nrows())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+
+    #[test]
+    fn solves_real_system() {
+        let a = DMat::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let lu = DenseLu::factor(&a).unwrap();
+        let b = [5.0, -2.0, 9.0];
+        let x = lu.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DMat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = DenseLu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]);
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn det_matches_known() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = DenseLu::factor(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(DenseLu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn complex_system() {
+        let j = Complex64::J;
+        let one = Complex64::ONE;
+        let a = DMat::from_rows(&[
+            &[one + j, j],
+            &[j, one - j.scale(2.0)],
+        ]);
+        let lu = DenseLu::factor(&a).unwrap();
+        let b = [Complex64::new(1.0, 1.0), Complex64::new(0.0, -2.0)];
+        let x = lu.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((*ri - *bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let a = DMat::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &DMat::identity(2)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = DMat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let lu = DenseLu::factor(&a).unwrap();
+        let b = DMat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = lu.solve_mat(&b);
+        let check = a.matmul(&x);
+        assert!((&check - &b).norm_max() < 1e-12);
+    }
+}

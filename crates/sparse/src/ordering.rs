@@ -1,0 +1,459 @@
+//! Fill-reducing orderings for sparse symmetric factorization.
+//!
+//! The paper factors the internal conductance matrix `D` of 3-D mesh
+//! networks; ordering quality determines the dominant memory term
+//! (19.5 of 25.8 MB in Table 4). Reverse Cuthill–McKee gives banded
+//! factors well suited to meshes; a naive minimum-degree ordering is
+//! provided for the ablation benches on smaller networks.
+
+use crate::csr::CsrMat;
+
+/// Ordering strategy for [`crate::SparseCholesky`] and the sparse LU.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Ordering {
+    /// Keep the input order.
+    Natural,
+    /// Reverse Cuthill–McKee: bandwidth-reducing, robust on meshes.
+    Rcm,
+    /// Greedy exact minimum degree (quadratic worst case; for ablations and
+    /// moderate sizes).
+    MinDegree,
+    /// Nested dissection with BFS level-set separators: asymptotically the
+    /// best fill for 2-D/3-D mesh graphs (`O(n log n)` vs RCM's banded
+    /// `O(n^{5/3})` on a 3-D grid). The default — substrate meshes are
+    /// exactly its sweet spot.
+    #[default]
+    NestedDissection,
+}
+
+impl Ordering {
+    /// Computes the permutation for a symmetric matrix pattern.
+    ///
+    /// The result `perm` is used as `P A Pᵀ` with
+    /// [`CsrMat::permute_sym`]: row `i` of the permuted matrix is row
+    /// `perm[i]` of the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn permutation(self, a: &CsrMat) -> Vec<usize> {
+        assert_eq!(a.nrows(), a.ncols(), "ordering needs a square matrix");
+        match self {
+            Ordering::Natural => (0..a.nrows()).collect(),
+            Ordering::Rcm => rcm(a),
+            Ordering::MinDegree => min_degree(a),
+            Ordering::NestedDissection => nested_dissection(a),
+        }
+    }
+}
+
+/// Nested dissection: recursively split the graph with a BFS level-set
+/// separator, order the two halves first and the separator last. Small
+/// subgraphs fall back to minimum degree.
+fn nested_dissection(a: &CsrMat) -> Vec<usize> {
+    let n = a.nrows();
+    let mut order = Vec::with_capacity(n);
+    let all: Vec<usize> = (0..n).collect();
+    dissect(a, &all, &mut order);
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Threshold below which subgraphs are ordered by local minimum degree.
+const ND_LEAF: usize = 64;
+
+fn dissect(a: &CsrMat, nodes: &[usize], order: &mut Vec<usize>) {
+    if nodes.len() <= ND_LEAF {
+        order.extend(local_min_degree(a, nodes));
+        return;
+    }
+    // Membership map for this subgraph.
+    let mut local = std::collections::BTreeMap::new();
+    for (k, &v) in nodes.iter().enumerate() {
+        local.insert(v, k);
+    }
+    // BFS from a pseudo-peripheral node to build level sets.
+    let start = pseudo_peripheral(a, nodes, &local);
+    let mut level = vec![usize::MAX; nodes.len()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    level[local[&start]] = 0;
+    queue.push_back(start);
+    levels.push(vec![start]);
+    while let Some(u) = queue.pop_front() {
+        let lu = level[local[&u]];
+        for (w, _) in a.row_iter(u) {
+            if let Some(&lw) = local.get(&w) {
+                if level[lw] == usize::MAX {
+                    level[lw] = lu + 1;
+                    if levels.len() <= lu + 1 {
+                        levels.push(Vec::new());
+                    }
+                    levels[lu + 1].push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // Disconnected remainder: any unreached node forms its own part.
+    let unreached: Vec<usize> = nodes
+        .iter()
+        .copied()
+        .filter(|v| level[local[v]] == usize::MAX)
+        .collect();
+    if levels.len() < 3 {
+        // No meaningful separator (graph is a clique-ish blob or a
+        // short path): fall back to local minimum degree.
+        order.extend(local_min_degree(a, nodes));
+        return;
+    }
+    // Median level is the separator.
+    let total: usize = nodes.len() - unreached.len();
+    let mut acc = 0usize;
+    let mut sep_level = levels.len() / 2;
+    for (li, lv) in levels.iter().enumerate() {
+        acc += lv.len();
+        if acc * 2 >= total {
+            sep_level = li.clamp(1, levels.len() - 2);
+            break;
+        }
+    }
+    let mut part_a: Vec<usize> = Vec::new();
+    let mut part_b: Vec<usize> = Vec::new();
+    let mut sep: Vec<usize> = Vec::new();
+    for (li, lv) in levels.iter().enumerate() {
+        match li.cmp(&sep_level) {
+            std::cmp::Ordering::Less => part_a.extend(lv),
+            std::cmp::Ordering::Equal => sep.extend(lv),
+            std::cmp::Ordering::Greater => part_b.extend(lv),
+        }
+    }
+    part_b.extend(unreached);
+    if part_a.is_empty() || part_b.is_empty() {
+        order.extend(local_min_degree(a, nodes));
+        return;
+    }
+    dissect(a, &part_a, order);
+    dissect(a, &part_b, order);
+    order.extend(sep);
+}
+
+/// Farthest node from an arbitrary start — one BFS pass, good enough as
+/// a pseudo-peripheral seed.
+fn pseudo_peripheral(
+    a: &CsrMat,
+    nodes: &[usize],
+    local: &std::collections::BTreeMap<usize, usize>,
+) -> usize {
+    let start = nodes[0];
+    let mut dist = vec![usize::MAX; nodes.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[local[&start]] = 0;
+    queue.push_back(start);
+    let mut far = start;
+    let mut far_d = 0;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[local[&u]];
+        if du > far_d {
+            far_d = du;
+            far = u;
+        }
+        for (w, _) in a.row_iter(u) {
+            if let Some(&lw) = local.get(&w) {
+                if dist[lw] == usize::MAX {
+                    dist[lw] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    far
+}
+
+/// Minimum-degree ordering restricted to a node subset (used as the
+/// nested-dissection leaf ordering).
+fn local_min_degree(a: &CsrMat, nodes: &[usize]) -> Vec<usize> {
+    use std::collections::BTreeSet;
+    let set: BTreeSet<usize> = nodes.iter().copied().collect();
+    let mut adj: std::collections::BTreeMap<usize, BTreeSet<usize>> = nodes
+        .iter()
+        .map(|&v| {
+            (
+                v,
+                a.row_iter(v)
+                    .map(|(w, _)| w)
+                    .filter(|w| *w != v && set.contains(w))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut out = Vec::with_capacity(nodes.len());
+    let mut remaining: BTreeSet<usize> = set;
+    while !remaining.is_empty() {
+        let v = *remaining
+            .iter()
+            .min_by_key(|v| adj[v].len())
+            .expect("nonempty");
+        remaining.remove(&v);
+        out.push(v);
+        let nbrs: Vec<usize> = adj[&v]
+            .iter()
+            .copied()
+            .filter(|u| remaining.contains(u))
+            .collect();
+        for (ai, &u) in nbrs.iter().enumerate() {
+            let au = adj.get_mut(&u).expect("adjacency");
+            au.remove(&v);
+            for &w in &nbrs[ai + 1..] {
+                au.insert(w);
+            }
+            for &w in &nbrs[ai + 1..] {
+                adj.get_mut(&w).expect("adjacency").insert(u);
+            }
+        }
+    }
+    out
+}
+
+/// Returns the inverse permutation: `inv[perm[i]] == i`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Validates that `perm` is a permutation of `0..n`.
+pub fn is_permutation(perm: &[usize]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Reverse Cuthill–McKee ordering of the adjacency graph of `a`.
+///
+/// Handles disconnected graphs by restarting BFS from the minimum-degree
+/// unvisited node of each component.
+fn rcm(a: &CsrMat) -> Vec<usize> {
+    let n = a.nrows();
+    let degree: Vec<usize> = (0..n)
+        .map(|i| a.row_iter(i).filter(|&(j, _)| j != i).count())
+        .collect();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    let mut neighbors: Vec<usize> = Vec::new();
+
+    // Pick an unvisited node of minimum degree as the next seed for each
+    // component (pseudo-peripheral heuristic: min degree works well on
+    // meshes).
+    while let Some(seed) = (0..n).filter(|&i| !visited[i]).min_by_key(|&i| degree[i]) {
+        visited[seed] = true;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            neighbors.clear();
+            neighbors.extend(a.row_iter(u).map(|(j, _)| j).filter(|&j| !visited[j]));
+            neighbors.sort_unstable_by_key(|&j| degree[j]);
+            for &j in &neighbors {
+                if !visited[j] {
+                    visited[j] = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Greedy exact minimum-degree ordering using adjacency sets.
+///
+/// At each step the node of minimum current degree is eliminated and its
+/// neighborhood is turned into a clique. Worst-case quadratic time/space;
+/// intended for moderate `n` and for comparing fill against RCM.
+fn min_degree(a: &CsrMat) -> Vec<usize> {
+    use std::collections::BTreeSet;
+    let n = a.nrows();
+    let mut adj: Vec<BTreeSet<usize>> = (0..n)
+        .map(|i| a.row_iter(i).map(|(j, _)| j).filter(|&j| j != i).collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&i| !eliminated[i])
+            .min_by_key(|&i| adj[i].len())
+            .expect("nodes remain");
+        eliminated[v] = true;
+        order.push(v);
+        let nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+        // Form the elimination clique among remaining neighbors.
+        for (ai, &u) in nbrs.iter().enumerate() {
+            adj[u].remove(&v);
+            for &w in &nbrs[ai + 1..] {
+                adj[u].insert(w);
+                adj[w].insert(u);
+            }
+        }
+    }
+    order
+}
+
+/// Profile (sum of row bandwidths) of a symmetric pattern under a
+/// permutation; a cheap proxy for Cholesky fill under envelope methods.
+pub fn profile(a: &CsrMat, perm: &[usize]) -> usize {
+    let inv = invert_permutation(perm);
+    let mut total = 0usize;
+    for i in 0..a.nrows() {
+        let pi = inv[i];
+        let mut lo = pi;
+        for (j, _) in a.row_iter(i) {
+            lo = lo.min(inv[j]);
+        }
+        total += pi - lo;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMat;
+
+    /// 1-D chain graph with a "bad" scrambled numbering.
+    fn scrambled_chain(n: usize) -> CsrMat {
+        let mut t = TripletMat::new(n, n);
+        // chain in a scrambled labelling: node order is bit-reversed-ish
+        let label: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % n).collect();
+        for w in label.windows(2) {
+            t.stamp_conductance(Some(w[0]), Some(w[1]), 1.0);
+        }
+        for i in 0..n {
+            t.push(i, i, 1.0);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn permutations_are_valid() {
+        let a = scrambled_chain(20);
+        for ord in [
+            Ordering::Natural,
+            Ordering::Rcm,
+            Ordering::MinDegree,
+            Ordering::NestedDissection,
+        ] {
+            let p = ord.permutation(&a);
+            assert!(is_permutation(&p), "{ord:?} produced invalid permutation");
+        }
+    }
+
+    /// 3-D grid Laplacian: the target workload of nested dissection.
+    fn grid3d(nx: usize, ny: usize, nz: usize) -> CsrMat {
+        let n = nx * ny * nz;
+        let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+        let mut t = TripletMat::new(n, n);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    if x + 1 < nx {
+                        t.stamp_conductance(Some(id(x, y, z)), Some(id(x + 1, y, z)), 1.0);
+                    }
+                    if y + 1 < ny {
+                        t.stamp_conductance(Some(id(x, y, z)), Some(id(x, y + 1, z)), 1.0);
+                    }
+                    if z + 1 < nz {
+                        t.stamp_conductance(Some(id(x, y, z)), Some(id(x, y, z + 1)), 1.0);
+                    }
+                    t.push(id(x, y, z), id(x, y, z), 0.5);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn nested_dissection_beats_rcm_fill_on_3d_grid() {
+        let a = grid3d(10, 10, 6);
+        let fill = |ord: Ordering| {
+            crate::cholesky::SparseCholesky::factor(&a, ord)
+                .expect("factor")
+                .l_nnz()
+        };
+        let rcm = fill(Ordering::Rcm);
+        let nd = fill(Ordering::NestedDissection);
+        assert!(
+            nd < rcm,
+            "nested dissection should reduce fill on a 3-D grid: nd={nd} rcm={rcm}"
+        );
+    }
+
+    #[test]
+    fn nested_dissection_is_valid_on_disconnected_graph() {
+        let mut t = TripletMat::new(100, 100);
+        for i in 0..49 {
+            t.stamp_conductance(Some(i), Some(i + 1), 1.0);
+        }
+        for i in 50..99 {
+            t.stamp_conductance(Some(i), Some(i + 1), 1.0);
+        }
+        for i in 0..100 {
+            t.push(i, i, 1.0);
+        }
+        let a = t.to_csr();
+        let p = Ordering::NestedDissection.permutation(&a);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn rcm_reduces_profile_on_chain() {
+        let a = scrambled_chain(40);
+        let natural = profile(&a, &Ordering::Natural.permutation(&a));
+        let rcm = profile(&a, &Ordering::Rcm.permutation(&a));
+        assert!(
+            rcm < natural,
+            "RCM should reduce profile: rcm={rcm} natural={natural}"
+        );
+        // A chain perfectly ordered has profile n-1.
+        assert_eq!(rcm, 39);
+    }
+
+    #[test]
+    fn min_degree_orders_chain_perfectly() {
+        // On a chain min-degree eliminates endpoints first: no fill at all.
+        let a = scrambled_chain(15);
+        let p = Ordering::MinDegree.permutation(&a);
+        assert!(is_permutation(&p));
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let p = vec![2usize, 0, 3, 1];
+        let inv = invert_permutation(&p);
+        for i in 0..4 {
+            assert_eq!(inv[p[i]], i);
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        let mut t = TripletMat::new(4, 4);
+        t.stamp_conductance(Some(0), Some(1), 1.0);
+        t.stamp_conductance(Some(2), Some(3), 1.0);
+        for i in 0..4 {
+            t.push(i, i, 1.0);
+        }
+        let a = t.to_csr();
+        let p = Ordering::Rcm.permutation(&a);
+        assert!(is_permutation(&p));
+        assert_eq!(p.len(), 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the linear-algebra kernels against each other
+//! and against mathematical invariants: the factorizations must agree
+//! with the dense oracle, eigendecompositions must reconstruct, and the
+//! sparse structures must round-trip.
+
+use proptest::prelude::*;
+
+use pact_sparse::{
+    eig_tridiagonal, sym_eig, CscMat, CsrMat, DMat, DenseLu, Ordering, SparseCholesky, SparseLu,
+    TripletMat,
+};
+
+/// Strategy: a random symmetric positive-definite matrix, built as a
+/// Laplacian plus positive diagonal from random edges.
+fn spd_matrix(n: usize) -> impl Strategy<Value = CsrMat> {
+    let edges = proptest::collection::vec(((0..n), (0..n), 0.01f64..10.0), 1..4 * n);
+    let diag = proptest::collection::vec(0.1f64..5.0, n);
+    (edges, diag).prop_map(move |(edges, diag)| {
+        let mut t = TripletMat::new(n, n);
+        for (a, b, g) in edges {
+            if a != b {
+                t.stamp_conductance(Some(a), Some(b), g);
+            }
+        }
+        for (i, d) in diag.into_iter().enumerate() {
+            t.push(i, i, d);
+        }
+        t.to_csr()
+    })
+}
+
+/// Strategy: a random well-conditioned unsymmetric matrix (diagonally
+/// dominated) as triplets.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    let offdiag = proptest::collection::vec(((0..n), (0..n), -1.0f64..1.0), 0..4 * n);
+    let diag = proptest::collection::vec(5.0f64..20.0, n);
+    (offdiag, diag).prop_map(move |(off, diag)| {
+        let mut trips: Vec<(usize, usize, f64)> = off
+            .into_iter()
+            .filter(|&(a, b, _)| a != b)
+            .collect();
+        for (i, d) in diag.into_iter().enumerate() {
+            trips.push((i, i, d));
+        }
+        trips
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cholesky_solve_matches_dense_lu(a in spd_matrix(12), b in proptest::collection::vec(-5.0f64..5.0, 12)) {
+        let chol = SparseCholesky::factor(&a, Ordering::Rcm).unwrap();
+        let x_sparse = chol.solve(&b);
+        let lu = DenseLu::factor(&a.to_dense()).unwrap();
+        let x_dense = lu.solve(&b);
+        for (u, v) in x_sparse.iter().zip(&x_dense) {
+            prop_assert!((u - v).abs() < 1e-8 * v.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cholesky_orderings_agree(a in spd_matrix(10), b in proptest::collection::vec(-1.0f64..1.0, 10)) {
+        let x1 = SparseCholesky::factor(&a, Ordering::Natural).unwrap().solve(&b);
+        let x2 = SparseCholesky::factor(&a, Ordering::Rcm).unwrap().solve(&b);
+        let x3 = SparseCholesky::factor(&a, Ordering::MinDegree).unwrap().solve(&b);
+        for i in 0..10 {
+            prop_assert!((x1[i] - x2[i]).abs() < 1e-8 * x1[i].abs().max(1.0));
+            prop_assert!((x1[i] - x3[i]).abs() < 1e-8 * x1[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sparse_lu_residual_small(trips in dominant_matrix(15), b in proptest::collection::vec(-3.0f64..3.0, 15)) {
+        let a = CscMat::from_triplets(15, 15, &trips);
+        let lu = SparseLu::factor(&a).unwrap();
+        let x = lu.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-9, "residual {}", (ri - bi).abs());
+        }
+    }
+
+    #[test]
+    fn sym_eig_reconstructs(a in spd_matrix(9)) {
+        let d = a.to_dense();
+        let e = sym_eig(&d).unwrap();
+        // Eigenvalues of an SPD matrix are positive.
+        for &v in &e.values {
+            prop_assert!(v > -1e-10);
+        }
+        // Reconstruction A = ZΛZᵀ.
+        let lam = DMat::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        prop_assert!((&rec - &d).norm_max() < 1e-9 * d.norm_max().max(1.0));
+    }
+
+    #[test]
+    fn eig_tridiagonal_matches_full(d in proptest::collection::vec(-3.0f64..3.0, 6),
+                                    e in proptest::collection::vec(-2.0f64..2.0, 5)) {
+        let (vals, vecs) = eig_tridiagonal(&d, &e, true).unwrap();
+        let mut a = DMat::zeros(6, 6);
+        for i in 0..6 {
+            a[(i, i)] = d[i];
+        }
+        for i in 0..5 {
+            a[(i, i + 1)] = e[i];
+            a[(i + 1, i)] = e[i];
+        }
+        let oracle = sym_eig(&a).unwrap();
+        for (u, v) in vals.iter().zip(&oracle.values) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+        // Residual of each pair.
+        for k in 0..6 {
+            let zk: Vec<f64> = (0..6).map(|i| vecs[(i, k)]).collect();
+            let az = a.matvec(&zk);
+            for i in 0..6 {
+                prop_assert!((az[i] - vals[k] * zk[i]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_transpose_involution(a in spd_matrix(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn csr_matvec_linear(a in spd_matrix(8),
+                         x in proptest::collection::vec(-2.0f64..2.0, 8),
+                         y in proptest::collection::vec(-2.0f64..2.0, 8),
+                         alpha in -3.0f64..3.0) {
+        // A(αx + y) = αAx + Ay
+        let mixed: Vec<f64> = x.iter().zip(&y).map(|(a_, b_)| alpha * a_ + b_).collect();
+        let lhs = a.matvec(&mixed);
+        let ax = a.matvec(&x);
+        let ay = a.matvec(&y);
+        for i in 0..8 {
+            prop_assert!((lhs[i] - (alpha * ax[i] + ay[i])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn permute_sym_preserves_spectrum(a in spd_matrix(7)) {
+        let perm = Ordering::Rcm.permutation(&a);
+        let pap = a.permute_sym(&perm);
+        let e1 = sym_eig(&a.to_dense()).unwrap();
+        let e2 = sym_eig(&pap.to_dense()).unwrap();
+        for (u, v) in e1.values.iter().zip(&e2.values) {
+            prop_assert!((u - v).abs() < 1e-9 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn log_det_consistent_with_lu(a in spd_matrix(8)) {
+        let chol = SparseCholesky::factor(&a, Ordering::MinDegree).unwrap();
+        let lu = DenseLu::factor(&a.to_dense()).unwrap();
+        let det = lu.det();
+        prop_assume!(det > 0.0);
+        prop_assert!((chol.log_det() - det.ln()).abs() < 1e-7 * det.ln().abs().max(1.0));
+    }
+}

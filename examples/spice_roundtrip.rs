@@ -1,0 +1,51 @@
+//! SPICE-in, SPICE-out: the same flow as the `rcfit` binary, driven
+//! programmatically — parse a deck, reduce its RC network, splice, and
+//! print the output deck.
+//!
+//! Run with `cargo run --release --example spice_roundtrip`.
+
+use pact::{CutoffSpec, ReduceOptions};
+use pact_netlist::{extract_rc, parse, splice_reduced};
+
+const DECK: &str = "\
+* clock spine with parasitics
+.model nch nmos (vto=0.7 kp=110u)
+.model pch pmos (vto=-0.9 kp=40u)
+Vdd vdd 0 5
+Vclk clk 0 pulse(0 5 0 0.2n 0.2n 4n 10n)
+MN0 spine clk 0 0 nch w=40u l=1u
+MP0 spine clk vdd vdd pch w=80u l=1u
+* spine parasitics: 3 taps, each an RC branch
+R1 spine t1 120
+C1 t1 0 80f
+R2 t1 t2 120
+C2 t2 0 80f
+R3 t2 t3 120
+C3 t3 0 80f
+* receivers at taps 1 and 3
+MN1 y1 t1 0 0 nch w=2u l=1u
+MP1 y1 t1 vdd vdd pch w=4u l=1u
+MN3 y3 t3 0 0 nch w=2u l=1u
+MP3 y3 t3 vdd vdd pch w=4u l=1u
+.tran 20p 10n
+.end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deck = parse(DECK)?;
+    let ex = extract_rc(&deck, &[])?;
+    println!(
+        "* extracted {} ports / {} internal nodes",
+        ex.network.num_ports,
+        ex.network.num_internal()
+    );
+    let red = pact::reduce_network(&ex.network, &ReduceOptions::new(CutoffSpec::new(2e9, 0.05)?))?;
+    println!(
+        "* {} internal node(s) retained, passive: {}",
+        red.model.num_poles(),
+        red.model.is_passive(1e-8)
+    );
+    let out = splice_reduced(&deck, red.model.to_netlist_elements("rcfit", 1e-9));
+    println!("{out}");
+    Ok(())
+}

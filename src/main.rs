@@ -1,0 +1,281 @@
+//! RCFIT — a SPICE-in, SPICE-out RC network reduction tool built on PACT
+//! (the prototype CAD tool of Section 5 of Kerns & Yang, DAC 1996).
+//!
+//! ```text
+//! rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRACTION]
+//!       [--sparsify TOL] [--port NODE]... [--dense] [--stats]
+//! ```
+//!
+//! The flow mirrors the paper's Figure 1: parse → extract RC elements and
+//! classify ports → stamp `G`,`C` → Cholesky congruence → pole analysis
+//! via LASO → drop poles above the cutoff → sparsify → unstamp → splice
+//! the reduced network back into the deck and write it out.
+
+use std::process::ExitCode;
+
+use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact_lanczos::LanczosConfig;
+use pact_netlist::{extract_rc, parse, parse_value, splice_reduced};
+use pact_sparse::Ordering;
+
+#[derive(Debug)]
+struct Args {
+    input: String,
+    output: Option<String>,
+    f_max: f64,
+    tolerance: f64,
+    sparsify: f64,
+    extra_ports: Vec<String>,
+    dense: bool,
+    stats: bool,
+    components: bool,
+    verify: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRAC] \
+     [--sparsify TOL] [--port NODE]... [--dense] [--stats] [--components] [--verify]\n\
+     defaults: --fmax 1g --tol 0.05 --sparsify 1e-9\n\
+     HZ accepts SPICE suffixes (500meg, 3g, ...)"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        output: None,
+        f_max: 1e9,
+        tolerance: 0.05,
+        sparsify: 1e-9,
+        extra_ports: Vec::new(),
+        dense: false,
+        stats: false,
+        components: false,
+        verify: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "-o" | "--output" => args.output = Some(next(a)?),
+            "--fmax" => {
+                args.f_max = parse_value(&next(a)?).map_err(|e| e.to_string())?;
+            }
+            "--tol" => {
+                args.tolerance = next(a)?
+                    .parse()
+                    .map_err(|_| "--tol needs a number".to_owned())?;
+            }
+            "--sparsify" => {
+                args.sparsify = next(a)?
+                    .parse()
+                    .map_err(|_| "--sparsify needs a number".to_owned())?;
+            }
+            "--port" => args.extra_ports.push(next(a)?),
+            "--dense" => args.dense = true,
+            "--stats" => args.stats = true,
+            "--components" => args.components = true,
+            "--verify" => args.verify = true,
+            "-h" | "--help" => return Err(usage().to_owned()),
+            other if args.input.is_empty() && !other.starts_with('-') => {
+                args.input = other.to_owned();
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if args.input.is_empty() {
+        return Err(usage().to_owned());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    let deck = parse(&text)
+        .map_err(|e| format!("parse error: {e}"))?
+        .flatten()
+        .map_err(|e| format!("flatten error: {e}"))?;
+    let port_refs: Vec<&str> = args.extra_ports.iter().map(String::as_str).collect();
+    let ex = extract_rc(&deck, &port_refs).map_err(|e| format!("extraction: {e}"))?;
+    eprintln!(
+        "rcfit: extracted RC network: {} ports, {} internal nodes, {} R, {} C",
+        ex.network.num_ports,
+        ex.network.num_internal(),
+        ex.network.resistors.len(),
+        ex.network.capacitors.len()
+    );
+
+    let cutoff = CutoffSpec::new(args.f_max, args.tolerance).map_err(|e| e.to_string())?;
+    let opts = ReduceOptions {
+        cutoff,
+        eigen: if args.dense {
+            EigenStrategy::Dense
+        } else {
+            EigenStrategy::Laso(LanczosConfig::default())
+        },
+        ordering: Ordering::NestedDissection,
+        dense_threshold: 400,
+    };
+    // Per-component mode: reduce each electrically independent net on its
+    // own (smaller eigenproblems, floating islands dropped).
+    if args.components {
+        let red = pact::reduce_network_components(&ex.network, &opts)
+            .map_err(|e| format!("reduction: {e}"))?;
+        eprintln!(
+            "rcfit: {} component(s) reduced, {} floating island(s) dropped, {} pole(s) kept",
+            red.reductions.len(),
+            red.floating_dropped,
+            red.num_poles()
+        );
+        let elements = red.to_netlist_elements("rcfit", args.sparsify);
+        eprintln!(
+            "rcfit: reduced network realized with {} elements",
+            elements.len()
+        );
+        let out_deck = splice_reduced(&deck, elements);
+        let rendered = out_deck.to_string();
+        match &args.output {
+            Some(path) => {
+                std::fs::write(path, rendered)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            None => print!("{rendered}"),
+        }
+        return Ok(());
+    }
+
+    let red = pact::reduce_network(&ex.network, &opts).map_err(|e| format!("reduction: {e}"))?;
+    eprintln!(
+        "rcfit: kept {} pole(s) below the {:.3e} Hz cutoff ({} internal nodes eliminated)",
+        red.model.num_poles(),
+        cutoff.cutoff_frequency(),
+        ex.network.num_internal() - red.model.num_poles()
+    );
+    if args.stats {
+        let s = &red.stats;
+        eprintln!(
+            "rcfit: reduction {:.3} s; Cholesky |L| = {} nnz ({:.1} MB); modelled peak {:.1} MB",
+            s.elapsed_seconds,
+            s.chol_nnz,
+            s.chol_memory_bytes as f64 / 1e6,
+            s.modelled_memory_bytes as f64 / 1e6
+        );
+        if let Some(ls) = s.lanczos {
+            eprintln!(
+                "rcfit: LASO: {} matvecs, {} iterations, {} restarts",
+                ls.matvecs, ls.iterations, ls.restarts
+            );
+        }
+        match red.model.passivity_margins() {
+            Ok((g, c)) => {
+                eprintln!("rcfit: passivity margins: λmin(G'')={g:.3e}, λmin(C'')={c:.3e}");
+            }
+            Err(e) => eprintln!("rcfit: passivity check failed: {e}"),
+        }
+    }
+
+    if args.verify {
+        let parts = pact::Partitions::split(&ex.network.stamp());
+        match pact::verify_reduction(&parts, &red.model, &cutoff, 25) {
+            Ok(report) => {
+                eprintln!(
+                    "rcfit: verify: worst in-band error {:.3} % (tolerance {:.1} %), overall {:.3} %: {}",
+                    report.worst_in_band * 100.0,
+                    report.tolerance * 100.0,
+                    report.worst_overall * 100.0,
+                    if report.passes() { "PASS" } else { "FAIL" }
+                );
+            }
+            Err(e) => eprintln!("rcfit: verify failed to run: {e}"),
+        }
+    }
+
+    let elements = red.model.to_netlist_elements("rcfit", args.sparsify);
+    eprintln!(
+        "rcfit: reduced network realized with {} elements",
+        elements.len()
+    );
+    let out_deck = splice_reduced(&deck, elements);
+    let rendered = out_deck.to_string();
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(|a| run(&a)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let a = parse_args(&argv(&[
+            "in.sp", "-o", "out.sp", "--fmax", "3g", "--tol", "0.1", "--sparsify", "1e-6",
+            "--port", "nodeA", "--port", "nodeB", "--dense", "--stats", "--components",
+            "--verify",
+        ]))
+        .unwrap();
+        assert_eq!(a.input, "in.sp");
+        assert_eq!(a.output.as_deref(), Some("out.sp"));
+        assert_eq!(a.f_max, 3e9);
+        assert_eq!(a.tolerance, 0.1);
+        assert_eq!(a.sparsify, 1e-6);
+        assert_eq!(a.extra_ports, vec!["nodeA", "nodeB"]);
+        assert!(a.dense && a.stats && a.components && a.verify);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse_args(&argv(&["deck.sp"])).unwrap();
+        assert_eq!(a.f_max, 1e9);
+        assert_eq!(a.tolerance, 0.05);
+        assert!(!a.dense);
+        assert!(a.output.is_none());
+    }
+
+    #[test]
+    fn missing_input_is_usage_error() {
+        assert!(parse_args(&argv(&["--stats"])).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_error() {
+        let e = parse_args(&argv(&["deck.sp", "--frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown argument"));
+    }
+
+    #[test]
+    fn flag_missing_value_is_error() {
+        assert!(parse_args(&argv(&["deck.sp", "--fmax"])).is_err());
+        assert!(parse_args(&argv(&["deck.sp", "--tol", "abc"])).is_err());
+    }
+
+    #[test]
+    fn spice_units_accepted_for_fmax() {
+        let a = parse_args(&argv(&["x.sp", "--fmax", "500meg"])).unwrap();
+        assert_eq!(a.f_max, 5e8);
+    }
+}

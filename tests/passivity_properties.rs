@@ -1,0 +1,194 @@
+//! Property-based tests of the paper's central invariants, over randomly
+//! generated RC networks:
+//!
+//! 1. **Passivity** — congruence transforms preserve non-negative
+//!    definiteness, so every reduction is passive (Section 3);
+//! 2. **Exact moments** — DC admittance and its first derivative are
+//!    matched exactly (eq. 7–9);
+//! 3. **Real, stable poles** — all retained poles are real and negative
+//!    (Section 2).
+
+use proptest::prelude::*;
+
+use pact::{CutoffSpec, FullAdmittance, Partitions, ReduceOptions};
+use pact_netlist::{Branch, RcNetwork};
+
+/// Strategy: a random connected RC network with `ports` ports and
+/// `internals` internal nodes. A random spanning tree guarantees DC paths
+/// (positive-definite `D`); extra random resistors and capacitors add
+/// mesh structure.
+fn rc_network(ports: usize, internals: usize) -> impl Strategy<Value = RcNetwork> {
+    let n = ports + internals;
+    let tree_r = proptest::collection::vec(10.0f64..10_000.0, n);
+    let extra = proptest::collection::vec(
+        ((0..n), (0..n), 10.0f64..100_000.0, proptest::bool::ANY),
+        0..2 * n,
+    );
+    let caps = proptest::collection::vec((0..n, 1e-15f64..5e-12), 1..n + 1);
+    (tree_r, extra, caps).prop_map(move |(tree, extra, caps)| {
+        let mut node_names: Vec<String> = (0..ports).map(|i| format!("p{i}")).collect();
+        node_names.extend((0..internals).map(|i| format!("i{i}")));
+        let mut resistors = Vec::new();
+        // Spanning tree over nodes 0..n with node 0 grounded via tree[0].
+        resistors.push(Branch {
+            a: Some(0),
+            b: None,
+            value: tree[0],
+        });
+        for (k, &r) in tree.iter().enumerate().skip(1) {
+            // parent = deterministic pseudo-random earlier node
+            let parent = (k * 7 + 3) % k;
+            resistors.push(Branch {
+                a: Some(k),
+                b: Some(parent),
+                value: r,
+            });
+        }
+        for (a, b, r, grounded) in extra {
+            if grounded {
+                resistors.push(Branch {
+                    a: Some(a),
+                    b: None,
+                    value: r,
+                });
+            } else if a != b {
+                resistors.push(Branch {
+                    a: Some(a),
+                    b: Some(b),
+                    value: r,
+                });
+            }
+        }
+        let capacitors = caps
+            .into_iter()
+            .map(|(node, c)| Branch {
+                a: Some(node),
+                b: None,
+                value: c,
+            })
+            .collect();
+        RcNetwork {
+            node_names,
+            num_ports: ports,
+            resistors,
+            capacitors,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reductions_are_passive(net in rc_network(3, 12), fmax in 1e8f64..2e10) {
+        let opts = ReduceOptions::new(CutoffSpec::new(fmax, 0.05).unwrap());
+        let red = pact::reduce_network(&net, &opts).unwrap();
+        prop_assert!(red.model.is_passive(1e-7), "reduction not passive");
+    }
+
+    #[test]
+    fn poles_are_real_negative_and_below_cutoff(net in rc_network(2, 10)) {
+        let spec = CutoffSpec::new(1e9, 0.05).unwrap();
+        let red = pact::reduce_network(&net, &ReduceOptions::new(spec)).unwrap();
+        for &lam in &red.model.lambdas {
+            // λ > 0 ⇔ pole s = −1/λ real negative.
+            prop_assert!(lam > 0.0);
+            // Retained ⇒ pole frequency below cutoff.
+            let f_pole = 1.0 / (2.0 * std::f64::consts::PI * lam);
+            prop_assert!(f_pole <= spec.cutoff_frequency() * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn dc_moment_is_exact(net in rc_network(3, 10)) {
+        let red = pact::reduce_network(
+            &net,
+            &ReduceOptions::new(CutoffSpec::new(1e9, 0.05).unwrap()),
+        )
+        .unwrap();
+        let parts = Partitions::split(&net.stamp());
+        let full = FullAdmittance::new(&parts);
+        let y0e = full.y_at(0.0).unwrap();
+        let y0r = red.model.y_at(0.0);
+        let scale = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| y0e[(i, j)].abs())
+            .fold(1e-300, f64::max);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!(
+                    (y0e[(i, j)].re - y0r[(i, j)].re).abs() <= 1e-8 * scale,
+                    "DC moment mismatch at ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unstamped_netlist_restamps_to_same_model(net in rc_network(2, 8)) {
+        // to_netlist_elements → restamp → admittance identical.
+        let red = pact::reduce_network(
+            &net,
+            &ReduceOptions::new(CutoffSpec::new(5e9, 0.05).unwrap()),
+        )
+        .unwrap();
+        let els = red.model.to_netlist_elements("x", 0.0);
+        let mut names = red.model.port_names.clone();
+        for i in 0..red.model.num_poles() {
+            names.push(format!("x_p{i}"));
+        }
+        let idx = |s: &str| names.iter().position(|n| n == s);
+        let nn = names.len();
+        let mut gt = pact_sparse::TripletMat::new(nn, nn);
+        let mut ct = pact_sparse::TripletMat::new(nn, nn);
+        for e in &els {
+            match &e.kind {
+                pact_netlist::ElementKind::Resistor { a, b, ohms } => {
+                    gt.stamp_conductance(idx(a), idx(b), 1.0 / ohms);
+                }
+                pact_netlist::ElementKind::Capacitor { a, b, farads } => {
+                    ct.stamp_conductance(idx(a), idx(b), *farads);
+                }
+                _ => prop_assert!(false, "non-RC element emitted"),
+            }
+        }
+        let st = pact_netlist::Stamped {
+            g: gt.to_csr(),
+            c: ct.to_csr(),
+            num_ports: red.model.num_ports(),
+        };
+        let parts = Partitions::split(&st);
+        let full = FullAdmittance::new(&parts);
+        for &f in &[1e8f64, 2e9] {
+            let ya = full.y_at(f).unwrap();
+            let yb = red.model.y_at(f);
+            let scale = (0..2)
+                .flat_map(|i| (0..2).map(move |j| (i, j)))
+                .map(|(i, j)| yb[(i, j)].abs())
+                .fold(1e-300, f64::max);
+            for i in 0..2 {
+                for j in 0..2 {
+                    prop_assert!(
+                        (ya[(i, j)] - yb[(i, j)]).abs() <= 1e-6 * scale,
+                        "netlist mismatch at f={} ({}, {})", f, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_tolerance_never_keeps_more_poles(net in rc_network(2, 14)) {
+        let tight = pact::reduce_network(
+            &net,
+            &ReduceOptions::new(CutoffSpec::new(1e9, 0.01).unwrap()),
+        )
+        .unwrap();
+        let loose = pact::reduce_network(
+            &net,
+            &ReduceOptions::new(CutoffSpec::new(1e9, 0.30).unwrap()),
+        )
+        .unwrap();
+        prop_assert!(loose.model.num_poles() <= tight.model.num_poles());
+    }
+}
