@@ -1,14 +1,18 @@
 //! Ablation benches for the design choices DESIGN.md §5 calls out:
 //! Lanczos orthogonalization policy, Cholesky ordering, dense vs LASO
 //! pole analysis, and the sparsification heuristic.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Plain `main()` harness (no external bench framework); run with
+//! `cargo bench -p pact-bench --bench ablation`.
 
 use pact::{CutoffSpec, EigenStrategy, ReduceOptions, Transform1};
+use pact_bench::{min_median, print_table, sample_secs, secs};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::{eigs_above, LanczosConfig, Reorthogonalization};
 use pact_netlist::sparsify_preserving_passivity;
 use pact_sparse::{Ordering, SparseCholesky};
+
+const SAMPLES: usize = 10;
 
 fn mesh(nx: usize, ny: usize, nz: usize, m: usize) -> pact_netlist::RcNetwork {
     substrate_mesh(&MeshSpec {
@@ -20,13 +24,17 @@ fn mesh(nx: usize, ny: usize, nz: usize, m: usize) -> pact_netlist::RcNetwork {
     })
 }
 
-fn bench_reorthogonalization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_reorth");
-    group.sample_size(10);
+fn row(label: String, samples: &[f64]) -> Vec<String> {
+    let (min, med) = min_median(samples);
+    vec![label, secs(min), secs(med)]
+}
+
+fn bench_reorthogonalization(rows: &mut Vec<Vec<String>>) {
     let net = mesh(12, 12, 5, 16);
     let parts = pact::Partitions::split(&net.stamp());
     let t1 = Transform1::compute(&parts, Ordering::Rcm).expect("t1");
     let lambda_c = CutoffSpec::new(1e9, 0.05).expect("spec").lambda_c();
+    let op = t1.e_prime_operator(&parts);
     for reorth in [
         Reorthogonalization::None,
         Reorthogonalization::Selective,
@@ -36,38 +44,28 @@ fn bench_reorthogonalization(c: &mut Criterion) {
             reorth,
             ..LanczosConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{reorth:?}")),
-            &cfg,
-            |b, cfg| {
-                let op = t1.e_prime_operator(&parts);
-                b.iter(|| eigs_above(&op, lambda_c, cfg).expect("laso"));
-            },
-        );
+        let s = sample_secs(SAMPLES, || eigs_above(&op, lambda_c, &cfg).expect("laso"));
+        rows.push(row(format!("reorth/{reorth:?}"), &s));
     }
-    group.finish();
 }
 
-fn bench_ordering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_ordering");
-    group.sample_size(10);
+fn bench_ordering(rows: &mut Vec<Vec<String>>) {
     let net = mesh(12, 12, 6, 16);
     let parts = pact::Partitions::split(&net.stamp());
-    for ord in [Ordering::Natural, Ordering::Rcm, Ordering::MinDegree, Ordering::NestedDissection] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{ord:?}")),
-            &ord,
-            |b, &o| {
-                b.iter(|| SparseCholesky::factor(&parts.d, o).expect("factor"));
-            },
-        );
+    for ord in [
+        Ordering::Natural,
+        Ordering::Rcm,
+        Ordering::MinDegree,
+        Ordering::NestedDissection,
+    ] {
+        let s = sample_secs(SAMPLES, || {
+            SparseCholesky::factor(&parts.d, ord).expect("factor")
+        });
+        rows.push(row(format!("ordering/{ord:?}"), &s));
     }
-    group.finish();
 }
 
-fn bench_eigen_strategy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_dense_vs_laso");
-    group.sample_size(10);
+fn bench_eigen_strategy(rows: &mut Vec<Vec<String>>) {
     let net = mesh(8, 8, 5, 12); // n ≈ 300: both strategies feasible
     for (label, eigen) in [
         ("dense", EigenStrategy::Dense),
@@ -78,44 +76,45 @@ fn bench_eigen_strategy(c: &mut Criterion) {
             eigen,
             ordering: Ordering::Rcm,
             dense_threshold: 0,
+            threads: None,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, o| {
-            b.iter(|| pact::reduce_network(&net, o).expect("reduce"));
-        });
+        let s = sample_secs(SAMPLES, || pact::reduce_network(&net, &opts).expect("reduce"));
+        rows.push(row(format!("eigen/{label}"), &s));
     }
-    group.finish();
 }
 
-fn bench_sparsify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_sparsify");
+fn bench_sparsify(rows: &mut Vec<Vec<String>>) {
     let net = mesh(12, 12, 5, 25);
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(3e9, 0.05).expect("spec"),
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
+        threads: None,
     };
     let red = pact::reduce_network(&net, &opts).expect("reduce");
     let (g, _) = red.model.to_matrices_normalized();
     for &tol in &[0.0, 1e-9, 1e-6, 1e-3] {
-        group.bench_with_input(BenchmarkId::from_parameter(tol), &tol, |b, &t| {
-            b.iter(|| {
-                let mut gg = g.clone();
-                if t > 0.0 {
-                    sparsify_preserving_passivity(&mut gg, t);
-                }
-                gg
-            });
+        let s = sample_secs(SAMPLES, || {
+            let mut gg = g.clone();
+            if tol > 0.0 {
+                sparsify_preserving_passivity(&mut gg, tol);
+            }
+            gg
         });
+        rows.push(row(format!("sparsify/{tol:e}"), &s));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_reorthogonalization,
-    bench_ordering,
-    bench_eigen_strategy,
-    bench_sparsify
-);
-criterion_main!(benches);
+fn main() {
+    let mut rows = Vec::new();
+    bench_reorthogonalization(&mut rows);
+    bench_ordering(&mut rows);
+    bench_eigen_strategy(&mut rows);
+    bench_sparsify(&mut rows);
+    print_table(
+        "Ablation timings",
+        &["case", "min (s)", "median (s)"],
+        &rows,
+    );
+}

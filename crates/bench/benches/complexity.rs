@@ -1,18 +1,21 @@
 //! Section-4 complexity bench: PACT vs the block-Krylov Padé baseline as
 //! the port count grows, on a fixed-size substrate mesh. Complements the
-//! `section4_complexity` binary with statistically sampled timings.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! `section4_complexity` binary with repeated-sample timings.
+//!
+//! Plain `main()` harness (no external bench framework); run with
+//! `cargo bench -p pact-bench --bench complexity`.
 
 use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
 use pact_baselines::block_krylov_reduce;
+use pact_bench::{min_median, print_table, sample_secs, secs};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
 use pact_sparse::Ordering;
 
-fn bench_ports_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("complexity_ports_sweep");
-    group.sample_size(10);
+const SAMPLES: usize = 10;
+
+fn main() {
+    let mut rows = Vec::new();
     for &m in &[8usize, 24, 64] {
         let spec = MeshSpec {
             nx: 16,
@@ -30,16 +33,21 @@ fn bench_ports_sweep(c: &mut Criterion) {
             eigen: EigenStrategy::Laso(LanczosConfig::default()),
             ordering: Ordering::Rcm,
             dense_threshold: 0,
+            threads: None,
         };
-        group.bench_with_input(BenchmarkId::new("pact", m), &net, |b, n| {
-            b.iter(|| pact::reduce_network(n, &opts).expect("pact"));
-        });
-        group.bench_with_input(BenchmarkId::new("pade_block", m), &parts, |b, p| {
-            b.iter(|| block_krylov_reduce(p, &ports, 2, Ordering::Rcm).expect("krylov"));
-        });
-    }
-    group.finish();
-}
+        let s = sample_secs(SAMPLES, || pact::reduce_network(&net, &opts).expect("pact"));
+        let (min, med) = min_median(&s);
+        rows.push(vec![format!("pact/m_{m}"), secs(min), secs(med)]);
 
-criterion_group!(benches, bench_ports_sweep);
-criterion_main!(benches);
+        let s = sample_secs(SAMPLES, || {
+            block_krylov_reduce(&parts, &ports, 2, Ordering::Rcm).expect("krylov")
+        });
+        let (min, med) = min_median(&s);
+        rows.push(vec![format!("pade_block/m_{m}"), secs(min), secs(med)]);
+    }
+    print_table(
+        "Complexity: port sweep",
+        &["case", "min (s)", "median (s)"],
+        &rows,
+    );
+}

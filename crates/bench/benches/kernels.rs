@@ -1,13 +1,20 @@
-//! Criterion benches for the numerical kernels underlying PACT:
-//! sparse Cholesky factorization of `D`, LASO pole analysis, the first
+//! Timing bench for the numerical kernels underlying PACT: sparse
+//! Cholesky factorization of `D`, LASO pole analysis, the first
 //! congruence transform, and the end-to-end reduction.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Plain `main()` harness (no external bench framework): each case runs a
+//! warm-up pass plus a fixed number of timed iterations and reports
+//! min/median wall-clock seconds.
+//!
+//! Run with `cargo bench -p pact-bench --bench kernels`.
 
 use pact::{CutoffSpec, EigenStrategy, Partitions, ReduceOptions, Transform1};
+use pact_bench::{min_median, print_table, sample_secs, secs};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::{eigs_above, LanczosConfig};
 use pact_sparse::{Ordering, SparseCholesky};
+
+const SAMPLES: usize = 10;
 
 fn mesh_parts(
     nx: usize,
@@ -27,47 +34,44 @@ fn mesh_parts(
     (net, parts)
 }
 
-fn bench_cholesky(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cholesky_factor_D");
-    group.sample_size(10);
-    for (label, dims) in [("mesh_500", (10, 10, 5)), ("mesh_2k", (16, 16, 8))] {
-        let (_, parts) = mesh_parts(dims.0, dims.1, dims.2, 16);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &parts, |b, p| {
-            b.iter(|| SparseCholesky::factor(&p.d, Ordering::Rcm).expect("factor"));
-        });
-    }
-    group.finish();
+fn row(label: &str, samples: &[f64]) -> Vec<String> {
+    let (min, med) = min_median(samples);
+    vec![label.to_owned(), secs(min), secs(med)]
 }
 
-fn bench_transform1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transform1_moments");
-    group.sample_size(10);
+fn bench_cholesky(rows: &mut Vec<Vec<String>>) {
+    for (label, dims) in [("cholesky/mesh_500", (10, 10, 5)), ("cholesky/mesh_2k", (16, 16, 8))] {
+        let (_, parts) = mesh_parts(dims.0, dims.1, dims.2, 16);
+        let s = sample_secs(SAMPLES, || {
+            SparseCholesky::factor(&parts.d, Ordering::Rcm).expect("factor")
+        });
+        rows.push(row(label, &s));
+    }
+}
+
+fn bench_transform1(rows: &mut Vec<Vec<String>>) {
     for &m in &[8usize, 32] {
         let (_, parts) = mesh_parts(14, 14, 5, m);
-        group.bench_with_input(BenchmarkId::new("ports", m), &parts, |b, p| {
-            b.iter(|| Transform1::compute(p, Ordering::Rcm).expect("t1"));
+        let s = sample_secs(SAMPLES, || {
+            Transform1::compute(&parts, Ordering::Rcm).expect("t1")
         });
+        rows.push(row(&format!("transform1/ports_{m}"), &s));
     }
-    group.finish();
 }
 
-fn bench_laso(c: &mut Criterion) {
-    let mut group = c.benchmark_group("laso_eigs_above");
-    group.sample_size(10);
+fn bench_laso(rows: &mut Vec<Vec<String>>) {
     let (_, parts) = mesh_parts(14, 14, 5, 16);
     let t1 = Transform1::compute(&parts, Ordering::Rcm).expect("t1");
     let lambda_c = CutoffSpec::new(1e9, 0.05).expect("spec").lambda_c();
-    group.bench_function("mesh_1k_cutoff_1GHz", |b| {
-        let op = t1.e_prime_operator(&parts);
-        b.iter(|| eigs_above(&op, lambda_c, &LanczosConfig::default()).expect("laso"));
+    let op = t1.e_prime_operator(&parts);
+    let s = sample_secs(SAMPLES, || {
+        eigs_above(&op, lambda_c, &LanczosConfig::default()).expect("laso")
     });
-    group.finish();
+    rows.push(row("laso/mesh_1k_cutoff_1GHz", &s));
 }
 
-fn bench_reduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reduce_end_to_end");
-    group.sample_size(10);
-    for (label, dims) in [("mesh_500", (10, 10, 5)), ("mesh_1k", (14, 14, 5))] {
+fn bench_reduce(rows: &mut Vec<Vec<String>>) {
+    for (label, dims) in [("reduce/mesh_500", (10, 10, 5)), ("reduce/mesh_1k", (14, 14, 5))] {
         let spec = MeshSpec {
             nx: dims.0,
             ny: dims.1,
@@ -81,19 +85,22 @@ fn bench_reduce(c: &mut Criterion) {
             eigen: EigenStrategy::Laso(LanczosConfig::default()),
             ordering: Ordering::Rcm,
             dense_threshold: 0,
+            threads: None,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &net, |b, n| {
-            b.iter(|| pact::reduce_network(n, &opts).expect("reduce"));
-        });
+        let s = sample_secs(SAMPLES, || pact::reduce_network(&net, &opts).expect("reduce"));
+        rows.push(row(label, &s));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cholesky,
-    bench_transform1,
-    bench_laso,
-    bench_reduce
-);
-criterion_main!(benches);
+fn main() {
+    let mut rows = Vec::new();
+    bench_cholesky(&mut rows);
+    bench_transform1(&mut rows);
+    bench_laso(&mut rows);
+    bench_reduce(&mut rows);
+    print_table(
+        "Kernel timings",
+        &["case", "min (s)", "median (s)"],
+        &rows,
+    );
+}

@@ -25,6 +25,7 @@ fn main() {
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
+        threads: None,
     };
     let red = pact::reduce_network(&net, &opts).expect("reduce");
     let m = red.model.num_ports();

@@ -61,6 +61,7 @@ fn main() {
         eigen: EigenStrategy::Dense,
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
+        threads: None,
     };
     let (red, elapsed) = timed(|| pact::reduce_network(net, &opts).expect("reduce"));
     let model = &red.model;

@@ -34,6 +34,7 @@ fn main() {
             eigen: EigenStrategy::Laso(LanczosConfig::default()),
             ordering: Ordering::NestedDissection,
             dense_threshold: 0,
+            threads: None,
         };
         let (pact_red, t_pact) = timed(|| pact::reduce_network(&net, &opts).expect("pact"));
         let laso = pact_red.stats.lanczos.unwrap_or_default();

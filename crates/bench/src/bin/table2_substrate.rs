@@ -59,6 +59,7 @@ fn main() {
             eigen: EigenStrategy::Laso(LanczosConfig::default()),
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
+            threads: None,
         };
         let (red, t_red) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
         let elements = red.model.to_netlist_elements("red", 1e-9);

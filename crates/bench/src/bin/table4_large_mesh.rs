@@ -30,6 +30,7 @@ fn main() {
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
+        threads: None,
     };
     let (red, elapsed) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
     // Aggressive sparsification, as the paper's Table 4 output counts imply.

@@ -1,10 +1,11 @@
 //! # pact-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper
-//! (`cargo run --release -p pact-bench --bin <name>`) plus Criterion
-//! benches for kernels, ablations and the Section-4 complexity study.
-//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
-//! recorded paper-vs-measured results.
+//! (`cargo run --release -p pact-bench --bin <name>`) plus
+//! dependency-free timing benches for kernels, ablations and the
+//! Section-4 complexity study, and the `par_scaling` thread-scaling
+//! study. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+//! for recorded paper-vs-measured results.
 //!
 //! This library hosts the shared report plumbing: wall-clock timing,
 //! markdown table rendering, waveform CSV output and common reduction /
@@ -25,6 +26,27 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();
     let out = f();
     (out, t0.elapsed().as_secs_f64())
+}
+
+/// Runs `f` once to warm up, then `samples` timed iterations, returning
+/// per-iteration wall-clock seconds. The dependency-free replacement for
+/// the statistical bench harness: the benches report min/median over a
+/// small fixed sample count.
+pub fn sample_secs<T>(samples: usize, mut f: impl FnMut() -> T) -> Vec<f64> {
+    let _ = f();
+    (0..samples.max(1)).map(|_| timed(&mut f).1).collect()
+}
+
+/// Minimum and median of a non-empty sample set, in seconds.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn min_median(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "no samples");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN timing"));
+    (s[0], s[s.len() / 2])
 }
 
 /// Formats bytes as MB with one decimal (the paper's table unit).
@@ -100,6 +122,7 @@ pub fn reduce_deck(
         eigen: EigenStrategy::Auto,
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
+        threads: None,
     };
     let (red, elapsed) = timed(|| {
         pact::reduce_network(&ex.network, &opts).expect("reduction failed")
@@ -123,6 +146,7 @@ pub fn reduce_deck_laso(
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
+        threads: None,
     };
     let (red, elapsed) = timed(|| {
         pact::reduce_network(&ex.network, &opts).expect("reduction failed")

@@ -16,12 +16,7 @@ use pact_netlist::{sparsify_preserving_passivity, unstamp, Element};
 use pact_sparse::{sym_eig, Complex64, DMat, EigenError};
 
 /// A passive reduced-order multiport RC model.
-///
-/// With the `serde` feature enabled the model serializes, so expensive
-/// reductions of large parasitic networks can be cached and reloaded
-/// across simulation runs.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReducedModel {
     /// Exact DC port conductance `A'` (`m×m`).
     pub a1: DMat<f64>,
@@ -197,16 +192,6 @@ mod tests {
             lambdas: vec![1.0 / (2.0 * std::f64::consts::PI * 4.7e9)],
             port_names: vec!["1".into(), "2".into()],
         }
-    }
-
-    /// With the `serde` feature on, the model must be serializable with
-    /// any format crate the user brings (checked at compile time — the
-    /// workspace deliberately carries no format dependency).
-    #[cfg(feature = "serde")]
-    #[test]
-    fn serde_traits_are_implemented() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<ReducedModel>();
     }
 
     #[test]

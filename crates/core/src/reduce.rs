@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use pact_lanczos::{eigs_above_with_stats, LanczosConfig, LanczosError, LanczosStats, SymOp};
 use pact_netlist::{RcNetwork, Stamped};
-use pact_sparse::{sym_eig, EigenError, FactorError, Ordering};
+use pact_sparse::{sym_eig, EigenError, FactorError, Ordering, ParCtx};
 
 use crate::cutoff::CutoffSpec;
 use crate::model::ReducedModel;
@@ -39,6 +39,10 @@ pub struct ReduceOptions {
     pub ordering: Ordering,
     /// `Auto` strategy switches from dense to LASO above this `n`.
     pub dense_threshold: usize,
+    /// Worker threads for the parallel stages (port fan-out, Ritz rows,
+    /// operator products). `None` ⇒ all available cores. The reduced
+    /// model is bit-identical for every thread count.
+    pub threads: Option<usize>,
 }
 
 impl ReduceOptions {
@@ -49,6 +53,7 @@ impl ReduceOptions {
             eigen: EigenStrategy::Auto,
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
+            threads: None,
         }
     }
 }
@@ -138,23 +143,24 @@ pub fn reduce(
     opts: &ReduceOptions,
 ) -> Result<Reduction, ReduceError> {
     let start = Instant::now();
+    let ctx = ParCtx::new(opts.threads);
     let parts = Partitions::split(stamped);
-    let t1 = Transform1::compute(&parts, opts.ordering)?;
+    let t1 = Transform1::compute_ctx(&parts, opts.ordering, &ctx)?;
     let lambda_c = opts.cutoff.lambda_c();
 
     let (lambdas, vectors, lanczos_stats) = match &opts.eigen {
-        EigenStrategy::Dense => dense_poles(&t1, &parts, lambda_c)?,
-        EigenStrategy::Laso(cfg) => laso_poles(&t1, &parts, lambda_c, cfg)?,
+        EigenStrategy::Dense => dense_poles(&t1, &parts, lambda_c, &ctx)?,
+        EigenStrategy::Laso(cfg) => laso_poles(&t1, &parts, lambda_c, cfg, &ctx)?,
         EigenStrategy::Auto => {
             if parts.n <= opts.dense_threshold {
-                dense_poles(&t1, &parts, lambda_c)?
+                dense_poles(&t1, &parts, lambda_c, &ctx)?
             } else {
-                laso_poles(&t1, &parts, lambda_c, &LanczosConfig::default())?
+                laso_poles(&t1, &parts, lambda_c, &LanczosConfig::default(), &ctx)?
             }
         }
     };
 
-    let r2 = t1.r2_rows(&parts, &vectors);
+    let r2 = t1.r2_rows_ctx(&parts, &vectors, &ctx);
     let model = ReducedModel {
         a1: t1.a1.clone(),
         b1: t1.b1.clone(),
@@ -266,11 +272,16 @@ pub fn reduce_network_components(
 
 type Poles = (Vec<f64>, Vec<Vec<f64>>, Option<LanczosStats>);
 
-fn dense_poles(t1: &Transform1, parts: &Partitions, lambda_c: f64) -> Result<Poles, ReduceError> {
+fn dense_poles(
+    t1: &Transform1,
+    parts: &Partitions,
+    lambda_c: f64,
+    ctx: &ParCtx,
+) -> Result<Poles, ReduceError> {
     if parts.n == 0 {
         return Ok((Vec::new(), Vec::new(), None));
     }
-    let ep = t1.e_prime_dense(parts);
+    let ep = t1.e_prime_dense_ctx(parts, ctx);
     let eig = sym_eig(&ep)?;
     let mut lambdas = Vec::new();
     let mut vectors = Vec::new();
@@ -292,13 +303,23 @@ fn laso_poles(
     parts: &Partitions,
     lambda_c: f64,
     cfg: &LanczosConfig,
+    ctx: &ParCtx,
 ) -> Result<Poles, ReduceError> {
     if parts.n == 0 {
         return Ok((Vec::new(), Vec::new(), None));
     }
-    let op = t1.e_prime_operator(parts);
+    let op = t1.e_prime_operator_ctx(parts, *ctx);
     debug_assert_eq!(op.dim(), parts.n);
-    let (pairs, stats) = eigs_above_with_stats(&op, lambda_c, cfg)?;
+    // An explicit thread choice in the Lanczos config wins; otherwise the
+    // reduction's resolved thread count flows through.
+    let cfg = if cfg.threads.is_none() {
+        let mut c = cfg.clone();
+        c.threads = Some(ctx.threads());
+        c
+    } else {
+        cfg.clone()
+    };
+    let (pairs, stats) = eigs_above_with_stats(&op, lambda_c, &cfg)?;
     let mut lambdas = Vec::with_capacity(pairs.len());
     let mut vectors = Vec::with_capacity(pairs.len());
     for p in pairs {

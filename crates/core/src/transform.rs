@@ -15,8 +15,13 @@
 //! results are kept. The rows of `R'' = Uᵀ F⁻¹ P` needed by the second
 //! transform are likewise computed per Ritz vector from `Q`/`R` alone.
 
+use std::cell::RefCell;
+use std::ops::Range;
+
 use pact_lanczos::SymOp;
-use pact_sparse::{CsrMat, DMat, FactorError, Ordering, SparseCholesky};
+use pact_sparse::{
+    split_ranges, CsrMat, DMat, FactorError, Ordering, ParCtx, SparseCholesky, LANES,
+};
 
 use crate::partition::Partitions;
 
@@ -44,6 +49,29 @@ impl Transform1 {
     /// [`FactorError`] when `D` is not positive definite — physically, an
     /// internal node with no DC path to any port.
     pub fn compute(p: &Partitions, ordering: Ordering) -> Result<Self, FactorError> {
+        Self::compute_ctx(p, ordering, &ParCtx::serial())
+    }
+
+    /// Like [`Transform1::compute`], fanning the per-port column work out
+    /// across the threads of `ctx`.
+    ///
+    /// Ports are grouped into blocks of up to [`LANES`] columns whose
+    /// boundaries depend only on the port count; each block runs the
+    /// blocked multi-RHS solves (`x_j = D⁻¹ q_j`, `y_j = D⁻¹ r_j`,
+    /// `z_j = D⁻¹ E x_j`) and produces its `m×w` contribution columns
+    /// independently. Every column is computed with the same instruction
+    /// sequence regardless of which worker runs it and the contributions
+    /// are written back in port order, so the result is bit-identical for
+    /// every thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Transform1::compute`].
+    pub fn compute_ctx(
+        p: &Partitions,
+        ordering: Ordering,
+        ctx: &ParCtx,
+    ) -> Result<Self, FactorError> {
         let chol = SparseCholesky::factor(&p.d, ordering)?;
         let m = p.m;
         let n = p.n;
@@ -54,22 +82,20 @@ impl Transform1 {
         //   A'(:,j) = A(:,j) − Qᵀ x_j
         //   B'(:,j) = B(:,j) − Rᵀ x_j − Qᵀ y_j + Qᵀ z_j
         // (the +Qᵀz_j term is XᵀEX's column; all are m-vectors).
-        let qt = p.q.transpose();
-        let rt = p.r.transpose();
-        for j in 0..m {
-            let qcol = dense_col(&qt, j, n);
-            let rcol = dense_col(&rt, j, n);
-            let x = chol.solve(&qcol);
-            let y = chol.solve(&rcol);
-            let ex = p.e.matvec(&x);
-            let z = chol.solve(&ex);
-            let qtx = p.q.matvec_t(&x);
-            let rtx = p.r.matvec_t(&x);
-            let qty = p.q.matvec_t(&y);
-            let qtz = p.q.matvec_t(&z);
-            for i in 0..m {
-                a1[(i, j)] -= qtx[i];
-                b1[(i, j)] += -rtx[i] - qty[i] + qtz[i];
+        if m > 0 && n > 0 {
+            let qt = p.q.transpose();
+            let rt = p.r.transpose();
+            let blocks = split_ranges(m, m.div_ceil(LANES));
+            let contribs = ctx.map_items(blocks.len(), BlockScratch::default, |s, bi| {
+                port_block_contribution(p, &chol, &qt, &rt, blocks[bi].clone(), s)
+            });
+            for (block, (da, db)) in blocks.iter().zip(contribs) {
+                for (r, j) in block.clone().enumerate() {
+                    for i in 0..m {
+                        a1[(i, j)] -= da[r * m + i];
+                        b1[(i, j)] += db[r * m + i];
+                    }
+                }
             }
         }
         // Congruence preserves exact symmetry; scrub rounding drift so the
@@ -95,16 +121,36 @@ impl Transform1 {
     /// R''[i, :] = Rᵀ v_i − Qᵀ z_i
     /// ```
     pub fn r2_rows(&self, p: &Partitions, ritz_vectors: &[Vec<f64>]) -> DMat<f64> {
+        self.r2_rows_ctx(p, ritz_vectors, &ParCtx::serial())
+    }
+
+    /// Like [`Transform1::r2_rows`], fanning the per-Ritz-vector solves
+    /// out across the threads of `ctx`. Each row is computed by exactly
+    /// one worker (with per-worker scratch, so nothing allocates in the
+    /// loop) and rows are written back in Ritz order — results are
+    /// bit-identical for every thread count.
+    pub fn r2_rows_ctx(
+        &self,
+        p: &Partitions,
+        ritz_vectors: &[Vec<f64>],
+        ctx: &ParCtx,
+    ) -> DMat<f64> {
         let k = ritz_vectors.len();
-        let mut r2 = DMat::zeros(k, self.m);
-        for (i, u) in ritz_vectors.iter().enumerate() {
-            let v = self.chol.ftsolve(u);
-            let w = p.e.matvec(&v);
-            let z = self.chol.solve(&w);
-            let rv = p.r.matvec_t(&v);
-            let qz = p.q.matvec_t(&z);
-            for j in 0..self.m {
-                r2[(i, j)] = rv[j] - qz[j];
+        let m = self.m;
+        let n = self.n;
+        let mut r2 = DMat::zeros(k, m);
+        let rows = ctx.map_items(k, || R2Scratch::new(n, m), |s, i| {
+            let u = &ritz_vectors[i];
+            self.chol.ftsolve_into(u, &mut s.v, &mut s.work);
+            p.e.matvec_into(&s.v, &mut s.w);
+            self.chol.solve_into(&s.w, &mut s.z, &mut s.work);
+            p.r.matvec_t_into(&s.v, &mut s.rv);
+            p.q.matvec_t_into(&s.z, &mut s.qz);
+            s.rv.iter().zip(&s.qz).map(|(rv, qz)| rv - qz).collect::<Vec<f64>>()
+        });
+        for (i, row) in rows.into_iter().enumerate() {
+            for (j, val) in row.into_iter().enumerate() {
+                r2[(i, j)] = val;
             }
         }
         r2
@@ -112,47 +158,178 @@ impl Transform1 {
 
     /// The matrix-free operator `E' = F⁻¹ E F⁻ᵀ` for the Lanczos solver.
     pub fn e_prime_operator<'a>(&'a self, p: &'a Partitions) -> EPrimeOp<'a> {
+        self.e_prime_operator_ctx(p, ParCtx::serial())
+    }
+
+    /// Like [`Transform1::e_prime_operator`], with the inner `E v`
+    /// product row-partitioned across the threads of `ctx`.
+    pub fn e_prime_operator_ctx<'a>(&'a self, p: &'a Partitions, ctx: ParCtx) -> EPrimeOp<'a> {
+        let n = self.n;
         EPrimeOp {
             chol: &self.chol,
             e: &p.e,
+            scratch: RefCell::new(EPrimeScratch {
+                v: vec![0.0; n],
+                w: vec![0.0; n],
+            }),
+            ctx,
         }
     }
 
     /// Materializes `E'` as a dense matrix — `O(n²)` memory, intended for
     /// small networks and as the dense-eigendecomposition path.
     pub fn e_prime_dense(&self, p: &Partitions) -> DMat<f64> {
+        self.e_prime_dense_ctx(p, &ParCtx::serial())
+    }
+
+    /// Like [`Transform1::e_prime_dense`], with the columns partitioned
+    /// across the threads of `ctx` (each column is one `E'` application,
+    /// so values never depend on the partition).
+    pub fn e_prime_dense_ctx(&self, p: &Partitions, ctx: &ParCtx) -> DMat<f64> {
         let n = self.n;
-        let op = self.e_prime_operator(p);
         let mut out = DMat::zeros(n, n);
-        let mut col = vec![0.0; n];
-        let mut e = vec![0.0; n];
-        for j in 0..n {
-            e.iter_mut().for_each(|v| *v = 0.0);
-            e[j] = 1.0;
-            op.apply(&e, &mut col);
-            out.col_mut(j).copy_from_slice(&col);
+        if n == 0 {
+            return out;
         }
+        ctx.for_each_chunk_mut(out.as_mut_slice(), n, |cols, chunk| {
+            // The operator's scratch sits in a RefCell (not Sync), so
+            // each worker builds its own serial instance.
+            let op = self.e_prime_operator(p);
+            let mut e = vec![0.0; n];
+            for (k, j) in cols.enumerate() {
+                e.iter_mut().for_each(|v| *v = 0.0);
+                e[j] = 1.0;
+                op.apply(&e, &mut chunk[k * n..(k + 1) * n]);
+            }
+        });
         // Symmetric by construction up to rounding.
         out.symmetrize();
         out
     }
 }
 
-/// Extracts a dense column `j` from the CSR transpose (`at` = `Aᵀ`, so its
-/// row `j` is `A`'s column `j`).
-fn dense_col(at: &CsrMat, j: usize, len: usize) -> Vec<f64> {
-    let mut out = vec![0.0; len];
-    for (i, v) in at.row_iter(j) {
-        out[i] = v;
+/// Per-worker scratch of the port-block fan-out in
+/// [`Transform1::compute_ctx`]: right-hand-side/solution panels
+/// (column-major `n×w`), the blocked-solve workspace, and one `m`-vector
+/// for the `matvec_t` results.
+#[derive(Default)]
+struct BlockScratch {
+    rhs: Vec<f64>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    ex: Vec<f64>,
+    work: Vec<f64>,
+    mt: Vec<f64>,
+}
+
+/// Computes one port block's contribution columns: `da[r·m + i]` is
+/// subtracted from `A'(i, j)` and `db[r·m + i]` added to `B'(i, j)` for
+/// port `j = ports.start + r`.
+fn port_block_contribution(
+    p: &Partitions,
+    chol: &SparseCholesky,
+    qt: &CsrMat,
+    rt: &CsrMat,
+    ports: Range<usize>,
+    s: &mut BlockScratch,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = p.n;
+    let m = p.m;
+    let w = ports.len();
+    for buf in [&mut s.rhs, &mut s.x, &mut s.y, &mut s.z, &mut s.ex] {
+        buf.clear();
+        buf.resize(n * w, 0.0);
     }
-    out
+    s.mt.resize(m, 0.0);
+
+    // X block: x_j = D⁻¹ q_j (row j of Qᵀ is column j of Q).
+    for (r, j) in ports.clone().enumerate() {
+        for (i, v) in qt.row_iter(j) {
+            s.rhs[r * n + i] = v;
+        }
+    }
+    chol.solve_block_into(&s.rhs, w, &mut s.x, &mut s.work);
+
+    // Y block: y_j = D⁻¹ r_j.
+    s.rhs.iter_mut().for_each(|v| *v = 0.0);
+    for (r, j) in ports.clone().enumerate() {
+        for (i, v) in rt.row_iter(j) {
+            s.rhs[r * n + i] = v;
+        }
+    }
+    chol.solve_block_into(&s.rhs, w, &mut s.y, &mut s.work);
+
+    // Z block: z_j = D⁻¹ (E x_j).
+    for r in 0..w {
+        p.e.matvec_into(&s.x[r * n..(r + 1) * n], &mut s.ex[r * n..(r + 1) * n]);
+    }
+    chol.solve_block_into(&s.ex, w, &mut s.z, &mut s.work);
+
+    let mut da = vec![0.0; m * w];
+    let mut db = vec![0.0; m * w];
+    for r in 0..w {
+        let x = &s.x[r * n..(r + 1) * n];
+        p.q.matvec_t_into(x, &mut s.mt);
+        da[r * m..(r + 1) * m].copy_from_slice(&s.mt);
+        p.r.matvec_t_into(x, &mut s.mt);
+        for (o, v) in db[r * m..(r + 1) * m].iter_mut().zip(&s.mt) {
+            *o -= v;
+        }
+        p.q.matvec_t_into(&s.y[r * n..(r + 1) * n], &mut s.mt);
+        for (o, v) in db[r * m..(r + 1) * m].iter_mut().zip(&s.mt) {
+            *o -= v;
+        }
+        p.q.matvec_t_into(&s.z[r * n..(r + 1) * n], &mut s.mt);
+        for (o, v) in db[r * m..(r + 1) * m].iter_mut().zip(&s.mt) {
+            *o += v;
+        }
+    }
+    (da, db)
+}
+
+/// Per-worker scratch of [`Transform1::r2_rows_ctx`].
+struct R2Scratch {
+    v: Vec<f64>,
+    w: Vec<f64>,
+    z: Vec<f64>,
+    work: Vec<f64>,
+    rv: Vec<f64>,
+    qz: Vec<f64>,
+}
+
+impl R2Scratch {
+    fn new(n: usize, m: usize) -> Self {
+        R2Scratch {
+            v: vec![0.0; n],
+            w: vec![0.0; n],
+            z: vec![0.0; n],
+            work: Vec::new(),
+            rv: vec![0.0; m],
+            qz: vec![0.0; m],
+        }
+    }
 }
 
 /// Matrix-free symmetric operator `x ↦ F⁻¹ E (F⁻ᵀ x)`.
-#[derive(Clone, Copy, Debug)]
+///
+/// Carries two scratch vectors behind a `RefCell` (since
+/// [`SymOp::apply`] takes `&self`), so repeated applications — the inner
+/// loop of the Lanczos iteration — allocate nothing. The `RefCell` makes
+/// the operator `!Sync`; parallel callers construct one instance per
+/// worker.
+#[derive(Clone, Debug)]
 pub struct EPrimeOp<'a> {
     chol: &'a SparseCholesky,
     e: &'a CsrMat,
+    scratch: RefCell<EPrimeScratch>,
+    ctx: ParCtx,
+}
+
+#[derive(Clone, Debug)]
+struct EPrimeScratch {
+    v: Vec<f64>,
+    w: Vec<f64>,
 }
 
 impl SymOp for EPrimeOp<'_> {
@@ -160,10 +337,12 @@ impl SymOp for EPrimeOp<'_> {
         self.e.nrows()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let v = self.chol.ftsolve(x);
-        let w = self.e.matvec(&v);
-        let out = self.chol.fsolve(&w);
-        y.copy_from_slice(&out);
+        let s = &mut *self.scratch.borrow_mut();
+        // v = F⁻ᵀ x (w doubles as the transpose-solve workspace), then
+        // w = E v, then y = F⁻¹ w computed in place in y.
+        self.chol.ftsolve_into(x, &mut s.v, &mut s.w);
+        self.e.matvec_into_ctx(&s.v, &mut s.w, &self.ctx);
+        self.chol.fsolve_into(&s.w, y);
     }
 }
 

@@ -8,10 +8,8 @@
 //! 100 MHz–10 GHz range set by contact capacitance against spreading
 //! resistance — is what PACT exploits.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pact_netlist::{Branch, Element, RcNetwork};
+use pact_sparse::XorShiftRng;
 
 /// Parameters for [`substrate_mesh`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -230,7 +228,7 @@ pub fn substrate_mesh(spec: &MeshSpec) -> RcNetwork {
 
 /// Contact positions: a jittered sub-grid over the surface.
 fn contact_sites(spec: &MeshSpec) -> Vec<(usize, usize)> {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = XorShiftRng::seed_from_u64(spec.seed);
     let k = spec.num_contacts;
     // Grid of ceil(sqrt(k)) × ceil(sqrt(k)) candidate cells.
     let side = (k as f64).sqrt().ceil() as usize;
@@ -241,9 +239,9 @@ fn contact_sites(spec: &MeshSpec) -> Vec<(usize, usize)> {
             if sites.len() >= k {
                 break 'outer;
             }
-            let cx = ((gx * spec.nx) / side + rng.gen_range(0..(spec.nx / side).max(1)))
+            let cx = ((gx * spec.nx) / side + rng.gen_index((spec.nx / side).max(1)))
                 .min(spec.nx - 1);
-            let cy = ((gy * spec.ny) / side + rng.gen_range(0..(spec.ny / side).max(1)))
+            let cy = ((gy * spec.ny) / side + rng.gen_index((spec.ny / side).max(1)))
                 .min(spec.ny - 1);
             let mut p = (cx, cy);
             // Resolve collisions by scanning forward.

@@ -1,0 +1,117 @@
+//! The parallel execution layer must be invisible in the results: a
+//! reduction run with any `--threads` value produces bit-identical
+//! matrices and poles. Every parallel stage (port fan-out, blocked
+//! multi-RHS solves, Ritz rows, operator products, Lanczos sweeps)
+//! partitions work deterministically and never reassociates floating
+//! point across a thread boundary, so `assert_eq!` on `f64` is exact.
+
+use pact::{CutoffSpec, EigenStrategy, ReduceOptions, ReducedModel};
+use pact_gen::{substrate_mesh, MeshSpec};
+use pact_lanczos::LanczosConfig;
+use pact_netlist::{Branch, RcNetwork};
+use pact_sparse::XorShiftRng;
+
+fn mesh_fixture() -> RcNetwork {
+    substrate_mesh(&MeshSpec {
+        nx: 10,
+        ny: 10,
+        nz: 4,
+        num_contacts: 16,
+        ..MeshSpec::table2()
+    })
+}
+
+/// A multi-port RC ladder with random rungs: a different operator class
+/// from the mesh (long, thin, strongly ordered poles).
+fn ladder_fixture() -> RcNetwork {
+    let ports = 4;
+    let internals = 60;
+    let n = ports + internals;
+    let mut rng = XorShiftRng::seed_from_u64(0x1adde5);
+    let mut resistors = Vec::new();
+    // Chain through all nodes, grounded at the head.
+    resistors.push(Branch {
+        a: Some(0),
+        b: None,
+        value: rng.gen_range_f64(50.0, 200.0),
+    });
+    for k in 1..n {
+        resistors.push(Branch {
+            a: Some(k),
+            b: Some(k - 1),
+            value: rng.gen_range_f64(10.0, 500.0),
+        });
+    }
+    // Random cross rungs.
+    for _ in 0..n {
+        let a = rng.gen_index(n);
+        let b = rng.gen_index(n);
+        if a != b {
+            resistors.push(Branch {
+                a: Some(a),
+                b: Some(b),
+                value: rng.gen_range_f64(100.0, 10_000.0),
+            });
+        }
+    }
+    let capacitors = (0..n)
+        .map(|k| Branch {
+            a: Some(k),
+            b: None,
+            value: rng.gen_range_f64(1e-15, 2e-12),
+        })
+        .collect();
+    let mut node_names: Vec<String> = (0..ports).map(|i| format!("p{i}")).collect();
+    node_names.extend((0..internals).map(|i| format!("i{i}")));
+    RcNetwork {
+        node_names,
+        num_ports: ports,
+        resistors,
+        capacitors,
+    }
+}
+
+fn reduce_with_threads(net: &RcNetwork, eigen: &EigenStrategy, threads: usize) -> ReducedModel {
+    let opts = ReduceOptions {
+        cutoff: CutoffSpec::new(2e9, 0.05).unwrap(),
+        eigen: eigen.clone(),
+        ordering: pact_sparse::Ordering::NestedDissection,
+        dense_threshold: 0,
+        threads: Some(threads),
+    };
+    pact::reduce_network(net, &opts).unwrap().model
+}
+
+fn assert_bit_identical(base: &ReducedModel, other: &ReducedModel, what: &str) {
+    assert_eq!(base.a1, other.a1, "{what}: A' differs");
+    assert_eq!(base.b1, other.b1, "{what}: B' differs");
+    assert_eq!(base.lambdas, other.lambdas, "{what}: poles differ");
+    assert_eq!(base.r2, other.r2, "{what}: R'' differs");
+}
+
+fn check_fixture(net: &RcNetwork, label: &str) {
+    for (ename, eigen) in [
+        ("laso", EigenStrategy::Laso(LanczosConfig::default())),
+        ("dense", EigenStrategy::Dense),
+    ] {
+        let base = reduce_with_threads(net, &eigen, 1);
+        assert!(
+            !base.lambdas.is_empty(),
+            "{label}/{ename}: fixture retains no poles — fixture too small to exercise the pipeline"
+        );
+        for threads in [2usize, 4, 8] {
+            let par = reduce_with_threads(net, &eigen, threads);
+            assert_bit_identical(&base, &par, &format!("{label}/{ename}/threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn mesh_reduction_is_bit_identical_across_thread_counts() {
+    check_fixture(&mesh_fixture(), "mesh");
+}
+
+#[test]
+fn ladder_reduction_is_bit_identical_across_thread_counts() {
+    check_fixture(&ladder_fixture(), "ladder");
+}

@@ -37,10 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use pact_sparse::{axpy, dot, eig_tridiagonal, norm2, CsrMat, DMat};
+use pact_sparse::{axpy, dot, eig_tridiagonal, norm2, CsrMat, DMat, ParCtx, XorShiftRng};
 
 /// A symmetric linear operator presented only through matrix–vector
 /// products, so large operators (like PACT's `L⁻¹ E L⁻ᵀ`) never need to
@@ -105,6 +102,13 @@ pub struct LanczosConfig {
     pub check_every: usize,
     /// RNG seed for the random start vector (deterministic by default).
     pub seed: u64,
+    /// Worker threads for the reorthogonalization dot-product sweeps
+    /// (`None` ⇒ run serially). Results are bit-identical for every
+    /// thread count: the sweeps are classical Gram–Schmidt passes whose
+    /// projections are all taken against the same vector, so each dot
+    /// product is computed by exactly one worker with the serial
+    /// instruction sequence and applied in basis order.
+    pub threads: Option<usize>,
 }
 
 impl Default for LanczosConfig {
@@ -116,6 +120,7 @@ impl Default for LanczosConfig {
             max_restarts: 8,
             check_every: 5,
             seed: 0x9E37_79B9_7F4A_7C15,
+            threads: None,
         }
     }
 }
@@ -217,7 +222,11 @@ pub fn eigs_above_with_stats(
     if n == 0 {
         return Ok((converged, stats));
     }
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = XorShiftRng::seed_from_u64(cfg.seed);
+    let ctx = match cfg.threads {
+        Some(t) => ParCtx::new(Some(t)),
+        None => ParCtx::serial(),
+    };
 
     // A single Krylov sequence sees only one copy of each eigenvalue, so a
     // run that "resolves" its spectrum is re-confirmed with a deflated
@@ -229,7 +238,7 @@ pub fn eigs_above_with_stats(
             break;
         }
         let before = converged.len();
-        let outcome = lanczos_run(op, lambda_min, cfg, &mut converged, &mut rng, &mut stats)?;
+        let outcome = lanczos_run(op, lambda_min, cfg, &mut converged, &mut rng, &mut stats, &ctx)?;
         let found_new = converged.len() > before;
         match outcome {
             RunOutcome::Stalled => break,
@@ -252,13 +261,15 @@ enum RunOutcome {
     Stalled,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lanczos_run(
     op: &impl SymOp,
     lambda_min: f64,
     cfg: &LanczosConfig,
     converged: &mut Vec<RitzPair>,
-    rng: &mut StdRng,
+    rng: &mut XorShiftRng,
     stats: &mut LanczosStats,
+    ctx: &ParCtx,
 ) -> Result<RunOutcome, LanczosError> {
     let n = op.dim();
     // Per-run cap: Ritz extraction costs O(k³), so unbounded runs on large
@@ -269,8 +280,8 @@ fn lanczos_run(
 
     // Random unit start vector, deflated against already-converged Ritz
     // vectors so restarts explore the complementary subspace.
-    let mut w: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
-    orthogonalize_against(&mut w, converged, stats);
+    let mut w: Vec<f64> = (0..n).map(|_| rng.gen_f64() - 0.5).collect();
+    orthogonalize_against(&mut w, converged, stats, ctx);
     let nrm = norm2(&w);
     if nrm < 1e-300 {
         return Ok(RunOutcome::Stalled);
@@ -301,18 +312,21 @@ fn lanczos_run(
         }
         // Deflation: stay orthogonal to Ritz vectors from earlier restarts.
         if deflate_base > 0 {
-            orthogonalize_against(&mut wt, &converged[..deflate_base], stats);
+            orthogonalize_against(&mut wt, &converged[..deflate_base], stats, ctx);
         }
         match cfg.reorth {
             Reorthogonalization::None => {}
             Reorthogonalization::Selective => {
                 // LASO: orthogonalize against Ritz vectors converged in
                 // this run (eq. 19 of the paper) when the projection is
-                // significantly nonzero.
+                // significantly nonzero. Classical Gram–Schmidt: all
+                // projections are taken against the incoming wt, so the
+                // dot-product sweep parallelizes without changing values.
                 let t_norm = t_norm_estimate(&alphas, &betas);
                 let threshold = f64::EPSILON.sqrt() * t_norm.max(1e-300);
-                for pair in &converged[deflate_base..] {
-                    let proj = dot(&pair.vector, &wt);
+                let run_pairs = &converged[deflate_base..];
+                let projs = ritz_projections(ctx, run_pairs, &wt);
+                for (pair, proj) in run_pairs.iter().zip(projs) {
                     if proj.abs() > threshold * 1e-6 {
                         axpy(-proj, &pair.vector, &mut wt);
                         stats.orthogonalizations += 1;
@@ -320,10 +334,14 @@ fn lanczos_run(
                 }
             }
             Reorthogonalization::Full => {
-                // Two-pass modified Gram–Schmidt against all basis vectors.
+                // Two-pass classical Gram–Schmidt against all basis
+                // vectors (CGS2 — orthogonality on par with the modified
+                // variant). Each pass computes every projection against
+                // the same wt, which lets the sweep fan out across
+                // threads, then subtracts in basis order.
                 for _ in 0..2 {
-                    for b in &basis {
-                        let proj = dot(b, &wt);
+                    let projs = basis_projections(ctx, &basis, &wt);
+                    for (b, proj) in basis.iter().zip(projs) {
                         axpy(-proj, b, &mut wt);
                         stats.orthogonalizations += 1;
                     }
@@ -367,7 +385,7 @@ fn lanczos_run(
                 for (row, b) in basis.iter().enumerate() {
                     axpy(z[(row, idx)], b, &mut u);
                 }
-                orthogonalize_against(&mut u, converged, stats);
+                orthogonalize_against(&mut u, converged, stats, ctx);
                 let un = norm2(&u);
                 if un > 1e-6 {
                     pact_sparse::scale(1.0 / un, &mut u);
@@ -451,9 +469,44 @@ fn t_norm_estimate(alphas: &[f64], betas: &[f64]) -> f64 {
     m
 }
 
-fn orthogonalize_against(v: &mut [f64], pairs: &[RitzPair], stats: &mut LanczosStats) {
-    for p in pairs {
-        let proj = dot(&p.vector, v);
+/// Work below which a projection sweep is not worth fanning out (the
+/// gate only affects scheduling — each dot product's value is the same
+/// either way, so determinism is unaffected).
+const PAR_SWEEP_MIN_WORK: usize = 1 << 15;
+
+/// Projections of `v` onto every Ritz vector in `pairs`, in order.
+fn ritz_projections(ctx: &ParCtx, pairs: &[RitzPair], v: &[f64]) -> Vec<f64> {
+    if ctx.threads() == 1 || pairs.len().saturating_mul(v.len()) < PAR_SWEEP_MIN_WORK {
+        pairs.iter().map(|p| dot(&p.vector, v)).collect()
+    } else {
+        ctx.map_items(pairs.len(), || (), |_, k| dot(&pairs[k].vector, v))
+    }
+}
+
+/// Projections of `v` onto every basis vector, in order.
+fn basis_projections(ctx: &ParCtx, basis: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    if ctx.threads() == 1 || basis.len().saturating_mul(v.len()) < PAR_SWEEP_MIN_WORK {
+        basis.iter().map(|b| dot(b, v)).collect()
+    } else {
+        ctx.map_items(basis.len(), || (), |_, k| dot(&basis[k], v))
+    }
+}
+
+/// Deflate `v` against converged Ritz vectors: one classical
+/// Gram–Schmidt pass (the Ritz set is orthonormal, so a single CGS pass
+/// matches the modified variant to rounding). The projection sweep runs
+/// through `ctx`; subtractions are applied in pair order.
+fn orthogonalize_against(
+    v: &mut [f64],
+    pairs: &[RitzPair],
+    stats: &mut LanczosStats,
+    ctx: &ParCtx,
+) {
+    if pairs.is_empty() {
+        return;
+    }
+    let projs = ritz_projections(ctx, pairs, v);
+    for (p, proj) in pairs.iter().zip(projs) {
         if proj != 0.0 {
             axpy(-proj, &p.vector, v);
             stats.orthogonalizations += 1;

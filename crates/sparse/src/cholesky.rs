@@ -319,6 +319,63 @@ impl SparseCholesky {
         out
     }
 
+    /// Allocation-free [`SparseCholesky::solve`]: writes `A⁻¹ b` into
+    /// `out`, using `work` (resized in place) as the only workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `out.len() != n`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64], work: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        work.clear();
+        work.extend(self.perm.iter().map(|&p| b[p]));
+        self.lsolve_unit(work);
+        for (xi, di) in work.iter_mut().zip(&self.d) {
+            *xi /= di;
+        }
+        self.ltsolve_unit(work);
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = work[i];
+        }
+    }
+
+    /// Allocation-free [`SparseCholesky::fsolve`]: writes `F⁻¹ b` into
+    /// `out` (permuted coordinates, like `fsolve`). Needs no workspace —
+    /// the forward solve runs in place on `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `out.len() != n`.
+    pub fn fsolve_into(&self, b: &[f64], out: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        for (xi, &p) in out.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
+        self.lsolve_unit(out);
+        for (xi, sd) in out.iter_mut().zip(&self.sqrt_d) {
+            *xi /= sd;
+        }
+    }
+
+    /// Allocation-free [`SparseCholesky::ftsolve`]: writes `F⁻ᵀ b` into
+    /// `out`, using `work` (resized in place) as the only workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n` or `out.len() != n`.
+    pub fn ftsolve_into(&self, b: &[f64], out: &mut [f64], work: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        work.clear();
+        work.extend(b.iter().zip(&self.sqrt_d).map(|(bi, sd)| bi / sd));
+        self.ltsolve_unit(work);
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = work[i];
+        }
+    }
+
     /// In-place forward solve with unit lower `L` (permuted coordinates).
     fn lsolve_unit(&self, x: &mut [f64]) {
         for j in 0..self.n {
@@ -348,7 +405,200 @@ impl SparseCholesky {
     pub fn solve_mat_cols(&self, cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
         cols.iter().map(|c| self.solve(c)).collect()
     }
+
+    // ---- blocked multi-RHS solves ----
+    //
+    // The factor L is traversed once per group of up to `LANES` right-hand
+    // sides held in a node-major scratch (`work[i * width + r]` = RHS `r`
+    // at node `i`), so each loaded L entry is applied to all lanes. Within
+    // a lane the floating-point sequence is the one the scalar solve uses
+    // (the scalar path's skip of exactly-zero pivots aside, which can only
+    // flip the sign of a zero), so blocked and scalar results agree.
+
+    /// Blocked [`SparseCholesky::solve`] for `k` right-hand sides stored
+    /// column-major in `b` (`b[c * n + i]` = RHS `c` at row `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * k`.
+    pub fn solve_block(&self, b: &[f64], k: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n * k];
+        let mut work = Vec::new();
+        self.solve_block_into(b, k, &mut out, &mut work);
+        out
+    }
+
+    /// Allocation-free [`SparseCholesky::solve_block`]: writes into `out`
+    /// (column-major, `n * k`), using `work` (resized in place) as the
+    /// only workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * k` or `out.len() != n * k`.
+    pub fn solve_block_into(&self, b: &[f64], k: usize, out: &mut [f64], work: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n * k);
+        assert_eq!(out.len(), self.n * k);
+        let n = self.n;
+        let mut c0 = 0;
+        while c0 < k {
+            let width = (k - c0).min(LANES);
+            work.clear();
+            work.resize(n * width, 0.0);
+            for i in 0..n {
+                let src = self.perm[i];
+                for r in 0..width {
+                    work[i * width + r] = b[(c0 + r) * n + src];
+                }
+            }
+            self.lsolve_lanes(work, width);
+            for i in 0..n {
+                let di = self.d[i];
+                for r in 0..width {
+                    work[i * width + r] /= di;
+                }
+            }
+            self.ltsolve_lanes(work, width);
+            for i in 0..n {
+                let dst = self.perm[i];
+                for r in 0..width {
+                    out[(c0 + r) * n + dst] = work[i * width + r];
+                }
+            }
+            c0 += width;
+        }
+    }
+
+    /// Blocked [`SparseCholesky::fsolve`] for `k` right-hand sides stored
+    /// column-major in `b`; output columns are in permuted coordinates,
+    /// exactly like `fsolve`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * k`.
+    pub fn fsolve_block(&self, b: &[f64], k: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n * k];
+        let mut work = Vec::new();
+        self.fsolve_block_into(b, k, &mut out, &mut work);
+        out
+    }
+
+    /// Allocation-free [`SparseCholesky::fsolve_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * k` or `out.len() != n * k`.
+    pub fn fsolve_block_into(&self, b: &[f64], k: usize, out: &mut [f64], work: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n * k);
+        assert_eq!(out.len(), self.n * k);
+        let n = self.n;
+        let mut c0 = 0;
+        while c0 < k {
+            let width = (k - c0).min(LANES);
+            work.clear();
+            work.resize(n * width, 0.0);
+            for i in 0..n {
+                let src = self.perm[i];
+                for r in 0..width {
+                    work[i * width + r] = b[(c0 + r) * n + src];
+                }
+            }
+            self.lsolve_lanes(work, width);
+            for i in 0..n {
+                let sd = self.sqrt_d[i];
+                for r in 0..width {
+                    out[(c0 + r) * n + i] = work[i * width + r] / sd;
+                }
+            }
+            c0 += width;
+        }
+    }
+
+    /// Blocked [`SparseCholesky::ftsolve`] for `k` right-hand sides stored
+    /// column-major in `b` (permuted coordinates, like `ftsolve`'s input);
+    /// output columns are unpermuted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * k`.
+    pub fn ftsolve_block(&self, b: &[f64], k: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n * k];
+        let mut work = Vec::new();
+        self.ftsolve_block_into(b, k, &mut out, &mut work);
+        out
+    }
+
+    /// Allocation-free [`SparseCholesky::ftsolve_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n * k` or `out.len() != n * k`.
+    pub fn ftsolve_block_into(&self, b: &[f64], k: usize, out: &mut [f64], work: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n * k);
+        assert_eq!(out.len(), self.n * k);
+        let n = self.n;
+        let mut c0 = 0;
+        while c0 < k {
+            let width = (k - c0).min(LANES);
+            work.clear();
+            work.resize(n * width, 0.0);
+            for i in 0..n {
+                let sd = self.sqrt_d[i];
+                for r in 0..width {
+                    work[i * width + r] = b[(c0 + r) * n + i] / sd;
+                }
+            }
+            self.ltsolve_lanes(work, width);
+            for i in 0..n {
+                let dst = self.perm[i];
+                for r in 0..width {
+                    out[(c0 + r) * n + dst] = work[i * width + r];
+                }
+            }
+            c0 += width;
+        }
+    }
+
+    /// Forward solve with unit lower `L` over `width ≤ LANES` lanes held
+    /// node-major in `w`.
+    fn lsolve_lanes(&self, w: &mut [f64], width: usize) {
+        debug_assert!(width <= LANES);
+        for j in 0..self.n {
+            let mut xj = [0.0f64; LANES];
+            let base = j * width;
+            xj[..width].copy_from_slice(&w[base..base + width]);
+            for p in self.lp[j]..self.lp[j + 1] {
+                let l = self.lx[p];
+                let rbase = self.li[p] * width;
+                for r in 0..width {
+                    w[rbase + r] -= l * xj[r];
+                }
+            }
+        }
+    }
+
+    /// Backward solve with unit `Lᵀ` over `width ≤ LANES` lanes held
+    /// node-major in `w`.
+    fn ltsolve_lanes(&self, w: &mut [f64], width: usize) {
+        debug_assert!(width <= LANES);
+        for j in (0..self.n).rev() {
+            let base = j * width;
+            let mut acc = [0.0f64; LANES];
+            acc[..width].copy_from_slice(&w[base..base + width]);
+            for p in self.lp[j]..self.lp[j + 1] {
+                let l = self.lx[p];
+                let rbase = self.li[p] * width;
+                for r in 0..width {
+                    acc[r] -= l * w[rbase + r];
+                }
+            }
+            w[base..base + width].copy_from_slice(&acc[..width]);
+        }
+    }
 }
+
+/// Lane count of the blocked solves: right-hand sides are processed in
+/// groups of up to this many so the factor is traversed once per group.
+pub const LANES: usize = 8;
 
 #[cfg(test)]
 mod tests {
@@ -471,6 +721,141 @@ mod tests {
         // node 1 has no connection at all -> pivot 0
         let a = t.to_csr();
         assert!(SparseCholesky::factor(&a, Ordering::Natural).is_err());
+    }
+
+    /// Random SPD matrix: Laplacian from random edges plus a positive
+    /// diagonal, the same construction the randomized sweeps use.
+    fn spd_random(n: usize, rng: &mut crate::XorShiftRng) -> CsrMat {
+        let mut t = TripletMat::new(n, n);
+        for _ in 0..3 * n {
+            let i = rng.gen_index(n);
+            let j = rng.gen_index(n);
+            if i != j {
+                t.stamp_conductance(Some(i), Some(j), rng.gen_range_f64(0.01, 10.0));
+            }
+        }
+        for i in 0..n {
+            t.push(i, i, rng.gen_range_f64(0.1, 5.0));
+        }
+        t.to_csr()
+    }
+
+    const ALL_ORDERINGS: [Ordering; 4] = [
+        Ordering::Natural,
+        Ordering::Rcm,
+        Ordering::MinDegree,
+        Ordering::NestedDissection,
+    ];
+
+    #[test]
+    fn solve_block_matches_column_solves_all_orderings() {
+        // The blocked kernel must agree with column-by-column scalar
+        // solves on random SPD systems, for every ordering and for widths
+        // below, at, and above the lane count.
+        let mut rng = crate::XorShiftRng::seed_from_u64(0xb10c);
+        for ord in ALL_ORDERINGS {
+            for &k in &[1usize, 3, LANES, LANES + 5] {
+                let n = 20 + rng.gen_index(15);
+                let a = spd_random(n, &mut rng);
+                let f = SparseCholesky::factor(&a, ord).unwrap();
+                let b: Vec<f64> = (0..n * k).map(|_| rng.gen_range_f64(-2.0, 2.0)).collect();
+                let blocked = f.solve_block(&b, k);
+                for c in 0..k {
+                    let col = f.solve(&b[c * n..(c + 1) * n]);
+                    for i in 0..n {
+                        assert_eq!(
+                            blocked[c * n + i], col[i],
+                            "solve_block mismatch {ord:?} k={k} col={c} row={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fsolve_block_matches_column_solves_all_orderings() {
+        let mut rng = crate::XorShiftRng::seed_from_u64(0xf50e);
+        for ord in ALL_ORDERINGS {
+            let n = 25;
+            let k = LANES + 2;
+            let a = spd_random(n, &mut rng);
+            let f = SparseCholesky::factor(&a, ord).unwrap();
+            let b: Vec<f64> = (0..n * k).map(|_| rng.gen_range_f64(-2.0, 2.0)).collect();
+            let blocked = f.fsolve_block(&b, k);
+            for c in 0..k {
+                let col = f.fsolve(&b[c * n..(c + 1) * n]);
+                for i in 0..n {
+                    assert_eq!(
+                        blocked[c * n + i], col[i],
+                        "fsolve_block mismatch {ord:?} col={c} row={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ftsolve_block_matches_column_solves_all_orderings() {
+        let mut rng = crate::XorShiftRng::seed_from_u64(0xf751);
+        for ord in ALL_ORDERINGS {
+            let n = 25;
+            let k = LANES + 2;
+            let a = spd_random(n, &mut rng);
+            let f = SparseCholesky::factor(&a, ord).unwrap();
+            let b: Vec<f64> = (0..n * k).map(|_| rng.gen_range_f64(-2.0, 2.0)).collect();
+            let blocked = f.ftsolve_block(&b, k);
+            for c in 0..k {
+                let col = f.ftsolve(&b[c * n..(c + 1) * n]);
+                for i in 0..n {
+                    assert_eq!(
+                        blocked[c * n + i], col[i],
+                        "ftsolve_block mismatch {ord:?} col={c} row={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_solves() {
+        let mut rng = crate::XorShiftRng::seed_from_u64(0x1470);
+        let n = 30;
+        let a = spd_random(n, &mut rng);
+        let f = SparseCholesky::factor(&a, Ordering::Rcm).unwrap();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+        let mut out = vec![0.0; n];
+        let mut work = Vec::new();
+
+        f.solve_into(&b, &mut out, &mut work);
+        assert_eq!(out, f.solve(&b));
+
+        f.fsolve_into(&b, &mut out);
+        assert_eq!(out, f.fsolve(&b));
+
+        f.ftsolve_into(&b, &mut out, &mut work);
+        assert_eq!(out, f.ftsolve(&b));
+    }
+
+    #[test]
+    fn block_into_reuses_workspace_across_calls() {
+        // Repeated calls with the same buffers must keep producing correct
+        // results (the buffers are resized in place, never reallocated by
+        // the caller).
+        let mut rng = crate::XorShiftRng::seed_from_u64(0x9999);
+        let n = 18;
+        let a = spd_random(n, &mut rng);
+        let f = SparseCholesky::factor(&a, Ordering::MinDegree).unwrap();
+        let mut out = vec![0.0; n * 4];
+        let mut work = Vec::new();
+        for _ in 0..3 {
+            let b: Vec<f64> = (0..n * 4).map(|_| rng.gen_range_f64(-3.0, 3.0)).collect();
+            f.solve_block_into(&b, 4, &mut out, &mut work);
+            for c in 0..4 {
+                let col = f.solve(&b[c * n..(c + 1) * n]);
+                assert_eq!(&out[c * n..(c + 1) * n], &col[..]);
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,19 @@ use std::fmt;
 
 use crate::dense::DMat;
 
+/// Below this nonzero count a parallel `matvec` is not worth the spawn
+/// overhead (scheduling only — per-row values are partition-independent).
+const PAR_MATVEC_MIN_NNZ: usize = 1 << 14;
+
+/// Fixed stripe count of the deterministic parallel `matvec_t`: partial
+/// vectors are combined in stripe order, so this must depend only on the
+/// problem, never on the thread count.
+const MATVEC_T_STRIPES: usize = 8;
+
+/// Row count below which `matvec_t` always runs the plain serial scatter
+/// (again a problem-size gate, identical at every thread count).
+const MATVEC_T_STRIPE_MIN_ROWS: usize = 2048;
+
 /// A compressed-sparse-row matrix of `f64`.
 ///
 /// Invariants: `indptr.len() == nrows + 1`, column indices within each row
@@ -24,7 +37,6 @@ use crate::dense::DMat;
 /// assert_eq!(m.matvec(&[1.0, 1.0]), vec![2.0, -1.0]);
 /// ```
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrMat {
     nrows: usize,
     ncols: usize,
@@ -273,6 +285,90 @@ impl CsrMat {
             }
         }
         y
+    }
+
+    /// Transposed product into a caller-provided buffer.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.ncols, "output dimension mismatch");
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for p in self.indptr[i]..self.indptr[i + 1] {
+                y[self.indices[p]] += self.data[p] * xi;
+            }
+        }
+    }
+
+    /// Row-partitioned parallel [`CsrMat::matvec_into`].
+    ///
+    /// Each worker computes a contiguous range of output rows with the
+    /// serial per-row loop, so the result is bit-identical to the serial
+    /// product for every thread count (each `y[i]` never depends on the
+    /// partition).
+    pub fn matvec_into_ctx(&self, x: &[f64], y: &mut [f64], ctx: &crate::ParCtx) {
+        assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.nrows, "output dimension mismatch");
+        if ctx.threads() == 1 || self.nnz() < PAR_MATVEC_MIN_NNZ {
+            self.matvec_into(x, y);
+            return;
+        }
+        ctx.for_each_chunk_mut(y, 1, |rows, chunk| {
+            for (k, i) in rows.enumerate() {
+                let mut acc = 0.0;
+                for p in self.indptr[i]..self.indptr[i + 1] {
+                    acc += self.data[p] * x[self.indices[p]];
+                }
+                chunk[k] = acc;
+            }
+        });
+    }
+
+    /// Parallel transposed product `y = Aᵀ x` with deterministic
+    /// partial-sum combination.
+    ///
+    /// The scatter `y[col] += a[i, col]·x[i]` carries a cross-row
+    /// reduction, so the rows are split into a **fixed** number of
+    /// stripes derived from the row count alone; each stripe's partial
+    /// vector is accumulated with the serial scatter loop and the
+    /// partials are summed in stripe order. Both the striping decision
+    /// and the stripe boundaries are independent of the thread count, so
+    /// results are bit-identical whether the stripes run on one thread
+    /// or many.
+    pub fn matvec_t_into_ctx(&self, x: &[f64], y: &mut [f64], ctx: &crate::ParCtx) {
+        assert_eq!(x.len(), self.nrows, "matvec_t dimension mismatch");
+        assert_eq!(y.len(), self.ncols, "output dimension mismatch");
+        if self.nrows < MATVEC_T_STRIPE_MIN_ROWS {
+            self.matvec_t_into(x, y);
+            return;
+        }
+        let stripes = crate::split_ranges(self.nrows, MATVEC_T_STRIPES);
+        let partials = ctx.map_items(
+            stripes.len(),
+            || (),
+            |_, s| {
+                let mut part = vec![0.0; self.ncols];
+                for i in stripes[s].clone() {
+                    let xi = x[i];
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    for p in self.indptr[i]..self.indptr[i + 1] {
+                        part[self.indices[p]] += self.data[p] * xi;
+                    }
+                }
+                part
+            },
+        );
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for part in partials {
+            for (yi, pi) in y.iter_mut().zip(part) {
+                *yi += pi;
+            }
+        }
     }
 
     /// The transpose as a new CSR matrix.
@@ -529,6 +625,69 @@ mod tests {
         let m = sample();
         let x = [0.5, -1.0, 2.0];
         assert_eq!(m.matvec_t(&x), m.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn matvec_t_into_matches_matvec_t() {
+        let m = sample();
+        let x = [0.5, -1.0, 2.0];
+        let mut y = vec![9.0; 3]; // stale contents must be overwritten
+        m.matvec_t_into(&x, &mut y);
+        assert_eq!(y, m.matvec_t(&x));
+    }
+
+    /// A large sparse band matrix plus some scattered entries, big enough
+    /// to pass both parallel-path gates.
+    fn large_banded(n: usize) -> CsrMat {
+        let mut t = crate::TripletMat::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + (i % 7) as f64);
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0 + 0.001 * (i % 13) as f64);
+                t.push(i + 1, i, -0.5);
+            }
+            t.push(i, (i * 37) % n, 0.25);
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn parallel_matvec_bit_identical_across_thread_counts() {
+        let n = 5000;
+        let m = large_banded(n);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 0.3).collect();
+        let serial = m.matvec(&x);
+        for threads in [1usize, 2, 4, 8] {
+            let ctx = crate::ParCtx::new(Some(threads));
+            let mut y = vec![0.0; n];
+            m.matvec_into_ctx(&x, &mut y, &ctx);
+            assert_eq!(y, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matvec_t_bit_identical_across_thread_counts() {
+        let n = 5000;
+        let m = large_banded(n);
+        let mut x: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) * 0.2).collect();
+        // Exercise the zero-skip too.
+        for i in (0..n).step_by(17) {
+            x[i] = 0.0;
+        }
+        let ctx1 = crate::ParCtx::new(Some(1));
+        let mut base = vec![0.0; n];
+        m.matvec_t_into_ctx(&x, &mut base, &ctx1);
+        for threads in [2usize, 4, 8] {
+            let ctx = crate::ParCtx::new(Some(threads));
+            let mut y = vec![0.0; n];
+            m.matvec_t_into_ctx(&x, &mut y, &ctx);
+            assert_eq!(y, base, "threads={threads}");
+        }
+        // And the striped result stays close to the plain serial scatter.
+        let plain = m.matvec_t(&x);
+        for (a, b) in base.iter().zip(&plain) {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        }
     }
 
     #[test]

@@ -20,7 +20,6 @@ use crate::complex::Scalar;
 /// assert_eq!(a, b);
 /// ```
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DMat<S = f64> {
     nrows: usize,
     ncols: usize,
@@ -110,6 +109,14 @@ impl<S: Scalar> DMat<S> {
     #[inline]
     pub fn as_slice(&self) -> &[S] {
         &self.data
+    }
+
+    /// Mutable view of the raw column-major storage (element `(i, j)` at
+    /// `j * nrows + i`), for kernels that partition columns across
+    /// workers.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
     }
 
     /// A borrowed column as a slice (columns are contiguous).

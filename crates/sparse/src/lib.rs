@@ -53,10 +53,12 @@ mod dense;
 mod eigen;
 mod lu;
 mod ordering;
+mod par;
 mod pcg;
+mod rng;
 mod splu;
 
-pub use cholesky::{FactorError, SparseCholesky};
+pub use cholesky::{FactorError, SparseCholesky, LANES};
 pub use complex::{Complex64, Scalar};
 pub use coo::TripletMat;
 pub use csr::CsrMat;
@@ -64,5 +66,7 @@ pub use dense::{axpy, dot, norm2, norm_inf, scale, DMat, DMatF};
 pub use eigen::{eig_tridiagonal, sym_eig, EigenError, SymEig};
 pub use lu::{invert, DenseLu, SingularMatrixError};
 pub use ordering::{invert_permutation, is_permutation, profile, Ordering};
+pub use par::{split_ranges, ParCtx};
 pub use pcg::{pcg, IncompleteCholesky, PcgResult};
+pub use rng::XorShiftRng;
 pub use splu::{CscMat, SparseLu, SparseLuError};

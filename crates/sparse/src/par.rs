@@ -1,0 +1,264 @@
+//! Dependency-free parallel execution layer.
+//!
+//! Everything in the PACT hot path that fans out — per-port congruence
+//! columns, blocked triangular solves, matrix–vector products, Lanczos
+//! reorthogonalization sweeps — runs through [`ParCtx`], a thin wrapper
+//! over [`std::thread::scope`]. No work-stealing runtime, no external
+//! crates: the workloads here are large, regular and contiguous, so
+//! static partitioning into per-worker ranges is both simpler and at
+//! least as fast as a task scheduler.
+//!
+//! ## Determinism contract
+//!
+//! Reduced models must be **bit-identical** regardless of thread count.
+//! Every primitive in this module preserves that property by
+//! construction:
+//!
+//! - each item `i` is computed by exactly one worker, with the same
+//!   scalar instruction sequence a serial loop would use;
+//! - results are returned or written **in item order**, never in
+//!   completion order;
+//! - no primitive performs a cross-item floating-point reduction whose
+//!   grouping depends on the partition. Callers that need partial-sum
+//!   reductions (e.g. `Aᵀx`) must fix the partial boundaries as a
+//!   function of problem size only — see `CsrMat::matvec_t_ctx`.
+
+use std::ops::Range;
+
+/// Split `0..n` into at most `parts` contiguous, near-equal, nonempty
+/// ranges, in order. The first `n % parts` ranges are one longer.
+///
+/// The split depends only on `n` and `parts` — callers that need
+/// partition boundaries independent of thread count simply pass a
+/// `parts` derived from the problem size.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Execution context: how many OS threads fan-out primitives may use.
+///
+/// `ParCtx` is cheap to copy and carries no state besides the thread
+/// count; a count of 1 makes every primitive run inline on the calling
+/// thread with zero spawn overhead.
+#[derive(Clone, Copy, Debug)]
+pub struct ParCtx {
+    threads: usize,
+}
+
+impl ParCtx {
+    /// Context with an explicit thread count (`None` ⇒ all available
+    /// cores as reported by [`std::thread::available_parallelism`]).
+    pub fn new(threads: Option<usize>) -> Self {
+        let threads = threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        ParCtx { threads }
+    }
+
+    /// Single-threaded context: every primitive runs inline.
+    pub fn serial() -> Self {
+        ParCtx { threads: 1 }
+    }
+
+    /// Number of worker threads this context will use at most.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Workers actually worth spawning for `n` items.
+    fn parts_for(&self, n: usize) -> usize {
+        self.threads.min(n).max(1)
+    }
+
+    /// Map each item `0..n` through `f`, with one per-worker scratch
+    /// state built by `init`, returning results **in item order**.
+    ///
+    /// `init` runs once per worker on that worker's thread, so scratch
+    /// buffers (solve workspaces, per-thread operators) are never shared
+    /// and need not be `Sync`.
+    pub fn map_items<S, T, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let parts = self.parts_for(n);
+        if parts <= 1 {
+            let mut scratch = init();
+            return (0..n).map(|i| f(&mut scratch, i)).collect();
+        }
+        let init = &init;
+        let f = &f;
+        let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = split_ranges(n, parts)
+                .into_iter()
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut scratch = init();
+                        r.map(|i| f(&mut scratch, i)).collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Run `f` once per contiguous range of `0..n`, returning the
+    /// per-range results in range order.
+    ///
+    /// The partition depends on the thread count, so `f` must produce
+    /// values that are independent of where the range boundaries fall
+    /// (e.g. disjoint per-item outputs — *not* partial sums).
+    pub fn map_ranges<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let parts = self.parts_for(n);
+        if parts <= 1 {
+            return vec![f(0..n)];
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = split_ranges(n, parts)
+                .into_iter()
+                .map(|r| scope.spawn(move || f(r)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Partition `data` (viewed as `data.len() / stride` items of
+    /// `stride` elements each) into contiguous per-worker chunks and run
+    /// `f(item_range, chunk)` on each — the disjoint-output workhorse
+    /// behind parallel `matvec` and dense column fan-out.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], stride: usize, f: F)
+    where
+        T: Send,
+        F: Fn(Range<usize>, &mut [T]) + Sync,
+    {
+        assert!(stride > 0, "stride must be nonzero");
+        assert_eq!(data.len() % stride, 0, "data length must be a multiple of stride");
+        let n = data.len() / stride;
+        let parts = self.parts_for(n);
+        if parts <= 1 {
+            f(0..n, data);
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            for r in split_ranges(n, parts) {
+                let (chunk, tail) = rest.split_at_mut(r.len() * stride);
+                rest = tail;
+                scope.spawn(move || f(r, chunk));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap before {r:?}");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // Near-even: lengths differ by at most one.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(|r| r.len()).max(),
+                    ranges.iter().map(|r| r.len()).min(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_items_preserves_order() {
+        for threads in [1, 2, 3, 8] {
+            let ctx = ParCtx::new(Some(threads));
+            let got = ctx.map_items(37, || 0u64, |count, i| {
+                *count += 1;
+                i * i
+            });
+            let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_ranges_covers_all_items() {
+        for threads in [1, 4] {
+            let ctx = ParCtx::new(Some(threads));
+            let sums = ctx.map_ranges(100, |r| r.sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_disjoint_strided() {
+        for threads in [1, 2, 5] {
+            let ctx = ParCtx::new(Some(threads));
+            let mut data = vec![0usize; 12 * 3];
+            ctx.for_each_chunk_mut(&mut data, 3, |items, chunk| {
+                for (k, i) in items.enumerate() {
+                    for c in 0..3 {
+                        chunk[k * 3 + c] = 10 * i + c;
+                    }
+                }
+            });
+            for i in 0..12 {
+                for c in 0..3 {
+                    assert_eq!(data[i * 3 + c], 10 * i + c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_context_runs_inline() {
+        let ctx = ParCtx::serial();
+        assert_eq!(ctx.threads(), 1);
+        let got = ctx.map_items(5, || (), |_, i| i + 1);
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 400,
+        threads: None,
     };
     let red = pact::reduce_network(&ex.network, &opts)?;
     println!("kept {} pole(s) below ~3 GHz", red.model.num_poles());

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRACTION]
-//!       [--sparsify TOL] [--port NODE]... [--dense] [--stats]
+//!       [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats]
 //! ```
 //!
 //! The flow mirrors the paper's Figure 1: parse → extract RC elements and
@@ -26,6 +26,7 @@ struct Args {
     tolerance: f64,
     sparsify: f64,
     extra_ports: Vec<String>,
+    threads: Option<usize>,
     dense: bool,
     stats: bool,
     components: bool,
@@ -34,9 +35,10 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRAC] \
-     [--sparsify TOL] [--port NODE]... [--dense] [--stats] [--components] [--verify]\n\
-     defaults: --fmax 1g --tol 0.05 --sparsify 1e-9\n\
-     HZ accepts SPICE suffixes (500meg, 3g, ...)"
+     [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats] [--components] [--verify]\n\
+     defaults: --fmax 1g --tol 0.05 --sparsify 1e-9 --threads <all cores>\n\
+     HZ accepts SPICE suffixes (500meg, 3g, ...); the reduced model is\n\
+     bit-identical for every --threads value"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -47,6 +49,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         tolerance: 0.05,
         sparsify: 1e-9,
         extra_ports: Vec::new(),
+        threads: None,
         dense: false,
         stats: false,
         components: false,
@@ -75,6 +78,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--sparsify needs a number".to_owned())?;
             }
             "--port" => args.extra_ports.push(next(a)?),
+            "--threads" => {
+                let n: usize = next(a)?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--threads needs a positive integer".to_owned());
+                }
+                args.threads = Some(n);
+            }
             "--dense" => args.dense = true,
             "--stats" => args.stats = true,
             "--components" => args.components = true,
@@ -119,6 +131,7 @@ fn run(args: &Args) -> Result<(), String> {
         },
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
+        threads: args.threads,
     };
     // Per-component mode: reduce each electrically independent net on its
     // own (smaller eigenproblems, floating islands dropped).
@@ -277,5 +290,15 @@ mod tests {
     fn spice_units_accepted_for_fmax() {
         let a = parse_args(&argv(&["x.sp", "--fmax", "500meg"])).unwrap();
         assert_eq!(a.f_max, 5e8);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        let a = parse_args(&argv(&["x.sp", "--threads", "4"])).unwrap();
+        assert_eq!(a.threads, Some(4));
+        let d = parse_args(&argv(&["x.sp"])).unwrap();
+        assert_eq!(d.threads, None);
+        assert!(parse_args(&argv(&["x.sp", "--threads", "0"])).is_err());
+        assert!(parse_args(&argv(&["x.sp", "--threads", "many"])).is_err());
     }
 }

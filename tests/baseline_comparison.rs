@@ -31,6 +31,7 @@ fn pact_and_krylov_agree_at_low_frequency() {
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
+        threads: None,
     };
     let pact_red = pact::reduce_network(&net, &opts).unwrap();
     let kry = block_krylov_reduce(&parts, &ports, 2, Ordering::Rcm).unwrap();
@@ -72,6 +73,7 @@ fn pade_basis_memory_couples_to_ports_pact_does_not() {
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
+        threads: None,
     };
     let pact_a = pact::reduce_network(&net_a, &opts).unwrap();
     let pact_b = pact::reduce_network(&net_b, &opts).unwrap();

@@ -111,6 +111,7 @@ fn reduced_ac_matches_below_fmax() {
         eigen: EigenStrategy::Laso(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
+        threads: None,
     };
     let red = pact::reduce_network(&ex.network, &opts).expect("reduce");
     let reduced = splice_reduced(&original, red.model.to_netlist_elements("rf", 1e-9));

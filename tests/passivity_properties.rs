@@ -1,4 +1,4 @@
-//! Property-based tests of the paper's central invariants, over randomly
+//! Randomized tests of the paper's central invariants, over randomly
 //! generated RC networks:
 //!
 //! 1. **Passivity** — congruence transforms preserve non-negative
@@ -7,100 +7,118 @@
 //!    matched exactly (eq. 7–9);
 //! 3. **Real, stable poles** — all retained poles are real and negative
 //!    (Section 2).
-
-use proptest::prelude::*;
+//!
+//! Each property sweeps a deterministic set of [`XorShiftRng`] seeds, so
+//! failures reproduce exactly. The default sweep is small enough for the
+//! tier-1 suite; the `slow-tests` feature widens it.
 
 use pact::{CutoffSpec, FullAdmittance, Partitions, ReduceOptions};
 use pact_netlist::{Branch, RcNetwork};
+use pact_sparse::XorShiftRng;
 
-/// Strategy: a random connected RC network with `ports` ports and
-/// `internals` internal nodes. A random spanning tree guarantees DC paths
+#[cfg(feature = "slow-tests")]
+const CASES: u64 = 48;
+#[cfg(not(feature = "slow-tests"))]
+const CASES: u64 = 8;
+
+fn seeds() -> impl Iterator<Item = u64> {
+    (0..CASES).map(|k| 0xac7 * 1000 + k)
+}
+
+/// A random connected RC network with `ports` ports and `internals`
+/// internal nodes. A random spanning tree guarantees DC paths
 /// (positive-definite `D`); extra random resistors and capacitors add
 /// mesh structure.
-fn rc_network(ports: usize, internals: usize) -> impl Strategy<Value = RcNetwork> {
+fn rc_network(ports: usize, internals: usize, rng: &mut XorShiftRng) -> RcNetwork {
     let n = ports + internals;
-    let tree_r = proptest::collection::vec(10.0f64..10_000.0, n);
-    let extra = proptest::collection::vec(
-        ((0..n), (0..n), 10.0f64..100_000.0, proptest::bool::ANY),
-        0..2 * n,
-    );
-    let caps = proptest::collection::vec((0..n, 1e-15f64..5e-12), 1..n + 1);
-    (tree_r, extra, caps).prop_map(move |(tree, extra, caps)| {
-        let mut node_names: Vec<String> = (0..ports).map(|i| format!("p{i}")).collect();
-        node_names.extend((0..internals).map(|i| format!("i{i}")));
-        let mut resistors = Vec::new();
-        // Spanning tree over nodes 0..n with node 0 grounded via tree[0].
+    let mut node_names: Vec<String> = (0..ports).map(|i| format!("p{i}")).collect();
+    node_names.extend((0..internals).map(|i| format!("i{i}")));
+    let mut resistors = Vec::new();
+    // Spanning tree over nodes 0..n with node 0 grounded.
+    resistors.push(Branch {
+        a: Some(0),
+        b: None,
+        value: rng.gen_range_f64(10.0, 10_000.0),
+    });
+    for k in 1..n {
+        // parent = deterministic pseudo-random earlier node
+        let parent = (k * 7 + 3) % k;
         resistors.push(Branch {
-            a: Some(0),
-            b: None,
-            value: tree[0],
+            a: Some(k),
+            b: Some(parent),
+            value: rng.gen_range_f64(10.0, 10_000.0),
         });
-        for (k, &r) in tree.iter().enumerate().skip(1) {
-            // parent = deterministic pseudo-random earlier node
-            let parent = (k * 7 + 3) % k;
+    }
+    for _ in 0..rng.gen_index(2 * n) {
+        let a = rng.gen_index(n);
+        let b = rng.gen_index(n);
+        let r = rng.gen_range_f64(10.0, 100_000.0);
+        if rng.gen_f64() < 0.5 {
             resistors.push(Branch {
-                a: Some(k),
-                b: Some(parent),
+                a: Some(a),
+                b: None,
+                value: r,
+            });
+        } else if a != b {
+            resistors.push(Branch {
+                a: Some(a),
+                b: Some(b),
                 value: r,
             });
         }
-        for (a, b, r, grounded) in extra {
-            if grounded {
-                resistors.push(Branch {
-                    a: Some(a),
-                    b: None,
-                    value: r,
-                });
-            } else if a != b {
-                resistors.push(Branch {
-                    a: Some(a),
-                    b: Some(b),
-                    value: r,
-                });
-            }
-        }
-        let capacitors = caps
-            .into_iter()
-            .map(|(node, c)| Branch {
-                a: Some(node),
-                b: None,
-                value: c,
-            })
-            .collect();
-        RcNetwork {
-            node_names,
-            num_ports: ports,
-            resistors,
-            capacitors,
-        }
-    })
+    }
+    let capacitors = (0..1 + rng.gen_index(n))
+        .map(|_| Branch {
+            a: Some(rng.gen_index(n)),
+            b: None,
+            value: rng.gen_range_f64(1e-15, 5e-12),
+        })
+        .collect();
+    RcNetwork {
+        node_names,
+        num_ports: ports,
+        resistors,
+        capacitors,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn reductions_are_passive(net in rc_network(3, 12), fmax in 1e8f64..2e10) {
+#[test]
+fn reductions_are_passive() {
+    for seed in seeds() {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let net = rc_network(3, 12, &mut rng);
+        let fmax = rng.gen_range_f64(1e8, 2e10);
         let opts = ReduceOptions::new(CutoffSpec::new(fmax, 0.05).unwrap());
         let red = pact::reduce_network(&net, &opts).unwrap();
-        prop_assert!(red.model.is_passive(1e-7), "reduction not passive");
+        assert!(red.model.is_passive(1e-7), "seed {seed}: reduction not passive");
     }
+}
 
-    #[test]
-    fn poles_are_real_negative_and_below_cutoff(net in rc_network(2, 10)) {
+#[test]
+fn poles_are_real_negative_and_below_cutoff() {
+    for seed in seeds() {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let net = rc_network(2, 10, &mut rng);
         let spec = CutoffSpec::new(1e9, 0.05).unwrap();
         let red = pact::reduce_network(&net, &ReduceOptions::new(spec)).unwrap();
         for &lam in &red.model.lambdas {
             // λ > 0 ⇔ pole s = −1/λ real negative.
-            prop_assert!(lam > 0.0);
+            assert!(lam > 0.0, "seed {seed}");
             // Retained ⇒ pole frequency below cutoff.
             let f_pole = 1.0 / (2.0 * std::f64::consts::PI * lam);
-            prop_assert!(f_pole <= spec.cutoff_frequency() * (1.0 + 1e-9));
+            assert!(
+                f_pole <= spec.cutoff_frequency() * (1.0 + 1e-9),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn dc_moment_is_exact(net in rc_network(3, 10)) {
+#[test]
+fn dc_moment_is_exact() {
+    for seed in seeds() {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let net = rc_network(3, 10, &mut rng);
         let red = pact::reduce_network(
             &net,
             &ReduceOptions::new(CutoffSpec::new(1e9, 0.05).unwrap()),
@@ -116,16 +134,20 @@ proptest! {
             .fold(1e-300, f64::max);
         for i in 0..3 {
             for j in 0..3 {
-                prop_assert!(
+                assert!(
                     (y0e[(i, j)].re - y0r[(i, j)].re).abs() <= 1e-8 * scale,
-                    "DC moment mismatch at ({}, {})", i, j
+                    "seed {seed}: DC moment mismatch at ({i}, {j})"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn unstamped_netlist_restamps_to_same_model(net in rc_network(2, 8)) {
+#[test]
+fn unstamped_netlist_restamps_to_same_model() {
+    for seed in seeds() {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let net = rc_network(2, 8, &mut rng);
         // to_netlist_elements → restamp → admittance identical.
         let red = pact::reduce_network(
             &net,
@@ -149,7 +171,7 @@ proptest! {
                 pact_netlist::ElementKind::Capacitor { a, b, farads } => {
                     ct.stamp_conductance(idx(a), idx(b), *farads);
                 }
-                _ => prop_assert!(false, "non-RC element emitted"),
+                _ => panic!("seed {seed}: non-RC element emitted"),
             }
         }
         let st = pact_netlist::Stamped {
@@ -168,17 +190,21 @@ proptest! {
                 .fold(1e-300, f64::max);
             for i in 0..2 {
                 for j in 0..2 {
-                    prop_assert!(
+                    assert!(
                         (ya[(i, j)] - yb[(i, j)]).abs() <= 1e-6 * scale,
-                        "netlist mismatch at f={} ({}, {})", f, i, j
+                        "seed {seed}: netlist mismatch at f={f} ({i}, {j})"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn more_tolerance_never_keeps_more_poles(net in rc_network(2, 14)) {
+#[test]
+fn more_tolerance_never_keeps_more_poles() {
+    for seed in seeds() {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let net = rc_network(2, 14, &mut rng);
         let tight = pact::reduce_network(
             &net,
             &ReduceOptions::new(CutoffSpec::new(1e9, 0.01).unwrap()),
@@ -189,6 +215,9 @@ proptest! {
             &ReduceOptions::new(CutoffSpec::new(1e9, 0.30).unwrap()),
         )
         .unwrap();
-        prop_assert!(loose.model.num_poles() <= tight.model.num_poles());
+        assert!(
+            loose.model.num_poles() <= tight.model.num_poles(),
+            "seed {seed}"
+        );
     }
 }
