@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, build, tests, and a smoke run of the
+# CLI's telemetry path. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1)"
+cargo test -q
+
+echo "==> rcfit --trace / --log-json smoke test"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cat > "$tmp/smoke.sp" <<'EOF'
+* rc ladder smoke deck
+R1 in n1 100
+R2 n1 n2 100
+R3 n2 out 100
+C1 n1 0 1p
+C2 n2 0 2p
+C3 out 0 1p
+.end
+EOF
+./target/release/rcfit --port in --port out --fmax 1e9 --trace \
+    --log-json "$tmp/telemetry.json" -o "$tmp/reduced.sp" "$tmp/smoke.sp" \
+    2> "$tmp/trace.txt"
+grep -q "rcfit-telemetry-v1" "$tmp/telemetry.json"
+grep -q "phase" "$tmp/trace.txt"
+test -s "$tmp/reduced.sp"
+
+echo "==> all checks passed"

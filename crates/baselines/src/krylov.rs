@@ -229,8 +229,8 @@ mod tests {
             let approx = red.model.y_at(f);
             for i in 0..parts.m {
                 for j in 0..parts.m {
-                    let rel = (approx[(i, j)] - exact[(i, j)]).abs()
-                        / exact[(i, j)].abs().max(1e-12);
+                    let rel =
+                        (approx[(i, j)] - exact[(i, j)]).abs() / exact[(i, j)].abs().max(1e-12);
                     assert!(rel < 0.05, "f={f:e} ({i},{j}) rel={rel}");
                 }
             }

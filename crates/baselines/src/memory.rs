@@ -79,8 +79,10 @@ mod tests {
     #[test]
     fn ops_ratio_grows_linearly_with_ports() {
         // Padé/PACT op ratio should be ~2(m+1)²/m — roughly linear in m.
-        let ratio_small = pade_first_pole_ops(10, 1000) as f64 / pact_first_pole_ops(10, 1000) as f64;
-        let ratio_big = pade_first_pole_ops(100, 1000) as f64 / pact_first_pole_ops(100, 1000) as f64;
+        let ratio_small =
+            pade_first_pole_ops(10, 1000) as f64 / pact_first_pole_ops(10, 1000) as f64;
+        let ratio_big =
+            pade_first_pole_ops(100, 1000) as f64 / pact_first_pole_ops(100, 1000) as f64;
         assert!(ratio_big > 8.0 * ratio_small);
     }
 }

@@ -9,7 +9,7 @@
 //! `hankel_conditioning_degrades` test and the ablation bench).
 
 use pact::Partitions;
-use pact_sparse::{Complex64, DenseLu, DMat, FactorError, Ordering, SparseCholesky};
+use pact_sparse::{Complex64, DMat, DenseLu, FactorError, Ordering, SparseCholesky};
 
 /// Moment sequence of one admittance entry `Y_ij(s) = Σ_k m_k s^k`.
 #[derive(Clone, Debug)]
@@ -423,10 +423,7 @@ mod tests {
         for &f in &[1e7, 1.59e8, 1e9] {
             let exact = fa.y_at(f).unwrap()[(0, 0)];
             let approx = model.y_at(f);
-            assert!(
-                (approx - exact).abs() / exact.abs() < 1e-6,
-                "f={f:e}"
-            );
+            assert!((approx - exact).abs() / exact.abs() < 1e-6, "f={f:e}");
         }
     }
 

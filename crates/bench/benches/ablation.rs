@@ -77,8 +77,11 @@ fn bench_eigen_strategy(rows: &mut Vec<Vec<String>>) {
             ordering: Ordering::Rcm,
             dense_threshold: 0,
             threads: None,
+            pivot_relief: None,
         };
-        let s = sample_secs(SAMPLES, || pact::reduce_network(&net, &opts).expect("reduce"));
+        let s = sample_secs(SAMPLES, || {
+            pact::reduce_network(&net, &opts).expect("reduce")
+        });
         rows.push(row(format!("eigen/{label}"), &s));
     }
 }
@@ -91,6 +94,7 @@ fn bench_sparsify(rows: &mut Vec<Vec<String>>) {
         ordering: Ordering::Rcm,
         dense_threshold: 0,
         threads: None,
+        pivot_relief: None,
     };
     let red = pact::reduce_network(&net, &opts).expect("reduce");
     let (g, _) = red.model.to_matrices_normalized();

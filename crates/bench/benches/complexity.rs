@@ -34,6 +34,7 @@ fn main() {
             ordering: Ordering::Rcm,
             dense_threshold: 0,
             threads: None,
+            pivot_relief: None,
         };
         let s = sample_secs(SAMPLES, || pact::reduce_network(&net, &opts).expect("pact"));
         let (min, med) = min_median(&s);

@@ -40,7 +40,10 @@ fn row(label: &str, samples: &[f64]) -> Vec<String> {
 }
 
 fn bench_cholesky(rows: &mut Vec<Vec<String>>) {
-    for (label, dims) in [("cholesky/mesh_500", (10, 10, 5)), ("cholesky/mesh_2k", (16, 16, 8))] {
+    for (label, dims) in [
+        ("cholesky/mesh_500", (10, 10, 5)),
+        ("cholesky/mesh_2k", (16, 16, 8)),
+    ] {
         let (_, parts) = mesh_parts(dims.0, dims.1, dims.2, 16);
         let s = sample_secs(SAMPLES, || {
             SparseCholesky::factor(&parts.d, Ordering::Rcm).expect("factor")
@@ -71,7 +74,10 @@ fn bench_laso(rows: &mut Vec<Vec<String>>) {
 }
 
 fn bench_reduce(rows: &mut Vec<Vec<String>>) {
-    for (label, dims) in [("reduce/mesh_500", (10, 10, 5)), ("reduce/mesh_1k", (14, 14, 5))] {
+    for (label, dims) in [
+        ("reduce/mesh_500", (10, 10, 5)),
+        ("reduce/mesh_1k", (14, 14, 5)),
+    ] {
         let spec = MeshSpec {
             nx: dims.0,
             ny: dims.1,
@@ -86,8 +92,11 @@ fn bench_reduce(rows: &mut Vec<Vec<String>>) {
             ordering: Ordering::Rcm,
             dense_threshold: 0,
             threads: None,
+            pivot_relief: None,
         };
-        let s = sample_secs(SAMPLES, || pact::reduce_network(&net, &opts).expect("reduce"));
+        let s = sample_secs(SAMPLES, || {
+            pact::reduce_network(&net, &opts).expect("reduce")
+        });
         rows.push(row(label, &s));
     }
 }
@@ -98,9 +107,5 @@ fn main() {
     bench_transform1(&mut rows);
     bench_laso(&mut rows);
     bench_reduce(&mut rows);
-    print_table(
-        "Kernel timings",
-        &["case", "min (s)", "median (s)"],
-        &rows,
-    );
+    print_table("Kernel timings", &["case", "min (s)", "median (s)"], &rows);
 }

@@ -26,6 +26,7 @@ fn main() {
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,
+        pivot_relief: None,
     };
     let red = pact::reduce_network(&net, &opts).expect("reduce");
     let m = red.model.num_ports();
@@ -105,7 +106,7 @@ fn y_from_matrices(
     m: usize,
     f: f64,
 ) -> pact_sparse::DMat<pact_sparse::Complex64> {
-    use pact_sparse::{Complex64, DenseLu, DMat};
+    use pact_sparse::{Complex64, DMat, DenseLu};
     let dim = g.nrows();
     let k = dim - m;
     let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);

@@ -30,16 +30,18 @@ fn deck() -> Netlist {
             wave: Waveform::Dc(0.0),
         },
     });
-    nl.elements
-        .extend(inverter("drv", "in", "line_in", "vdd", "0", "vdd", 100e-6, 200e-6));
+    nl.elements.extend(inverter(
+        "drv", "in", "line_in", "vdd", "0", "vdd", 100e-6, 200e-6,
+    ));
     nl.elements.extend(rc_line_elements(
         &LineSpec::default(),
         "line_in",
         "line_out",
         "ln",
     ));
-    nl.elements
-        .extend(inverter("rcv", "line_out", "out", "vdd", "0", "vdd", 4e-6, 8e-6));
+    nl.elements.extend(inverter(
+        "rcv", "line_out", "out", "vdd", "0", "vdd", 4e-6, 8e-6,
+    ));
     nl
 }
 
@@ -62,6 +64,7 @@ fn main() {
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,
+        pivot_relief: None,
     };
     let (red, elapsed) = timed(|| pact::reduce_network(net, &opts).expect("reduce"));
     let model = &red.model;

@@ -54,7 +54,13 @@ fn main() {
     }
     print_table(
         "Figure 3 summary",
-        &["model", "MNA unknowns", "50% delay (ps)", "sim time (s)", "steps"],
+        &[
+            "model",
+            "MNA unknowns",
+            "50% delay (ps)",
+            "sim time (s)",
+            "steps",
+        ],
         &rows,
     );
 

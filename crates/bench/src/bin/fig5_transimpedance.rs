@@ -45,6 +45,7 @@ fn main() {
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: None,
+            pivot_relief: None,
         };
         let red = pact::reduce_network(&net, &opts).expect("reduce");
         let mut rdeck = Netlist::new("reduced mesh");
@@ -69,7 +70,12 @@ fn main() {
     }
     print_table(
         "error vs original (paper's bars: ≤5 % below each fmax; above fmax the model may diverge)",
-        &["max freq", "poles", "worst err ≤ fmax", "worst err full band"],
+        &[
+            "max freq",
+            "poles",
+            "worst err ≤ fmax",
+            "worst err full band",
+        ],
         &rows,
     );
 

@@ -31,7 +31,10 @@ struct Sample {
 fn main() {
     let argv: Vec<usize> = std::env::args()
         .skip(1)
-        .map(|a| a.parse().expect("args: NX NY NZ CONTACTS (positive integers)"))
+        .map(|a| {
+            a.parse()
+                .expect("args: NX NY NZ CONTACTS (positive integers)")
+        })
         .collect();
     let (nx, ny, nz, contacts) = match argv.as_slice() {
         [] => (40, 40, 7, 64),
@@ -52,10 +55,7 @@ fn main() {
         ..MeshSpec::table4()
     });
     let parts = Partitions::split(&net.stamp());
-    println!(
-        "mesh: {} ports, {} internal nodes",
-        parts.m, parts.n
-    );
+    println!("mesh: {} ports, {} internal nodes", parts.m, parts.n);
 
     let cutoff = CutoffSpec::new(500e6, 0.10).expect("cutoff");
     let mut samples = Vec::new();
@@ -72,6 +72,7 @@ fn main() {
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: Some(t),
+            pivot_relief: None,
         };
         let (red, reduce_s) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
         println!(
@@ -103,7 +104,13 @@ fn main() {
         .collect();
     print_table(
         "Thread scaling",
-        &["threads", "transform1 (s)", "speedup", "reduce (s)", "speedup"],
+        &[
+            "threads",
+            "transform1 (s)",
+            "speedup",
+            "reduce (s)",
+            "speedup",
+        ],
         &rows,
     );
 

@@ -35,6 +35,7 @@ fn main() {
             ordering: Ordering::NestedDissection,
             dense_threshold: 0,
             threads: None,
+            pivot_relief: None,
         };
         let (pact_red, t_pact) = timed(|| pact::reduce_network(&net, &opts).expect("pact"));
         let laso = pact_red.stats.lanczos.unwrap_or_default();
@@ -71,5 +72,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("(measured columns from the implementations; 'model' column from the Section-4 formulas)");
+    println!(
+        "(measured columns from the implementations; 'model' column from the Section-4 formulas)"
+    );
 }

@@ -60,6 +60,7 @@ fn main() {
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: None,
+            pivot_relief: None,
         };
         let (red, t_red) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
         let elements = red.model.to_netlist_elements("red", 1e-9);

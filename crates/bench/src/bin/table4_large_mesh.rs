@@ -5,8 +5,8 @@
 //! requires two of these blocks").
 
 use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
-use pact_bench::{mb, print_table, secs, timed};
 use pact_baselines::{format_mb, mpvl_memory, pade_block_memory};
+use pact_bench::{mb, print_table, secs, timed};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
 use pact_sparse::Ordering;
@@ -31,28 +31,23 @@ fn main() {
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,
+        pivot_relief: None,
     };
     let (red, elapsed) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
     // Aggressive sparsification, as the paper's Table 4 output counts imply.
     let elements = red.model.to_netlist_elements("red", 1e-5);
-    let (rr, rc) = elements.iter().fold((0usize, 0usize), |(r, c), e| {
-        match e.kind {
+    let (rr, rc) = elements
+        .iter()
+        .fold((0usize, 0usize), |(r, c), e| match e.kind {
             pact_netlist::ElementKind::Resistor { .. } => (r + 1, c),
             pact_netlist::ElementKind::Capacitor { .. } => (r, c + 1),
             _ => (r, c),
-        }
-    });
+        });
 
     print_table(
         "Table 4 (paper: 10 poles, 1792.6 s, 25.8 MB of which 19.5 MB is the Cholesky factor)",
         &[
-            "network",
-            "ports",
-            "internal",
-            "R's",
-            "C's",
-            "time (s)",
-            "mem (MB)",
+            "network", "ports", "internal", "R's", "C's", "time (s)", "mem (MB)",
         ],
         &[
             vec![

@@ -73,7 +73,10 @@ pub fn secs(s: f64) -> String {
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         assert_eq!(row.len(), headers.len(), "table row width mismatch");
         println!("| {} |", row.join(" | "));
@@ -123,10 +126,10 @@ pub fn reduce_deck(
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,
+        pivot_relief: None,
     };
-    let (red, elapsed) = timed(|| {
-        pact::reduce_network(&ex.network, &opts).expect("reduction failed")
-    });
+    let (red, elapsed) =
+        timed(|| pact::reduce_network(&ex.network, &opts).expect("reduction failed"));
     let elements = red.model.to_netlist_elements("red", sparsify_tol);
     let reduced_deck = splice_reduced(deck, elements);
     (reduced_deck, red, elapsed)
@@ -147,17 +150,23 @@ pub fn reduce_deck_laso(
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,
+        pivot_relief: None,
     };
-    let (red, elapsed) = timed(|| {
-        pact::reduce_network(&ex.network, &opts).expect("reduction failed")
-    });
+    let (red, elapsed) =
+        timed(|| pact::reduce_network(&ex.network, &opts).expect("reduction failed"));
     let elements = red.model.to_netlist_elements("red", sparsify_tol);
     let reduced_deck = splice_reduced(deck, elements);
     (reduced_deck, red, elapsed)
 }
 
 /// 50 %-crossing delay of a rising waveform after `t_from`, in seconds.
-pub fn crossing_delay(times: &[f64], wave: &[f64], level: f64, t_from: f64, rising: bool) -> Option<f64> {
+pub fn crossing_delay(
+    times: &[f64],
+    wave: &[f64],
+    level: f64,
+    t_from: f64,
+    rising: bool,
+) -> Option<f64> {
     for k in 1..times.len() {
         if times[k] < t_from {
             continue;

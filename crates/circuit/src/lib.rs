@@ -221,13 +221,13 @@ impl Circuit {
                     w,
                     l,
                 } => {
-                    let mm =
-                        nl.models
-                            .get(model)
-                            .ok_or_else(|| CircuitError::UnknownModel {
-                                element: e.name.clone(),
-                                model: model.clone(),
-                            })?;
+                    let mm = nl
+                        .models
+                        .get(model)
+                        .ok_or_else(|| CircuitError::UnknownModel {
+                            element: e.name.clone(),
+                            model: model.clone(),
+                        })?;
                     let d = lookup(d, &mut nodes);
                     let g = lookup(g, &mut nodes);
                     let s = lookup(s, &mut nodes);
@@ -561,10 +561,7 @@ impl Circuit {
                         ];
                         Some(worst_lte_trap(&hist, tn, &xn[..nn], h, opt))
                     } else if use_be && k >= 2 {
-                        let hist = [
-                            (times[k - 2], &waves[k - 2]),
-                            (times[k - 1], &waves[k - 1]),
-                        ];
+                        let hist = [(times[k - 2], &waves[k - 2]), (times[k - 1], &waves[k - 1])];
                         Some(worst_lte_be(&hist, tn, &xn[..nn], h, opt))
                     } else {
                         None

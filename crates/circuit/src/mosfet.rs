@@ -88,7 +88,7 @@ pub fn eval_level1(m: &Mosfet, vd: f64, vg: f64, vs: f64) -> MosOp {
     // Mirror into NMOS-normal space.
     let (ud, ug, us) = (sign * vd, sign * vg, sign * vs);
     let vto = sign * m.vto; // positive in u-space for both polarities
-    // Source/drain swap so u_ds ≥ 0.
+                            // Source/drain swap so u_ds ≥ 0.
     let swapped = ud < us;
     let (ue_d, ue_s) = if swapped { (us, ud) } else { (ud, us) };
     let vgs = ug - ue_s;
@@ -131,12 +131,7 @@ pub fn eval_level1(m: &Mosfet, vd: f64, vg: f64, vs: f64) -> MosOp {
 ///
 /// The rows/columns follow the standard MNA transistor stamp with the
 /// effective drain/source orientation resolved internally.
-pub fn stamp_level1(
-    m: &Mosfet,
-    v: &[f64],
-    trips: &mut Vec<(usize, usize, f64)>,
-    rhs: &mut [f64],
-) {
+pub fn stamp_level1(m: &Mosfet, v: &[f64], trips: &mut Vec<(usize, usize, f64)>, rhs: &mut [f64]) {
     let vt = |n: Option<usize>| n.map_or(0.0, |i| v[i]);
     let (vd, vg, vs) = (vt(m.d), vt(m.g), vt(m.s));
     let sign = if m.nmos { 1.0 } else { -1.0 };

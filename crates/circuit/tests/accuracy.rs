@@ -93,9 +93,7 @@ fn ac_matches_transient_steady_state() {
     // Drive an RC low-pass with a sine in transient; after several
     // periods the amplitude must match the AC sweep's magnitude.
     let f = 200e6;
-    let deck = format!(
-        "* sine\nV1 in 0 sin(0 1 {f})\nR1 in out 1k\nC1 out 0 1p\n.end\n"
-    );
+    let deck = format!("* sine\nV1 in 0 sin(0 1 {f})\nR1 in out 1k\nC1 out 0 1p\n.end\n");
     let ckt = Circuit::from_netlist(&parse(&deck).unwrap()).unwrap();
     let ac = ckt
         .ac_sweep(&[f], &AcExcitation::VSource("V1".into()))
@@ -106,11 +104,7 @@ fn ac_matches_transient_steady_state() {
     let tr = ckt.transient(period / 200.0, 12.0 * period).unwrap();
     let v = tr.voltage("out").unwrap();
     // Peak over the last two periods.
-    let start = tr
-        .times
-        .iter()
-        .position(|&t| t >= 10.0 * period)
-        .unwrap();
+    let start = tr.times.iter().position(|&t| t >= 10.0 * period).unwrap();
     let peak = v[start..].iter().fold(0.0f64, |m, x| m.max(x.abs()));
     assert!(
         (peak - mag_ac).abs() < 0.02 * mag_ac.max(1e-12),

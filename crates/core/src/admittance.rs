@@ -49,8 +49,7 @@ impl<'a> FullAdmittance<'a> {
             return Ok(y);
         }
         // Assemble (D + sE) in complex CSC.
-        let mut trips: Vec<(usize, usize, Complex64)> =
-            Vec::with_capacity(p.d.nnz() + p.e.nnz());
+        let mut trips: Vec<(usize, usize, Complex64)> = Vec::with_capacity(p.d.nnz() + p.e.nnz());
         for i in 0..n {
             for (j, v) in p.d.row_iter(i) {
                 trips.push((i, j, Complex64::from_real(v)));

@@ -1,0 +1,431 @@
+//! A minimal, dependency-free JSON value: renderer and parser.
+//!
+//! The telemetry layer ([`crate::telemetry`]) needs machine-readable
+//! output (`rcfit --log-json`) without pulling external crates — the
+//! workspace builds fully offline (PR 1's rule). This module implements
+//! just enough of RFC 8259 for that: objects (with *preserved key
+//! order*, so emitted documents are deterministic), arrays, strings with
+//! escape handling, `f64` numbers, booleans and `null`.
+//!
+//! Numbers round-trip exactly: rendering uses Rust's shortest-repr
+//! `Display` for `f64`, which `str::parse::<f64>` inverts.
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; key order is preserved so rendering is deterministic.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(String, Value)>) -> Value {
+        Value::Obj(fields)
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for a number value.
+    pub fn num(v: f64) -> Value {
+        Value::Num(v)
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number carried by a `Num`, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string carried by a `Str`, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of an `Arr`, if this is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(v) => render_number(*v, out),
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with a byte offset on malformed input (including
+    /// trailing garbage after the document).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                offset: pos,
+                message: "trailing characters after document".into(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+/// Error from [`Value::parse`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn render_number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Shortest round-trip representation; integers print without a
+        // fraction, which keeps counter fields bit-stable.
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no Inf/NaN; encode as null (documented in DESIGN.md).
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn err(offset: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{}`", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let val = parse_value(bytes, pos)?;
+                fields.push((key, val));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `}` in object")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `]` in array")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: Value,
+) -> Result<Value, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected `{lit}`")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+                        // Surrogates are not recombined; telemetry output
+                        // never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is valid UTF-8 by
+                // construction of &str).
+                let s = &bytes[*pos..];
+                let ch_len = match s[0] {
+                    b if b < 0x80 => 1,
+                    b if b < 0xE0 => 2,
+                    b if b < 0xF0 => 3,
+                    _ => 4,
+                };
+                let text =
+                    std::str::from_utf8(&s[..ch_len]).map_err(|_| err(*pos, "invalid utf-8"))?;
+                out.push_str(text);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "invalid utf-8"))?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| err(start, format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_nested_document() {
+        let doc = Value::obj(vec![
+            ("name".into(), Value::str("rc \"line\"\n")),
+            ("count".into(), Value::num(42.0)),
+            ("ratio".into(), Value::num(0.1)),
+            (
+                "items".into(),
+                Value::Arr(vec![Value::Bool(true), Value::Null, Value::num(-3.5e-12)]),
+            ),
+            ("empty_obj".into(), Value::Obj(vec![])),
+            ("empty_arr".into(), Value::Arr(vec![])),
+        ]);
+        let text = doc.render();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly() {
+        for v in [
+            0.0,
+            1.0,
+            -1.0,
+            1e-300,
+            123456789.0,
+            0.1 + 0.2,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ] {
+            let text = Value::num(v).render();
+            let back = Value::parse(&text).unwrap();
+            assert_eq!(back.as_f64().unwrap(), v, "text = {text}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::num(17.0).render(), "17");
+        assert_eq!(Value::num(0.0).render(), "0");
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let doc = Value::obj(vec![
+            ("z".into(), Value::num(1.0)),
+            ("a".into(), Value::num(2.0)),
+        ]);
+        assert_eq!(doc.render(), "{\"z\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let doc = Value::parse("{\"a\": [1, 2], \"b\": \"x\"}").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(doc.get("b").unwrap().as_str().unwrap(), "x");
+        assert!(doc.get("c").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "{} trailing"] {
+            assert!(Value::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_whitespace() {
+        let doc = Value::parse(" { \"k\\u0041\" : \"a\\nb\\\"c\" } ").unwrap();
+        assert_eq!(doc.get("kA").unwrap().as_str().unwrap(), "a\nb\"c");
+    }
+
+    #[test]
+    fn nonfinite_numbers_render_as_null() {
+        assert_eq!(Value::num(f64::NAN).render(), "null");
+        assert_eq!(Value::num(f64::INFINITY).render(), "null");
+    }
+}

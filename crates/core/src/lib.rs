@@ -54,23 +54,30 @@
 
 mod admittance;
 mod cutoff;
+mod error;
+pub mod json;
 mod matrix_free;
 mod model;
 mod partition;
 mod reduce;
+mod sanitize;
+mod telemetry;
 mod transform;
 mod verify;
 
 pub use admittance::{transimpedance_of, FullAdmittance};
 pub use cutoff::{CutoffError, CutoffSpec};
+pub use error::PactError;
+pub use matrix_free::{reduce_matrix_free, DSolver, PcgSolver};
 pub use model::ReducedModel;
 pub use partition::Partitions;
 pub use reduce::{
     reduce, reduce_network, reduce_network_components, ComponentReduction, EigenStrategy,
     ReduceError, ReduceOptions, Reduction, ReductionStats,
 };
+pub use sanitize::{sanitize_network, SanitizeReport};
+pub use telemetry::{Counters, PhaseTiming, Telemetry, Warning};
 pub use transform::{EPrimeOp, Transform1};
-pub use matrix_free::{reduce_matrix_free, DSolver, PcgSolver};
 pub use verify::{verify_reduction, ErrorSample, VerificationReport};
 
 #[cfg(test)]
@@ -160,9 +167,11 @@ mod tests {
         let stamped = net.stamp();
         let parts = Partitions::split(&stamped);
         let full = FullAdmittance::new(&parts);
-        let red =
-            reduce_network(&net, &ReduceOptions::new(CutoffSpec::new(1e9, 0.05).unwrap()))
-                .unwrap();
+        let red = reduce_network(
+            &net,
+            &ReduceOptions::new(CutoffSpec::new(1e9, 0.05).unwrap()),
+        )
+        .unwrap();
         let y0e = full.y_at(0.0).unwrap();
         let y0r = red.model.y_at(0.0);
         for i in 0..2 {
@@ -267,10 +276,16 @@ mod tests {
     fn component_reduction_matches_whole_network() {
         // Two independent ladders reduced per component must give the
         // same port admittances as reducing the union at once.
-        let mut deck = String::from("* two\nV1 x0 0 1\nM1 q xN 0 0 nch\nV2 y0 0 1\nM2 r yN 0 0 nch\n.model nch nmos()\n");
+        let mut deck = String::from(
+            "* two\nV1 x0 0 1\nM1 q xN 0 0 nch\nV2 y0 0 1\nM2 r yN 0 0 nch\n.model nch nmos()\n",
+        );
         for (p, nseg, r, c) in [("x", 20usize, 200.0, 1.0e-12), ("y", 15, 120.0, 0.7e-12)] {
             for i in 0..nseg {
-                let a = if i == 0 { format!("{p}0") } else { format!("{p}m{i}") };
+                let a = if i == 0 {
+                    format!("{p}0")
+                } else {
+                    format!("{p}m{i}")
+                };
                 let b = if i == nseg - 1 {
                     format!("{p}N")
                 } else {

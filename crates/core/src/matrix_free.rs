@@ -130,8 +130,9 @@ pub fn reduce_matrix_free(
 
     // ---- pencil Lanczos in the D-inner product ----
     let lambda_c = spec.lambda_c();
-    let pairs = pencil_eigs_above(parts, solver, lambda_c)
-        .map_err(|iterations| ReduceError::Lanczos(pact_lanczos::LanczosError::NotConverged { iterations }))?;
+    let pairs = pencil_eigs_above(parts, solver, lambda_c).map_err(|iterations| {
+        ReduceError::Lanczos(pact_lanczos::LanczosError::NotConverged { iterations })
+    })?;
 
     // ---- R'' rows straight from the pencil Ritz vectors ----
     let k = pairs.len();
@@ -164,7 +165,18 @@ pub fn reduce_matrix_free(
         modelled_memory_bytes: solver.memory_bytes() + 2 * m * m * 8 + (k + 4) * n * 8,
         lanczos: None,
     };
-    Ok(Reduction { model, stats })
+    let mut telemetry = crate::Telemetry::new();
+    let c = &mut telemetry.counters;
+    c.num_ports = m as u64;
+    c.num_internal = n as u64;
+    c.poles_retained = k as u64;
+    c.poles_dropped = n.saturating_sub(k) as u64;
+    c.peak_matrix_dim = (m + n) as u64;
+    Ok(Reduction {
+        model,
+        stats,
+        telemetry,
+    })
 }
 
 /// Eigenpairs of `E y = λ D y` with `λ > lambda_min`, via D-inner-product
@@ -230,8 +242,7 @@ fn pencil_eigs_above(
         betas.push(if breakdown { 0.0 } else { beta });
         let at_end = breakdown || k == max_iters;
         if at_end || k.is_multiple_of(5) {
-            let (vals, z) = eig_tridiagonal(&alphas, &betas[..k - 1], true)
-                .map_err(|_| k)?;
+            let (vals, z) = eig_tridiagonal(&alphas, &betas[..k - 1], true).map_err(|_| k)?;
             let beta_k = betas[k - 1];
             let conv = |idx: usize| beta_k * z[(k - 1, idx)].abs() <= 1e-10 * t_scale;
             let all_above_done = vals
@@ -293,7 +304,11 @@ mod tests {
             } else {
                 format!("n{}", i + 1)
             };
-            deck.push_str(&format!("R{i} {a} {b} {}\nC{i} {b} 0 {}\n", 250.0 / nseg as f64, 1.35e-12 / nseg as f64));
+            deck.push_str(&format!(
+                "R{i} {a} {b} {}\nC{i} {b} 0 {}\n",
+                250.0 / nseg as f64,
+                1.35e-12 / nseg as f64
+            ));
         }
         extract_rc(&parse(&deck).unwrap(), &[]).unwrap().network
     }

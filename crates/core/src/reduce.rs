@@ -9,11 +9,14 @@ use std::time::Instant;
 
 use pact_lanczos::{eigs_above_with_stats, LanczosConfig, LanczosError, LanczosStats, SymOp};
 use pact_netlist::{RcNetwork, Stamped};
-use pact_sparse::{sym_eig, EigenError, FactorError, Ordering, ParCtx};
+use pact_sparse::{
+    sym_eig, EigenError, FactorError, Ordering, ParCtx, PivotPolicy, SparseCholesky,
+};
 
 use crate::cutoff::CutoffSpec;
 use crate::model::ReducedModel;
 use crate::partition::Partitions;
+use crate::telemetry::{Telemetry, Warning};
 use crate::transform::Transform1;
 
 /// How the eigenpairs of `E'` above the cutoff are computed.
@@ -43,6 +46,14 @@ pub struct ReduceOptions {
     /// operator products). `None` ⇒ all available cores. The reduced
     /// model is bit-identical for every thread count.
     pub threads: Option<usize>,
+    /// Relief floor for quasi-singular pivots of `D`, relative to the
+    /// largest diagonal entry (e.g. `Some(1e-12)`). `None` keeps the
+    /// strict behavior: any non-positive pivot fails the reduction with
+    /// a typed error. When set, offending pivots are raised to the floor
+    /// (a passivity-preserving diagonal stiffening `D → D + ΔD`,
+    /// `ΔD ⪰ 0`) and each substitution is recorded as a
+    /// [`Warning::PerturbedPivot`] in the reduction's telemetry.
+    pub pivot_relief: Option<f64>,
 }
 
 impl ReduceOptions {
@@ -54,6 +65,7 @@ impl ReduceOptions {
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: None,
+            pivot_relief: None,
         }
     }
 }
@@ -127,6 +139,9 @@ pub struct Reduction {
     pub model: ReducedModel,
     /// Work statistics.
     pub stats: ReductionStats,
+    /// Structured telemetry: per-phase wall times, deterministic
+    /// counters, and warnings (pivot perturbations etc.).
+    pub telemetry: Telemetry,
 }
 
 /// Reduces stamped network matrices with PACT.
@@ -142,25 +157,60 @@ pub fn reduce(
     port_names: &[String],
     opts: &ReduceOptions,
 ) -> Result<Reduction, ReduceError> {
+    reduce_impl(stamped, port_names, opts, &|i| format!("internal#{i}"))
+}
+
+/// The shared reduction body. `internal_name` maps a `D`-local internal
+/// node index to a display name for warning attribution (the stamped
+/// entry point only knows indices; [`reduce_network`] supplies real node
+/// names).
+fn reduce_impl(
+    stamped: &Stamped,
+    port_names: &[String],
+    opts: &ReduceOptions,
+    internal_name: &dyn Fn(usize) -> String,
+) -> Result<Reduction, ReduceError> {
     let start = Instant::now();
+    let mut tel = Telemetry::new();
     let ctx = ParCtx::new(opts.threads);
-    let parts = Partitions::split(stamped);
-    let t1 = Transform1::compute_ctx(&parts, opts.ordering, &ctx)?;
+    let parts = tel.time("partition", || Partitions::split(stamped));
+
+    let policy = match opts.pivot_relief {
+        Some(rel_threshold) => PivotPolicy::Perturb { rel_threshold },
+        None => PivotPolicy::Error,
+    };
+    let factored = tel.time("factor", || {
+        SparseCholesky::factor_diagnosed(&parts.d, opts.ordering, policy)
+    });
+    let (chol, diag) = factored?;
+    for p in &diag.perturbed {
+        tel.warn(Warning::PerturbedPivot {
+            node: internal_name(p.index),
+            pivot: p.original,
+            replaced_with: p.replaced_with,
+        });
+    }
+    tel.counters.perturbed_pivots = diag.perturbed.len() as u64;
+
+    let t1 = tel.time("moments", || Transform1::with_factor(&parts, chol, &ctx));
     let lambda_c = opts.cutoff.lambda_c();
 
-    let (lambdas, vectors, lanczos_stats) = match &opts.eigen {
-        EigenStrategy::Dense => dense_poles(&t1, &parts, lambda_c, &ctx)?,
-        EigenStrategy::Laso(cfg) => laso_poles(&t1, &parts, lambda_c, cfg, &ctx)?,
+    let eigen_start = Instant::now();
+    let poles = match &opts.eigen {
+        EigenStrategy::Dense => dense_poles(&t1, &parts, lambda_c, &ctx),
+        EigenStrategy::Laso(cfg) => laso_poles(&t1, &parts, lambda_c, cfg, &ctx),
         EigenStrategy::Auto => {
             if parts.n <= opts.dense_threshold {
-                dense_poles(&t1, &parts, lambda_c, &ctx)?
+                dense_poles(&t1, &parts, lambda_c, &ctx)
             } else {
-                laso_poles(&t1, &parts, lambda_c, &LanczosConfig::default(), &ctx)?
+                laso_poles(&t1, &parts, lambda_c, &LanczosConfig::default(), &ctx)
             }
         }
     };
+    tel.record_phase("eigen", eigen_start.elapsed().as_secs_f64());
+    let (lambdas, vectors, lanczos_stats) = poles?;
 
-    let r2 = t1.r2_rows_ctx(&parts, &vectors, &ctx);
+    let r2 = tel.time("projection", || t1.r2_rows_ctx(&parts, &vectors, &ctx));
     let model = ReducedModel {
         a1: t1.a1.clone(),
         b1: t1.b1.clone(),
@@ -187,10 +237,32 @@ pub fn reduce(
         modelled_memory_bytes: modelled,
         lanczos: lanczos_stats,
     };
-    Ok(Reduction { model, stats })
+
+    let c = &mut tel.counters;
+    c.num_ports = m as u64;
+    c.num_internal = parts.n as u64;
+    c.poles_retained = k as u64;
+    c.poles_dropped = parts.n.saturating_sub(k) as u64;
+    c.peak_matrix_dim = (m + parts.n) as u64;
+    c.chol_nnz = stats.chol_nnz as u64;
+    if let Some(ls) = &stats.lanczos {
+        c.lanczos_iterations = ls.iterations as u64;
+        c.lanczos_matvecs = ls.matvecs as u64;
+        c.lanczos_restarts = ls.restarts as u64;
+        c.lanczos_reorthogonalizations = ls.orthogonalizations as u64;
+    }
+
+    Ok(Reduction {
+        model,
+        stats,
+        telemetry: tel,
+    })
 }
 
 /// Convenience wrapper: stamps an [`RcNetwork`] and reduces it.
+///
+/// Warnings in the returned telemetry carry real node names (the
+/// stamped-matrix entry point [`reduce`] can only attribute by index).
 ///
 /// # Errors
 ///
@@ -198,7 +270,13 @@ pub fn reduce(
 pub fn reduce_network(network: &RcNetwork, opts: &ReduceOptions) -> Result<Reduction, ReduceError> {
     let stamped = network.stamp();
     let ports: Vec<String> = network.node_names[..network.num_ports].to_vec();
-    reduce(&stamped, &ports, opts)
+    reduce_impl(&stamped, &ports, opts, &|i| {
+        network
+            .node_names
+            .get(network.num_ports + i)
+            .cloned()
+            .unwrap_or_else(|| format!("internal#{i}"))
+    })
 }
 
 /// Result of a per-component reduction ([`reduce_network_components`]).
@@ -239,6 +317,19 @@ impl ComponentReduction {
     pub fn is_passive(&self, rel_tol: f64) -> bool {
         self.reductions.iter().all(|r| r.model.is_passive(rel_tol))
     }
+
+    /// Aggregated telemetry across all component reductions: phase times
+    /// and counters summed (peaks maxed), warnings concatenated in
+    /// component order, plus the component-level counters.
+    pub fn telemetry(&self) -> Telemetry {
+        let mut tel = Telemetry::new();
+        for r in &self.reductions {
+            tel.absorb(&r.telemetry);
+        }
+        tel.counters.components_reduced = self.reductions.len() as u64;
+        tel.counters.floating_islands_dropped = self.floating_dropped as u64;
+        tel
+    }
 }
 
 /// Reduces each connected component of the network independently.
@@ -262,12 +353,36 @@ pub fn reduce_network_components(
             floating += 1;
             continue;
         }
-        reductions.push(reduce_network(&comp, opts)?);
+        reductions
+            .push(reduce_network(&comp, opts).map_err(|e| remap_factor_index(e, &comp, network))?);
     }
     Ok(ComponentReduction {
         reductions,
         floating_dropped: floating,
     })
+}
+
+/// Rewrites a component-local factorization failure index into the parent
+/// network's internal-node numbering, so callers attributing errors
+/// against the parent network (e.g. [`crate::PactError::from_reduce`])
+/// name the right node.
+fn remap_factor_index(e: ReduceError, comp: &RcNetwork, parent: &RcNetwork) -> ReduceError {
+    match e {
+        ReduceError::Factor(FactorError::NotPositiveDefinite { step, index, pivot }) => {
+            let remapped = comp
+                .node_names
+                .get(comp.num_ports + index)
+                .and_then(|name| parent.node_index(name))
+                .and_then(|gi| gi.checked_sub(parent.num_ports))
+                .unwrap_or(index);
+            ReduceError::Factor(FactorError::NotPositiveDefinite {
+                step,
+                index: remapped,
+                pivot,
+            })
+        }
+        other => other,
+    }
 }
 
 type Poles = (Vec<f64>, Vec<Vec<f64>>, Option<LanczosStats>);

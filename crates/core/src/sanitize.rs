@@ -1,0 +1,381 @@
+//! Pre-reduction network sanitization: graceful degradation for
+//! degenerate inputs.
+//!
+//! PACT's stability theorem requires the internal conductance block `D`
+//! to be strictly positive definite, which fails for extracted netlists
+//! containing *floating* internal nodes — nodes with no resistive path
+//! to any port or to ground (e.g. capacitor-only coupling nets).
+//! [`sanitize_network`] prunes exactly those nodes before Transform 1
+//! and records each decision as a [`Warning`], so the reduction either
+//! succeeds on the well-posed subnetwork or fails with a typed error —
+//! never a panic.
+//!
+//! Pruning a capacitively-coupled island discards its (purely
+//! high-frequency) influence on the ports; this is the documented
+//! approximation of the degradation path — DC and low-frequency
+//! behavior are untouched because no resistive path existed.
+//!
+//! All decisions are functions of the network topology alone, so the
+//! output and the warning list are deterministic and thread-independent.
+
+use std::collections::VecDeque;
+
+use pact_netlist::{Branch, NetworkError, RcNetwork};
+
+use crate::telemetry::{Telemetry, Warning};
+
+/// Result of [`sanitize_network`]: the cleaned network plus the record
+/// of everything that was repaired or removed.
+#[derive(Clone, Debug)]
+pub struct SanitizeReport {
+    /// The sanitized network (ports-first order preserved).
+    pub network: RcNetwork,
+    /// One warning per repaired anomaly, in deterministic order.
+    pub warnings: Vec<Warning>,
+}
+
+impl SanitizeReport {
+    /// Folds this report into a telemetry record: appends the warnings
+    /// and bumps the matching counters.
+    pub fn record(&self, t: &mut Telemetry) {
+        for w in &self.warnings {
+            match w {
+                Warning::PrunedFloatingInternal { .. } => t.counters.pruned_internal_nodes += 1,
+                Warning::DisconnectedPort { .. } => t.counters.disconnected_ports += 1,
+                Warning::ZeroValueElement { .. } => t.counters.zero_value_elements += 1,
+                _ => {}
+            }
+            t.warn(w.clone());
+        }
+    }
+}
+
+fn node_label(net: &RcNetwork, node: Option<usize>) -> String {
+    match node {
+        None => "0".to_owned(),
+        Some(i) => net
+            .node_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("#{i}")),
+    }
+}
+
+fn branch_label(kind: char, net: &RcNetwork, b: &Branch) -> String {
+    format!("{kind}({},{})", node_label(net, b.a), node_label(net, b.b))
+}
+
+/// Validates element values and prunes floating internal nodes.
+///
+/// Steps, in order:
+///
+/// 1. **Value validation** — non-finite resistor/capacitor values,
+///    non-positive resistances, and negative capacitances are rejected
+///    with a typed [`NetworkError`] (they would otherwise inject
+///    NaN/Inf into the stamped matrices and poison every downstream
+///    kernel). Zero-valued capacitors are *dropped* with a warning
+///    (they stamp nothing).
+/// 2. **Floating-node pruning** — breadth-first search over resistor
+///    branches seeded at every port and every resistively-grounded
+///    node. Internal nodes the search never reaches have no DC path
+///    anywhere: they make `D` singular and are removed together with
+///    every branch touching them ([`Warning::PrunedFloatingInternal`]
+///    per node).
+/// 3. **Disconnected-port detection** — ports with no remaining branch
+///    are kept (their admittance rows are exactly zero) but reported
+///    via [`Warning::DisconnectedPort`].
+///
+/// # Errors
+///
+/// [`NetworkError`] for non-physical element values (attribution is by
+/// node pair, since [`Branch`] carries no element name).
+pub fn sanitize_network(net: &RcNetwork) -> Result<SanitizeReport, NetworkError> {
+    let n = net.num_nodes();
+    let mut warnings = Vec::new();
+
+    // 1. Value validation + zero-cap dropping.
+    for r in &net.resistors {
+        if !r.value.is_finite() {
+            return Err(NetworkError::NonFiniteValue {
+                name: branch_label('R', net, r),
+                value: r.value,
+            });
+        }
+        if r.value <= 0.0 {
+            return Err(NetworkError::NonPositiveResistor {
+                name: branch_label('R', net, r),
+                ohms: r.value,
+            });
+        }
+    }
+    let mut capacitors = Vec::with_capacity(net.capacitors.len());
+    for c in &net.capacitors {
+        if !c.value.is_finite() {
+            return Err(NetworkError::NonFiniteValue {
+                name: branch_label('C', net, c),
+                value: c.value,
+            });
+        }
+        if c.value < 0.0 {
+            return Err(NetworkError::NegativeCapacitor {
+                name: branch_label('C', net, c),
+                farads: c.value,
+            });
+        }
+        if c.value == 0.0 {
+            warnings.push(Warning::ZeroValueElement {
+                name: branch_label('C', net, c),
+            });
+        } else {
+            capacitors.push(*c);
+        }
+    }
+
+    // 2. Resistive reachability from ports and grounded nodes.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut grounded = vec![false; n];
+    for r in &net.resistors {
+        match (r.a, r.b) {
+            (Some(a), Some(b)) if a != b => {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            (Some(a), None) | (None, Some(a)) => grounded[a] = true,
+            _ => {}
+        }
+    }
+    let mut reached = vec![false; n];
+    let mut queue: VecDeque<usize> = (0..n)
+        .filter(|&v| v < net.num_ports || grounded[v])
+        .collect();
+    for &v in &queue {
+        reached[v] = true;
+    }
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v] {
+            if !reached[w] {
+                reached[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    for (v, hit) in reached.iter().enumerate().skip(net.num_ports) {
+        if !hit {
+            warnings.push(Warning::PrunedFloatingInternal {
+                node: node_label(net, Some(v)),
+            });
+        }
+    }
+
+    // Renumber: ports keep their slots; surviving internals compact.
+    let mut remap = vec![usize::MAX; n];
+    let mut node_names = Vec::with_capacity(n);
+    for v in 0..n {
+        if reached[v] {
+            remap[v] = node_names.len();
+            node_names.push(net.node_names[v].clone());
+        }
+    }
+    let keep = |b: &Branch| -> bool {
+        b.a.is_none_or(|v| remap[v] != usize::MAX) && b.b.is_none_or(|v| remap[v] != usize::MAX)
+    };
+    let map_branch = |b: &Branch| -> Branch {
+        Branch {
+            a: b.a.map(|v| remap[v]),
+            b: b.b.map(|v| remap[v]),
+            value: b.value,
+        }
+    };
+    let network = RcNetwork {
+        node_names,
+        num_ports: net.num_ports,
+        resistors: net
+            .resistors
+            .iter()
+            .filter(|b| keep(b))
+            .map(map_branch)
+            .collect(),
+        capacitors: capacitors
+            .iter()
+            .filter(|b| keep(b))
+            .map(map_branch)
+            .collect(),
+    };
+
+    // 3. Disconnected ports (checked on the sanitized element set).
+    let mut touched = vec![false; network.num_nodes()];
+    for b in network.resistors.iter().chain(&network.capacitors) {
+        if let Some(a) = b.a {
+            touched[a] = true;
+        }
+        if let Some(bb) = b.b {
+            touched[bb] = true;
+        }
+    }
+    for (p, hit) in touched.iter().enumerate().take(network.num_ports) {
+        if !hit {
+            warnings.push(Warning::DisconnectedPort {
+                node: network.node_names[p].clone(),
+            });
+        }
+    }
+
+    Ok(SanitizeReport { network, warnings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(
+        ports: usize,
+        names: &[&str],
+        resistors: &[(Option<usize>, Option<usize>, f64)],
+        capacitors: &[(Option<usize>, Option<usize>, f64)],
+    ) -> RcNetwork {
+        let branch = |&(a, b, value): &(Option<usize>, Option<usize>, f64)| Branch { a, b, value };
+        RcNetwork {
+            node_names: names.iter().map(|s| (*s).to_owned()).collect(),
+            num_ports: ports,
+            resistors: resistors.iter().map(branch).collect(),
+            capacitors: capacitors.iter().map(branch).collect(),
+        }
+    }
+
+    #[test]
+    fn well_formed_network_passes_through() {
+        let n = net(
+            1,
+            &["p", "a"],
+            &[(Some(0), Some(1), 100.0), (Some(1), None, 50.0)],
+            &[(Some(1), None, 1e-12)],
+        );
+        let rep = sanitize_network(&n).unwrap();
+        assert_eq!(rep.network, n);
+        assert!(rep.warnings.is_empty());
+    }
+
+    #[test]
+    fn cap_only_internal_node_is_pruned() {
+        // `b` hangs off `a` through a capacitor only: no DC path.
+        let n = net(
+            1,
+            &["p", "a", "b"],
+            &[(Some(0), Some(1), 100.0)],
+            &[(Some(1), Some(2), 1e-12), (Some(2), None, 1e-12)],
+        );
+        let rep = sanitize_network(&n).unwrap();
+        assert_eq!(rep.network.num_nodes(), 2);
+        assert_eq!(rep.network.num_ports, 1);
+        assert!(rep.network.node_names.iter().all(|s| s != "b"));
+        assert_eq!(rep.network.capacitors.len(), 0, "b's caps go with it");
+        assert!(matches!(
+            rep.warnings.as_slice(),
+            [Warning::PrunedFloatingInternal { node }] if node == "b"
+        ));
+    }
+
+    #[test]
+    fn resistively_grounded_island_is_kept() {
+        // `a` has a resistor to ground but no path to the port: D is
+        // fine, so the node stays (component splitting handles it).
+        let n = net(
+            1,
+            &["p", "a"],
+            &[(Some(0), None, 10.0), (Some(1), None, 100.0)],
+            &[(Some(1), None, 1e-12)],
+        );
+        let rep = sanitize_network(&n).unwrap();
+        assert_eq!(rep.network.num_nodes(), 2);
+        assert!(rep.warnings.is_empty());
+    }
+
+    #[test]
+    fn resistive_island_without_ground_is_pruned() {
+        // Nodes `a`–`b` connect to each other resistively but to
+        // nothing else: the whole island is floating.
+        let n = net(
+            1,
+            &["p", "a", "b"],
+            &[(Some(0), None, 10.0), (Some(1), Some(2), 100.0)],
+            &[(Some(1), None, 1e-12)],
+        );
+        let rep = sanitize_network(&n).unwrap();
+        assert_eq!(rep.network.num_nodes(), 1);
+        assert_eq!(rep.network.resistors.len(), 1);
+        assert_eq!(rep.network.capacitors.len(), 0);
+        assert_eq!(rep.warnings.len(), 2);
+    }
+
+    #[test]
+    fn zero_cap_dropped_with_warning() {
+        let n = net(
+            1,
+            &["p", "a"],
+            &[(Some(0), Some(1), 100.0), (Some(1), None, 1.0)],
+            &[(Some(1), None, 0.0), (Some(0), None, 1e-12)],
+        );
+        let rep = sanitize_network(&n).unwrap();
+        assert_eq!(rep.network.capacitors.len(), 1);
+        assert!(rep
+            .warnings
+            .iter()
+            .any(|w| matches!(w, Warning::ZeroValueElement { .. })));
+    }
+
+    #[test]
+    fn disconnected_port_is_reported_but_kept() {
+        let n = net(
+            2,
+            &["p0", "p1", "a"],
+            &[(Some(0), Some(2), 100.0), (Some(2), None, 1.0)],
+            &[],
+        );
+        let rep = sanitize_network(&n).unwrap();
+        assert_eq!(rep.network.num_ports, 2);
+        assert!(matches!(
+            rep.warnings.as_slice(),
+            [Warning::DisconnectedPort { node }] if node == "p1"
+        ));
+    }
+
+    #[test]
+    fn nonfinite_values_are_typed_errors() {
+        let bad_r = net(1, &["p"], &[(Some(0), None, f64::NAN)], &[]);
+        assert!(matches!(
+            sanitize_network(&bad_r),
+            Err(NetworkError::NonFiniteValue { .. })
+        ));
+        let bad_c = net(
+            1,
+            &["p"],
+            &[(Some(0), None, 1.0)],
+            &[(Some(0), None, f64::INFINITY)],
+        );
+        assert!(matches!(
+            sanitize_network(&bad_c),
+            Err(NetworkError::NonFiniteValue { .. })
+        ));
+        let zero_r = net(1, &["p"], &[(Some(0), None, 0.0)], &[]);
+        assert!(matches!(
+            sanitize_network(&zero_r),
+            Err(NetworkError::NonPositiveResistor { .. })
+        ));
+    }
+
+    #[test]
+    fn report_record_updates_counters() {
+        let n = net(
+            1,
+            &["p", "a"],
+            &[(Some(0), None, 10.0)],
+            &[(Some(1), None, 1e-12), (Some(0), None, 0.0)],
+        );
+        let rep = sanitize_network(&n).unwrap();
+        let mut t = Telemetry::new();
+        rep.record(&mut t);
+        assert_eq!(t.counters.pruned_internal_nodes, 1);
+        assert_eq!(t.counters.zero_value_elements, 1);
+        assert_eq!(t.warnings.len(), rep.warnings.len());
+    }
+}

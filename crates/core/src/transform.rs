@@ -73,6 +73,17 @@ impl Transform1 {
         ctx: &ParCtx,
     ) -> Result<Self, FactorError> {
         let chol = SparseCholesky::factor(&p.d, ordering)?;
+        Ok(Self::with_factor(p, chol, ctx))
+    }
+
+    /// Runs the moment computation of the transform against an already
+    /// computed Cholesky factorization of `D`.
+    ///
+    /// This split lets callers choose the factorization path (strict vs
+    /// pivot-perturbing, see [`pact_sparse::PivotPolicy`]) and time the
+    /// factor and moment phases separately; given the factor, the moment
+    /// work itself cannot fail.
+    pub fn with_factor(p: &Partitions, chol: SparseCholesky, ctx: &ParCtx) -> Self {
         let m = p.m;
         let n = p.n;
         let mut a1 = p.a.to_dense();
@@ -102,13 +113,7 @@ impl Transform1 {
         // reduced model is exactly symmetric.
         a1.symmetrize();
         b1.symmetrize();
-        Ok(Transform1 {
-            a1,
-            b1,
-            chol,
-            m,
-            n,
-        })
+        Transform1 { a1, b1, chol, m, n }
     }
 
     /// The row block `R''` of the transformed connection susceptance for a
@@ -139,15 +144,22 @@ impl Transform1 {
         let m = self.m;
         let n = self.n;
         let mut r2 = DMat::zeros(k, m);
-        let rows = ctx.map_items(k, || R2Scratch::new(n, m), |s, i| {
-            let u = &ritz_vectors[i];
-            self.chol.ftsolve_into(u, &mut s.v, &mut s.work);
-            p.e.matvec_into(&s.v, &mut s.w);
-            self.chol.solve_into(&s.w, &mut s.z, &mut s.work);
-            p.r.matvec_t_into(&s.v, &mut s.rv);
-            p.q.matvec_t_into(&s.z, &mut s.qz);
-            s.rv.iter().zip(&s.qz).map(|(rv, qz)| rv - qz).collect::<Vec<f64>>()
-        });
+        let rows = ctx.map_items(
+            k,
+            || R2Scratch::new(n, m),
+            |s, i| {
+                let u = &ritz_vectors[i];
+                self.chol.ftsolve_into(u, &mut s.v, &mut s.work);
+                p.e.matvec_into(&s.v, &mut s.w);
+                self.chol.solve_into(&s.w, &mut s.z, &mut s.work);
+                p.r.matvec_t_into(&s.v, &mut s.rv);
+                p.q.matvec_t_into(&s.z, &mut s.qz);
+                s.rv.iter()
+                    .zip(&s.qz)
+                    .map(|(rv, qz)| rv - qz)
+                    .collect::<Vec<f64>>()
+            },
+        );
         for (i, row) in rows.into_iter().enumerate() {
             for (j, val) in row.into_iter().enumerate() {
                 r2[(i, j)] = val;

@@ -118,7 +118,11 @@ mod tests {
         let mut deck = String::from("* l\nV1 p0 0 1\nM1 q pN 0 0 n\n.model n nmos()\n");
         for i in 0..40 {
             let a = if i == 0 { "p0".into() } else { format!("n{i}") };
-            let b = if i == 39 { "pN".into() } else { format!("n{}", i + 1) };
+            let b = if i == 39 {
+                "pN".into()
+            } else {
+                format!("n{}", i + 1)
+            };
             deck.push_str(&format!("R{i} {a} {b} 6.25\nC{i} {b} 0 33.75f\n"));
         }
         extract_rc(&parse(&deck).unwrap(), &[]).unwrap().network

@@ -294,11 +294,7 @@ mod tests {
             let mut nl = deck.netlist.clone();
             // Replace input pulse sources with DC levels. Inputs pass
             // through inverting drivers, so drive the complement.
-            let levels = [
-                (combo & 1) != 0,
-                (combo & 2) != 0,
-                (combo & 4) != 0,
-            ];
+            let levels = [(combo & 1) != 0, (combo & 2) != 0, (combo & 4) != 0];
             let mut k = 0;
             for e in nl.elements.iter_mut() {
                 if let ElementKind::VSource { wave, .. } = &mut e.kind {

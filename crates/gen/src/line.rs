@@ -31,12 +31,7 @@ impl Default for LineSpec {
 /// Each segment is an L-section (series R, shunt C at the far end), with
 /// an extra half-capacitor at the input for symmetry — total R and C
 /// match the spec exactly.
-pub fn rc_line_elements(
-    spec: &LineSpec,
-    input: &str,
-    output: &str,
-    prefix: &str,
-) -> Vec<Element> {
+pub fn rc_line_elements(spec: &LineSpec, input: &str, output: &str, prefix: &str) -> Vec<Element> {
     assert!(spec.segments >= 1, "need at least one segment");
     let n = spec.segments;
     let rseg = spec.r_total / n as f64;
@@ -162,13 +157,15 @@ pub fn inverter_pair_deck(line: &LineSpec) -> Netlist {
         },
     });
     // Driver: large inverter (the paper's W/L = 100 for the first stage).
-    nl.elements
-        .extend(inverter("drv", "in", "line_in", "vdd", "0", "vdd", 100e-6, 200e-6));
+    nl.elements.extend(inverter(
+        "drv", "in", "line_in", "vdd", "0", "vdd", 100e-6, 200e-6,
+    ));
     nl.elements
         .extend(rc_line_elements(line, "line_in", "line_out", "ln"));
     // Receiver inverter.
-    nl.elements
-        .extend(inverter("rcv", "line_out", "out", "vdd", "0", "vdd", 4e-6, 8e-6));
+    nl.elements.extend(inverter(
+        "rcv", "line_out", "out", "vdd", "0", "vdd", 4e-6, 8e-6,
+    ));
     // Small output load.
     nl.elements
         .push(Element::capacitor("Cload", "out", "0", 20e-15));
@@ -204,13 +201,15 @@ pub fn no_line_deck() -> Netlist {
             },
         },
     });
-    nl.elements
-        .extend(inverter("drv", "in", "mid", "vdd", "0", "vdd", 100e-6, 200e-6));
+    nl.elements.extend(inverter(
+        "drv", "in", "mid", "vdd", "0", "vdd", 100e-6, 200e-6,
+    ));
     // Tiny series resistor so `mid` keeps the same port classification.
     nl.elements
         .push(Element::resistor("Rwire", "mid", "mid2", 1e-3));
-    nl.elements
-        .extend(inverter("rcv", "mid2", "out", "vdd", "0", "vdd", 4e-6, 8e-6));
+    nl.elements.extend(inverter(
+        "rcv", "mid2", "out", "vdd", "0", "vdd", 4e-6, 8e-6,
+    ));
     nl.elements
         .push(Element::capacitor("Cload", "out", "0", 20e-15));
     nl

@@ -239,14 +239,21 @@ fn contact_sites(spec: &MeshSpec) -> Vec<(usize, usize)> {
             if sites.len() >= k {
                 break 'outer;
             }
-            let cx = ((gx * spec.nx) / side + rng.gen_index((spec.nx / side).max(1)))
-                .min(spec.nx - 1);
-            let cy = ((gy * spec.ny) / side + rng.gen_index((spec.ny / side).max(1)))
-                .min(spec.ny - 1);
+            let cx =
+                ((gx * spec.nx) / side + rng.gen_index((spec.nx / side).max(1))).min(spec.nx - 1);
+            let cy =
+                ((gy * spec.ny) / side + rng.gen_index((spec.ny / side).max(1))).min(spec.ny - 1);
             let mut p = (cx, cy);
             // Resolve collisions by scanning forward.
             while used.contains(&p) {
-                p = ((p.0 + 1) % spec.nx, if p.0 + 1 == spec.nx { (p.1 + 1) % spec.ny } else { p.1 });
+                p = (
+                    (p.0 + 1) % spec.nx,
+                    if p.0 + 1 == spec.nx {
+                        (p.1 + 1) % spec.ny
+                    } else {
+                        p.1
+                    },
+                );
             }
             used.insert(p);
             sites.push(p);

@@ -243,10 +243,8 @@ mod tests {
         )
         .unwrap();
         assert!(red.model.is_passive(1e-8));
-        let reduced = pact_netlist::splice_reduced(
-            &deck.netlist,
-            red.model.to_netlist_elements("pg", 1e-9),
-        );
+        let reduced =
+            pact_netlist::splice_reduced(&deck.netlist, red.model.to_netlist_elements("pg", 1e-9));
         let run = |nl: &pact_netlist::Netlist| {
             let ckt = Circuit::from_netlist(nl).unwrap();
             let tr = ckt.transient(50e-12, 4e-9).unwrap();

@@ -45,8 +45,11 @@ fn mesh_reduction_tracks_exact_admittance() {
     let parts = Partitions::split(&net.stamp());
     let full = FullAdmittance::new(&parts);
     let fmax = 1e9;
-    let red = pact::reduce_network(&net, &ReduceOptions::new(CutoffSpec::new(fmax, 0.05).unwrap()))
-        .unwrap();
+    let red = pact::reduce_network(
+        &net,
+        &ReduceOptions::new(CutoffSpec::new(fmax, 0.05).unwrap()),
+    )
+    .unwrap();
     for k in 1..=6 {
         let f = fmax * k as f64 / 6.0;
         let ye = full.y_at(f).unwrap();

@@ -5,7 +5,7 @@
 //! partitions work deterministically and never reassociates floating
 //! point across a thread boundary, so `assert_eq!` on `f64` is exact.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions, ReducedModel};
+use pact::{CutoffSpec, EigenStrategy, ReduceOptions, Reduction};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{Branch, RcNetwork};
@@ -71,22 +71,42 @@ fn ladder_fixture() -> RcNetwork {
     }
 }
 
-fn reduce_with_threads(net: &RcNetwork, eigen: &EigenStrategy, threads: usize) -> ReducedModel {
+fn reduce_with_threads(net: &RcNetwork, eigen: &EigenStrategy, threads: usize) -> Reduction {
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(2e9, 0.05).unwrap(),
         eigen: eigen.clone(),
         ordering: pact_sparse::Ordering::NestedDissection,
         dense_threshold: 0,
         threads: Some(threads),
+        pivot_relief: None,
     };
-    pact::reduce_network(net, &opts).unwrap().model
+    pact::reduce_network(net, &opts).unwrap()
 }
 
-fn assert_bit_identical(base: &ReducedModel, other: &ReducedModel, what: &str) {
-    assert_eq!(base.a1, other.a1, "{what}: A' differs");
-    assert_eq!(base.b1, other.b1, "{what}: B' differs");
-    assert_eq!(base.lambdas, other.lambdas, "{what}: poles differ");
-    assert_eq!(base.r2, other.r2, "{what}: R'' differs");
+fn assert_bit_identical(base: &Reduction, other: &Reduction, what: &str) {
+    assert_eq!(base.model.a1, other.model.a1, "{what}: A' differs");
+    assert_eq!(base.model.b1, other.model.b1, "{what}: B' differs");
+    assert_eq!(
+        base.model.lambdas, other.model.lambdas,
+        "{what}: poles differ"
+    );
+    assert_eq!(base.model.r2, other.model.r2, "{what}: R'' differs");
+    // The deterministic telemetry subset (counters + warnings, no wall
+    // times) must also be invariant: identical structured values and an
+    // identical serialized JSON byte string.
+    assert_eq!(
+        base.telemetry.counters, other.telemetry.counters,
+        "{what}: telemetry counters differ"
+    );
+    assert_eq!(
+        base.telemetry.warnings, other.telemetry.warnings,
+        "{what}: telemetry warnings differ"
+    );
+    assert_eq!(
+        base.telemetry.counters_json_string(),
+        other.telemetry.counters_json_string(),
+        "{what}: serialized telemetry differs"
+    );
 }
 
 fn check_fixture(net: &RcNetwork, label: &str) {
@@ -96,8 +116,12 @@ fn check_fixture(net: &RcNetwork, label: &str) {
     ] {
         let base = reduce_with_threads(net, &eigen, 1);
         assert!(
-            !base.lambdas.is_empty(),
+            !base.model.lambdas.is_empty(),
             "{label}/{ename}: fixture retains no poles — fixture too small to exercise the pipeline"
+        );
+        assert!(
+            base.telemetry.counters.poles_retained > 0,
+            "{label}/{ename}: telemetry counters not populated"
         );
         for threads in [2usize, 4, 8] {
             let par = reduce_with_threads(net, &eigen, threads);

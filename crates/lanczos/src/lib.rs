@@ -173,7 +173,10 @@ impl std::fmt::Display for LanczosError {
         match self {
             LanczosError::Tridiagonal(e) => write!(f, "tridiagonal eigensolver failed: {e}"),
             LanczosError::NotConverged { iterations } => {
-                write!(f, "lanczos failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "lanczos failed to converge after {iterations} iterations"
+                )
             }
         }
     }
@@ -238,7 +241,15 @@ pub fn eigs_above_with_stats(
             break;
         }
         let before = converged.len();
-        let outcome = lanczos_run(op, lambda_min, cfg, &mut converged, &mut rng, &mut stats, &ctx)?;
+        let outcome = lanczos_run(
+            op,
+            lambda_min,
+            cfg,
+            &mut converged,
+            &mut rng,
+            &mut stats,
+            &ctx,
+        )?;
         let found_new = converged.len() > before;
         match outcome {
             RunOutcome::Stalled => break,

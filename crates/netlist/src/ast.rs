@@ -52,6 +52,18 @@ impl Netlist {
         self.elements.iter().filter(|e| pred(e)).count()
     }
 
+    /// Element names (lower-cased) used by more than one card, with their
+    /// use counts, in sorted name order. SPICE semantics stamp duplicate
+    /// cards cumulatively, which is usually an extraction bug worth
+    /// flagging — callers surface these as warnings.
+    pub fn duplicate_element_names(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for e in &self.elements {
+            *counts.entry(e.name.to_ascii_lowercase()).or_insert(0) += 1;
+        }
+        counts.into_iter().filter(|(_, c)| *c > 1).collect()
+    }
+
     /// Expands every subcircuit instance into flat elements.
     ///
     /// Instance-internal nodes are renamed `<instance-path>.<node>`;
@@ -72,7 +84,13 @@ impl Netlist {
             instances: Vec::new(),
         };
         for inst in &self.instances {
-            expand_instance(inst, &self.subckts, &inst.name.to_ascii_lowercase(), 0, &mut out)?;
+            expand_instance(
+                inst,
+                &self.subckts,
+                &inst.name.to_ascii_lowercase(),
+                0,
+                &mut out,
+            )?;
         }
         Ok(out)
     }
@@ -202,7 +220,10 @@ impl fmt::Display for FlattenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlattenError::UnknownSubckt { instance, subckt } => {
-                write!(f, "instance {instance} references unknown subckt `{subckt}`")
+                write!(
+                    f,
+                    "instance {instance} references unknown subckt `{subckt}`"
+                )
             }
             FlattenError::PortMismatch {
                 instance,
@@ -238,7 +259,12 @@ pub struct Element {
 
 impl Element {
     /// Creates a resistor element.
-    pub fn resistor(name: impl Into<String>, a: impl Into<String>, b: impl Into<String>, ohms: f64) -> Self {
+    pub fn resistor(
+        name: impl Into<String>,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        ohms: f64,
+    ) -> Self {
         Element {
             name: name.into(),
             kind: ElementKind::Resistor {
@@ -250,7 +276,12 @@ impl Element {
     }
 
     /// Creates a capacitor element.
-    pub fn capacitor(name: impl Into<String>, a: impl Into<String>, b: impl Into<String>, farads: f64) -> Self {
+    pub fn capacitor(
+        name: impl Into<String>,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        farads: f64,
+    ) -> Self {
         Element {
             name: name.into(),
             kind: ElementKind::Capacitor {
@@ -436,7 +467,9 @@ impl Waveform {
                 }
                 points.last().unwrap().1
             }
-            Waveform::Sin { vo, va, freq } => vo + va * (2.0 * std::f64::consts::PI * freq * t).sin(),
+            Waveform::Sin { vo, va, freq } => {
+                vo + va * (2.0 * std::f64::consts::PI * freq * t).sin()
+            }
         }
     }
 
@@ -450,7 +483,12 @@ impl Waveform {
         match self {
             Waveform::Dc(_) | Waveform::Sin { .. } => Vec::new(),
             Waveform::Pulse {
-                td, tr, tf, pw, per, ..
+                td,
+                tr,
+                tf,
+                pw,
+                per,
+                ..
             } => {
                 let mut out = Vec::new();
                 let period = if *per > 0.0 { *per } else { f64::INFINITY };

@@ -66,6 +66,14 @@ pub enum NetworkError {
         /// Offending value in farads.
         farads: f64,
     },
+    /// An element value is NaN or infinite; stamping it would poison the
+    /// matrices (and NaN eigenvalues are unorderable downstream).
+    NonFiniteValue {
+        /// Element name.
+        name: String,
+        /// The offending value.
+        value: f64,
+    },
     /// The network has no port nodes; reduction would erase it entirely.
     NoPorts,
 }
@@ -78,6 +86,9 @@ impl std::fmt::Display for NetworkError {
             }
             NetworkError::NegativeCapacitor { name, farads } => {
                 write!(f, "capacitor {name} has negative value {farads}")
+            }
+            NetworkError::NonFiniteValue { name, value } => {
+                write!(f, "element {name} has non-finite value {value}")
             }
             NetworkError::NoPorts => write!(f, "RC network has no port nodes"),
             NetworkError::NotFlattened { instance } => write!(
@@ -173,6 +184,12 @@ pub fn extract_rc(netlist: &Netlist, extra_ports: &[&str]) -> Result<Extraction,
     for e in &netlist.elements {
         match &e.kind {
             ElementKind::Resistor { a, b, ohms } => {
+                if !ohms.is_finite() {
+                    return Err(NetworkError::NonFiniteValue {
+                        name: e.name.clone(),
+                        value: *ohms,
+                    });
+                }
                 if *ohms <= 0.0 {
                     return Err(NetworkError::NonPositiveResistor {
                         name: e.name.clone(),
@@ -186,6 +203,12 @@ pub fn extract_rc(netlist: &Netlist, extra_ports: &[&str]) -> Result<Extraction,
                 });
             }
             ElementKind::Capacitor { a, b, farads } => {
+                if !farads.is_finite() {
+                    return Err(NetworkError::NonFiniteValue {
+                        name: e.name.clone(),
+                        value: *farads,
+                    });
+                }
                 if *farads < 0.0 {
                     return Err(NetworkError::NegativeCapacitor {
                         name: e.name.clone(),
@@ -299,9 +322,16 @@ impl RcNetwork {
         // Build each component with ports first (preserving global order).
         let mut components = Vec::with_capacity(groups.len());
         for nodes in groups.values() {
-            let ports: Vec<usize> = nodes.iter().copied().filter(|&v| v < self.num_ports).collect();
-            let internals: Vec<usize> =
-                nodes.iter().copied().filter(|&v| v >= self.num_ports).collect();
+            let ports: Vec<usize> = nodes
+                .iter()
+                .copied()
+                .filter(|&v| v < self.num_ports)
+                .collect();
+            let internals: Vec<usize> = nodes
+                .iter()
+                .copied()
+                .filter(|&v| v >= self.num_ports)
+                .collect();
             let mut remap = vec![usize::MAX; n];
             let mut node_names = Vec::with_capacity(nodes.len());
             for (new, &old) in ports.iter().chain(&internals).enumerate() {

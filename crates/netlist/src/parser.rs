@@ -7,7 +7,9 @@
 
 use std::collections::BTreeMap;
 
-use crate::ast::{Analysis, Element, ElementKind, MosModel, Netlist, Subckt, SubcktInstance, Waveform};
+use crate::ast::{
+    Analysis, Element, ElementKind, MosModel, Netlist, Subckt, SubcktInstance, Waveform,
+};
 use crate::units::parse_value;
 
 /// Error from parsing a SPICE deck, with 1-based line information.
@@ -15,13 +17,20 @@ use crate::units::parse_value;
 pub struct ParseNetlistError {
     /// 1-based source line of the offending card.
     pub line: usize,
+    /// 1-based column of the offending token within that line, or 0 when
+    /// the error applies to the card as a whole.
+    pub col: usize,
     /// Human-readable description.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -62,8 +71,9 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
 
     let mut nl = Netlist::default();
     // Subcircuit scope: while inside `.subckt … .ends`, cards land in a
-    // scratch netlist that becomes the definition body.
-    let mut subckt_stack: Vec<(Subckt, Netlist)> = Vec::new();
+    // scratch netlist that becomes the definition body. The line number of
+    // the opening `.subckt` card rides along for error attribution.
+    let mut subckt_stack: Vec<(usize, Subckt, Netlist)> = Vec::new();
     let mut first = true;
     for (lineno, line) in logical {
         let trimmed = line.trim();
@@ -96,6 +106,7 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
                 return Err(err(lineno, ".subckt needs a name"));
             }
             subckt_stack.push((
+                lineno,
                 Subckt {
                     name: toks[1].to_ascii_lowercase(),
                     ports: toks[2..].iter().map(|t| (*t).to_owned()).collect(),
@@ -107,33 +118,35 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
             continue;
         }
         if lower.starts_with(".ends") {
-            let (mut def, scope) = subckt_stack
+            let (def_line, mut def, scope) = subckt_stack
                 .pop()
                 .ok_or_else(|| err(lineno, ".ends without matching .subckt"))?;
             def.elements = scope.elements;
             def.instances = scope.instances;
             // Models declared inside a subckt are hoisted to global scope
-            // (HSPICE semantics for our purposes).
+            // (HSPICE semantics for our purposes). Definitions always
+            // register globally, even when nested.
             nl.models.extend(scope.models);
-            let target = match subckt_stack.last_mut() {
-                Some((_, outer_scope)) => outer_scope,
-                None => &mut nl,
-            };
-            let _ = target; // definitions always register globally
+            if nl.subckts.contains_key(&def.name) {
+                return Err(err(
+                    def_line,
+                    format!("duplicate .subckt definition `{}`", def.name),
+                ));
+            }
             nl.subckts.insert(def.name.clone(), def);
             continue;
         }
         let target = match subckt_stack.last_mut() {
-            Some((_, scope)) => scope,
+            Some((_, _, scope)) => scope,
             None => &mut nl,
         };
         parse_card(body, lineno, target)?;
     }
-    if let Some((def, _)) = subckt_stack.last() {
-        return Err(ParseNetlistError {
-            line: 0,
-            message: format!("unterminated .subckt `{}`", def.name),
-        });
+    if let Some((def_line, def, _)) = subckt_stack.last() {
+        return Err(err(
+            *def_line,
+            format!("unterminated .subckt `{}`", def.name),
+        ));
     }
     Ok(nl)
 }
@@ -148,22 +161,45 @@ fn looks_like_card(line: &str) -> bool {
 fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
     ParseNetlistError {
         line,
+        col: 0,
         message: message.into(),
     }
 }
 
+fn err_at(line: usize, col: usize, message: impl Into<String>) -> ParseNetlistError {
+    ParseNetlistError {
+        line,
+        col,
+        message: message.into(),
+    }
+}
+
+/// 1-based column of `token`'s first occurrence in the original card body.
+///
+/// Tokenization happens on a copy with `(`/`)`/`=` padded out, so token
+/// positions in the token stream do not map back to source columns; the
+/// token *text* is unchanged, though, so a substring search on the
+/// original body recovers the column. Returns 0 (unknown) if the token
+/// cannot be located.
+fn col_of(body: &str, token: &str) -> usize {
+    body.find(token).map(|p| p + 1).unwrap_or(0)
+}
+
 fn parse_card(body: &str, line: usize, nl: &mut Netlist) -> Result<(), ParseNetlistError> {
     // Normalize parentheses into separate tokens for PULSE(...) forms.
-    let spaced = body.replace('(', " ( ").replace(')', " ) ").replace('=', " = ");
+    let spaced = body
+        .replace('(', " ( ")
+        .replace(')', " ) ")
+        .replace('=', " = ");
     let tokens: Vec<&str> = spaced.split_whitespace().collect();
     if tokens.is_empty() {
         return Ok(());
     }
     let head = tokens[0].to_ascii_lowercase();
     match head.chars().next().unwrap() {
-        '.' => parse_dot_card(&head, &tokens, line, nl),
+        '.' => parse_dot_card(&head, &tokens, body, line, nl),
         'r' => {
-            let (a, b, v) = two_node_value(&tokens, line)?;
+            let (a, b, v) = two_node_value(&tokens, body, line)?;
             nl.elements.push(Element {
                 name: tokens[0].to_owned(),
                 kind: ElementKind::Resistor { a, b, ohms: v },
@@ -171,14 +207,14 @@ fn parse_card(body: &str, line: usize, nl: &mut Netlist) -> Result<(), ParseNetl
             Ok(())
         }
         'c' => {
-            let (a, b, v) = two_node_value(&tokens, line)?;
+            let (a, b, v) = two_node_value(&tokens, body, line)?;
             nl.elements.push(Element {
                 name: tokens[0].to_owned(),
                 kind: ElementKind::Capacitor { a, b, farads: v },
             });
             Ok(())
         }
-        'm' => parse_mosfet(&tokens, line, nl),
+        'm' => parse_mosfet(&tokens, body, line, nl),
         'x' => {
             if tokens.len() < 3 {
                 return Err(err(line, "expected `Xname node... subckt`"));
@@ -194,7 +230,7 @@ fn parse_card(body: &str, line: usize, nl: &mut Netlist) -> Result<(), ParseNetl
             Ok(())
         }
         'v' | 'i' => {
-            let wave = parse_waveform(&tokens[3..], line)?;
+            let wave = parse_waveform(&tokens[3..], body, line)?;
             let kind = if head.starts_with('v') {
                 ElementKind::VSource {
                     p: tokens[1].to_owned(),
@@ -220,16 +256,23 @@ fn parse_card(body: &str, line: usize, nl: &mut Netlist) -> Result<(), ParseNetl
 
 fn two_node_value(
     tokens: &[&str],
+    body: &str,
     line: usize,
 ) -> Result<(String, String, f64), ParseNetlistError> {
     if tokens.len() < 4 {
         return Err(err(line, "expected `NAME node1 node2 value`"));
     }
-    let v = parse_value(tokens[3]).map_err(|e| err(line, e.to_string()))?;
+    let v =
+        parse_value(tokens[3]).map_err(|e| err_at(line, col_of(body, tokens[3]), e.to_string()))?;
     Ok((tokens[1].to_owned(), tokens[2].to_owned(), v))
 }
 
-fn parse_mosfet(tokens: &[&str], line: usize, nl: &mut Netlist) -> Result<(), ParseNetlistError> {
+fn parse_mosfet(
+    tokens: &[&str],
+    body: &str,
+    line: usize,
+    nl: &mut Netlist,
+) -> Result<(), ParseNetlistError> {
     if tokens.len() < 6 {
         return Err(err(line, "expected `Mname d g s b model [w= l=]`"));
     }
@@ -239,7 +282,8 @@ fn parse_mosfet(tokens: &[&str], line: usize, nl: &mut Netlist) -> Result<(), Pa
     while i < tokens.len() {
         let key = tokens[i].to_ascii_lowercase();
         if (key == "w" || key == "l") && i + 2 < tokens.len() && tokens[i + 1] == "=" {
-            let v = parse_value(tokens[i + 2]).map_err(|e| err(line, e.to_string()))?;
+            let v = parse_value(tokens[i + 2])
+                .map_err(|e| err_at(line, col_of(body, tokens[i + 2]), e.to_string()))?;
             if key == "w" {
                 w = v;
             } else {
@@ -250,7 +294,8 @@ fn parse_mosfet(tokens: &[&str], line: usize, nl: &mut Netlist) -> Result<(), Pa
             // w=10u glued form survives `=` spacing replacement only when
             // the token had no `=`; handle defensively.
             let (k, v) = key.split_at(eqpos);
-            let v = parse_value(&v[1..]).map_err(|e| err(line, e.to_string()))?;
+            let v = parse_value(&v[1..])
+                .map_err(|e| err_at(line, col_of(body, tokens[i]), e.to_string()))?;
             match k {
                 "w" => w = v,
                 "l" => l = v,
@@ -276,7 +321,7 @@ fn parse_mosfet(tokens: &[&str], line: usize, nl: &mut Netlist) -> Result<(), Pa
     Ok(())
 }
 
-fn parse_waveform(tokens: &[&str], line: usize) -> Result<Waveform, ParseNetlistError> {
+fn parse_waveform(tokens: &[&str], body: &str, line: usize) -> Result<Waveform, ParseNetlistError> {
     if tokens.is_empty() {
         return Ok(Waveform::Dc(0.0));
     }
@@ -286,11 +331,13 @@ fn parse_waveform(tokens: &[&str], line: usize) -> Result<Waveform, ParseNetlist
             let v = tokens
                 .get(1)
                 .ok_or_else(|| err(line, "dc needs a value"))
-                .and_then(|t| parse_value(t).map_err(|e| err(line, e.to_string())))?;
+                .and_then(|t| {
+                    parse_value(t).map_err(|e| err_at(line, col_of(body, t), e.to_string()))
+                })?;
             Ok(Waveform::Dc(v))
         }
         "pulse" => {
-            let vals = numeric_args(&tokens[1..], line)?;
+            let vals = numeric_args(&tokens[1..], body, line)?;
             if vals.len() < 2 {
                 return Err(err(line, "pulse needs at least v1 v2"));
             }
@@ -306,7 +353,7 @@ fn parse_waveform(tokens: &[&str], line: usize) -> Result<Waveform, ParseNetlist
             })
         }
         "pwl" => {
-            let vals = numeric_args(&tokens[1..], line)?;
+            let vals = numeric_args(&tokens[1..], body, line)?;
             if vals.len() % 2 != 0 {
                 return Err(err(line, "pwl needs time/value pairs"));
             }
@@ -319,7 +366,7 @@ fn parse_waveform(tokens: &[&str], line: usize) -> Result<Waveform, ParseNetlist
             Ok(Waveform::Pwl(pts))
         }
         "sin" => {
-            let vals = numeric_args(&tokens[1..], line)?;
+            let vals = numeric_args(&tokens[1..], body, line)?;
             if vals.len() < 3 {
                 return Err(err(line, "sin needs vo va freq"));
             }
@@ -331,19 +378,20 @@ fn parse_waveform(tokens: &[&str], line: usize) -> Result<Waveform, ParseNetlist
         }
         _ => {
             // Bare value: `V1 a 0 5`.
-            let v = parse_value(tokens[0]).map_err(|e| err(line, e.to_string()))?;
+            let v = parse_value(tokens[0])
+                .map_err(|e| err_at(line, col_of(body, tokens[0]), e.to_string()))?;
             Ok(Waveform::Dc(v))
         }
     }
 }
 
-fn numeric_args(tokens: &[&str], line: usize) -> Result<Vec<f64>, ParseNetlistError> {
+fn numeric_args(tokens: &[&str], body: &str, line: usize) -> Result<Vec<f64>, ParseNetlistError> {
     let mut out = Vec::new();
     for t in tokens {
         if *t == "(" || *t == ")" {
             continue;
         }
-        out.push(parse_value(t).map_err(|e| err(line, e.to_string()))?);
+        out.push(parse_value(t).map_err(|e| err_at(line, col_of(body, t), e.to_string()))?);
     }
     Ok(out)
 }
@@ -351,6 +399,7 @@ fn numeric_args(tokens: &[&str], line: usize) -> Result<Vec<f64>, ParseNetlistEr
 fn parse_dot_card(
     head: &str,
     tokens: &[&str],
+    body: &str,
     line: usize,
     nl: &mut Netlist,
 ) -> Result<(), ParseNetlistError> {
@@ -364,10 +413,16 @@ fn parse_dot_card(
             let mut model = match kind.as_str() {
                 "nmos" => MosModel::default_nmos(name.clone()),
                 "pmos" => MosModel::default_pmos(name.clone()),
-                other => return Err(err(line, format!("unsupported model type `{other}`"))),
+                other => {
+                    return Err(err_at(
+                        line,
+                        col_of(body, tokens[2]),
+                        format!("unsupported model type `{other}`"),
+                    ))
+                }
             };
             // key = value pairs (already `=`-spaced).
-            let params = collect_params(&tokens[3..], line)?;
+            let params = collect_params(&tokens[3..], body, line)?;
             for (k, v) in params {
                 match k.as_str() {
                     "vto" | "vt0" => model.vto = v,
@@ -382,7 +437,7 @@ fn parse_dot_card(
             Ok(())
         }
         ".tran" => {
-            let vals = numeric_args(&tokens[1..], line)?;
+            let vals = numeric_args(&tokens[1..], body, line)?;
             if vals.len() < 2 {
                 return Err(err(line, ".tran needs tstep tstop"));
             }
@@ -398,9 +453,11 @@ fn parse_dot_card(
             }
             let n: usize = tokens[2]
                 .parse()
-                .map_err(|_| err(line, "invalid point count"))?;
-            let fstart = parse_value(tokens[3]).map_err(|e| err(line, e.to_string()))?;
-            let fstop = parse_value(tokens[4]).map_err(|e| err(line, e.to_string()))?;
+                .map_err(|_| err_at(line, col_of(body, tokens[2]), "invalid point count"))?;
+            let fstart = parse_value(tokens[3])
+                .map_err(|e| err_at(line, col_of(body, tokens[3]), e.to_string()))?;
+            let fstop = parse_value(tokens[4])
+                .map_err(|e| err_at(line, col_of(body, tokens[4]), e.to_string()))?;
             nl.analyses.push(Analysis::AcDec {
                 points_per_decade: n,
                 fstart,
@@ -415,6 +472,7 @@ fn parse_dot_card(
 
 fn collect_params(
     tokens: &[&str],
+    body: &str,
     line: usize,
 ) -> Result<BTreeMap<String, f64>, ParseNetlistError> {
     let mut out = BTreeMap::new();
@@ -426,11 +484,16 @@ fn collect_params(
             continue;
         }
         if i + 2 < tokens.len() && tokens[i + 1] == "=" {
-            let v = parse_value(tokens[i + 2]).map_err(|e| err(line, e.to_string()))?;
+            let v = parse_value(tokens[i + 2])
+                .map_err(|e| err_at(line, col_of(body, tokens[i + 2]), e.to_string()))?;
             out.insert(t.to_ascii_lowercase(), v);
             i += 3;
         } else if i + 2 == tokens.len() && tokens[i + 1] == "=" {
-            return Err(err(line, format!("parameter `{t}` missing value")));
+            return Err(err_at(
+                line,
+                col_of(body, t),
+                format!("parameter `{t}` missing value"),
+            ));
         } else {
             i += 1;
         }
@@ -507,7 +570,8 @@ Vdd vdd 0 5
 
     #[test]
     fn parses_sources() {
-        let deck = "* s\nV1 a 0 5\nV2 b 0 dc 3.3\nI1 c 0 pwl(0 0 1n 1m)\nV3 d 0 sin(0 1 1meg)\n.end\n";
+        let deck =
+            "* s\nV1 a 0 5\nV2 b 0 dc 3.3\nI1 c 0 pwl(0 0 1n 1m)\nV3 d 0 sin(0 1 1meg)\n.end\n";
         let nl = parse(deck).unwrap();
         assert_eq!(nl.elements.len(), 4);
         match &nl.elements[0].kind {
@@ -549,6 +613,43 @@ Vdd vdd 0 5
     }
 
     #[test]
+    fn value_errors_carry_columns() {
+        // `abc` starts at column 8 of `R1 a b abc`.
+        let e = parse("* t\nR1 a b abc\n.end\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 8);
+        assert!(e.to_string().starts_with("line 2, col 8:"));
+        // Card-level errors have no column and omit it from the message.
+        let e = parse("* t\nR1 a b\n.end\n").unwrap_err();
+        assert_eq!(e.col, 0);
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn duplicate_subckt_definition_is_error() {
+        let deck = "\
+* t
+.subckt cell a b
+R1 a b 1k
+.ends
+.subckt cell a b
+R1 a b 2k
+.ends
+.end
+";
+        let e = parse(deck).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("duplicate .subckt definition `cell`"));
+    }
+
+    #[test]
+    fn unterminated_subckt_reports_opening_line() {
+        let e = parse("* t\nR1 a 0 1k\n.subckt cell a b\nR2 a b 1k\n.end\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
     fn ignores_unknown_dot_cards_and_comments() {
         let deck = "* t\n.options post\nR1 a 0 1k $ load\n* comment\n.print v(a)\n.end\n";
         let nl = parse(deck).unwrap();
@@ -583,10 +684,9 @@ V1 in 0 pulse(0 5 0 1n 1n 3n 10n)
         // Values survive the round trip.
         for (a, b) in nl.elements.iter().zip(&nl2.elements) {
             match (&a.kind, &b.kind) {
-                (
-                    ElementKind::Resistor { ohms: x, .. },
-                    ElementKind::Resistor { ohms: y, .. },
-                ) => assert!((x - y).abs() < 1e-9 * x.abs()),
+                (ElementKind::Resistor { ohms: x, .. }, ElementKind::Resistor { ohms: y, .. }) => {
+                    assert!((x - y).abs() < 1e-9 * x.abs())
+                }
                 (
                     ElementKind::Capacitor { farads: x, .. },
                     ElementKind::Capacitor { farads: y, .. },

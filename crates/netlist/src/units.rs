@@ -51,9 +51,7 @@ pub fn parse_value(token: &str) -> Result<f64, ParseValueError> {
             || ((c == 'e' || c == 'E')
                 && seen_digit
                 && i + 1 < bytes.len()
-                && (bytes[i + 1].is_ascii_digit()
-                    || bytes[i + 1] == b'+'
-                    || bytes[i + 1] == b'-'));
+                && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == b'+' || bytes[i + 1] == b'-'));
         if c.is_ascii_digit() {
             seen_digit = true;
         }
@@ -188,10 +186,7 @@ mod tests {
         ] {
             let s = format_value(v);
             let back = parse_value(&s).unwrap();
-            assert!(
-                (back - v).abs() <= 1e-6 * v.abs(),
-                "{v} -> {s} -> {back}"
-            );
+            assert!((back - v).abs() <= 1e-6 * v.abs(), "{v} -> {s} -> {back}");
         }
         assert_eq!(format_value(0.0), "0");
     }

@@ -23,12 +23,7 @@ use crate::ast::Element;
 ///
 /// Panics if the matrices are not square and matching `node_names` in
 /// size.
-pub fn unstamp(
-    g: &DMat<f64>,
-    c: &DMat<f64>,
-    node_names: &[String],
-    prefix: &str,
-) -> Vec<Element> {
+pub fn unstamp(g: &DMat<f64>, c: &DMat<f64>, node_names: &[String], prefix: &str) -> Vec<Element> {
     let n = node_names.len();
     assert_eq!(g.nrows(), n, "G size mismatch");
     assert_eq!(g.ncols(), n, "G size mismatch");
@@ -184,11 +179,7 @@ mod tests {
     #[test]
     fn simple_roundtrip() {
         // The paper's eq. (20) G matrix (in siemens) — diagonal-dominant.
-        let g = DMat::from_rows(&[
-            &[4e-3, -4e-3, 0.0],
-            &[-4e-3, 4e-3, 0.0],
-            &[0.0, 0.0, 32e-3],
-        ]);
+        let g = DMat::from_rows(&[&[4e-3, -4e-3, 0.0], &[-4e-3, 4e-3, 0.0], &[0.0, 0.0, 32e-3]]);
         let c = DMat::from_rows(&[
             &[443e-15, 225e-15, -547e-15],
             &[225e-15, 457e-15, -547e-15],
@@ -197,9 +188,9 @@ mod tests {
         let names: Vec<String> = vec!["p1".into(), "p2".into(), "i1".into()];
         let elements = unstamp(&g, &c, &names, "r");
         // The +225f off-diagonal must emit a negative capacitor.
-        let neg_cap = elements.iter().any(|e| {
-            matches!(e.kind, ElementKind::Capacitor { farads, .. } if farads < 0.0)
-        });
+        let neg_cap = elements
+            .iter()
+            .any(|e| matches!(e.kind, ElementKind::Capacitor { farads, .. } if farads < 0.0));
         assert!(neg_cap, "expected a negative capacitor for +C off-diagonal");
         roundtrip_check(&g, &c, &names);
     }
@@ -233,11 +224,7 @@ mod tests {
 
     #[test]
     fn sparsify_drops_and_compensates() {
-        let mut m = DMat::from_rows(&[
-            &[1.0, -1e-6, -0.5],
-            &[-1e-6, 1.0, 0.0],
-            &[-0.5, 0.0, 1.0],
-        ]);
+        let mut m = DMat::from_rows(&[&[1.0, -1e-6, -0.5], &[-1e-6, 1.0, 0.0], &[-0.5, 0.0, 1.0]]);
         let dropped = sparsify_preserving_passivity(&mut m, 1e-3);
         assert_eq!(dropped, 1);
         assert_eq!(m[(0, 1)], 0.0);
@@ -245,10 +232,7 @@ mod tests {
         assert!((m[(0, 0)] - (1.0 + 1e-6)).abs() < 1e-15);
         // Still weakly diagonally dominant.
         for i in 0..3 {
-            let off: f64 = (0..3)
-                .filter(|&j| j != i)
-                .map(|j| m[(i, j)].abs())
-                .sum();
+            let off: f64 = (0..3).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
             assert!(m[(i, i)] >= off);
         }
     }

@@ -6,9 +6,7 @@
 //! failures reproduce exactly. The default sweep is small enough for the
 //! tier-1 suite; the `slow-tests` feature widens it.
 
-use pact_netlist::{
-    extract_rc, parse, unstamp, Branch, Element, ElementKind, Netlist, RcNetwork,
-};
+use pact_netlist::{extract_rc, parse, unstamp, Branch, Element, ElementKind, Netlist, RcNetwork};
 use pact_sparse::{DMat, TripletMat, XorShiftRng};
 
 #[cfg(feature = "slow-tests")]
@@ -41,8 +39,12 @@ fn node_name(rng: &mut XorShiftRng) -> String {
 fn write_parse_roundtrip_rc() {
     for seed in seeds() {
         let mut rng = XorShiftRng::seed_from_u64(seed);
-        let names: Vec<String> = (0..2 + rng.gen_index(6)).map(|_| node_name(&mut rng)).collect();
-        let values: Vec<f64> = (0..1 + rng.gen_index(11)).map(|_| value(&mut rng)).collect();
+        let names: Vec<String> = (0..2 + rng.gen_index(6))
+            .map(|_| node_name(&mut rng))
+            .collect();
+        let values: Vec<f64> = (0..1 + rng.gen_index(11))
+            .map(|_| value(&mut rng))
+            .collect();
         // Build a deck of R/C elements over the node pool and one source.
         let mut nl = Netlist::new("roundtrip");
         nl.elements.push(Element {
@@ -60,9 +62,11 @@ fn write_parse_roundtrip_rc() {
                 continue;
             }
             if k % 2 == 0 {
-                nl.elements.push(Element::resistor(format!("R{k}"), a, b, *v));
+                nl.elements
+                    .push(Element::resistor(format!("R{k}"), a, b, *v));
             } else {
-                nl.elements.push(Element::capacitor(format!("C{k}"), a, b, *v));
+                nl.elements
+                    .push(Element::capacitor(format!("C{k}"), a, b, *v));
             }
         }
         let text = nl.to_string();

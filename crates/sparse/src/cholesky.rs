@@ -20,6 +20,10 @@ pub enum FactorError {
     NotPositiveDefinite {
         /// Elimination step (in permuted order) where the pivot failed.
         step: usize,
+        /// Row/column of the *original* (unpermuted) matrix whose pivot
+        /// failed — for RC networks this identifies the offending internal
+        /// node, enabling node attribution in error messages.
+        index: usize,
         /// The offending pivot value.
         pivot: f64,
     },
@@ -27,12 +31,22 @@ pub enum FactorError {
     NotSquare,
 }
 
+impl FactorError {
+    /// The original (unpermuted) row of the failing pivot, if any.
+    pub fn failed_index(&self) -> Option<usize> {
+        match self {
+            FactorError::NotPositiveDefinite { index, .. } => Some(*index),
+            FactorError::NotSquare => None,
+        }
+    }
+}
+
 impl std::fmt::Display for FactorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FactorError::NotPositiveDefinite { step, pivot } => write!(
+            FactorError::NotPositiveDefinite { step, index, pivot } => write!(
                 f,
-                "matrix is not positive definite: pivot {pivot:e} at step {step}"
+                "matrix is not positive definite: pivot {pivot:e} at step {step} (matrix row {index})"
             ),
             FactorError::NotSquare => write!(f, "matrix is not square"),
         }
@@ -40,6 +54,52 @@ impl std::fmt::Display for FactorError {
 }
 
 impl std::error::Error for FactorError {}
+
+/// Policy for quasi-singular pivots during factorization.
+///
+/// PACT's stability theorem assumes the internal conductance block `D` is
+/// strictly positive definite, but real extracted netlists carry internal
+/// nodes whose only DC path runs through enormous resistances: their
+/// pivots are positive yet orders of magnitude below the working
+/// precision of the rest of the factor. `PivotPolicy::Perturb` substitutes
+/// a documented floor for such pivots instead of failing, recording every
+/// substitution so callers can surface a warning. The perturbation is a
+/// diagonal modification `D → D + ΔD` with `ΔD ⪰ 0` supported on the
+/// degenerate nodes only, so the factored matrix stays symmetric positive
+/// definite and the congruence-transform passivity guarantee is preserved
+/// (the reduction is exact for the slightly-stiffened network).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PivotPolicy {
+    /// Fail with [`FactorError::NotPositiveDefinite`] on any pivot `≤ 0`
+    /// (the strict behavior of [`SparseCholesky::factor`]).
+    Error,
+    /// Replace any pivot below `rel_threshold · max_i |A_ii|` (including
+    /// non-positive and non-finite pivots) with that floor value and
+    /// record it. `rel_threshold` must be positive and finite.
+    Perturb {
+        /// Relative pivot floor, e.g. `1e-12`.
+        rel_threshold: f64,
+    },
+}
+
+/// One pivot substitution performed under [`PivotPolicy::Perturb`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerturbedPivot {
+    /// Row/column of the original (unpermuted) matrix.
+    pub index: usize,
+    /// The pivot value the elimination produced.
+    pub original: f64,
+    /// The floor value it was replaced with.
+    pub replaced_with: f64,
+}
+
+/// Diagnostics from [`SparseCholesky::factor_diagnosed`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FactorDiagnostics {
+    /// Every pivot substitution, in elimination order (deterministic for a
+    /// given matrix + ordering, independent of thread count).
+    pub perturbed: Vec<PerturbedPivot>,
+}
 
 /// A sparse Cholesky factorization `P A Pᵀ = L D Lᵀ` of a symmetric
 /// positive-definite matrix, with `L` unit lower triangular and `D > 0`
@@ -102,6 +162,31 @@ impl SparseCholesky {
         Self::factor_with_permutation(a, perm)
     }
 
+    /// Factors under an explicit [`PivotPolicy`], returning the factor
+    /// together with [`FactorDiagnostics`] describing any pivot
+    /// substitutions. With [`PivotPolicy::Error`] this is exactly
+    /// [`SparseCholesky::factor`] (and the diagnostics are empty).
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::NotPositiveDefinite`] under [`PivotPolicy::Error`]
+    /// when a pivot `≤ 0` is found, [`FactorError::NotSquare`] for
+    /// rectangular input. Under [`PivotPolicy::Perturb`] pivot failures
+    /// are repaired rather than reported, so only [`FactorError::NotSquare`]
+    /// remains (a non-finite or non-positive `rel_threshold` falls back to
+    /// strict behavior).
+    pub fn factor_diagnosed(
+        a: &CsrMat,
+        ordering: Ordering,
+        policy: PivotPolicy,
+    ) -> Result<(Self, FactorDiagnostics), FactorError> {
+        if a.nrows() != a.ncols() {
+            return Err(FactorError::NotSquare);
+        }
+        let perm = ordering.permutation(a);
+        Self::factor_full(a, perm, policy)
+    }
+
     /// Factors with an explicit permutation (row `i` of `PAPᵀ` is row
     /// `perm[i]` of `A`).
     ///
@@ -113,6 +198,14 @@ impl SparseCholesky {
     ///
     /// Panics if `perm` has the wrong length.
     pub fn factor_with_permutation(a: &CsrMat, perm: Vec<usize>) -> Result<Self, FactorError> {
+        Self::factor_full(a, perm, PivotPolicy::Error).map(|(f, _)| f)
+    }
+
+    fn factor_full(
+        a: &CsrMat,
+        perm: Vec<usize>,
+        policy: PivotPolicy,
+    ) -> Result<(Self, FactorDiagnostics), FactorError> {
         if a.nrows() != a.ncols() {
             return Err(FactorError::NotSquare);
         }
@@ -149,6 +242,26 @@ impl SparseCholesky {
         let nnz_l = lp[n];
 
         // ---- numeric: up-looking, one row of L at a time ----
+        // The pivot floor for PivotPolicy::Perturb is anchored to the
+        // largest original diagonal entry, so it is invariant under the
+        // fill-reducing permutation and the thread count.
+        let pivot_floor = match policy {
+            PivotPolicy::Perturb { rel_threshold }
+                if rel_threshold.is_finite() && rel_threshold > 0.0 =>
+            {
+                let mut max_diag = 0.0f64;
+                for k in 0..n {
+                    for (j, v) in ap.row_iter(k) {
+                        if j == k {
+                            max_diag = max_diag.max(v.abs());
+                        }
+                    }
+                }
+                Some(rel_threshold * max_diag.max(f64::MIN_POSITIVE))
+            }
+            _ => None,
+        };
+        let mut diag = FactorDiagnostics::default();
         let mut li = vec![0usize; nnz_l];
         let mut lx = vec![0f64; nnz_l];
         let mut d = vec![0f64; n];
@@ -203,24 +316,43 @@ impl SparseCholesky {
                 lx[next[i]] = lki;
                 next[i] += 1;
             }
-            if dk <= 0.0 || !dk.is_finite() {
-                return Err(FactorError::NotPositiveDefinite { step: k, pivot: dk });
+            match pivot_floor {
+                Some(floor) if !(dk.is_finite() && dk >= floor) => {
+                    diag.perturbed.push(PerturbedPivot {
+                        index: perm[k],
+                        original: dk,
+                        replaced_with: floor,
+                    });
+                    dk = floor;
+                }
+                _ => {
+                    if dk <= 0.0 || !dk.is_finite() {
+                        return Err(FactorError::NotPositiveDefinite {
+                            step: k,
+                            index: perm[k],
+                            pivot: dk,
+                        });
+                    }
+                }
             }
             d[k] = dk;
         }
 
         let sqrt_d = d.iter().map(|v| v.sqrt()).collect();
-        Ok(SparseCholesky {
-            n,
-            perm,
-            iperm,
-            lp,
-            li,
-            lx,
-            d,
-            sqrt_d,
-            parent,
-        })
+        Ok((
+            SparseCholesky {
+                n,
+                perm,
+                iperm,
+                lp,
+                li,
+                lx,
+                d,
+                sqrt_d,
+                parent,
+            },
+            diag,
+        ))
     }
 
     /// Matrix dimension.
@@ -639,12 +771,7 @@ mod tests {
 
     fn residual(a: &CsrMat, x: &[f64], b: &[f64]) -> f64 {
         let ax = a.matvec(x);
-        norm_inf(
-            &ax.iter()
-                .zip(b)
-                .map(|(p, q)| p - q)
-                .collect::<Vec<_>>(),
-        )
+        norm_inf(&ax.iter().zip(b).map(|(p, q)| p - q).collect::<Vec<_>>())
     }
 
     #[test]
@@ -720,7 +847,87 @@ mod tests {
         t.push(0, 0, 2.0);
         // node 1 has no connection at all -> pivot 0
         let a = t.to_csr();
-        assert!(SparseCholesky::factor(&a, Ordering::Natural).is_err());
+        let e = SparseCholesky::factor(&a, Ordering::Natural).unwrap_err();
+        // The failed index names the offending row of the *original*
+        // (unpermuted) matrix so callers can attribute it to a node.
+        assert_eq!(e.failed_index(), Some(1));
+    }
+
+    #[test]
+    fn perturb_policy_recovers_singular_pivot() {
+        let mut t = TripletMat::new(3, 3);
+        t.push(0, 0, 4.0);
+        t.push(2, 2, 1.0);
+        // node 1 floats -> zero pivot under the strict policy.
+        let a = t.to_csr();
+        let (f, diag) = SparseCholesky::factor_diagnosed(
+            &a,
+            Ordering::Natural,
+            PivotPolicy::Perturb {
+                rel_threshold: 1e-12,
+            },
+        )
+        .unwrap();
+        assert_eq!(diag.perturbed.len(), 1);
+        let p = diag.perturbed[0];
+        assert_eq!(p.index, 1);
+        assert_eq!(p.original, 0.0);
+        // Floor is anchored to the largest diagonal entry (4.0 here).
+        assert!((p.replaced_with - 4e-12).abs() < 1e-24);
+        // The factor solves the stiffened system: rows 0 and 2 are exact,
+        // the floating row sees the floor pivot.
+        let x = f.solve(&[8.0, 0.0, 3.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturb_policy_reports_original_indices_under_permutation() {
+        // A permuting ordering must not garble the reported index: the
+        // perturbed pivot names the row of the caller's matrix.
+        let n = 8;
+        let mut t = TripletMat::new(n, n);
+        for i in 0..n - 1 {
+            if i != 5 && i + 1 != 5 {
+                t.stamp_conductance(Some(i), Some(i + 1), 1.0);
+            }
+        }
+        for i in 0..n {
+            if i != 5 {
+                t.push(i, i, 0.5);
+            }
+        }
+        // node 5 floats entirely.
+        let a = t.to_csr();
+        for ord in ALL_ORDERINGS {
+            let (_, diag) = SparseCholesky::factor_diagnosed(
+                &a,
+                ord,
+                PivotPolicy::Perturb {
+                    rel_threshold: 1e-10,
+                },
+            )
+            .unwrap();
+            assert_eq!(diag.perturbed.len(), 1, "{ord:?}");
+            assert_eq!(diag.perturbed[0].index, 5, "{ord:?}");
+        }
+    }
+
+    #[test]
+    fn perturb_policy_is_inert_on_well_conditioned_input() {
+        let a = spd_grid(6, 5);
+        let (f, diag) = SparseCholesky::factor_diagnosed(
+            &a,
+            Ordering::Rcm,
+            PivotPolicy::Perturb {
+                rel_threshold: 1e-12,
+            },
+        )
+        .unwrap();
+        assert!(diag.perturbed.is_empty());
+        let strict = SparseCholesky::factor(&a, Ordering::Rcm).unwrap();
+        let b: Vec<f64> = (0..a.nrows()).map(|i| (i as f64).cos()).collect();
+        assert_eq!(f.solve(&b), strict.solve(&b));
     }
 
     /// Random SPD matrix: Laplacian from random edges plus a positive
@@ -764,7 +971,8 @@ mod tests {
                     let col = f.solve(&b[c * n..(c + 1) * n]);
                     for i in 0..n {
                         assert_eq!(
-                            blocked[c * n + i], col[i],
+                            blocked[c * n + i],
+                            col[i],
                             "solve_block mismatch {ord:?} k={k} col={c} row={i}"
                         );
                     }
@@ -787,7 +995,8 @@ mod tests {
                 let col = f.fsolve(&b[c * n..(c + 1) * n]);
                 for i in 0..n {
                     assert_eq!(
-                        blocked[c * n + i], col[i],
+                        blocked[c * n + i],
+                        col[i],
                         "fsolve_block mismatch {ord:?} col={c} row={i}"
                     );
                 }
@@ -809,7 +1018,8 @@ mod tests {
                 let col = f.ftsolve(&b[c * n..(c + 1) * n]);
                 for i in 0..n {
                     assert_eq!(
-                        blocked[c * n + i], col[i],
+                        blocked[c * n + i],
+                        col[i],
                         "ftsolve_block mismatch {ord:?} col={c} row={i}"
                     );
                 }

@@ -492,7 +492,11 @@ impl CsrMat {
             let ea = self.indptr[i + 1];
             let eb = rhs.indptr[i + 1];
             while pa < ea || pb < eb {
-                let ca = if pa < ea { self.indices[pa] } else { usize::MAX };
+                let ca = if pa < ea {
+                    self.indices[pa]
+                } else {
+                    usize::MAX
+                };
                 let cb = if pb < eb { rhs.indices[pb] } else { usize::MAX };
                 let (c, v) = if ca < cb {
                     let v = alpha * self.data[pa];
@@ -585,13 +589,7 @@ impl CsrMat {
 
 impl fmt::Debug for CsrMat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "CsrMat {}x{} nnz={}",
-            self.nrows,
-            self.ncols,
-            self.nnz()
-        )
+        write!(f, "CsrMat {}x{} nnz={}", self.nrows, self.ncols, self.nnz())
     }
 }
 

@@ -215,7 +215,9 @@ impl<S: Scalar> DMat<S> {
 
     /// The main diagonal as a vector.
     pub fn diag(&self) -> Vec<S> {
-        (0..self.nrows.min(self.ncols)).map(|i| self[(i, i)]).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 }
 

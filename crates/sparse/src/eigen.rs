@@ -21,7 +21,11 @@ pub struct EigenError {
 
 impl std::fmt::Display for EigenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "QL iteration failed to converge at eigenvalue {}", self.index)
+        write!(
+            f,
+            "QL iteration failed to converge at eigenvalue {}",
+            self.index
+        )
     }
 }
 
@@ -217,7 +221,12 @@ fn tql2(d: &mut [f64], e: &mut [f64], z: &mut DMat<f64>) -> Result<(), EigenErro
 /// Core QL iteration. `e[i]` is the subdiagonal entry coupling `d[i]` and
 /// `d[i+1]`; `e[n-1]` must be zero. When `with_z`, plane rotations are
 /// accumulated into `z`.
-fn tql2_raw(d: &mut [f64], e: &mut [f64], z: &mut DMat<f64>, with_z: bool) -> Result<(), EigenError> {
+fn tql2_raw(
+    d: &mut [f64],
+    e: &mut [f64],
+    z: &mut DMat<f64>,
+    with_z: bool,
+) -> Result<(), EigenError> {
     let n = d.len();
     if n == 0 {
         return Ok(());
@@ -399,11 +408,7 @@ mod tests {
     #[test]
     fn negative_semidefinite_spectrum() {
         // Graph Laplacian of a triangle: eigenvalues {0, 3, 3}.
-        let a = DMat::from_rows(&[
-            &[2.0, -1.0, -1.0],
-            &[-1.0, 2.0, -1.0],
-            &[-1.0, -1.0, 2.0],
-        ]);
+        let a = DMat::from_rows(&[&[2.0, -1.0, -1.0], &[-1.0, 2.0, -1.0], &[-1.0, -1.0, 2.0]]);
         let e = sym_eig(&a).unwrap();
         assert!(e.values[0].abs() < 1e-12);
         assert!((e.values[1] - 3.0).abs() < 1e-12);

@@ -58,7 +58,9 @@ mod pcg;
 mod rng;
 mod splu;
 
-pub use cholesky::{FactorError, SparseCholesky, LANES};
+pub use cholesky::{
+    FactorDiagnostics, FactorError, PerturbedPivot, PivotPolicy, SparseCholesky, LANES,
+};
 pub use complex::{Complex64, Scalar};
 pub use coo::TripletMat;
 pub use csr::CsrMat;

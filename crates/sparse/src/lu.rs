@@ -61,10 +61,7 @@ impl<S: Scalar> DenseLu<S> {
         let mut lu = a.clone();
         let mut piv = vec![0usize; n];
         let mut perm_sign = 1.0;
-        let scale = lu
-            .as_slice()
-            .iter()
-            .fold(0.0f64, |m, v| m.max(v.modulus()));
+        let scale = lu.as_slice().iter().fold(0.0f64, |m, v| m.max(v.modulus()));
         let tiny = scale * 1e-300 + f64::MIN_POSITIVE;
         for k in 0..n {
             // Partial pivoting: largest modulus in column k at/below row k.
@@ -231,10 +228,7 @@ mod tests {
     fn complex_system() {
         let j = Complex64::J;
         let one = Complex64::ONE;
-        let a = DMat::from_rows(&[
-            &[one + j, j],
-            &[j, one - j.scale(2.0)],
-        ]);
+        let a = DMat::from_rows(&[&[one + j, j], &[j, one - j.scale(2.0)]]);
         let lu = DenseLu::factor(&a).unwrap();
         let b = [Complex64::new(1.0, 1.0), Complex64::new(0.0, -2.0)];
         let x = lu.solve(&b);

@@ -166,7 +166,11 @@ impl ParCtx {
         F: Fn(Range<usize>, &mut [T]) + Sync,
     {
         assert!(stride > 0, "stride must be nonzero");
-        assert_eq!(data.len() % stride, 0, "data length must be a multiple of stride");
+        assert_eq!(
+            data.len() % stride,
+            0,
+            "data length must be a multiple of stride"
+        );
         let n = data.len() / stride;
         let parts = self.parts_for(n);
         if parts <= 1 {
@@ -216,10 +220,14 @@ mod tests {
     fn map_items_preserves_order() {
         for threads in [1, 2, 3, 8] {
             let ctx = ParCtx::new(Some(threads));
-            let got = ctx.map_items(37, || 0u64, |count, i| {
-                *count += 1;
-                i * i
-            });
+            let got = ctx.map_items(
+                37,
+                || 0u64,
+                |count, i| {
+                    *count += 1;
+                    i * i
+                },
+            );
             let want: Vec<usize> = (0..37).map(|i| i * i).collect();
             assert_eq!(got, want, "threads={threads}");
         }

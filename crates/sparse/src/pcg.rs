@@ -63,7 +63,11 @@ impl IncompleteCholesky {
         }
         for (j, &d) in diag.iter().enumerate() {
             if d <= 0.0 {
-                return Err(FactorError::NotPositiveDefinite { step: j, pivot: d });
+                return Err(FactorError::NotPositiveDefinite {
+                    step: j,
+                    index: j,
+                    pivot: d,
+                });
             }
         }
         // Up-looking IC(0): process columns left to right; for column j,
@@ -215,9 +219,9 @@ pub fn pcg(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cholesky::SparseCholesky;
     use crate::coo::TripletMat;
     use crate::ordering::Ordering;
-    use crate::cholesky::SparseCholesky;
 
     fn grid(nx: usize, ny: usize) -> CsrMat {
         let n = nx * ny;
@@ -240,7 +244,9 @@ mod tests {
     #[test]
     fn pcg_matches_direct_solve() {
         let a = grid(12, 11);
-        let b: Vec<f64> = (0..a.nrows()).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let b: Vec<f64> = (0..a.nrows())
+            .map(|i| ((i * 13) % 7) as f64 - 3.0)
+            .collect();
         let pre = IncompleteCholesky::factor(&a).unwrap();
         let res = pcg(&a, &b, &pre, 1e-10, 1000);
         assert!(res.converged, "residual {}", res.relative_residual);

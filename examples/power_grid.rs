@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ex.network.num_ports,
         ex.network.num_internal()
     );
-    let red = pact::reduce_network(&ex.network, &ReduceOptions::new(CutoffSpec::new(2e9, 0.05)?))?;
+    let red = pact::reduce_network(
+        &ex.network,
+        &ReduceOptions::new(CutoffSpec::new(2e9, 0.05)?),
+    )?;
     println!(
         "reduced to {} internal node(s); passive: {}",
         red.model.num_poles(),

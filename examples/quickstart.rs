@@ -13,9 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A SPICE deck: an RC line driven by a source, loading a MOSFET
     //    gate. Any deck works — rcfit's extraction rules decide which
     //    nodes are ports.
-    let mut deck = String::from(
-        "* quickstart line\nV1 n0 0 1\nM1 x n50 0 0 nch\n.model nch nmos()\n",
-    );
+    let mut deck =
+        String::from("* quickstart line\nV1 n0 0 1\nM1 x n50 0 0 nch\n.model nch nmos()\n");
     for i in 0..50 {
         deck.push_str(&format!("R{i} n{i} n{} 5\n", i + 1));
         deck.push_str(&format!("C{i} n{} 0 27f\n", i + 1));
@@ -66,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. Emit the reduced network as SPICE elements.
     let elements = red.model.to_netlist_elements("red", 1e-9);
-    println!("reduced SPICE netlist fragment ({} elements):", elements.len());
+    println!(
+        "reduced SPICE netlist fragment ({} elements):",
+        elements.len()
+    );
     for e in &elements {
         println!("  {e}");
     }

@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ordering: Ordering::Rcm,
         dense_threshold: 400,
         threads: None,
+        pivot_relief: None,
     };
     let red = pact::reduce_network(&ex.network, &opts)?;
     println!("kept {} pole(s) below ~3 GHz", red.model.num_poles());

@@ -5,10 +5,10 @@
 //!
 //! Run with `cargo run --release --example transmission_line`.
 
+use pact::{CutoffSpec, ReduceOptions};
 use pact_circuit::Circuit;
 use pact_gen::{inverter_pair_deck, LineSpec};
 use pact_netlist::extract_rc;
-use pact::{CutoffSpec, ReduceOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deck = inverter_pair_deck(&LineSpec {
@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reduce the line (5 % to 5 GHz) and splice it back into the deck.
     let ex = extract_rc(&deck, &[])?;
-    let red = pact::reduce_network(&ex.network, &ReduceOptions::new(CutoffSpec::new(5e9, 0.05)?))?;
+    let red = pact::reduce_network(
+        &ex.network,
+        &ReduceOptions::new(CutoffSpec::new(5e9, 0.05)?),
+    )?;
     println!(
         "line reduced: {} -> {} internal nodes (pole at {:.2} GHz)",
         ex.network.num_internal(),

@@ -4,19 +4,33 @@
 //! ```text
 //! rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRACTION]
 //!       [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats]
+//!       [--trace] [--log-json PATH] [--strict-pivots]
 //! ```
 //!
 //! The flow mirrors the paper's Figure 1: parse → extract RC elements and
-//! classify ports → stamp `G`,`C` → Cholesky congruence → pole analysis
-//! via LASO → drop poles above the cutoff → sparsify → unstamp → splice
-//! the reduced network back into the deck and write it out.
+//! classify ports → sanitize (prune floating internal nodes, drop
+//! zero-valued caps) → stamp `G`,`C` → Cholesky congruence → pole
+//! analysis via LASO → drop poles above the cutoff → sparsify → unstamp
+//! → splice the reduced network back into the deck and write it out.
+//!
+//! Every failure surfaces as a typed [`PactError`] with node/element
+//! attribution — the reduction path never panics on malformed input.
+//! `--trace` prints per-phase wall times, counters, and warnings;
+//! `--log-json` writes the same telemetry as machine-readable JSON
+//! (schema `rcfit-telemetry-v1`, documented in DESIGN.md).
 
 use std::process::ExitCode;
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{
+    sanitize_network, CutoffSpec, EigenStrategy, PactError, ReduceOptions, Telemetry, Warning,
+};
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{extract_rc, parse, parse_value, splice_reduced};
 use pact_sparse::Ordering;
+
+/// Default relative pivot-relief floor for quasi-singular `D` diagonals;
+/// see `ReduceOptions::pivot_relief`.
+const PIVOT_RELIEF: f64 = 1e-12;
 
 #[derive(Debug)]
 struct Args {
@@ -31,14 +45,20 @@ struct Args {
     stats: bool,
     components: bool,
     verify: bool,
+    trace: bool,
+    log_json: Option<String>,
+    strict_pivots: bool,
 }
 
 fn usage() -> &'static str {
     "usage: rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRAC] \
-     [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats] [--components] [--verify]\n\
+     [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats] [--components] \
+     [--verify] [--trace] [--log-json PATH] [--strict-pivots]\n\
      defaults: --fmax 1g --tol 0.05 --sparsify 1e-9 --threads <all cores>\n\
      HZ accepts SPICE suffixes (500meg, 3g, ...); the reduced model is\n\
-     bit-identical for every --threads value"
+     bit-identical for every --threads value.\n\
+     --trace prints per-phase timings/counters; --log-json writes them as JSON;\n\
+     --strict-pivots fails on quasi-singular pivots instead of perturbing them"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -54,6 +74,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stats: false,
         components: false,
         verify: false,
+        trace: false,
+        log_json: None,
+        strict_pivots: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -91,6 +114,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--stats" => args.stats = true,
             "--components" => args.components = true,
             "--verify" => args.verify = true,
+            "--trace" => args.trace = true,
+            "--log-json" => args.log_json = Some(next(a)?),
+            "--strict-pivots" => args.strict_pivots = true,
             "-h" | "--help" => return Err(usage().to_owned()),
             other if args.input.is_empty() && !other.starts_with('-') => {
                 args.input = other.to_owned();
@@ -104,15 +130,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    let text = std::fs::read_to_string(&args.input)
-        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
-    let deck = parse(&text)
-        .map_err(|e| format!("parse error: {e}"))?
-        .flatten()
-        .map_err(|e| format!("flatten error: {e}"))?;
+fn run(args: &Args) -> Result<(), PactError> {
+    let mut tel = Telemetry::new();
+    let text = std::fs::read_to_string(&args.input).map_err(|e| PactError::io(&args.input, &e))?;
+    let deck = tel.time("parse", || parse(&text))?;
+    let deck = tel.time("flatten", || deck.flatten())?;
+    for (name, count) in deck.duplicate_element_names() {
+        tel.counters.duplicate_element_names += 1;
+        tel.warn(Warning::DuplicateElementName { name, count });
+    }
     let port_refs: Vec<&str> = args.extra_ports.iter().map(String::as_str).collect();
-    let ex = extract_rc(&deck, &port_refs).map_err(|e| format!("extraction: {e}"))?;
+    let ex = tel.time("extract", || extract_rc(&deck, &port_refs))?;
     eprintln!(
         "rcfit: extracted RC network: {} ports, {} internal nodes, {} R, {} C",
         ex.network.num_ports,
@@ -121,7 +149,14 @@ fn run(args: &Args) -> Result<(), String> {
         ex.network.capacitors.len()
     );
 
-    let cutoff = CutoffSpec::new(args.f_max, args.tolerance).map_err(|e| e.to_string())?;
+    let sanitized = tel.time("sanitize", || sanitize_network(&ex.network))?;
+    sanitized.record(&mut tel);
+    for w in &sanitized.warnings {
+        eprintln!("rcfit: warning: {w}");
+    }
+    let net = &sanitized.network;
+
+    let cutoff = CutoffSpec::new(args.f_max, args.tolerance)?;
     let opts = ReduceOptions {
         cutoff,
         eigen: if args.dense {
@@ -132,103 +167,112 @@ fn run(args: &Args) -> Result<(), String> {
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: args.threads,
+        pivot_relief: if args.strict_pivots {
+            None
+        } else {
+            Some(PIVOT_RELIEF)
+        },
     };
-    // Per-component mode: reduce each electrically independent net on its
-    // own (smaller eigenproblems, floating islands dropped).
-    if args.components {
-        let red = pact::reduce_network_components(&ex.network, &opts)
-            .map_err(|e| format!("reduction: {e}"))?;
+
+    // Reduce (whole-network or per-component), collect the SPICE elements
+    // of the reduced network, and fold the reduction telemetry in.
+    let elements = if args.components {
+        let red = pact::reduce_network_components(net, &opts)
+            .map_err(|e| PactError::from_reduce(e, net))?;
+        tel.absorb(&red.telemetry());
         eprintln!(
             "rcfit: {} component(s) reduced, {} floating island(s) dropped, {} pole(s) kept",
             red.reductions.len(),
             red.floating_dropped,
             red.num_poles()
         );
-        let elements = red.to_netlist_elements("rcfit", args.sparsify);
+        red.to_netlist_elements("rcfit", args.sparsify)
+    } else {
+        let red = pact::reduce_network(net, &opts).map_err(|e| PactError::from_reduce(e, net))?;
+        tel.absorb(&red.telemetry);
         eprintln!(
-            "rcfit: reduced network realized with {} elements",
-            elements.len()
+            "rcfit: kept {} pole(s) below the {:.3e} Hz cutoff ({} internal nodes eliminated)",
+            red.model.num_poles(),
+            cutoff.cutoff_frequency(),
+            net.num_internal() - red.model.num_poles()
         );
-        let out_deck = splice_reduced(&deck, elements);
-        let rendered = out_deck.to_string();
-        match &args.output {
-            Some(path) => {
-                std::fs::write(path, rendered)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
-            }
-            None => print!("{rendered}"),
-        }
-        return Ok(());
-    }
-
-    let red = pact::reduce_network(&ex.network, &opts).map_err(|e| format!("reduction: {e}"))?;
-    eprintln!(
-        "rcfit: kept {} pole(s) below the {:.3e} Hz cutoff ({} internal nodes eliminated)",
-        red.model.num_poles(),
-        cutoff.cutoff_frequency(),
-        ex.network.num_internal() - red.model.num_poles()
-    );
-    if args.stats {
-        let s = &red.stats;
-        eprintln!(
-            "rcfit: reduction {:.3} s; Cholesky |L| = {} nnz ({:.1} MB); modelled peak {:.1} MB",
-            s.elapsed_seconds,
-            s.chol_nnz,
-            s.chol_memory_bytes as f64 / 1e6,
-            s.modelled_memory_bytes as f64 / 1e6
-        );
-        if let Some(ls) = s.lanczos {
+        if args.stats {
+            let s = &red.stats;
             eprintln!(
-                "rcfit: LASO: {} matvecs, {} iterations, {} restarts",
-                ls.matvecs, ls.iterations, ls.restarts
+                "rcfit: reduction {:.3} s; Cholesky |L| = {} nnz ({:.1} MB); modelled peak {:.1} MB",
+                s.elapsed_seconds,
+                s.chol_nnz,
+                s.chol_memory_bytes as f64 / 1e6,
+                s.modelled_memory_bytes as f64 / 1e6
             );
-        }
-        match red.model.passivity_margins() {
-            Ok((g, c)) => {
-                eprintln!("rcfit: passivity margins: λmin(G'')={g:.3e}, λmin(C'')={c:.3e}");
-            }
-            Err(e) => eprintln!("rcfit: passivity check failed: {e}"),
-        }
-    }
-
-    if args.verify {
-        let parts = pact::Partitions::split(&ex.network.stamp());
-        match pact::verify_reduction(&parts, &red.model, &cutoff, 25) {
-            Ok(report) => {
+            if let Some(ls) = s.lanczos {
                 eprintln!(
-                    "rcfit: verify: worst in-band error {:.3} % (tolerance {:.1} %), overall {:.3} %: {}",
-                    report.worst_in_band * 100.0,
-                    report.tolerance * 100.0,
-                    report.worst_overall * 100.0,
-                    if report.passes() { "PASS" } else { "FAIL" }
+                    "rcfit: LASO: {} matvecs, {} iterations, {} restarts",
+                    ls.matvecs, ls.iterations, ls.restarts
                 );
             }
-            Err(e) => eprintln!("rcfit: verify failed to run: {e}"),
+            match red.model.passivity_margins() {
+                Ok((g, c)) => {
+                    eprintln!("rcfit: passivity margins: λmin(G'')={g:.3e}, λmin(C'')={c:.3e}");
+                }
+                Err(e) => eprintln!("rcfit: passivity check failed: {e}"),
+            }
         }
-    }
+        if args.verify {
+            let parts = pact::Partitions::split(&net.stamp());
+            match pact::verify_reduction(&parts, &red.model, &cutoff, 25) {
+                Ok(report) => {
+                    eprintln!(
+                        "rcfit: verify: worst in-band error {:.3} % (tolerance {:.1} %), overall {:.3} %: {}",
+                        report.worst_in_band * 100.0,
+                        report.tolerance * 100.0,
+                        report.worst_overall * 100.0,
+                        if report.passes() { "PASS" } else { "FAIL" }
+                    );
+                }
+                Err(e) => eprintln!("rcfit: verify failed to run: {e}"),
+            }
+        }
+        red.model.to_netlist_elements("rcfit", args.sparsify)
+    };
 
-    let elements = red.model.to_netlist_elements("rcfit", args.sparsify);
     eprintln!(
         "rcfit: reduced network realized with {} elements",
         elements.len()
     );
-    let out_deck = splice_reduced(&deck, elements);
-    let rendered = out_deck.to_string();
-    match &args.output {
-        Some(path) => {
-            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let rendered = tel.time("emit", || splice_reduced(&deck, elements).to_string());
+    tel.time("write", || match &args.output {
+        Some(path) => std::fs::write(path, &rendered).map_err(|e| PactError::io(path, &e)),
+        None => {
+            print!("{rendered}");
+            Ok(())
         }
-        None => print!("{rendered}"),
+    })?;
+
+    if args.trace {
+        eprint!("{}", tel.render_trace());
+    }
+    if let Some(path) = &args.log_json {
+        let mut doc = tel.to_json().render();
+        doc.push('\n');
+        std::fs::write(path, doc).map_err(|e| PactError::io(path, &e))?;
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&argv).and_then(|a| run(&a)) {
-        Ok(()) => ExitCode::SUCCESS,
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rcfit: error [{}]: {e}", e.code());
             ExitCode::FAILURE
         }
     }
@@ -245,9 +289,27 @@ mod tests {
     #[test]
     fn parses_full_flag_set() {
         let a = parse_args(&argv(&[
-            "in.sp", "-o", "out.sp", "--fmax", "3g", "--tol", "0.1", "--sparsify", "1e-6",
-            "--port", "nodeA", "--port", "nodeB", "--dense", "--stats", "--components",
+            "in.sp",
+            "-o",
+            "out.sp",
+            "--fmax",
+            "3g",
+            "--tol",
+            "0.1",
+            "--sparsify",
+            "1e-6",
+            "--port",
+            "nodeA",
+            "--port",
+            "nodeB",
+            "--dense",
+            "--stats",
+            "--components",
             "--verify",
+            "--trace",
+            "--log-json",
+            "t.json",
+            "--strict-pivots",
         ]))
         .unwrap();
         assert_eq!(a.input, "in.sp");
@@ -257,6 +319,8 @@ mod tests {
         assert_eq!(a.sparsify, 1e-6);
         assert_eq!(a.extra_ports, vec!["nodeA", "nodeB"]);
         assert!(a.dense && a.stats && a.components && a.verify);
+        assert!(a.trace && a.strict_pivots);
+        assert_eq!(a.log_json.as_deref(), Some("t.json"));
     }
 
     #[test]
@@ -266,6 +330,8 @@ mod tests {
         assert_eq!(a.tolerance, 0.05);
         assert!(!a.dense);
         assert!(a.output.is_none());
+        assert!(!a.trace && !a.strict_pivots);
+        assert!(a.log_json.is_none());
     }
 
     #[test]
@@ -284,6 +350,7 @@ mod tests {
     fn flag_missing_value_is_error() {
         assert!(parse_args(&argv(&["deck.sp", "--fmax"])).is_err());
         assert!(parse_args(&argv(&["deck.sp", "--tol", "abc"])).is_err());
+        assert!(parse_args(&argv(&["deck.sp", "--log-json"])).is_err());
     }
 
     #[test]
@@ -300,5 +367,14 @@ mod tests {
         assert_eq!(d.threads, None);
         assert!(parse_args(&argv(&["x.sp", "--threads", "0"])).is_err());
         assert!(parse_args(&argv(&["x.sp", "--threads", "many"])).is_err());
+    }
+
+    #[test]
+    fn run_reports_typed_error_for_missing_input() {
+        let args = parse_args(&argv(&["/nonexistent/deck.sp"])).unwrap();
+        match run(&args) {
+            Err(e) => assert_eq!(e.code(), "io"),
+            Ok(()) => panic!("expected an I/O error"),
+        }
     }
 }

@@ -1,0 +1,4 @@
+* point count must be an integer
+R1 a 0 1k
+.ac dec ten 10meg 10g
+.end

@@ -1,0 +1,3 @@
+* bipolar models are not supported
+.model q1 bjt (bf=100)
+.end

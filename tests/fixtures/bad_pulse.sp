@@ -1,0 +1,3 @@
+* garbage inside the pulse argument list
+V1 in 0 pulse(0 5 0 1n zz 3n)
+.end

@@ -1,0 +1,3 @@
+* bad resistor value
+R1 in out abc
+.end

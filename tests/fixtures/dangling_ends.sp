@@ -1,0 +1,4 @@
+* dangling .ends with no open .subckt
+R1 a 0 1k
+.ends
+.end

@@ -1,0 +1,8 @@
+* the same cell defined twice
+.subckt cell a b
+R1 a b 1k
+.ends
+.subckt cell a b
+R1 a b 2k
+.ends
+.end

@@ -1,0 +1,3 @@
+* truncated capacitor card
+C7 n1 n2
+.end

@@ -1,0 +1,3 @@
+* bjt element card
+Q1 c b e model
+.end

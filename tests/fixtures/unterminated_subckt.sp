@@ -1,0 +1,4 @@
+* .subckt never closed
+.subckt cell a b
+R1 a b 1k
+.end

@@ -90,7 +90,10 @@ fn reductions_are_passive() {
         let fmax = rng.gen_range_f64(1e8, 2e10);
         let opts = ReduceOptions::new(CutoffSpec::new(fmax, 0.05).unwrap());
         let red = pact::reduce_network(&net, &opts).unwrap();
-        assert!(red.model.is_passive(1e-7), "seed {seed}: reduction not passive");
+        assert!(
+            red.model.is_passive(1e-7),
+            "seed {seed}: reduction not passive"
+        );
     }
 }
 
