@@ -36,4 +36,50 @@ grep -q "rcfit-telemetry-v1" "$tmp/telemetry.json"
 grep -q "phase" "$tmp/trace.txt"
 test -s "$tmp/reduced.sp"
 
+echo "==> rcfit --hier smoke test"
+./target/release/gen_mesh 16 16 4 16 "$tmp/hier_mesh.sp" > /dev/null
+hier_ports=""
+for i in $(seq 0 15); do hier_ports="$hier_ports --port port$i"; done
+# shellcheck disable=SC2086
+./target/release/rcfit $hier_ports --fmax 2e9 --hier --block-size 128 \
+    --log-json "$tmp/hier_telemetry.json" -o "$tmp/hier_reduced.sp" \
+    "$tmp/hier_mesh.sp" > /dev/null
+test -s "$tmp/hier_reduced.sp"
+python3 - "$tmp/hier_telemetry.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "rcfit-telemetry-v1", d.get("schema")
+c = d["counters"]
+assert c["hier_blocks"] >= 2, f"partition degenerated: {c['hier_blocks']} block(s)"
+assert c["hier_separator_nodes"] > 0, "no separator nodes recorded"
+assert c["hier_tree_depth"] > 0, "tree depth not recorded"
+print(f"hier telemetry ok: {c['hier_blocks']} blocks, "
+      f"{c['hier_separator_nodes']} separators, depth {c['hier_tree_depth']}")
+EOF
+
+echo "==> flat vs hier perf sanity (10k-node mesh -> results/hier_perf.txt)"
+./target/release/gen_mesh 32 32 10 64 "$tmp/perf_mesh.sp" > /dev/null
+perf_ports=""
+for i in $(seq 0 63); do perf_ports="$perf_ports --port port$i"; done
+flat_start=$(date +%s%N)
+# shellcheck disable=SC2086
+./target/release/rcfit $perf_ports --fmax 5e8 -o /dev/null \
+    "$tmp/perf_mesh.sp" > /dev/null
+flat_ms=$((($(date +%s%N) - flat_start) / 1000000))
+hier_start=$(date +%s%N)
+# shellcheck disable=SC2086
+./target/release/rcfit $perf_ports --fmax 5e8 --hier -o /dev/null \
+    "$tmp/perf_mesh.sp" > /dev/null
+hier_ms=$((($(date +%s%N) - hier_start) / 1000000))
+mkdir -p results
+{
+    echo "# flat vs hierarchical reduction, 32x32x10 substrate mesh (64 ports,"
+    echo "# ~10k internal nodes), fmax 500 MHz, $(nproc) core(s). Wall-clock ms"
+    echo "# of the full rcfit pipeline (parse through write), single run."
+    echo "flat_ms  $flat_ms"
+    echo "hier_ms  $hier_ms"
+} > results/hier_perf.txt
+cat results/hier_perf.txt
+test "$flat_ms" -gt 0 && test "$hier_ms" -gt 0
+
 echo "==> all checks passed"

@@ -78,6 +78,7 @@ fn bench_eigen_strategy(rows: &mut Vec<Vec<String>>) {
             dense_threshold: 0,
             threads: None,
             pivot_relief: None,
+            strategy: pact::ReduceStrategy::Flat,
         };
         let s = sample_secs(SAMPLES, || {
             pact::reduce_network(&net, &opts).expect("reduce")
@@ -95,6 +96,7 @@ fn bench_sparsify(rows: &mut Vec<Vec<String>>) {
         dense_threshold: 0,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let red = pact::reduce_network(&net, &opts).expect("reduce");
     let (g, _) = red.model.to_matrices_normalized();

@@ -35,6 +35,7 @@ fn main() {
             dense_threshold: 0,
             threads: None,
             pivot_relief: None,
+            strategy: pact::ReduceStrategy::Flat,
         };
         let s = sample_secs(SAMPLES, || pact::reduce_network(&net, &opts).expect("pact"));
         let (min, med) = min_median(&s);

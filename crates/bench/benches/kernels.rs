@@ -93,6 +93,7 @@ fn bench_reduce(rows: &mut Vec<Vec<String>>) {
             dense_threshold: 0,
             threads: None,
             pivot_relief: None,
+            strategy: pact::ReduceStrategy::Flat,
         };
         let s = sample_secs(SAMPLES, || {
             pact::reduce_network(&net, &opts).expect("reduce")

@@ -27,6 +27,7 @@ fn main() {
         dense_threshold: 400,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let red = pact::reduce_network(&net, &opts).expect("reduce");
     let m = red.model.num_ports();

@@ -65,6 +65,7 @@ fn main() {
         dense_threshold: 400,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let (red, elapsed) = timed(|| pact::reduce_network(net, &opts).expect("reduce"));
     let model = &red.model;

@@ -46,6 +46,7 @@ fn main() {
             dense_threshold: 400,
             threads: None,
             pivot_relief: None,
+            strategy: pact::ReduceStrategy::Flat,
         };
         let red = pact::reduce_network(&net, &opts).expect("reduce");
         let mut rdeck = Netlist::new("reduced mesh");

@@ -1,0 +1,45 @@
+//! Writes a 3-D substrate-mesh SPICE deck to a file, for driving the
+//! `rcfit` CLI from scripts (CI smoke/perf runs) without hand-building
+//! decks. Contacts become nodes `port0..port{M-1}`, so callers can pass
+//! `--port portK` flags without parsing this tool's output.
+//!
+//! ```text
+//! cargo run --release -p pact-bench --bin gen_mesh -- NX NY NZ CONTACTS OUT.sp
+//! ```
+
+use pact_gen::{network_to_elements, substrate_mesh, MeshSpec};
+use pact_netlist::Netlist;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let [nx, ny, nz, contacts, out] = argv.as_slice() else {
+        eprintln!("usage: gen_mesh NX NY NZ CONTACTS OUT.sp");
+        std::process::exit(2);
+    };
+    let parse = |s: &String| -> usize {
+        s.parse()
+            .unwrap_or_else(|_| panic!("not a positive integer: {s}"))
+    };
+    let spec = MeshSpec {
+        nx: parse(nx),
+        ny: parse(ny),
+        nz: parse(nz),
+        num_contacts: parse(contacts),
+        ..MeshSpec::table2()
+    };
+    let net = substrate_mesh(&spec);
+    let (r, c) = net.element_counts();
+    let mut deck = Netlist::new(format!(
+        "substrate mesh {}x{}x{} with {} contacts",
+        spec.nx, spec.ny, spec.nz, net.num_ports
+    ));
+    deck.elements = network_to_elements(&net, "m");
+    std::fs::write(out, deck.to_string()).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "wrote {out}: {} ports, {} internal nodes, {} R, {} C",
+        net.num_ports,
+        net.num_internal(),
+        r,
+        c
+    );
+}

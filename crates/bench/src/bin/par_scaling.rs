@@ -1,8 +1,9 @@
 //! Thread-scaling study of the parallel execution layer: times the first
 //! congruence transform (`Transform1::compute_ctx`, the port fan-out /
-//! blocked-solve hot path) and the full reduction at 1/2/4/8 worker
-//! threads on a Table-4-like substrate mesh, and writes the measurements
-//! to `BENCH_par_scaling.json`.
+//! blocked-solve hot path), the full flat reduction, and the
+//! hierarchical reduction (whose leaf fan-out is the coarse-grained
+//! parallel axis) at 1/2/4/8 worker threads on a Table-4-like substrate
+//! mesh, and writes the measurements to `BENCH_par_scaling.json`.
 //!
 //! The reduced models are bit-identical at every thread count (see the
 //! `par_determinism` test); this binary measures only the wall clock.
@@ -26,6 +27,7 @@ struct Sample {
     threads: usize,
     transform1_s: f64,
     reduce_s: f64,
+    hier_s: f64,
 }
 
 fn main() {
@@ -73,23 +75,37 @@ fn main() {
             dense_threshold: 400,
             threads: Some(t),
             pivot_relief: None,
+            strategy: pact::ReduceStrategy::Flat,
         };
         let (red, reduce_s) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
+        let hier_opts = ReduceOptions {
+            strategy: pact::ReduceStrategy::Hierarchical {
+                max_block: 2000,
+                max_depth: 16,
+            },
+            ..opts.clone()
+        };
+        let (hred, hier_s) = timed(|| pact::reduce_network(&net, &hier_opts).expect("reduce hier"));
         println!(
-            "threads={t}: transform1 {} s, full reduce {} s ({} poles)",
+            "threads={t}: transform1 {} s, full reduce {} s ({} poles), hier {} s ({} poles, {} blocks)",
             secs(transform1_s),
             secs(reduce_s),
-            red.model.num_poles()
+            red.model.num_poles(),
+            secs(hier_s),
+            hred.model.num_poles(),
+            hred.telemetry.counters.hier_blocks
         );
         samples.push(Sample {
             threads: t,
             transform1_s,
             reduce_s,
+            hier_s,
         });
     }
 
     let base_t1 = samples[0].transform1_s;
     let base_red = samples[0].reduce_s;
+    let base_hier = samples[0].hier_s;
     let rows: Vec<Vec<String>> = samples
         .iter()
         .map(|s| {
@@ -99,6 +115,8 @@ fn main() {
                 format!("{:.2}", base_t1 / s.transform1_s),
                 secs(s.reduce_s),
                 format!("{:.2}", base_red / s.reduce_s),
+                secs(s.hier_s),
+                format!("{:.2}", base_hier / s.hier_s),
             ]
         })
         .collect();
@@ -109,6 +127,8 @@ fn main() {
             "transform1 (s)",
             "speedup",
             "reduce (s)",
+            "speedup",
+            "hier (s)",
             "speedup",
         ],
         &rows,
@@ -141,10 +161,11 @@ fn render_json(
     out.push_str("  \"samples\": [\n");
     for (k, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"transform1_seconds\": {:.6}, \"reduce_seconds\": {:.6}}}{}\n",
+            "    {{\"threads\": {}, \"transform1_seconds\": {:.6}, \"reduce_seconds\": {:.6}, \"hier_seconds\": {:.6}}}{}\n",
             s.threads,
             s.transform1_s,
             s.reduce_s,
+            s.hier_s,
             if k + 1 == samples.len() { "" } else { "," }
         ));
     }

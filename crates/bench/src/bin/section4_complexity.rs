@@ -36,6 +36,7 @@ fn main() {
             dense_threshold: 0,
             threads: None,
             pivot_relief: None,
+            strategy: pact::ReduceStrategy::Flat,
         };
         let (pact_red, t_pact) = timed(|| pact::reduce_network(&net, &opts).expect("pact"));
         let laso = pact_red.stats.lanczos.unwrap_or_default();

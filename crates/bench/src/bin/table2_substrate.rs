@@ -61,6 +61,7 @@ fn main() {
             dense_threshold: 400,
             threads: None,
             pivot_relief: None,
+            strategy: pact::ReduceStrategy::Flat,
         };
         let (red, t_red) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
         let elements = red.model.to_netlist_elements("red", 1e-9);

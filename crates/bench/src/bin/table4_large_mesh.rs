@@ -32,8 +32,17 @@ fn main() {
         dense_threshold: 400,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let (red, elapsed) = timed(|| pact::reduce_network(&net, &opts).expect("reduce"));
+    let hier_opts = ReduceOptions {
+        strategy: pact::ReduceStrategy::Hierarchical {
+            max_block: 2000,
+            max_depth: 16,
+        },
+        ..opts.clone()
+    };
+    let (hred, helapsed) = timed(|| pact::reduce_network(&net, &hier_opts).expect("reduce hier"));
     // Aggressive sparsification, as the paper's Table 4 output counts imply.
     let elements = red.model.to_netlist_elements("red", 1e-5);
     let (rr, rc) = elements
@@ -68,7 +77,27 @@ fn main() {
                 secs(elapsed),
                 mb(red.stats.modelled_memory_bytes),
             ],
+            vec![
+                "hier, block 2000".into(),
+                format!("{}", hred.model.num_ports()),
+                format!("{}", hred.model.num_poles()),
+                "-".into(),
+                "-".into(),
+                secs(helapsed),
+                mb(hred.stats.modelled_memory_bytes),
+            ],
         ],
+    );
+    let hc = &hred.telemetry.counters;
+    println!(
+        "hier: {} blocks (depth {}), {} separator nodes, {} leaf poles kept, \
+         largest block {} nodes; flat/hier wall-time ratio {:.2}",
+        hc.hier_blocks,
+        hc.hier_tree_depth,
+        hc.hier_separator_nodes,
+        hc.hier_leaf_poles_retained,
+        hc.hier_max_block_nodes,
+        elapsed / helapsed.max(1e-12)
     );
     println!(
         "Cholesky factor: {} nnz = {} MB of the total (paper: 19.5 of 25.8 MB)",

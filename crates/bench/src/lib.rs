@@ -127,6 +127,7 @@ pub fn reduce_deck(
         dense_threshold: 400,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let (red, elapsed) =
         timed(|| pact::reduce_network(&ex.network, &opts).expect("reduction failed"));
@@ -151,6 +152,7 @@ pub fn reduce_deck_laso(
         dense_threshold: 400,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let (red, elapsed) =
         timed(|| pact::reduce_network(&ex.network, &opts).expect("reduction failed"));

@@ -100,6 +100,7 @@ impl PactError {
             },
             ReduceError::Lanczos(le) => PactError::Lanczos(le),
             ReduceError::Eigen(ee) => PactError::Eigen(ee),
+            ReduceError::Network(ne) => PactError::Network(ne),
         }
     }
 

@@ -1,0 +1,262 @@
+//! The hierarchical reduction driver: partition → leaf reductions →
+//! stitch → top-level flat pass.
+
+use std::time::Instant;
+
+use pact_netlist::RcNetwork;
+use pact_sparse::{FactorError, ParCtx};
+
+use crate::cutoff::CutoffSpec;
+use crate::hier::partition_tree::{LeafBlock, PartitionTree};
+use crate::hier::stitch::stitch;
+use crate::reduce::{
+    reduce_impl, reduce_network_flat, remap_factor_index, ReduceError, ReduceOptions,
+    ReduceStrategy, Reduction, ReductionStats,
+};
+use crate::sanitize::sanitize_network;
+use crate::telemetry::{Telemetry, Warning};
+
+/// Leaf reductions keep every pole below `LEAF_CUTOFF_GUARD × f_c` (the
+/// user's cutoff times this guard), so the only poles a leaf truncates
+/// are a factor `LEAF_CUTOFF_GUARD` above the band of interest. By the
+/// high-pass error envelope (see [`crate::CutoffSpec`]) their in-band
+/// contribution is `≈ ½ (f / (guard · f_c))²` relative — below `1e-6`
+/// of the flat reduction for the default guard — while leaves still
+/// shed the vast majority of their internal nodes.
+pub const LEAF_CUTOFF_GUARD: f64 = 1024.0;
+
+/// What one leaf reduction hands back to the merge step.
+struct LeafOutcome {
+    reduction: Reduction,
+    sanitize_warnings: Vec<Warning>,
+}
+
+/// Renames a warning's node/element attribution to carry the leaf block
+/// id, so degenerate sub-blocks are directly identifiable in telemetry.
+fn tag_warning(w: &Warning, block: usize) -> Warning {
+    let tag = |s: &str| format!("{s}@block{block}");
+    match w {
+        Warning::PerturbedPivot {
+            node,
+            pivot,
+            replaced_with,
+        } => Warning::PerturbedPivot {
+            node: tag(node),
+            pivot: *pivot,
+            replaced_with: *replaced_with,
+        },
+        Warning::PrunedFloatingInternal { node } => {
+            Warning::PrunedFloatingInternal { node: tag(node) }
+        }
+        Warning::DisconnectedPort { node } => Warning::DisconnectedPort { node: tag(node) },
+        Warning::DuplicateElementName { name, count } => Warning::DuplicateElementName {
+            name: tag(name),
+            count: *count,
+        },
+        Warning::ZeroValueElement { name } => Warning::ZeroValueElement { name: tag(name) },
+    }
+}
+
+/// Leaf pipeline phases renamed so top-pass phases (which keep the flat
+/// names) stay distinguishable in the telemetry tables.
+fn leaf_phase_name(name: &'static str) -> &'static str {
+    match name {
+        "partition" => "leaf_partition",
+        "factor" => "leaf_factor",
+        "moments" => "leaf_moments",
+        "eigen" => "leaf_eigen",
+        "projection" => "leaf_projection",
+        _ => "leaf_other",
+    }
+}
+
+/// Sanitizes and reduces one leaf block with the flat pipeline.
+/// Factorization failures are remapped (via node names) into the parent
+/// network's internal numbering so top-level attribution stays correct.
+fn reduce_leaf(
+    leaf: &LeafBlock,
+    parent: &RcNetwork,
+    opts: &ReduceOptions,
+) -> Result<LeafOutcome, ReduceError> {
+    let report = sanitize_network(&leaf.network)?;
+    let reduction = reduce_network_flat(&report.network, opts).map_err(|e| {
+        let e = remap_factor_index(e, &report.network, &leaf.network);
+        remap_factor_index(e, &leaf.network, parent)
+    })?;
+    Ok(LeafOutcome {
+        reduction,
+        sanitize_warnings: report.warnings,
+    })
+}
+
+/// Hierarchical divide-and-conquer reduction (see [`crate::hier`]).
+///
+/// Falls back to the flat pipeline when the partition produces at most
+/// one block (tiny networks, or `max_block ≥ n`).
+pub(crate) fn reduce_network_hier(
+    network: &RcNetwork,
+    opts: &ReduceOptions,
+    max_block: usize,
+    max_depth: usize,
+) -> Result<Reduction, ReduceError> {
+    let start = Instant::now();
+    let m = network.num_ports;
+    let n_int = network.num_internal();
+    let mut tel = Telemetry::new();
+
+    let tree = tel.time("partition_tree", || {
+        PartitionTree::build(network, max_block, max_depth)
+    });
+
+    if tree.leaves.len() <= 1 {
+        // Nothing to divide: run flat, but keep the hier bookkeeping so
+        // telemetry still says what happened.
+        let mut red = reduce_network_flat(network, opts)?;
+        tel.absorb(&red.telemetry);
+        let c = &mut tel.counters;
+        c.hier_blocks = tree.leaves.len().max(1) as u64;
+        c.hier_tree_depth = tree.depth as u64;
+        c.hier_max_block_nodes = n_int as u64;
+        red.telemetry = tel;
+        return Ok(red);
+    }
+
+    // Leaves keep poles up to a guarded cutoff so truncation error stays
+    // negligible relative to the user tolerance; an overflow of the
+    // guard multiplication (absurdly high f_c) falls back to the user
+    // cutoff, which only keeps fewer leaf poles.
+    let leaf_cutoff =
+        CutoffSpec::from_cutoff_frequency(LEAF_CUTOFF_GUARD * opts.cutoff.cutoff_frequency())
+            .unwrap_or(opts.cutoff);
+    let mut leaf_opts = opts.clone();
+    leaf_opts.cutoff = leaf_cutoff;
+    leaf_opts.threads = Some(1); // one worker per leaf; fan-out is outside
+    leaf_opts.strategy = ReduceStrategy::Flat;
+    // Under the guarded cutoff a leaf keeps a large fraction of its
+    // spectrum, which is exactly the regime where an iterative extremal
+    // solver (LASO) degenerates into full-spectrum Lanczos with massive
+    // reorthogonalization. Blocks are bounded by `max_block`, so solve
+    // them densely; `opts.eigen` still governs the top-level pass, where
+    // the spectral problem has the usual few-poles-in-band shape.
+    leaf_opts.eigen = crate::reduce::EigenStrategy::Dense;
+
+    // Fan the leaves across workers; results come back in leaf order so
+    // the merge below is bit-identical for every thread count.
+    let ctx = ParCtx::new(opts.threads);
+    let leaf_start = Instant::now();
+    let outcomes: Vec<Result<LeafOutcome, ReduceError>> = ctx.map_items(
+        tree.leaves.len(),
+        || (),
+        |_, k| reduce_leaf(&tree.leaves[k], network, &leaf_opts),
+    );
+    tel.record_phase("leaf_reduce", leaf_start.elapsed().as_secs_f64());
+
+    let mut models = Vec::with_capacity(tree.leaves.len());
+    let mut leaf_poles = 0u64;
+    let mut chol_nnz = 0usize;
+    let mut chol_memory = 0usize;
+    let mut modelled_memory = 0usize;
+    for (leaf, outcome) in tree.leaves.iter().zip(outcomes) {
+        let o = outcome?; // first failing leaf (in tree order) aborts
+        for w in &o.sanitize_warnings {
+            match w {
+                Warning::PrunedFloatingInternal { .. } => tel.counters.pruned_internal_nodes += 1,
+                Warning::DisconnectedPort { .. } => tel.counters.disconnected_ports += 1,
+                Warning::ZeroValueElement { .. } => tel.counters.zero_value_elements += 1,
+                _ => {}
+            }
+            tel.warn(tag_warning(w, leaf.id));
+        }
+        let ltel = &o.reduction.telemetry;
+        for p in &ltel.phases {
+            tel.record_phase(leaf_phase_name(p.name), p.seconds);
+        }
+        for w in &ltel.warnings {
+            tel.warn(tag_warning(w, leaf.id));
+        }
+        // Size/pole counters describing the leaf sub-problems are
+        // reported through the hier_* fields; the flat-shaped fields
+        // must describe the original network, so zero them before
+        // accumulating the rest (work counters, peaks).
+        let mut lc = ltel.counters;
+        leaf_poles += lc.poles_retained;
+        lc.num_ports = 0;
+        lc.num_internal = 0;
+        lc.poles_retained = 0;
+        lc.poles_dropped = 0;
+        tel.counters.add(&lc);
+        chol_nnz += o.reduction.stats.chol_nnz;
+        chol_memory += o.reduction.stats.chol_memory_bytes;
+        modelled_memory = modelled_memory.max(o.reduction.stats.modelled_memory_bytes);
+        models.push(o.reduction.model);
+    }
+
+    let stitched = tel.time("stitch", || stitch(network, &tree, &models));
+    let port_names: Vec<String> = network.node_names[..m].to_vec();
+    let internal_names = stitched.internal_names;
+    let nsep = tree.separators.len();
+    let top = reduce_impl(&stitched.stamped, &port_names, opts, &|i| {
+        internal_names
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("internal#{i}"))
+    })
+    .map_err(|e| match e {
+        // A singular pivot on a separator row maps back to an original
+        // internal node; pole-node rows (identity diagonal) cannot fail.
+        ReduceError::Factor(FactorError::NotPositiveDefinite { step, index, pivot })
+            if index < nsep =>
+        {
+            ReduceError::Factor(FactorError::NotPositiveDefinite {
+                step,
+                index: tree.separators[index] - m,
+                pivot,
+            })
+        }
+        other => other,
+    })?;
+
+    for p in &top.telemetry.phases {
+        tel.record_phase(p.name, p.seconds);
+    }
+    for w in &top.telemetry.warnings {
+        tel.warn(w.clone());
+    }
+    let mut tc = top.telemetry.counters;
+    tc.num_ports = 0;
+    tc.num_internal = 0;
+    tc.poles_retained = 0;
+    tc.poles_dropped = 0;
+    tel.counters.add(&tc);
+
+    let poles = top.model.num_poles();
+    let c = &mut tel.counters;
+    c.num_ports = m as u64;
+    c.num_internal = n_int as u64;
+    c.poles_retained = poles as u64;
+    c.poles_dropped = (n_int as u64).saturating_sub(poles as u64);
+    c.hier_blocks = tree.leaves.len() as u64;
+    c.hier_separator_nodes = tree.separators.len() as u64;
+    c.hier_max_block_nodes = tree.max_block_nodes as u64;
+    c.hier_max_separator_nodes = tree.max_separator_nodes as u64;
+    c.hier_leaf_poles_retained = leaf_poles;
+    c.hier_portless_blocks_dropped = tree.portless_dropped as u64;
+    c.hier_tree_depth = tree.depth as u64;
+
+    let stats = ReductionStats {
+        num_ports: m,
+        num_internal: n_int,
+        poles_retained: poles,
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+        chol_nnz: chol_nnz + top.stats.chol_nnz,
+        chol_memory_bytes: chol_memory + top.stats.chol_memory_bytes,
+        modelled_memory_bytes: modelled_memory.max(top.stats.modelled_memory_bytes),
+        lanczos: top.stats.lanczos,
+    };
+
+    Ok(Reduction {
+        model: top.model,
+        stats,
+        telemetry: tel,
+    })
+}

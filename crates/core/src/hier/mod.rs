@@ -1,0 +1,41 @@
+//! Hierarchical divide-and-conquer reduction.
+//!
+//! PACT's flat pipeline factors the whole internal block `D` at once and
+//! eigendecomposes one `E'` of dimension `n`; this module breaks that
+//! monolith apart. The internal-node graph is split by nested-dissection
+//! vertex separators ([`PartitionTree`]), each leaf block is reduced
+//! independently with the existing flat pipeline — its separator
+//! neighbors promoted to temporary ports — and the per-block reduced
+//! models are stitched back together ([`stitch`]) into a much smaller
+//! network over `ports ∪ separators ∪ leaf poles`, which a final flat
+//! pass reduces to the delivered model.
+//!
+//! ## Why composition is sound
+//!
+//! Reducing a leaf with its boundary promoted to ports is a congruence
+//! transformation of the leaf's `(G, C)` contribution; embedding it back
+//! extends that congruence by identity on everything outside the leaf.
+//! The composition of congruences is a congruence, so non-negative
+//! definiteness — and therefore passivity — survives the whole tree, and
+//! the first two port moments compose exactly (leaf `A'`/`B'` are exact,
+//! and the top pass matches the stitched network's moments exactly).
+//! The only approximation is pole truncation: leaves drop poles above a
+//! *guarded* cutoff [`LEAF_CUTOFF_GUARD`] times the user's, so the
+//! discrepancy against a flat reduction stays far below the user
+//! tolerance in-band.
+//!
+//! ## Determinism
+//!
+//! Leaves fan out across [`pact_sparse::ParCtx`] workers but each leaf
+//! is reduced single-threaded by exactly one worker and the results are
+//! merged in leaf order, so the delivered model and every telemetry
+//! counter are bit-identical for any `--threads` value.
+
+mod hier_reduce;
+mod partition_tree;
+mod stitch;
+
+pub(crate) use hier_reduce::reduce_network_hier;
+pub use hier_reduce::LEAF_CUTOFF_GUARD;
+pub use partition_tree::{LeafBlock, PartitionTree};
+pub use stitch::{stitch, Stitched};

@@ -1,0 +1,309 @@
+//! Partitioning an RC network's internal-node graph into leaf blocks.
+//!
+//! The dissection runs over the *internal* nodes only (ports are already
+//! interface nodes and never enter a block), using the union of the `G`
+//! and `C` adjacency so that capacitive coupling counts as connectivity.
+//! Every branch of the network is then assigned to exactly one leaf (if
+//! it touches that leaf's internals — the separator property guarantees
+//! a branch never touches two leaves) or to the residual top network
+//! (branches living entirely on ports/separators/ground).
+
+use pact_netlist::{Branch, RcNetwork};
+use pact_sparse::{nested_dissection_partition, TripletMat};
+
+/// One leaf block: a self-contained sub-network whose ports are the
+/// parent nodes on its boundary and whose internals are the block's own
+/// internal nodes.
+#[derive(Clone, Debug)]
+pub struct LeafBlock {
+    /// Stable block id (dissection order), used in telemetry and warning
+    /// attribution (`node@block<id>`).
+    pub id: usize,
+    /// The extracted sub-network, boundary nodes first (as ports).
+    pub network: RcNetwork,
+    /// Global node indices of the leaf's boundary, ascending — real
+    /// ports of the parent first, then separator nodes (ports have
+    /// smaller global indices by the ports-first convention).
+    pub boundary: Vec<usize>,
+    /// Global node indices of the leaf's internal nodes, ascending.
+    pub internals: Vec<usize>,
+}
+
+/// The full partition of a network for hierarchical reduction.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionTree {
+    /// Leaf blocks with a non-empty boundary, in dissection order.
+    pub leaves: Vec<LeafBlock>,
+    /// Global indices of all separator nodes, ascending.
+    pub separators: Vec<usize>,
+    /// Depth of the dissection tree.
+    pub depth: usize,
+    /// Internal nodes in the largest leaf.
+    pub max_block_nodes: usize,
+    /// Vertices in the largest single separator.
+    pub max_separator_nodes: usize,
+    /// Leaf blocks dropped because no branch connects them to any port
+    /// or separator: they cannot influence the reduced model.
+    pub portless_dropped: usize,
+    /// Resistor branches owned by no leaf (endpoints all in
+    /// ports/separators/ground), stamped directly into the top network.
+    pub residual_resistors: Vec<Branch>,
+    /// Capacitor branches owned by no leaf.
+    pub residual_capacitors: Vec<Branch>,
+}
+
+impl PartitionTree {
+    /// Dissects `net`'s internal-node graph until every block holds at
+    /// most `max_block` nodes or `max_depth` levels are spent, then
+    /// extracts one [`LeafBlock`] sub-network per block.
+    ///
+    /// Deterministic: depends only on the network topology and the two
+    /// budgets, never on thread count.
+    pub fn build(net: &RcNetwork, max_block: usize, max_depth: usize) -> PartitionTree {
+        let m = net.num_ports;
+        let n_int = net.num_internal();
+
+        // Adjacency of the internal-node graph: an edge wherever a
+        // resistor or capacitor joins two internal nodes.
+        let mut adj = TripletMat::new(n_int, n_int);
+        for b in net.resistors.iter().chain(&net.capacitors) {
+            if let (Some(a), Some(bb)) = (b.a, b.b) {
+                if a >= m && bb >= m && a != bb {
+                    adj.push(a - m, bb - m, 1.0);
+                    adj.push(bb - m, a - m, 1.0);
+                }
+            }
+        }
+        let part = nested_dissection_partition(&adj.to_csr(), max_block.max(1), max_depth);
+
+        // Leaf ownership of every internal node (local numbering).
+        let mut leaf_of: Vec<Option<usize>> = vec![None; n_int];
+        for (k, leaf) in part.leaves.iter().enumerate() {
+            for &v in leaf {
+                leaf_of[v] = Some(k);
+            }
+        }
+
+        let mut separators: Vec<usize> = part.separators.iter().flatten().map(|&v| v + m).collect();
+        separators.sort_unstable();
+
+        // Assign each branch to the unique leaf owning one of its
+        // internal endpoints, or to the residual top network.
+        let owner = |b: &Branch| -> Option<usize> {
+            let of = |t: Option<usize>| t.filter(|&v| v >= m).and_then(|v| leaf_of[v - m]);
+            match (of(b.a), of(b.b)) {
+                (Some(x), Some(y)) => {
+                    debug_assert_eq!(x, y, "separator property: no branch spans two leaves");
+                    Some(x)
+                }
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        };
+        let nleaves = part.leaves.len();
+        let mut leaf_resistors: Vec<Vec<Branch>> = vec![Vec::new(); nleaves];
+        let mut leaf_capacitors: Vec<Vec<Branch>> = vec![Vec::new(); nleaves];
+        let mut residual_resistors = Vec::new();
+        let mut residual_capacitors = Vec::new();
+        for r in &net.resistors {
+            match owner(r) {
+                Some(k) => leaf_resistors[k].push(*r),
+                None => residual_resistors.push(*r),
+            }
+        }
+        for c in &net.capacitors {
+            match owner(c) {
+                Some(k) => leaf_capacitors[k].push(*c),
+                None => residual_capacitors.push(*c),
+            }
+        }
+
+        let mut tree = PartitionTree {
+            leaves: Vec::with_capacity(nleaves),
+            separators,
+            depth: part.depth,
+            max_block_nodes: part.max_leaf(),
+            max_separator_nodes: part.max_separator(),
+            portless_dropped: 0,
+            residual_resistors,
+            residual_capacitors,
+        };
+
+        for (k, leaf) in part.leaves.iter().enumerate() {
+            let mut internals: Vec<usize> = leaf.iter().map(|&v| v + m).collect();
+            internals.sort_unstable();
+
+            // Boundary = non-leaf endpoints of the leaf's branches.
+            let mut boundary: Vec<usize> = Vec::new();
+            for b in leaf_resistors[k].iter().chain(&leaf_capacitors[k]) {
+                for t in [b.a, b.b].into_iter().flatten() {
+                    if !(t >= m && leaf_of[t - m] == Some(k)) {
+                        boundary.push(t);
+                    }
+                }
+            }
+            boundary.sort_unstable();
+            boundary.dedup();
+
+            if boundary.is_empty() {
+                // No connection to any port or separator: the block is
+                // unobservable from every port and is dropped whole
+                // (flat reduction would keep its poles with exactly
+                // zero port residues — the admittance is unchanged).
+                tree.portless_dropped += 1;
+                continue;
+            }
+
+            // Local numbering: boundary (as ports) then internals.
+            let mut local = vec![usize::MAX; net.num_nodes()];
+            let mut node_names = Vec::with_capacity(boundary.len() + internals.len());
+            for (new, &old) in boundary.iter().chain(&internals).enumerate() {
+                local[old] = new;
+                node_names.push(net.node_names[old].clone());
+            }
+            let map = |b: &Branch| Branch {
+                a: b.a.map(|v| local[v]),
+                b: b.b.map(|v| local[v]),
+                value: b.value,
+            };
+            tree.leaves.push(LeafBlock {
+                id: k,
+                network: RcNetwork {
+                    node_names,
+                    num_ports: boundary.len(),
+                    resistors: leaf_resistors[k].iter().map(&map).collect(),
+                    capacitors: leaf_capacitors[k].iter().map(&map).collect(),
+                },
+                boundary,
+                internals,
+            });
+        }
+        tree
+    }
+
+    /// Total internal nodes covered by kept leaves.
+    pub fn leaf_nodes(&self) -> usize {
+        self.leaves.iter().map(|l| l.internals.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-D RC ladder with a port at each end: p0 - i0 - … - i{n-1} - p1.
+    fn ladder(n_internal: usize) -> RcNetwork {
+        let mut names = vec!["p0".to_owned(), "p1".to_owned()];
+        for i in 0..n_internal {
+            names.push(format!("i{i}"));
+        }
+        let node = |k: usize| -> usize {
+            if k == 0 {
+                0
+            } else if k == n_internal + 1 {
+                1
+            } else {
+                1 + k
+            }
+        };
+        let mut resistors = Vec::new();
+        let mut capacitors = Vec::new();
+        for k in 0..=n_internal {
+            resistors.push(Branch {
+                a: Some(node(k)),
+                b: Some(node(k + 1)),
+                value: 10.0,
+            });
+        }
+        for i in 0..n_internal {
+            capacitors.push(Branch {
+                a: Some(2 + i),
+                b: None,
+                value: 1e-15,
+            });
+        }
+        RcNetwork {
+            node_names: names,
+            num_ports: 2,
+            resistors,
+            capacitors,
+        }
+    }
+
+    #[test]
+    fn ladder_partition_covers_every_node_and_branch() {
+        let net = ladder(40);
+        let tree = PartitionTree::build(&net, 10, 16);
+        assert!(tree.leaves.len() >= 2);
+        assert_eq!(tree.leaf_nodes() + tree.separators.len(), 40);
+        assert!(tree.max_block_nodes <= 10);
+        // Every branch is either in exactly one leaf or residual.
+        let owned: usize = tree
+            .leaves
+            .iter()
+            .map(|l| l.network.resistors.len() + l.network.capacitors.len())
+            .sum();
+        let residual = tree.residual_resistors.len() + tree.residual_capacitors.len();
+        assert_eq!(owned + residual, net.resistors.len() + net.capacitors.len());
+        // Boundaries only hold ports/separators.
+        for l in &tree.leaves {
+            for &b in &l.boundary {
+                assert!(b < 2 || tree.separators.contains(&b), "boundary node {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_networks_have_boundary_first_ordering() {
+        let net = ladder(30);
+        let tree = PartitionTree::build(&net, 8, 16);
+        for l in &tree.leaves {
+            assert_eq!(l.network.num_ports, l.boundary.len());
+            assert_eq!(l.network.num_internal(), l.internals.len());
+            for (j, &g) in l.boundary.iter().enumerate() {
+                assert_eq!(l.network.node_names[j], net.node_names[g]);
+            }
+            // Boundary is sorted so real ports precede separators.
+            assert!(l.boundary.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn single_block_when_budget_is_large() {
+        let net = ladder(20);
+        let tree = PartitionTree::build(&net, 1000, 16);
+        assert_eq!(tree.leaves.len(), 1);
+        assert!(tree.separators.is_empty());
+        assert_eq!(tree.leaves[0].internals.len(), 20);
+    }
+
+    #[test]
+    fn unobservable_block_is_dropped() {
+        // A floating resistively-grounded island: f-nodes joined to each
+        // other and ground, but never to a port. The budget is chosen so
+        // the dissection separates the island (disconnected component,
+        // empty separator) as one whole leaf.
+        let mut net = ladder(2);
+        let base = net.num_nodes();
+        for i in 0..6 {
+            net.node_names.push(format!("f{i}"));
+        }
+        for i in 0..5 {
+            net.resistors.push(Branch {
+                a: Some(base + i),
+                b: Some(base + i + 1),
+                value: 5.0,
+            });
+        }
+        net.resistors.push(Branch {
+            a: Some(base),
+            b: None,
+            value: 5.0,
+        });
+        let tree = PartitionTree::build(&net, 7, 16);
+        assert_eq!(tree.portless_dropped, 1, "island must be dropped");
+        // The dropped island's branches are not in any leaf or residual.
+        let owned: usize = tree.leaves.iter().map(|l| l.network.resistors.len()).sum();
+        assert!(owned + tree.residual_resistors.len() < net.resistors.len());
+    }
+}

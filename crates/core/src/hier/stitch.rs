@@ -1,0 +1,189 @@
+//! Re-assembling per-block reduced models into one stitched network.
+//!
+//! Each leaf reduction yields the realized matrices (eq. 10–11)
+//!
+//! ```text
+//! G'' = [ A'  0 ]       C'' = [ B'   R''ᵀ ]
+//!       [ 0   I ]              [ R''  Λ    ]
+//! ```
+//!
+//! over the leaf's boundary nodes plus one synthetic node per retained
+//! pole. Stitching stamps every leaf's `(G'', C'')` — *raw*, not the
+//! netlist-normalized form, so no rescaling noise enters — into a global
+//! triplet matrix over `ports ∪ separators ∪ pole nodes`, together with
+//! the residual branches that never belonged to a leaf. Because each
+//! leaf contribution is congruent to the leaf's original stamp, the
+//! stitched matrices are congruent to the full network's `(G, C)` up to
+//! the leaf-truncated poles: symmetric, non-negative definite, and
+//! exact in the first two port moments.
+
+use pact_netlist::{RcNetwork, Stamped};
+use pact_sparse::TripletMat;
+
+use crate::hier::partition_tree::PartitionTree;
+use crate::model::ReducedModel;
+
+/// The stitched top-level network, ready for a final flat PACT pass.
+#[derive(Clone, Debug)]
+pub struct Stitched {
+    /// Stamped `(G, C)` over ports, separators, then per-leaf pole
+    /// nodes.
+    pub stamped: Stamped,
+    /// Names of the stitched internal nodes (separators keep their
+    /// original names; pole nodes are `hier_b<block>_p<i>`), for
+    /// warning/error attribution in the top pass.
+    pub internal_names: Vec<String>,
+}
+
+/// Stamps the residual branches and every leaf's realized reduced
+/// matrices into one stitched network.
+///
+/// `models` must parallel `tree.leaves` (one reduced model per kept
+/// leaf, in tree order); each model's ports are the leaf's boundary in
+/// ascending global order — exactly how [`PartitionTree::build`] laid
+/// out the leaf sub-networks.
+pub fn stitch(net: &RcNetwork, tree: &PartitionTree, models: &[ReducedModel]) -> Stitched {
+    assert_eq!(models.len(), tree.leaves.len(), "one model per kept leaf");
+    let m = net.num_ports;
+    let nsep = tree.separators.len();
+    let total_poles: usize = models.iter().map(ReducedModel::num_poles).sum();
+    let dim = m + nsep + total_poles;
+
+    // Global node index -> stitched index (ports identity, separators
+    // compacted after them; leaf internals never appear).
+    let mut top = vec![usize::MAX; net.num_nodes()];
+    for (p, t) in top.iter_mut().enumerate().take(m) {
+        *t = p;
+    }
+    for (k, &s) in tree.separators.iter().enumerate() {
+        top[s] = m + k;
+    }
+
+    let mut g = TripletMat::new(dim, dim);
+    let mut c = TripletMat::new(dim, dim);
+
+    // Residual branches live entirely on ports/separators/ground.
+    for r in &tree.residual_resistors {
+        g.stamp_conductance(r.a.map(|v| top[v]), r.b.map(|v| top[v]), 1.0 / r.value);
+    }
+    for cap in &tree.residual_capacitors {
+        c.stamp_conductance(cap.a.map(|v| top[v]), cap.b.map(|v| top[v]), cap.value);
+    }
+
+    let mut internal_names: Vec<String> = tree
+        .separators
+        .iter()
+        .map(|&s| net.node_names[s].clone())
+        .collect();
+
+    // Each leaf's (G'', C'') block, mapped boundary -> stitched index
+    // and pole p -> its own fresh node. Stamped straight from the model
+    // fields rather than via `to_matrices()`: the realized matrices'
+    // off-blocks (`G''` boundary↔pole, zero) are structural and skipping
+    // them keeps the stitch linear in the entries that exist.
+    let mut pole_base = m + nsep;
+    for (leaf, model) in tree.leaves.iter().zip(models) {
+        let mb = model.num_ports();
+        let kb = model.num_poles();
+        debug_assert_eq!(mb, leaf.boundary.len(), "model ports = leaf boundary");
+        let bmap: Vec<usize> = leaf.boundary.iter().map(|&b| top[b]).collect();
+        // G'' = [A' 0; 0 I], C'' boundary block = B'.
+        for i in 0..mb {
+            let ti = bmap[i];
+            for (j, &tj) in bmap.iter().enumerate() {
+                g.push(ti, tj, model.a1[(i, j)]);
+                c.push(ti, tj, model.b1[(i, j)]);
+            }
+        }
+        // Pole rows: unit G diagonal, λ on C's diagonal, R'' coupling.
+        for p in 0..kb {
+            let tp = pole_base + p;
+            g.push(tp, tp, 1.0);
+            c.push(tp, tp, model.lambdas[p]);
+            for (j, &tj) in bmap.iter().enumerate() {
+                let v = model.r2[(p, j)];
+                c.push(tp, tj, v);
+                c.push(tj, tp, v);
+            }
+            internal_names.push(format!("hier_b{}_p{p}", leaf.id));
+        }
+        pole_base += kb;
+    }
+
+    Stitched {
+        stamped: Stamped {
+            g: g.to_csr(),
+            c: c.to_csr(),
+            num_ports: m,
+        },
+        internal_names,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_netlist::Branch;
+    use pact_sparse::DMat;
+
+    #[test]
+    fn stitched_matrices_are_symmetric_and_sized() {
+        // Two ports, one separator (node 2), two leaves each with one
+        // boundary pair and a toy one-pole model.
+        let net = RcNetwork {
+            node_names: vec!["p0".into(), "p1".into(), "s".into(), "a".into(), "b".into()],
+            num_ports: 2,
+            resistors: vec![
+                Branch {
+                    a: Some(0),
+                    b: Some(3),
+                    value: 1.0,
+                },
+                Branch {
+                    a: Some(3),
+                    b: Some(2),
+                    value: 1.0,
+                },
+                Branch {
+                    a: Some(2),
+                    b: Some(4),
+                    value: 1.0,
+                },
+                Branch {
+                    a: Some(4),
+                    b: Some(1),
+                    value: 1.0,
+                },
+            ],
+            capacitors: vec![],
+        };
+        let tree = PartitionTree::build(&net, 1, 16);
+        assert_eq!(tree.separators.len(), 1);
+        assert_eq!(tree.leaves.len(), 2);
+        let models: Vec<ReducedModel> = tree
+            .leaves
+            .iter()
+            .map(|l| ReducedModel {
+                a1: DMat::from_rows(&[&[1.0, -1.0], &[-1.0, 1.0]]),
+                b1: DMat::from_rows(&[&[1e-15, 0.0], &[0.0, 1e-15]]),
+                r2: DMat::from_rows(&[&[1e-9, -1e-9]]),
+                lambdas: vec![1e-10],
+                port_names: l.network.node_names[..l.network.num_ports].to_vec(),
+            })
+            .collect();
+        let st = stitch(&net, &tree, &models);
+        // dim = 2 ports + 1 separator + 2 pole nodes.
+        assert_eq!(st.stamped.g.nrows(), 5);
+        assert_eq!(st.stamped.num_ports, 2);
+        assert!(st.stamped.g.is_symmetric(0.0));
+        assert!(st.stamped.c.is_symmetric(0.0));
+        assert_eq!(st.internal_names.len(), 3);
+        assert_eq!(st.internal_names[0], "s");
+        assert!(st.internal_names[1].starts_with("hier_b"));
+        // Pole-node diagonal of G is the identity from G''.
+        assert_eq!(st.stamped.g.get(3, 3), 1.0);
+        assert_eq!(st.stamped.g.get(4, 4), 1.0);
+        // Pole-node diagonal of C carries λ.
+        assert!((st.stamped.c.get(3, 3) - 1e-10).abs() < 1e-25);
+    }
+}

@@ -55,6 +55,7 @@
 mod admittance;
 mod cutoff;
 mod error;
+pub mod hier;
 pub mod json;
 mod matrix_free;
 mod model;
@@ -73,7 +74,7 @@ pub use model::ReducedModel;
 pub use partition::Partitions;
 pub use reduce::{
     reduce, reduce_network, reduce_network_components, ComponentReduction, EigenStrategy,
-    ReduceError, ReduceOptions, Reduction, ReductionStats,
+    ReduceError, ReduceOptions, ReduceStrategy, Reduction, ReductionStats,
 };
 pub use sanitize::{sanitize_network, SanitizeReport};
 pub use telemetry::{Counters, PhaseTiming, Telemetry, Warning};

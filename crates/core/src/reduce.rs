@@ -10,7 +10,7 @@ use std::time::Instant;
 use pact_lanczos::{eigs_above_with_stats, LanczosConfig, LanczosError, LanczosStats, SymOp};
 use pact_netlist::{RcNetwork, Stamped};
 use pact_sparse::{
-    sym_eig, EigenError, FactorError, Ordering, ParCtx, PivotPolicy, SparseCholesky,
+    sym_eig, DMat, EigenError, FactorError, Ordering, ParCtx, PivotPolicy, SparseCholesky,
 };
 
 use crate::cutoff::CutoffSpec;
@@ -18,6 +18,26 @@ use crate::model::ReducedModel;
 use crate::partition::Partitions;
 use crate::telemetry::{Telemetry, Warning};
 use crate::transform::Transform1;
+
+/// How the reduction is executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReduceStrategy {
+    /// One-shot PACT over the whole network: a single Cholesky of the
+    /// full internal block and one pole analysis.
+    #[default]
+    Flat,
+    /// Divide-and-conquer ([`crate::hier`]): partition the internal-node
+    /// graph by nested-dissection vertex separators, reduce each leaf
+    /// block independently with flat PACT (separator nodes promoted to
+    /// temporary ports), stitch the reduced blocks back together and run
+    /// a final flat pass over the much smaller stitched network.
+    Hierarchical {
+        /// Target maximum internal nodes per leaf block.
+        max_block: usize,
+        /// Maximum dissection recursion depth.
+        max_depth: usize,
+    },
+}
 
 /// How the eigenpairs of `E'` above the cutoff are computed.
 #[derive(Clone, Debug, Default)]
@@ -54,6 +74,9 @@ pub struct ReduceOptions {
     /// `ΔD ⪰ 0`) and each substitution is recorded as a
     /// [`Warning::PerturbedPivot`] in the reduction's telemetry.
     pub pivot_relief: Option<f64>,
+    /// Execution strategy: one-shot flat PACT (default) or hierarchical
+    /// divide-and-conquer over a nested-dissection partition tree.
+    pub strategy: ReduceStrategy,
 }
 
 impl ReduceOptions {
@@ -66,6 +89,7 @@ impl ReduceOptions {
             dense_threshold: 400,
             threads: None,
             pivot_relief: None,
+            strategy: ReduceStrategy::Flat,
         }
     }
 }
@@ -102,6 +126,9 @@ pub enum ReduceError {
     Lanczos(LanczosError),
     /// The dense eigensolver failed.
     Eigen(EigenError),
+    /// A sub-network rejected during hierarchical reduction (per-block
+    /// sanitization found non-physical element values).
+    Network(pact_netlist::NetworkError),
 }
 
 impl std::fmt::Display for ReduceError {
@@ -110,6 +137,7 @@ impl std::fmt::Display for ReduceError {
             ReduceError::Factor(e) => write!(f, "internal conductance factorization failed: {e}"),
             ReduceError::Lanczos(e) => write!(f, "pole analysis failed: {e}"),
             ReduceError::Eigen(e) => write!(f, "dense eigendecomposition failed: {e}"),
+            ReduceError::Network(e) => write!(f, "block sanitization rejected the network: {e}"),
         }
     }
 }
@@ -129,6 +157,11 @@ impl From<LanczosError> for ReduceError {
 impl From<EigenError> for ReduceError {
     fn from(e: EigenError) -> Self {
         ReduceError::Eigen(e)
+    }
+}
+impl From<pact_netlist::NetworkError> for ReduceError {
+    fn from(e: pact_netlist::NetworkError) -> Self {
+        ReduceError::Network(e)
     }
 }
 
@@ -164,7 +197,7 @@ pub fn reduce(
 /// node index to a display name for warning attribution (the stamped
 /// entry point only knows indices; [`reduce_network`] supplies real node
 /// names).
-fn reduce_impl(
+pub(crate) fn reduce_impl(
     stamped: &Stamped,
     port_names: &[String],
     opts: &ReduceOptions,
@@ -197,11 +230,13 @@ fn reduce_impl(
 
     let eigen_start = Instant::now();
     let poles = match &opts.eigen {
-        EigenStrategy::Dense => dense_poles(&t1, &parts, lambda_c, &ctx),
+        EigenStrategy::Dense => low_rank_poles(&t1, &parts, lambda_c, &ctx)
+            .unwrap_or_else(|| dense_poles(&t1, &parts, lambda_c, &ctx)),
         EigenStrategy::Laso(cfg) => laso_poles(&t1, &parts, lambda_c, cfg, &ctx),
         EigenStrategy::Auto => {
             if parts.n <= opts.dense_threshold {
-                dense_poles(&t1, &parts, lambda_c, &ctx)
+                low_rank_poles(&t1, &parts, lambda_c, &ctx)
+                    .unwrap_or_else(|| dense_poles(&t1, &parts, lambda_c, &ctx))
             } else {
                 laso_poles(&t1, &parts, lambda_c, &LanczosConfig::default(), &ctx)
             }
@@ -259,7 +294,9 @@ fn reduce_impl(
     })
 }
 
-/// Convenience wrapper: stamps an [`RcNetwork`] and reduces it.
+/// Convenience wrapper: stamps an [`RcNetwork`] and reduces it with the
+/// strategy selected in `opts` (flat one-shot PACT by default,
+/// divide-and-conquer for [`ReduceStrategy::Hierarchical`]).
 ///
 /// Warnings in the returned telemetry carry real node names (the
 /// stamped-matrix entry point [`reduce`] can only attribute by index).
@@ -268,6 +305,21 @@ fn reduce_impl(
 ///
 /// See [`ReduceError`].
 pub fn reduce_network(network: &RcNetwork, opts: &ReduceOptions) -> Result<Reduction, ReduceError> {
+    match opts.strategy {
+        ReduceStrategy::Flat => reduce_network_flat(network, opts),
+        ReduceStrategy::Hierarchical {
+            max_block,
+            max_depth,
+        } => crate::hier::reduce_network_hier(network, opts, max_block, max_depth),
+    }
+}
+
+/// The flat (single-pass) reduction body shared by [`reduce_network`]
+/// and the hierarchical driver's leaf/fallback paths.
+pub(crate) fn reduce_network_flat(
+    network: &RcNetwork,
+    opts: &ReduceOptions,
+) -> Result<Reduction, ReduceError> {
     let stamped = network.stamp();
     let ports: Vec<String> = network.node_names[..network.num_ports].to_vec();
     reduce_impl(&stamped, &ports, opts, &|i| {
@@ -366,7 +418,11 @@ pub fn reduce_network_components(
 /// network's internal-node numbering, so callers attributing errors
 /// against the parent network (e.g. [`crate::PactError::from_reduce`])
 /// name the right node.
-fn remap_factor_index(e: ReduceError, comp: &RcNetwork, parent: &RcNetwork) -> ReduceError {
+pub(crate) fn remap_factor_index(
+    e: ReduceError,
+    comp: &RcNetwork,
+    parent: &RcNetwork,
+) -> ReduceError {
     match e {
         ReduceError::Factor(FactorError::NotPositiveDefinite { step, index, pivot }) => {
             let remapped = comp
@@ -386,6 +442,182 @@ fn remap_factor_index(e: ReduceError, comp: &RcNetwork, parent: &RcNetwork) -> R
 }
 
 type Poles = (Vec<f64>, Vec<Vec<f64>>, Option<LanczosStats>);
+
+/// One rank-1 term `w·u uᵀ` of the capacitance split: `u = e_i − e_j`
+/// for a coupling entry, `u = e_i` (j = None) for residual node
+/// capacitance to ground/ports.
+struct CapTerm {
+    i: usize,
+    j: Option<usize>,
+    w: f64,
+}
+
+/// Splits the internal capacitance block `E` into `Σ c_k u_k u_kᵀ` with
+/// one term per coupling entry plus one per residual diagonal — the
+/// factorization every capacitance stamp admits (a branch between two
+/// internal nodes contributes `c(e_i−e_j)(e_i−e_j)ᵀ`, everything else is
+/// diagonal). Returns `None` if `E` is not such a stamp (positive
+/// off-diagonal or negative residual beyond rounding), which sends the
+/// caller to the general dense path.
+fn capacitance_split(e: &pact_sparse::CsrMat) -> Option<Vec<CapTerm>> {
+    let n = e.nrows();
+    let diag: Vec<f64> = (0..n).map(|i| e.get(i, i)).collect();
+    let mut terms = Vec::new();
+    let mut offsum = vec![0.0f64; n];
+    for i in 0..n {
+        for (j, v) in e.row_iter(i) {
+            if j <= i {
+                continue;
+            }
+            let tol = 1e-12 * (diag[i].abs() + diag[j].abs());
+            if v > tol {
+                return None; // not a capacitance stamp
+            }
+            if v < -tol {
+                terms.push(CapTerm {
+                    i,
+                    j: Some(j),
+                    w: -v,
+                });
+                offsum[i] -= v;
+                offsum[j] -= v;
+            }
+        }
+    }
+    for i in 0..n {
+        let s = diag[i] - offsum[i];
+        let tol = 1e-12 * diag[i].abs();
+        if s < -tol {
+            return None;
+        }
+        if s > tol {
+            terms.push(CapTerm { i, j: None, w: s });
+        }
+    }
+    Some(terms)
+}
+
+/// Pole analysis exploiting the rank deficiency of `E` (the paper's §6
+/// observation that RC extractions carry far fewer capacitors than
+/// nodes): with `E = U Uᵀ` (one scaled column per capacitance term),
+/// `E' = X Xᵀ` for `X = F⁻¹U`, whose nonzero spectrum equals that of the
+/// tiny `c×c` Gram matrix `XᵀX`. Eigenpairs `(λ, z)` of the Gram lift to
+/// eigenvectors `v = Xz/√λ` of `E'`. `None` when `E` is not a
+/// capacitance stamp or the rank bound does not beat `n` — callers fall
+/// back to the dense `n×n` path.
+fn low_rank_poles(
+    t1: &Transform1,
+    parts: &Partitions,
+    lambda_c: f64,
+    ctx: &ParCtx,
+) -> Option<Result<Poles, ReduceError>> {
+    let n = parts.n;
+    if n == 0 {
+        return Some(Ok((Vec::new(), Vec::new(), None)));
+    }
+    let terms = capacitance_split(&parts.e)?;
+    let c = terms.len();
+    if c == 0 {
+        return Some(Ok((Vec::new(), Vec::new(), None)));
+    }
+    if c >= n {
+        return None;
+    }
+    // X = F⁻¹ U, one forward solve per capacitance term; each column is
+    // computed by exactly one worker, so the result is thread-invariant.
+    // A column's support is the elimination-tree reach of its two nodes
+    // — usually a small fraction of `n` — so columns are compressed to
+    // (index, value) pairs. The nonzero pattern is itself deterministic
+    // (exact zeros are reproduced bit-for-bit by the serial-per-column
+    // solves), so the compressed form stays thread-invariant too.
+    let x: Vec<(Vec<u32>, Vec<f64>)> = ctx.map_items(
+        c,
+        || (vec![0.0f64; n], vec![0.0f64; n]),
+        |(rhs, col), k| {
+            rhs.iter_mut().for_each(|v| *v = 0.0);
+            let t = &terms[k];
+            let w = t.w.sqrt();
+            rhs[t.i] = w;
+            if let Some(j) = t.j {
+                rhs[j] = -w;
+            }
+            t1.chol.fsolve_into(rhs, col);
+            let mut idx = Vec::new();
+            let mut val = Vec::new();
+            for (i, &v) in col.iter().enumerate() {
+                if v != 0.0 {
+                    idx.push(i as u32);
+                    val.push(v);
+                }
+            }
+            (idx, val)
+        },
+    );
+    // Gram matrix XᵀX (c×c): row-partitioned sparse merge dots, each
+    // with a fixed index-ascending summation order.
+    let mut gram = DMat::zeros(c, c);
+    let rows = ctx.map_items(
+        c,
+        || (),
+        |_, a| {
+            (a..c)
+                .map(|b| sparse_dot(&x[a], &x[b]))
+                .collect::<Vec<f64>>()
+        },
+    );
+    for (a, row) in rows.iter().enumerate() {
+        for (off, &v) in row.iter().enumerate() {
+            gram[(a, a + off)] = v;
+            gram[(a + off, a)] = v;
+        }
+    }
+    let eig = match sym_eig(&gram) {
+        Ok(e) => e,
+        Err(e) => return Some(Err(e.into())),
+    };
+    let mut lambdas = Vec::new();
+    let mut vectors = Vec::new();
+    // Descending order to match the dense and LASO paths.
+    for idx in (0..c).rev() {
+        let lam = eig.values[idx];
+        if lam < lambda_c {
+            break;
+        }
+        let scale = 1.0 / lam.sqrt();
+        let mut v = vec![0.0f64; n];
+        for (k, (xi, xv)) in x.iter().enumerate() {
+            let zk = eig.vectors[(k, idx)] * scale;
+            if zk != 0.0 {
+                for (&i, &xval) in xi.iter().zip(xv) {
+                    v[i as usize] += zk * xval;
+                }
+            }
+        }
+        lambdas.push(lam);
+        vectors.push(v);
+    }
+    Some(Ok((lambdas, vectors, None)))
+}
+
+/// Dot product of two compressed sparse vectors (sorted indices),
+/// accumulated in ascending index order.
+fn sparse_dot(a: &(Vec<u32>, Vec<f64>), b: &(Vec<u32>, Vec<f64>)) -> f64 {
+    let (ai, av) = a;
+    let (bi, bv) = b;
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
+    while i < ai.len() && j < bi.len() {
+        match ai[i].cmp(&bi[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += av[i] * bv[j];
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
 
 fn dense_poles(
     t1: &Transform1,

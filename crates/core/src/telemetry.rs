@@ -66,6 +66,21 @@ pub struct Counters {
     pub lanczos_restarts: u64,
     /// Full reorthogonalization passes.
     pub lanczos_reorthogonalizations: u64,
+    /// Leaf blocks reduced by the hierarchical strategy.
+    pub hier_blocks: u64,
+    /// Total separator (interface) nodes across the dissection tree.
+    pub hier_separator_nodes: u64,
+    /// Internal nodes in the largest leaf block (peak; takes max).
+    pub hier_max_block_nodes: u64,
+    /// Nodes in the largest single separator (peak; takes max).
+    pub hier_max_separator_nodes: u64,
+    /// Poles retained across all leaf reductions (before the top pass).
+    pub hier_leaf_poles_retained: u64,
+    /// Leaf blocks with no port/separator boundary, dropped as
+    /// unobservable.
+    pub hier_portless_blocks_dropped: u64,
+    /// Depth of the nested-dissection tree (peak; takes max).
+    pub hier_tree_depth: u64,
 }
 
 impl Counters {
@@ -89,6 +104,15 @@ impl Counters {
         self.lanczos_matvecs += other.lanczos_matvecs;
         self.lanczos_restarts += other.lanczos_restarts;
         self.lanczos_reorthogonalizations += other.lanczos_reorthogonalizations;
+        self.hier_blocks += other.hier_blocks;
+        self.hier_separator_nodes += other.hier_separator_nodes;
+        self.hier_max_block_nodes = self.hier_max_block_nodes.max(other.hier_max_block_nodes);
+        self.hier_max_separator_nodes = self
+            .hier_max_separator_nodes
+            .max(other.hier_max_separator_nodes);
+        self.hier_leaf_poles_retained += other.hier_leaf_poles_retained;
+        self.hier_portless_blocks_dropped += other.hier_portless_blocks_dropped;
+        self.hier_tree_depth = self.hier_tree_depth.max(other.hier_tree_depth);
     }
 
     /// (name, value) pairs in a fixed order — the single source of truth
@@ -115,6 +139,16 @@ impl Counters {
                 "lanczos_reorthogonalizations",
                 self.lanczos_reorthogonalizations,
             ),
+            ("hier_blocks", self.hier_blocks),
+            ("hier_separator_nodes", self.hier_separator_nodes),
+            ("hier_max_block_nodes", self.hier_max_block_nodes),
+            ("hier_max_separator_nodes", self.hier_max_separator_nodes),
+            ("hier_leaf_poles_retained", self.hier_leaf_poles_retained),
+            (
+                "hier_portless_blocks_dropped",
+                self.hier_portless_blocks_dropped,
+            ),
+            ("hier_tree_depth", self.hier_tree_depth),
         ]
     }
 

@@ -79,6 +79,7 @@ fn reduce_with_threads(net: &RcNetwork, eigen: &EigenStrategy, threads: usize) -
         dense_threshold: 0,
         threads: Some(threads),
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     pact::reduce_network(net, &opts).unwrap()
 }

@@ -231,6 +231,15 @@ fn tql2_raw(
     if n == 0 {
         return Ok(());
     }
+    // Absolute deflation floor: inside a cluster of near-zero eigenvalues
+    // the relative test `|e| ≤ ε(|d_m|+|d_{m+1}|)` can never fire (the
+    // right-hand side is itself ~0) and the iteration stalls. Couplings
+    // at rounding level of the overall matrix scale are converged for any
+    // backward-stable purpose, so deflate them too.
+    let anorm = (0..n)
+        .map(|i| d[i].abs() + e[i].abs())
+        .fold(0.0f64, f64::max);
+    let floor = f64::EPSILON * anorm;
     for l in 0..n {
         let mut iter = 0;
         loop {
@@ -238,7 +247,7 @@ fn tql2_raw(
             let mut m = l;
             while m + 1 < n {
                 let dd = d[m].abs() + d[m + 1].abs();
-                if e[m].abs() <= f64::EPSILON * dd {
+                if e[m].abs() <= f64::EPSILON.mul_add(dd, floor) {
                     break;
                 }
                 m += 1;

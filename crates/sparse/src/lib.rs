@@ -67,7 +67,9 @@ pub use csr::CsrMat;
 pub use dense::{axpy, dot, norm2, norm_inf, scale, DMat, DMatF};
 pub use eigen::{eig_tridiagonal, sym_eig, EigenError, SymEig};
 pub use lu::{invert, DenseLu, SingularMatrixError};
-pub use ordering::{invert_permutation, is_permutation, profile, Ordering};
+pub use ordering::{
+    invert_permutation, is_permutation, nested_dissection_partition, profile, NdPartition, Ordering,
+};
 pub use par::{split_ranges, ParCtx};
 pub use pcg::{pcg, IncompleteCholesky, PcgResult};
 pub use rng::XorShiftRng;

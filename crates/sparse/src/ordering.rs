@@ -67,6 +67,29 @@ fn dissect(a: &CsrMat, nodes: &[usize], order: &mut Vec<usize>) {
         order.extend(local_min_degree(a, nodes));
         return;
     }
+    let Some((part_a, sep, part_b)) = level_set_bisect(a, nodes) else {
+        // No meaningful separator (graph is a clique-ish blob or a
+        // short path): fall back to local minimum degree.
+        order.extend(local_min_degree(a, nodes));
+        return;
+    };
+    dissect(a, &part_a, order);
+    dissect(a, &part_b, order);
+    order.extend(sep);
+}
+
+/// BFS level-set vertex bisection of the subgraph of `a` induced by
+/// `nodes`: breadth-first levels from a pseudo-peripheral seed, the
+/// median level as separator. Returns `(part_a, separator, part_b)`
+/// where no edge of `a` joins `part_a` to `part_b` (BFS levels only
+/// connect consecutively; disconnected remainders land in `part_b`,
+/// which they touch by no edge at all). Returns `None` when the
+/// subgraph has fewer than three levels or a side would be empty —
+/// i.e. there is no useful separator.
+fn level_set_bisect(a: &CsrMat, nodes: &[usize]) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    if nodes.len() < 3 {
+        return None;
+    }
     // Membership map for this subgraph.
     let mut local = std::collections::BTreeMap::new();
     for (k, &v) in nodes.iter().enumerate() {
@@ -102,10 +125,18 @@ fn dissect(a: &CsrMat, nodes: &[usize], order: &mut Vec<usize>) {
         .filter(|v| level[local[v]] == usize::MAX)
         .collect();
     if levels.len() < 3 {
-        // No meaningful separator (graph is a clique-ish blob or a
-        // short path): fall back to local minimum degree.
-        order.extend(local_min_degree(a, nodes));
-        return;
+        if unreached.is_empty() {
+            return None;
+        }
+        // The reached component is too small to bisect, but the
+        // subgraph is disconnected: split reached from unreached with
+        // an empty separator (no edge joins them).
+        let reached: Vec<usize> = nodes
+            .iter()
+            .copied()
+            .filter(|v| level[local[v]] != usize::MAX)
+            .collect();
+        return Some((reached, Vec::new(), unreached));
     }
     // Median level is the separator.
     let total: usize = nodes.len() - unreached.len();
@@ -130,12 +161,98 @@ fn dissect(a: &CsrMat, nodes: &[usize], order: &mut Vec<usize>) {
     }
     part_b.extend(unreached);
     if part_a.is_empty() || part_b.is_empty() {
-        order.extend(local_min_degree(a, nodes));
+        return None;
+    }
+    Some((part_a, sep, part_b))
+}
+
+/// A vertex partition produced by recursive nested dissection
+/// ([`nested_dissection_partition`]): disjoint leaf blocks plus the
+/// vertex separators removed at each dissection step.
+///
+/// Invariants (asserted by the partitioner's tests):
+///
+/// - every graph vertex appears in exactly one leaf or one separator;
+/// - no edge of the graph joins two distinct leaves — every inter-leaf
+///   path passes through a separator vertex. This is what lets a
+///   divide-and-conquer reduction treat leaves independently once the
+///   separator vertices are promoted to interface ports.
+#[derive(Clone, Debug, Default)]
+pub struct NdPartition {
+    /// Disjoint leaf blocks, in deterministic dissection order.
+    pub leaves: Vec<Vec<usize>>,
+    /// One separator per dissection step, outermost first.
+    pub separators: Vec<Vec<usize>>,
+    /// Depth of the deepest dissection (0 when the graph was small
+    /// enough to stay a single leaf).
+    pub depth: usize,
+}
+
+impl NdPartition {
+    /// Total vertices across all separators.
+    pub fn separator_nodes(&self) -> usize {
+        self.separators.iter().map(Vec::len).sum()
+    }
+
+    /// Size of the largest leaf block (0 when there are none).
+    pub fn max_leaf(&self) -> usize {
+        self.leaves.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Size of the largest separator (0 when there are none).
+    pub fn max_separator(&self) -> usize {
+        self.separators.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Partitions the adjacency graph of the symmetric pattern `a` by
+/// recursive BFS vertex separators until every leaf block has at most
+/// `max_block` vertices or `max_depth` dissection levels have been
+/// spent. Deterministic: depends only on the matrix pattern and the
+/// two budgets.
+///
+/// Subgraphs that expose no useful separator (cliques, short paths)
+/// stay whole as leaves even above `max_block`, so callers must treat
+/// `max_block` as a target, not a guarantee.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `max_block` is zero.
+pub fn nested_dissection_partition(a: &CsrMat, max_block: usize, max_depth: usize) -> NdPartition {
+    assert_eq!(a.nrows(), a.ncols(), "partitioning needs a square matrix");
+    assert!(max_block > 0, "max_block must be positive");
+    let mut part = NdPartition::default();
+    if a.nrows() == 0 {
+        return part;
+    }
+    let all: Vec<usize> = (0..a.nrows()).collect();
+    partition_rec(a, all, max_block, max_depth, 0, &mut part);
+    part
+}
+
+fn partition_rec(
+    a: &CsrMat,
+    nodes: Vec<usize>,
+    max_block: usize,
+    max_depth: usize,
+    depth: usize,
+    out: &mut NdPartition,
+) {
+    out.depth = out.depth.max(depth);
+    if nodes.len() <= max_block || depth >= max_depth {
+        if !nodes.is_empty() {
+            out.leaves.push(nodes);
+        }
         return;
     }
-    dissect(a, &part_a, order);
-    dissect(a, &part_b, order);
-    order.extend(sep);
+    match level_set_bisect(a, &nodes) {
+        Some((part_a, sep, part_b)) => {
+            out.separators.push(sep);
+            partition_rec(a, part_a, max_block, max_depth, depth + 1, out);
+            partition_rec(a, part_b, max_block, max_depth, depth + 1, out);
+        }
+        None => out.leaves.push(nodes),
+    }
 }
 
 /// Farthest node from an arbitrary start — one BFS pass, good enough as
@@ -441,6 +558,151 @@ mod tests {
         for i in 0..4 {
             assert_eq!(inv[p[i]], i);
         }
+    }
+
+    #[test]
+    fn empty_matrix_permutations_are_valid() {
+        let a = TripletMat::new(0, 0).to_csr();
+        for ord in [
+            Ordering::Natural,
+            Ordering::Rcm,
+            Ordering::MinDegree,
+            Ordering::NestedDissection,
+        ] {
+            let p = ord.permutation(&a);
+            assert!(p.is_empty(), "{ord:?} must return an empty permutation");
+            assert!(is_permutation(&p), "{ord:?} invalid on the empty matrix");
+        }
+    }
+
+    #[test]
+    fn single_node_permutations_are_valid() {
+        let mut t = TripletMat::new(1, 1);
+        t.push(0, 0, 2.0);
+        let a = t.to_csr();
+        for ord in [
+            Ordering::Natural,
+            Ordering::Rcm,
+            Ordering::MinDegree,
+            Ordering::NestedDissection,
+        ] {
+            let p = ord.permutation(&a);
+            assert_eq!(p, vec![0], "{ord:?} wrong on a single-node graph");
+        }
+        // A 1x1 matrix with no stored entries (isolated vertex) too.
+        let empty_single = TripletMat::new(1, 1).to_csr();
+        for ord in [
+            Ordering::Natural,
+            Ordering::Rcm,
+            Ordering::MinDegree,
+            Ordering::NestedDissection,
+        ] {
+            let p = ord.permutation(&empty_single);
+            assert_eq!(p, vec![0], "{ord:?} wrong on an isolated vertex");
+        }
+    }
+
+    #[test]
+    fn invert_and_validate_degenerate_permutations() {
+        // Empty: inverse of the empty permutation is empty and valid.
+        assert_eq!(invert_permutation(&[]), Vec::<usize>::new());
+        assert!(is_permutation(&[]));
+        // Single node.
+        assert_eq!(invert_permutation(&[0]), vec![0]);
+        assert!(is_permutation(&[0]));
+        // Out-of-range and duplicate entries are rejected.
+        assert!(!is_permutation(&[1]));
+        assert!(!is_permutation(&[0, 0]));
+    }
+
+    fn partition_invariants(a: &CsrMat, part: &NdPartition) {
+        // Every vertex appears exactly once across leaves + separators.
+        let mut seen = vec![false; a.nrows()];
+        for group in part.leaves.iter().chain(&part.separators) {
+            for &v in group {
+                assert!(!seen[v], "vertex {v} assigned twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "vertex left unassigned");
+        // No edge joins two distinct leaves.
+        let mut leaf_of = vec![usize::MAX; a.nrows()];
+        for (k, leaf) in part.leaves.iter().enumerate() {
+            for &v in leaf {
+                leaf_of[v] = k;
+            }
+        }
+        for i in 0..a.nrows() {
+            for (j, _) in a.row_iter(i) {
+                if leaf_of[i] != usize::MAX && leaf_of[j] != usize::MAX {
+                    assert_eq!(
+                        leaf_of[i], leaf_of[j],
+                        "edge ({i},{j}) crosses leaves — separator property violated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_respects_block_budget_on_grid() {
+        let a = grid3d(12, 12, 4);
+        let part = nested_dissection_partition(&a, 100, 16);
+        assert!(part.leaves.len() >= 4, "expected several leaves");
+        assert!(part.max_leaf() <= 100, "leaf over budget");
+        assert!(part.separator_nodes() > 0);
+        assert!(part.depth > 0);
+        partition_invariants(&a, &part);
+    }
+
+    #[test]
+    fn partition_depth_budget_caps_recursion() {
+        let a = grid3d(12, 12, 4);
+        let part = nested_dissection_partition(&a, 1, 2);
+        assert!(part.depth <= 2);
+        assert!(part.separators.len() <= 3, "at most 2 levels of cuts");
+        partition_invariants(&a, &part);
+    }
+
+    #[test]
+    fn partition_handles_degenerate_graphs() {
+        // Empty graph: no leaves, no separators.
+        let empty = TripletMat::new(0, 0).to_csr();
+        let p = nested_dissection_partition(&empty, 8, 8);
+        assert!(p.leaves.is_empty() && p.separators.is_empty());
+        assert_eq!(p.separator_nodes(), 0);
+        assert_eq!(p.max_leaf(), 0);
+        // Single node: one single-vertex leaf even with max_block=1.
+        let mut t = TripletMat::new(1, 1);
+        t.push(0, 0, 1.0);
+        let single = t.to_csr();
+        let p = nested_dissection_partition(&single, 1, 8);
+        assert_eq!(p.leaves, vec![vec![0]]);
+        assert!(p.separators.is_empty());
+        partition_invariants(&single, &p);
+        // Two-node graph under budget pressure: no 3-level BFS exists,
+        // so the pair stays one leaf rather than looping forever.
+        let mut t = TripletMat::new(2, 2);
+        t.stamp_conductance(Some(0), Some(1), 1.0);
+        let pair = t.to_csr();
+        let p = nested_dissection_partition(&pair, 1, 8);
+        assert_eq!(p.leaves.len(), 1);
+        partition_invariants(&pair, &p);
+    }
+
+    #[test]
+    fn partition_of_disconnected_graph_covers_all_components() {
+        let mut t = TripletMat::new(60, 60);
+        for i in 0..29 {
+            t.stamp_conductance(Some(i), Some(i + 1), 1.0);
+        }
+        for i in 30..59 {
+            t.stamp_conductance(Some(i), Some(i + 1), 1.0);
+        }
+        let a = t.to_csr();
+        let part = nested_dissection_partition(&a, 10, 16);
+        partition_invariants(&a, &part);
+        assert!(part.max_leaf() <= 10);
     }
 
     #[test]

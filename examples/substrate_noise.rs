@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dense_threshold: 400,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let red = pact::reduce_network(&ex.network, &opts)?;
     println!("kept {} pole(s) below ~3 GHz", red.model.num_poles());

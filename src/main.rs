@@ -5,6 +5,7 @@
 //! rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRACTION]
 //!       [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats]
 //!       [--trace] [--log-json PATH] [--strict-pivots]
+//!       [--hier] [--block-size N] [--max-depth N]
 //! ```
 //!
 //! The flow mirrors the paper's Figure 1: parse → extract RC elements and
@@ -22,7 +23,8 @@
 use std::process::ExitCode;
 
 use pact::{
-    sanitize_network, CutoffSpec, EigenStrategy, PactError, ReduceOptions, Telemetry, Warning,
+    sanitize_network, CutoffSpec, EigenStrategy, PactError, ReduceOptions, ReduceStrategy,
+    Telemetry, Warning,
 };
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{extract_rc, parse, parse_value, splice_reduced};
@@ -31,6 +33,12 @@ use pact_sparse::Ordering;
 /// Default relative pivot-relief floor for quasi-singular `D` diagonals;
 /// see `ReduceOptions::pivot_relief`.
 const PIVOT_RELIEF: f64 = 1e-12;
+
+/// Default `--block-size`: target internal nodes per hierarchical leaf.
+const DEFAULT_BLOCK_SIZE: usize = 2000;
+
+/// Default `--max-depth`: dissection recursion budget.
+const DEFAULT_MAX_DEPTH: usize = 16;
 
 #[derive(Debug)]
 struct Args {
@@ -48,17 +56,23 @@ struct Args {
     trace: bool,
     log_json: Option<String>,
     strict_pivots: bool,
+    hier: bool,
+    block_size: usize,
+    max_depth: usize,
 }
 
 fn usage() -> &'static str {
     "usage: rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRAC] \
      [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats] [--components] \
-     [--verify] [--trace] [--log-json PATH] [--strict-pivots]\n\
+     [--verify] [--trace] [--log-json PATH] [--strict-pivots] \
+     [--hier] [--block-size N] [--max-depth N]\n\
      defaults: --fmax 1g --tol 0.05 --sparsify 1e-9 --threads <all cores>\n\
      HZ accepts SPICE suffixes (500meg, 3g, ...); the reduced model is\n\
      bit-identical for every --threads value.\n\
      --trace prints per-phase timings/counters; --log-json writes them as JSON;\n\
-     --strict-pivots fails on quasi-singular pivots instead of perturbing them"
+     --strict-pivots fails on quasi-singular pivots instead of perturbing them;\n\
+     --hier reduces via nested-dissection blocks of at most --block-size nodes\n\
+     (default 2000) with --max-depth recursion levels (default 16)"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -77,6 +91,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace: false,
         log_json: None,
         strict_pivots: false,
+        hier: false,
+        block_size: DEFAULT_BLOCK_SIZE,
+        max_depth: DEFAULT_MAX_DEPTH,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -117,6 +134,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trace" => args.trace = true,
             "--log-json" => args.log_json = Some(next(a)?),
             "--strict-pivots" => args.strict_pivots = true,
+            "--hier" => args.hier = true,
+            "--block-size" => {
+                let n: usize = next(a)?
+                    .parse()
+                    .map_err(|_| "--block-size needs a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--block-size needs a positive integer".to_owned());
+                }
+                args.block_size = n;
+            }
+            "--max-depth" => {
+                args.max_depth = next(a)?
+                    .parse()
+                    .map_err(|_| "--max-depth needs an integer".to_owned())?;
+            }
             "-h" | "--help" => return Err(usage().to_owned()),
             other if args.input.is_empty() && !other.starts_with('-') => {
                 args.input = other.to_owned();
@@ -171,6 +203,14 @@ fn run(args: &Args) -> Result<(), PactError> {
             None
         } else {
             Some(PIVOT_RELIEF)
+        },
+        strategy: if args.hier {
+            ReduceStrategy::Hierarchical {
+                max_block: args.block_size,
+                max_depth: args.max_depth,
+            }
+        } else {
+            ReduceStrategy::Flat
         },
     };
 
@@ -367,6 +407,29 @@ mod tests {
         assert_eq!(d.threads, None);
         assert!(parse_args(&argv(&["x.sp", "--threads", "0"])).is_err());
         assert!(parse_args(&argv(&["x.sp", "--threads", "many"])).is_err());
+    }
+
+    #[test]
+    fn hier_flags_parse_and_validate() {
+        let a = parse_args(&argv(&[
+            "x.sp",
+            "--hier",
+            "--block-size",
+            "500",
+            "--max-depth",
+            "8",
+        ]))
+        .unwrap();
+        assert!(a.hier);
+        assert_eq!(a.block_size, 500);
+        assert_eq!(a.max_depth, 8);
+        let d = parse_args(&argv(&["x.sp"])).unwrap();
+        assert!(!d.hier);
+        assert_eq!(d.block_size, DEFAULT_BLOCK_SIZE);
+        assert_eq!(d.max_depth, DEFAULT_MAX_DEPTH);
+        assert!(parse_args(&argv(&["x.sp", "--block-size", "0"])).is_err());
+        assert!(parse_args(&argv(&["x.sp", "--block-size", "lots"])).is_err());
+        assert!(parse_args(&argv(&["x.sp", "--max-depth"])).is_err());
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn pact_and_krylov_agree_at_low_frequency() {
         dense_threshold: 0,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let pact_red = pact::reduce_network(&net, &opts).unwrap();
     let kry = block_krylov_reduce(&parts, &ports, 2, Ordering::Rcm).unwrap();
@@ -76,6 +77,7 @@ fn pade_basis_memory_couples_to_ports_pact_does_not() {
         dense_threshold: 0,
         threads: None,
         pivot_relief: None,
+        strategy: pact::ReduceStrategy::Flat,
     };
     let pact_a = pact::reduce_network(&net_a, &opts).unwrap();
     let pact_b = pact::reduce_network(&net_b, &opts).unwrap();

@@ -1,0 +1,187 @@
+//! Hierarchical vs flat reduction equivalence.
+//!
+//! The divide-and-conquer strategy must be an implementation detail:
+//! for every generator family (substrate mesh, power grid, RC line) the
+//! hierarchical model's port admittance must agree with the flat
+//! model's to ≤ 1e-6 relative across a log-spaced in-band sweep, both
+//! models must be passive, and — mirroring `par_determinism` — the
+//! hierarchical result must be bit-identical for 1/2/4/8 worker
+//! threads.
+
+use pact::{CutoffSpec, ReduceOptions, ReduceStrategy, ReducedModel, Reduction};
+use pact_gen::{
+    inverter_pair_deck, power_grid_deck, substrate_mesh, LineSpec, MeshSpec, PowerGridSpec,
+};
+use pact_netlist::{extract_rc, RcNetwork};
+
+/// Relative agreement required between hier and flat admittances
+/// in-band (the leaf cutoff guard is sized to keep truncation error
+/// well below this).
+const REL_TOL: f64 = 1e-6;
+
+fn mesh_fixture() -> RcNetwork {
+    substrate_mesh(&MeshSpec {
+        nx: 10,
+        ny: 10,
+        nz: 4,
+        num_contacts: 16,
+        ..MeshSpec::table2()
+    })
+}
+
+fn powergrid_fixture() -> RcNetwork {
+    let deck = power_grid_deck(&PowerGridSpec {
+        nx: 12,
+        ny: 12,
+        num_taps: 8,
+        ..PowerGridSpec::default()
+    });
+    extract_rc(&deck.netlist, &[]).unwrap().network
+}
+
+fn line_fixture() -> RcNetwork {
+    let deck = inverter_pair_deck(&LineSpec {
+        segments: 100,
+        ..LineSpec::default()
+    });
+    extract_rc(&deck, &[]).unwrap().network
+}
+
+fn reduce_with(net: &RcNetwork, strategy: ReduceStrategy, threads: usize, fmax: f64) -> Reduction {
+    let mut opts = ReduceOptions::new(CutoffSpec::new(fmax, 0.05).unwrap());
+    opts.threads = Some(threads);
+    opts.strategy = strategy;
+    pact::reduce_network(net, &opts).unwrap()
+}
+
+fn assert_models_agree(flat: &ReducedModel, hier: &ReducedModel, fmax: f64, label: &str) {
+    let m = flat.num_ports();
+    assert_eq!(hier.num_ports(), m, "{label}: port counts differ");
+    assert_eq!(
+        flat.port_names, hier.port_names,
+        "{label}: port names differ"
+    );
+    // Three decades up to f_max, log-spaced.
+    for k in 0..16 {
+        let f = fmax * 10f64.powf(-3.0 + 3.0 * k as f64 / 15.0);
+        let yf = flat.y_at(f);
+        let yh = hier.y_at(f);
+        let mut scale = 0.0f64;
+        for i in 0..m {
+            for j in 0..m {
+                scale = scale.max(yf[(i, j)].abs());
+            }
+        }
+        for i in 0..m {
+            for j in 0..m {
+                let d = (yh[(i, j)] - yf[(i, j)]).abs();
+                assert!(
+                    d <= REL_TOL * scale.max(1e-30),
+                    "{label}: f={f:.3e} Y({i},{j}) differs by {d:.3e} (scale {scale:.3e})"
+                );
+            }
+        }
+    }
+}
+
+fn check_family(net: &RcNetwork, max_block: usize, fmax: f64, label: &str) {
+    let flat = reduce_with(net, ReduceStrategy::Flat, 1, fmax);
+    let hier = reduce_with(
+        net,
+        ReduceStrategy::Hierarchical {
+            max_block,
+            max_depth: 16,
+        },
+        1,
+        fmax,
+    );
+    let c = &hier.telemetry.counters;
+    assert!(
+        c.hier_blocks >= 2,
+        "{label}: partition degenerated ({} blocks) — fixture too small",
+        c.hier_blocks
+    );
+    assert!(c.hier_separator_nodes > 0, "{label}: no separators");
+    assert!(c.hier_tree_depth > 0, "{label}: depth not recorded");
+    assert_eq!(
+        c.num_internal,
+        net.num_internal() as u64,
+        "{label}: counters must describe the original network"
+    );
+    assert_models_agree(&flat.model, &hier.model, fmax, label);
+    assert!(flat.model.is_passive(1e-8), "{label}: flat not passive");
+    assert!(hier.model.is_passive(1e-8), "{label}: hier not passive");
+}
+
+#[test]
+fn mesh_hier_matches_flat_and_stays_passive() {
+    check_family(&mesh_fixture(), 48, 2e9, "mesh");
+}
+
+#[test]
+fn powergrid_hier_matches_flat_and_stays_passive() {
+    check_family(&powergrid_fixture(), 24, 1e9, "powergrid");
+}
+
+#[test]
+fn line_hier_matches_flat_and_stays_passive() {
+    check_family(&line_fixture(), 20, 5e9, "line");
+}
+
+#[test]
+fn hier_reduction_is_bit_identical_across_thread_counts() {
+    let net = mesh_fixture();
+    let strategy = ReduceStrategy::Hierarchical {
+        max_block: 48,
+        max_depth: 16,
+    };
+    let base = reduce_with(&net, strategy, 1, 2e9);
+    assert!(base.telemetry.counters.hier_blocks >= 2);
+    for threads in [2usize, 4, 8] {
+        let par = reduce_with(&net, strategy, threads, 2e9);
+        assert_eq!(base.model.a1, par.model.a1, "threads={threads}: A' differs");
+        assert_eq!(base.model.b1, par.model.b1, "threads={threads}: B' differs");
+        assert_eq!(
+            base.model.lambdas, par.model.lambdas,
+            "threads={threads}: poles differ"
+        );
+        assert_eq!(
+            base.model.r2, par.model.r2,
+            "threads={threads}: R'' differs"
+        );
+        assert_eq!(
+            base.telemetry.counters, par.telemetry.counters,
+            "threads={threads}: counters differ"
+        );
+        assert_eq!(
+            base.telemetry.warnings, par.telemetry.warnings,
+            "threads={threads}: warnings differ"
+        );
+        assert_eq!(
+            base.telemetry.counters_json_string(),
+            par.telemetry.counters_json_string(),
+            "threads={threads}: serialized telemetry differs"
+        );
+    }
+}
+
+#[test]
+fn degenerate_partition_falls_back_to_flat() {
+    // max_block larger than the network: hier must return the flat
+    // result (same model bits) while still reporting one block.
+    let net = line_fixture();
+    let flat = reduce_with(&net, ReduceStrategy::Flat, 1, 5e9);
+    let hier = reduce_with(
+        &net,
+        ReduceStrategy::Hierarchical {
+            max_block: 100_000,
+            max_depth: 16,
+        },
+        1,
+        5e9,
+    );
+    assert_eq!(flat.model.a1, hier.model.a1);
+    assert_eq!(flat.model.lambdas, hier.model.lambdas);
+    assert_eq!(flat.model.r2, hier.model.r2);
+    assert_eq!(hier.telemetry.counters.hier_blocks, 1);
+}
