@@ -82,4 +82,21 @@ mkdir -p results
 cat results/hier_perf.txt
 test "$flat_ms" -gt 0 && test "$hier_ms" -gt 0
 
+echo "==> refactor-determinism smoke (transient + AC sweep, 1 vs 4 threads -> results/sweep_perf.txt)"
+# The --smoke mode asserts bit-identical AC voltages and work counters at
+# 1 vs 4 threads, bitwise reuse-vs-fresh equivalence, and the linear
+# transient's one-symbolic-analysis accounting; its PERF line records the
+# factor-vs-refactor sweep wall clock.
+./target/release/ac_sweep_scaling --smoke | tee "$tmp/sweep_smoke.txt"
+grep -q "ac sweep determinism OK" "$tmp/sweep_smoke.txt"
+grep -q "transient accounting OK" "$tmp/sweep_smoke.txt"
+mkdir -p results
+{
+    echo "# Factorization-reuse smoke: 192-node substrate mesh, 16-point AC"
+    echo "# sweep, $(nproc) core(s). fresh = full symbolic+numeric LU per"
+    echo "# point; refactor = one symbolic analysis, numeric-only replay."
+    grep "^PERF " "$tmp/sweep_smoke.txt"
+} > results/sweep_perf.txt
+cat results/sweep_perf.txt
+
 echo "==> all checks passed"

@@ -38,7 +38,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use pact_netlist::{is_ground, ElementKind, Netlist, Waveform};
-use pact_sparse::{Complex64, CscMat, SparseLu};
+use pact_sparse::{Complex64, CscMat, CscPencil, LuCache, ParCtx, SparseLu};
 
 pub use mosfet::{eval_level1, stamp_level1, MosOp, Mosfet};
 
@@ -124,8 +124,11 @@ pub struct Circuit {
 /// Work statistics from an analysis, feeding the paper's tables.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
-    /// Matrix factorizations performed.
+    /// Fresh full matrix factorizations (symbolic analysis + numerics).
     pub factorizations: usize,
+    /// Numeric-only refactorizations that reused the cached symbolic
+    /// analysis (the cheap path; see `pact_sparse::SymbolicLu`).
+    pub refactorizations: usize,
     /// Total Newton iterations.
     pub newton_iterations: usize,
     /// Time steps (transient) or frequency points (AC).
@@ -134,11 +137,47 @@ pub struct SimStats {
     pub steps_rejected: usize,
     /// Nonzeros in the last LU factorization (fill-in).
     pub factor_nnz: usize,
-    /// Modelled peak memory in bytes: LU factors + solution storage.
+    /// Largest LU fill-in seen across the whole run (peak, not last —
+    /// adaptive-step runs factor at many step sizes).
+    pub peak_factor_nnz: usize,
+    /// Modelled peak memory in bytes: peak LU factors + solution storage.
     pub modelled_memory_bytes: usize,
     /// Wall-clock seconds.
     pub elapsed_seconds: f64,
 }
+
+impl SimStats {
+    /// Records one factor-or-refactor event.
+    fn record_factor(&mut self, nnz: usize, refactored: bool) {
+        if refactored {
+            self.refactorizations += 1;
+        } else {
+            self.factorizations += 1;
+        }
+        self.factor_nnz = nnz;
+        self.peak_factor_nnz = self.peak_factor_nnz.max(nnz);
+    }
+}
+
+/// Reusable solver state threaded through every Newton stage of a run:
+/// one [`LuCache`] holding the symbolic analysis (the MNA structure is
+/// fixed for the whole run — MOSFET stamps cover `{d,s}×{d,s,g}` in
+/// every operating region, and capacitor companion patterns are always
+/// stamped, with zero conductance at DC), plus, for linear circuits, a
+/// small keyed store of numeric factorizations so repeating step sizes
+/// skip even the numeric pass.
+#[derive(Clone, Debug, Default)]
+struct SolveCtx {
+    cache: LuCache,
+    /// Numeric factorizations of linear-circuit matrices, keyed by the
+    /// exact bits of `(gmin, cap_geq)` — the only values the matrix
+    /// depends on when no MOSFETs are present. Most-recently-used first.
+    numeric: Vec<((u64, u64), SparseLu<f64>)>,
+}
+
+/// Bound on distinct `(gmin, step-size)` numeric factorizations kept by
+/// the linear fast path (gmin stepping needs 5; adaptive runs churn).
+const NUMERIC_CACHE_CAP: usize = 16;
 
 impl Circuit {
     /// Compiles a parsed netlist into a simulatable circuit.
@@ -301,9 +340,9 @@ impl Circuit {
         }
     }
 
-    /// Stamps voltage-source rows/columns; `vals[k]` is source `k`'s
-    /// value at the evaluation time.
-    fn stamp_vsources(&self, trips: &mut Vec<(usize, usize, f64)>, rhs: &mut [f64], vals: &[f64]) {
+    /// Stamps voltage-source constraint rows/columns (pattern + unit
+    /// values; the source values live on the RHS only).
+    fn stamp_vsource_pattern(&self, trips: &mut Vec<(usize, usize, f64)>) {
         let nn = self.nodes.len();
         for (k, src) in self.vsources.iter().enumerate() {
             let row = nn + k;
@@ -315,7 +354,28 @@ impl Circuit {
                 trips.push((row, n, -1.0));
                 trips.push((n, row, -1.0));
             }
-            rhs[row] = vals[k];
+        }
+    }
+
+    /// Stamps capacitor companion conductances `geq = cap_geq · C`.
+    ///
+    /// Always called — with `cap_geq = 0.0` at DC — so the MNA sparsity
+    /// structure is identical across DC, backward-Euler and trapezoidal
+    /// stages and one symbolic analysis serves the whole run. Explicit
+    /// zeros change neither pivots nor solutions (bitwise).
+    fn stamp_cap_pattern(&self, trips: &mut Vec<(usize, usize, f64)>, cap_geq: f64) {
+        for c in &self.capacitors {
+            let geq = cap_geq * c.value;
+            match (c.a, c.b) {
+                (Some(i), Some(j)) if i != j => {
+                    trips.push((i, i, geq));
+                    trips.push((j, j, geq));
+                    trips.push((i, j, -geq));
+                    trips.push((j, i, -geq));
+                }
+                (Some(i), None) | (None, Some(i)) => trips.push((i, i, geq)),
+                _ => {}
+            }
         }
     }
 
@@ -332,8 +392,50 @@ impl Circuit {
         }
     }
 
+    /// Assembles the matrix-independent RHS: V-source values, current
+    /// sources at `t`, and capacitor companion currents.
+    fn assemble_rhs(&self, rhs: &mut [f64], vvals: &[f64], t: f64, cap_ieq: Option<&[f64]>) {
+        let nn = self.nodes.len();
+        for (k, _) in self.vsources.iter().enumerate() {
+            rhs[nn + k] = vvals[k];
+        }
+        self.stamp_isources(rhs, t);
+        if let Some(ieq) = cap_ieq {
+            for (ci, c) in self.capacitors.iter().enumerate() {
+                match (c.a, c.b) {
+                    (Some(i), Some(j)) if i != j => {
+                        rhs[i] += ieq[ci];
+                        rhs[j] -= ieq[ci];
+                    }
+                    (Some(i), None) => rhs[i] += ieq[ci],
+                    (None, Some(j)) => rhs[j] -= ieq[ci],
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Stamps the full linear MNA matrix (resistors + gmin, V-source
+    /// rows, capacitor companions) with structure independent of
+    /// `gmin`/`cap_geq` values.
+    fn assemble_linear(&self, gmin: f64, cap_geq: f64) -> Vec<(usize, usize, f64)> {
+        let nn = self.nodes.len();
+        let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(
+            4 * (self.resistors.len() + self.capacitors.len() + self.vsources.len()) + nn,
+        );
+        self.stamp_linear_g(&mut trips, gmin);
+        self.stamp_vsource_pattern(&mut trips);
+        self.stamp_cap_pattern(&mut trips, cap_geq);
+        trips
+    }
+
     /// Solves one Newton stage at fixed linear stamps; returns the
     /// solution.
+    ///
+    /// Linear circuits (no MOSFETs) take a fast path: the matrix depends
+    /// only on `(gmin, cap_geq)`, so a numeric factorization is cached
+    /// per distinct pair and a repeat step size costs one RHS assembly
+    /// plus one triangular solve — no factorization at all.
     #[allow(clippy::too_many_arguments)]
     fn newton(
         &self,
@@ -344,59 +446,49 @@ impl Circuit {
         cap_geq: f64,
         cap_ieq: Option<&[f64]>,
         context: &str,
+        slv: &mut SolveCtx,
         stats: &mut SimStats,
     ) -> Result<Vec<f64>, CircuitError> {
         let dim = self.dim();
         let nn = self.nodes.len();
+        if self.mosfets.is_empty() {
+            let mut rhs = vec![0.0; dim];
+            self.assemble_rhs(&mut rhs, vvals, t, cap_ieq);
+            let key = (gmin.to_bits(), cap_geq.to_bits());
+            if let Some(pos) = slv.numeric.iter().position(|(k, _)| *k == key) {
+                // Move-to-front LRU; no factorization work at all.
+                let entry = slv.numeric.remove(pos);
+                slv.numeric.insert(0, entry);
+            } else {
+                let trips = self.assemble_linear(gmin, cap_geq);
+                let a = CscMat::from_triplets(dim, dim, &trips);
+                let (lu, refactored) =
+                    slv.cache.factor(&a).map_err(|_| CircuitError::Singular {
+                        context: context.to_owned(),
+                    })?;
+                stats.record_factor(lu.factor_nnz(), refactored);
+                slv.numeric.insert(0, (key, lu));
+                slv.numeric.truncate(NUMERIC_CACHE_CAP);
+            }
+            stats.newton_iterations += 1;
+            return Ok(slv.numeric[0].1.solve(&rhs));
+        }
         let mut x = x0.to_vec();
         for iter in 0..MAX_NEWTON {
-            let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(
-                4 * self.resistors.len() + 8 * self.mosfets.len() + 4 * self.vsources.len() + nn,
-            );
+            let mut trips = self.assemble_linear(gmin, cap_geq);
+            trips.reserve(8 * self.mosfets.len());
             let mut rhs = vec![0.0; dim];
-            self.stamp_linear_g(&mut trips, gmin);
-            self.stamp_vsources(&mut trips, &mut rhs, vvals);
-            self.stamp_isources(&mut rhs, t);
-            // Capacitor companions (transient only).
-            if let Some(ieq) = cap_ieq {
-                for (ci, c) in self.capacitors.iter().enumerate() {
-                    let geq = cap_geq * c.value;
-                    match (c.a, c.b) {
-                        (Some(i), Some(j)) if i != j => {
-                            trips.push((i, i, geq));
-                            trips.push((j, j, geq));
-                            trips.push((i, j, -geq));
-                            trips.push((j, i, -geq));
-                            rhs[i] += ieq[ci];
-                            rhs[j] -= ieq[ci];
-                        }
-                        (Some(i), None) => {
-                            trips.push((i, i, geq));
-                            rhs[i] += ieq[ci];
-                        }
-                        (None, Some(j)) => {
-                            trips.push((j, j, geq));
-                            rhs[j] -= ieq[ci];
-                        }
-                        _ => {}
-                    }
-                }
-            }
+            self.assemble_rhs(&mut rhs, vvals, t, cap_ieq);
             for m in &self.mosfets {
                 stamp_level1(m, &x[..nn], &mut trips, &mut rhs);
             }
             let a = CscMat::from_triplets(dim, dim, &trips);
-            let lu = SparseLu::factor(&a).map_err(|_| CircuitError::Singular {
+            let (lu, refactored) = slv.cache.factor(&a).map_err(|_| CircuitError::Singular {
                 context: context.to_owned(),
             })?;
-            stats.factorizations += 1;
-            stats.factor_nnz = lu.factor_nnz();
+            stats.record_factor(lu.factor_nnz(), refactored);
             let xn = lu.solve(&rhs);
             stats.newton_iterations += 1;
-            // Linear circuits converge in one solve.
-            if self.mosfets.is_empty() {
-                return Ok(xn);
-            }
             // Damped update + convergence test on node voltages.
             let mut converged = true;
             for i in 0..dim {
@@ -424,15 +516,23 @@ impl Circuit {
     ///
     /// [`CircuitError`] on Newton failure or singular matrices.
     pub fn dc_operating_point(&self) -> Result<DcSolution, CircuitError> {
+        let mut slv = SolveCtx::default();
+        self.dc_with(&mut slv)
+    }
+
+    /// DC operating point reusing the caller's solver state — transient
+    /// runs pass their own [`SolveCtx`] so the single symbolic analysis
+    /// captured during gmin stepping serves every later timestep.
+    fn dc_with(&self, slv: &mut SolveCtx) -> Result<DcSolution, CircuitError> {
         let start = Instant::now();
         let mut stats = SimStats::default();
         let vvals: Vec<f64> = self.vsources.iter().map(|s| s.wave.dc_value()).collect();
         let mut x = vec![0.0; self.dim()];
         for gmin in [1e-3, 1e-5, 1e-7, 1e-9, GMIN] {
-            x = self.newton(&x, gmin, &vvals, 0.0, 0.0, None, "dc", &mut stats)?;
+            x = self.newton(&x, gmin, &vvals, 0.0, 0.0, None, "dc", slv, &mut stats)?;
         }
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
-        stats.modelled_memory_bytes = stats.factor_nnz * 16 + self.dim() * 8 * 4;
+        stats.modelled_memory_bytes = stats.peak_factor_nnz * 16 + self.dim() * 8 * 4;
         Ok(DcSolution {
             x,
             nodes: self.nodes.clone(),
@@ -463,7 +563,12 @@ impl Circuit {
     pub fn transient_with(&self, opt: &TranOptions) -> Result<TranResult, CircuitError> {
         let tstop = opt.tstop;
         let start = Instant::now();
-        let dc = self.dc_operating_point()?;
+        // One SolveCtx for the whole run: the symbolic analysis captured
+        // by the DC gmin ramp is reused by every timestep, and (for
+        // linear circuits) each distinct step size factors numerically at
+        // most once.
+        let mut slv = SolveCtx::default();
+        let dc = self.dc_with(&mut slv)?;
         let mut stats = dc.stats;
         let nn = self.nodes.len();
         let mut x = dc.x.clone();
@@ -545,6 +650,7 @@ impl Circuit {
                     geq_per_c,
                     Some(&ieqs),
                     &format!("transient t={tn:.3e}"),
+                    &mut slv,
                     &mut stats,
                 )?;
                 // Adaptive: estimate the local truncation error —
@@ -615,7 +721,7 @@ impl Circuit {
         }
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
         stats.modelled_memory_bytes =
-            stats.factor_nnz * 16 + self.dim() * 8 * 4 + waves.len() * nn * 8;
+            stats.peak_factor_nnz * 16 + self.dim() * 8 * 4 + waves.len() * nn * 8;
         Ok(TranResult {
             times,
             waves,
@@ -626,7 +732,8 @@ impl Circuit {
 
     /// Small-signal AC sweep: linearizes MOSFETs at the DC operating
     /// point and solves the complex MNA system at each frequency with a
-    /// unit excitation.
+    /// unit excitation. Equivalent to [`Circuit::ac_sweep_with`] at the
+    /// default options (symbolic reuse on, all available cores).
     ///
     /// # Errors
     ///
@@ -637,31 +744,43 @@ impl Circuit {
         freqs: &[f64],
         excitation: &AcExcitation,
     ) -> Result<AcResult, CircuitError> {
+        self.ac_sweep_with(freqs, excitation, &AcOptions::default())
+    }
+
+    /// AC sweep with explicit threading / factorization-reuse options.
+    ///
+    /// The `G + jωC` pencil is assembled once as a fixed union
+    /// structure; with `reuse_symbolic` the sparse LU is analyzed
+    /// symbolically at the first frequency and every point pays only a
+    /// numeric refactorization. The grid is fanned across worker threads
+    /// with results in grid order — voltages and all [`SimStats`]
+    /// counters are bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError`] on DC failure, unknown excitation targets, or
+    /// singular complex matrices.
+    pub fn ac_sweep_with(
+        &self,
+        freqs: &[f64],
+        excitation: &AcExcitation,
+        opt: &AcOptions,
+    ) -> Result<AcResult, CircuitError> {
         let start = Instant::now();
         let dc = self.dc_operating_point()?;
         let mut stats = dc.stats;
         let nn = self.nodes.len();
         let dim = self.dim();
 
-        // Real conductance stamps: resistors + gmin + linearized MOSFETs.
+        // Real conductance stamps: resistors + gmin + linearized MOSFETs
+        // + V-source constraint rows (AC value 0 unless excited).
         let mut gtrips: Vec<(usize, usize, f64)> = Vec::new();
         let mut dummy_rhs = vec![0.0; dim];
         self.stamp_linear_g(&mut gtrips, GMIN);
         for m in &self.mosfets {
             stamp_level1(m, &dc.x[..nn], &mut gtrips, &mut dummy_rhs);
         }
-        // V-source constraint rows (AC value 0 unless excited).
-        for (k, src) in self.vsources.iter().enumerate() {
-            let row = nn + k;
-            if let Some(p) = src.p {
-                gtrips.push((row, p, 1.0));
-                gtrips.push((p, row, 1.0));
-            }
-            if let Some(n) = src.n {
-                gtrips.push((row, n, -1.0));
-                gtrips.push((n, row, -1.0));
-            }
-        }
+        self.stamp_vsource_pattern(&mut gtrips);
         // Capacitor susceptance pattern.
         let mut ctrips: Vec<(usize, usize, f64)> = Vec::new();
         for c in &self.capacitors {
@@ -676,6 +795,7 @@ impl Circuit {
                 _ => {}
             }
         }
+        let pencil = CscPencil::from_triplets(dim, &gtrips, &ctrips);
 
         let mut rhs_template = vec![Complex64::ZERO; dim];
         match excitation {
@@ -699,36 +819,101 @@ impl Circuit {
             }
         }
 
-        let mut voltages = Vec::with_capacity(freqs.len());
-        for &f in freqs {
-            let w = 2.0 * std::f64::consts::PI * f;
-            let mut trips: Vec<(usize, usize, Complex64)> =
-                Vec::with_capacity(gtrips.len() + ctrips.len());
-            for &(i, j, g) in &gtrips {
-                trips.push((i, j, Complex64::from_real(g)));
-            }
-            for &(i, j, c) in &ctrips {
-                trips.push((i, j, Complex64::new(0.0, w * c)));
-            }
-            let a = CscMat::from_triplets(dim, dim, &trips);
-            let lu = SparseLu::factor(&a).map_err(|_| CircuitError::Singular {
-                context: format!("ac f={f:e}"),
+        if freqs.is_empty() {
+            stats.elapsed_seconds = start.elapsed().as_secs_f64();
+            stats.modelled_memory_bytes = stats.peak_factor_nnz * 16 + dim * 16 * 4;
+            return Ok(AcResult {
+                freqs: Vec::new(),
+                voltages: Vec::new(),
+                nodes: self.nodes.clone(),
+                stats,
+            });
+        }
+
+        // One symbolic analysis serves the whole grid.
+        let symbolic = if opt.reuse_symbolic {
+            let w0 = 2.0 * std::f64::consts::PI * freqs[0];
+            let (_, sym) = SparseLu::factor_analyzed(&pencil.eval(w0)).map_err(|_| {
+                CircuitError::Singular {
+                    context: format!("ac f={:e}", freqs[0]),
+                }
             })?;
             stats.factorizations += 1;
-            stats.factor_nnz = lu.factor_nnz();
-            let x = lu.solve(&rhs_template);
-            voltages.push(x[..nn].to_vec());
+            Some(sym)
+        } else {
+            None
+        };
+
+        let ctx = ParCtx::new(opt.threads);
+        let results = ctx.map_items(
+            freqs.len(),
+            || {
+                (
+                    pencil.eval(0.0),
+                    symbolic.as_ref().map(|s| s.prepared::<Complex64>()),
+                    vec![Complex64::ZERO; dim],
+                )
+            },
+            |(mat, prep, x), k| {
+                let w = 2.0 * std::f64::consts::PI * freqs[k];
+                pencil.eval_into(w, mat);
+                let refactored = match (&symbolic, prep.as_mut()) {
+                    (Some(sym), Some(p)) => sym.refactor_into(mat, p).is_ok(),
+                    _ => false,
+                };
+                let (fresh, nnz);
+                let lu: &SparseLu<Complex64> = if refactored {
+                    let p = prep.as_ref().expect("refactored implies prepared");
+                    nnz = p.factor_nnz();
+                    p
+                } else {
+                    fresh = SparseLu::factor(mat).map_err(|_| CircuitError::Singular {
+                        context: format!("ac f={:e}", freqs[k]),
+                    })?;
+                    nnz = fresh.factor_nnz();
+                    &fresh
+                };
+                lu.solve_into(&rhs_template, x);
+                Ok::<_, CircuitError>((x[..nn].to_vec(), refactored, nnz))
+            },
+        );
+        let mut voltages = Vec::with_capacity(freqs.len());
+        for r in results {
+            let (v, refactored, nnz) = r?;
+            stats.record_factor(nnz, refactored);
+            voltages.push(v);
             stats.steps += 1;
         }
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
         stats.modelled_memory_bytes =
-            stats.factor_nnz * 32 + dim * 16 * 4 + voltages.len() * nn * 16;
+            stats.peak_factor_nnz * 32 + dim * 16 * 4 + voltages.len() * nn * 16;
         Ok(AcResult {
             freqs: freqs.to_vec(),
             voltages,
             nodes: self.nodes.clone(),
             stats,
         })
+    }
+}
+
+/// Options for [`Circuit::ac_sweep_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct AcOptions {
+    /// Worker threads for the frequency fan-out (`None` = all cores).
+    /// Results are bit-identical at every thread count.
+    pub threads: Option<usize>,
+    /// Reuse one symbolic LU analysis across the grid (numeric-only
+    /// refactorization per point). `false` re-runs the full symbolic +
+    /// numeric factorization at every frequency — the ablation baseline.
+    pub reuse_symbolic: bool,
+}
+
+impl Default for AcOptions {
+    fn default() -> Self {
+        AcOptions {
+            threads: None,
+            reuse_symbolic: true,
+        }
     }
 }
 
@@ -1087,6 +1272,103 @@ Rsub sub 0 10k
         assert!(peak > 0.05, "expected coupling spike, peak = {peak}");
         // And it decays back toward zero.
         assert!(v.last().unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn linear_transient_factors_once_per_step_size() {
+        // Linear deck: exactly one symbolic analysis (= one fresh
+        // factorization) for the entire run; every other distinct
+        // (gmin, step-size) pair costs at most one numeric
+        // refactorization, and repeated step sizes cost none.
+        let deck = "* s\nV1 in 0 pwl(0 0 1p 1)\nR1 in out 1k\nC1 out 0 1p\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(1e-10, 2e-9).unwrap();
+        assert_eq!(
+            tr.stats.factorizations, 1,
+            "linear run must analyze symbolically exactly once"
+        );
+        // Distinct matrices: 4 extra gmin-ramp stages + a handful of
+        // distinct step sizes (breakpoint-clipped starts, BE vs trap,
+        // final clip) — far fewer than the number of steps.
+        assert!(
+            tr.stats.refactorizations <= 10,
+            "refactorizations = {} (expected one per distinct step size)",
+            tr.stats.refactorizations
+        );
+        assert!(tr.stats.steps > tr.stats.refactorizations + tr.stats.factorizations);
+        assert!(tr.stats.peak_factor_nnz >= tr.stats.factor_nnz);
+    }
+
+    #[test]
+    fn ac_sweep_bit_identical_across_threads_and_reuse() {
+        let deck = "\
+* ladder
+V1 in 0 dc 0
+R1 in n1 100
+C1 n1 0 1p
+R2 n1 n2 100
+C2 n2 0 2p
+R3 n2 out 100
+C3 out 0 1p
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let freqs = log_frequencies(9, 1e6, 1e9);
+        let exc = AcExcitation::VSource("V1".into());
+        let base = ckt
+            .ac_sweep_with(
+                &freqs,
+                &exc,
+                &AcOptions {
+                    threads: Some(1),
+                    reuse_symbolic: true,
+                },
+            )
+            .unwrap();
+        // DC gmin ramp: 1 fresh + 4 refactors; AC grid: 1 fresh symbolic
+        // capture + one refactor per frequency point.
+        assert_eq!(base.stats.factorizations, 2);
+        assert_eq!(base.stats.refactorizations, 4 + freqs.len());
+        for threads in [2usize, 4, 8] {
+            let par = ckt
+                .ac_sweep_with(
+                    &freqs,
+                    &exc,
+                    &AcOptions {
+                        threads: Some(threads),
+                        reuse_symbolic: true,
+                    },
+                )
+                .unwrap();
+            assert_eq!(par.stats.factorizations, base.stats.factorizations);
+            assert_eq!(par.stats.refactorizations, base.stats.refactorizations);
+            for (a, b) in base.voltages.iter().zip(&par.voltages) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "threads={threads}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "threads={threads}");
+                }
+            }
+        }
+        // Refactor ablation: full factorization per point gives the exact
+        // same waveforms, just more expensively.
+        let ablate = ckt
+            .ac_sweep_with(
+                &freqs,
+                &exc,
+                &AcOptions {
+                    threads: Some(1),
+                    reuse_symbolic: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(ablate.stats.refactorizations, 4, "dc ramp only");
+        assert_eq!(ablate.stats.factorizations, 1 + freqs.len());
+        for (a, b) in base.voltages.iter().zip(&ablate.voltages) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
     }
 
     #[test]

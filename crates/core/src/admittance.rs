@@ -4,25 +4,324 @@
 //! Y(s) = A + sB − (Q + sR)ᵀ (D + sE)⁻¹ (Q + sR)
 //! ```
 //!
-//! evaluated with one sparse complex LU per frequency. This is the
-//! reference the reproduction compares every reduced model against
-//! (Figure 5's error bars are "5 % relative to the transimpedance of the
-//! original network").
+//! This is the reference the reproduction compares every reduced model
+//! against (Figure 5's error bars are "5 % relative to the
+//! transimpedance of the original network").
+//!
+//! ## One symbolic, many numerics
+//!
+//! The sparsity structure of `(D + sE)` is fixed for the whole sweep —
+//! only the values depend on `s` — so [`YEvaluator`] merges `D` and `E`
+//! into one [`CscPencil`] union structure up front, runs the sparse-LU
+//! symbolic analysis ([`pact_sparse::SymbolicLu`]) exactly once, and
+//! serves every subsequent frequency with a numeric-only
+//! refactorization (falling back to a fresh factorization only if
+//! partial pivoting rejects the cached pivots, which cannot happen for
+//! well-posed RC pencils). The `m` port right-hand sides are solved as
+//! one blocked multi-RHS batch, and [`YEvaluator::y_grid`] fans the
+//! frequency grid across [`ParCtx`] workers with results in grid order
+//! — bit-identical at every thread count.
 
-use pact_sparse::{Complex64, CscMat, DMat, SparseLu, SparseLuError};
+use std::sync::OnceLock;
+
+use pact_sparse::{
+    Complex64, CscMat, CscPencil, CsrMat, DMat, DenseLu, ParCtx, SparseLu, SparseLuError,
+    SymbolicLu,
+};
 
 use crate::partition::Partitions;
 
+/// Factorization-effort counters from a sweep — feed these into the
+/// telemetry layer's `factorizations` / `refactorizations` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepCounts {
+    /// Fresh full factorizations (symbolic + numeric).
+    pub factorizations: u64,
+    /// Numeric-only refactorizations that reused the cached analysis.
+    pub refactorizations: u64,
+}
+
+impl SweepCounts {
+    /// Component-wise sum.
+    pub fn absorb(&mut self, other: SweepCounts) {
+        self.factorizations += other.factorizations;
+        self.refactorizations += other.refactorizations;
+    }
+}
+
+/// Per-worker numeric workspace for one frequency point: the complex
+/// pencil matrix, a prepared refactorization target, and the blocked
+/// right-hand-side buffers. Built once per worker, reused across its
+/// points.
+struct PointScratch {
+    mat: CscMat<Complex64>,
+    prep: SparseLu<Complex64>,
+    block: Vec<Complex64>,
+    tmp: Vec<Complex64>,
+}
+
+/// Evaluator for the exact admittance of a partitioned RC network, with
+/// one-time symbolic analysis shared across all frequencies.
+#[derive(Clone, Debug)]
+pub struct YEvaluator<'a> {
+    parts: &'a Partitions,
+    qt: CsrMat,
+    rt: CsrMat,
+    pencil: Option<CscPencil>,
+    symbolic: OnceLock<SymbolicLu>,
+}
+
+impl<'a> YEvaluator<'a> {
+    /// Wraps partitioned network matrices; builds the `(D, E)` union
+    /// pencil once.
+    pub fn new(parts: &'a Partitions) -> Self {
+        let n = parts.n;
+        let pencil = (n > 0).then(|| {
+            let mut gtrips = Vec::with_capacity(parts.d.nnz());
+            let mut ctrips = Vec::with_capacity(parts.e.nnz());
+            for i in 0..n {
+                for (j, v) in parts.d.row_iter(i) {
+                    gtrips.push((i, j, v));
+                }
+                for (j, v) in parts.e.row_iter(i) {
+                    ctrips.push((i, j, v));
+                }
+            }
+            CscPencil::from_triplets(n, &gtrips, &ctrips)
+        });
+        YEvaluator {
+            parts,
+            qt: parts.q.transpose(),
+            rt: parts.r.transpose(),
+            pencil,
+            symbolic: OnceLock::new(),
+        }
+    }
+
+    /// The port-block contribution `A + sB` (dense `m×m`).
+    fn y_base(&self, s: Complex64) -> DMat<Complex64> {
+        let p = self.parts;
+        let mut y = DMat::zeros(p.m, p.m);
+        for i in 0..p.m {
+            for (j, v) in p.a.row_iter(i) {
+                y[(i, j)] += Complex64::from_real(v);
+            }
+            for (j, v) in p.b.row_iter(i) {
+                y[(i, j)] += s.scale(v);
+            }
+        }
+        y
+    }
+
+    /// The cached symbolic analysis, creating it (one fresh full
+    /// factorization at frequency `f`) on first use.
+    fn symbolic_at(&self, f: f64) -> Result<(&SymbolicLu, bool), SparseLuError> {
+        let pencil = self.pencil.as_ref().expect("no internal nodes");
+        if let Some(sym) = self.symbolic.get() {
+            return Ok((sym, false));
+        }
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let (_, sym) = SparseLu::factor_analyzed(&pencil.eval(omega))?;
+        // A concurrent initializer may have won the race; either analysis
+        // is valid (same structure), so just use whichever landed.
+        let fresh = self.symbolic.set(sym).is_ok();
+        Ok((self.symbolic.get().expect("just initialized"), fresh))
+    }
+
+    fn scratch(&self, sym: &SymbolicLu) -> PointScratch {
+        let pencil = self.pencil.as_ref().expect("no internal nodes");
+        PointScratch {
+            mat: pencil.eval(0.0),
+            prep: sym.prepared(),
+            block: vec![Complex64::ZERO; self.parts.n * self.parts.m],
+            tmp: Vec::new(),
+        }
+    }
+
+    /// Evaluates one frequency point into `scr`, returning the admittance
+    /// and whether the cached analysis served it (`false` = pivot
+    /// fallback to a fresh factorization).
+    fn y_point(
+        &self,
+        sym: &SymbolicLu,
+        f: f64,
+        scr: &mut PointScratch,
+    ) -> Result<(DMat<Complex64>, bool), SparseLuError> {
+        let p = self.parts;
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let s = Complex64::new(0.0, omega);
+        let mut y = self.y_base(s);
+        let (n, m) = (p.n, p.m);
+        let pencil = self.pencil.as_ref().expect("no internal nodes");
+        pencil.eval_into(omega, &mut scr.mat);
+        let refactored = sym.refactor_into(&scr.mat, &mut scr.prep).is_ok();
+        let fallback;
+        let lu: &SparseLu<Complex64> = if refactored {
+            &scr.prep
+        } else {
+            fallback = SparseLu::factor(&scr.mat)?;
+            &fallback
+        };
+        // Columns of (Q + sR), solved as one blocked batch.
+        for j in 0..m {
+            let col = &mut scr.block[j * n..(j + 1) * n];
+            col.iter_mut().for_each(|v| *v = Complex64::ZERO);
+            for (i, v) in self.qt.row_iter(j) {
+                col[i] += Complex64::from_real(v);
+            }
+            for (i, v) in self.rt.row_iter(j) {
+                col[i] += s.scale(v);
+            }
+        }
+        lu.solve_block_in_place(&mut scr.block, &mut scr.tmp);
+        // y(:,j) -= (Q + sR)ᵀ x_j
+        for j in 0..m {
+            let x = &scr.block[j * n..(j + 1) * n];
+            for i in 0..m {
+                let mut acc = Complex64::ZERO;
+                for (row, v) in self.qt.row_iter(i) {
+                    acc += x[row].scale(v);
+                }
+                for (row, v) in self.rt.row_iter(i) {
+                    acc += (s * x[row]).scale(v);
+                }
+                y[(i, j)] -= acc;
+            }
+        }
+        Ok((y, refactored))
+    }
+
+    /// Evaluates `Y(j·2πf)` exactly (an `m×m` complex matrix), reusing
+    /// the cached symbolic analysis when one exists.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseLuError`] if `(D + sE)` is singular at this frequency
+    /// (cannot happen for a well-posed RC network at real frequencies).
+    pub fn y_at(&self, f: f64) -> Result<DMat<Complex64>, SparseLuError> {
+        if self.parts.n == 0 {
+            let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+            return Ok(self.y_base(s));
+        }
+        let (sym, _) = self.symbolic_at(f)?;
+        let mut scr = self.scratch(sym);
+        Ok(self.y_point(sym, f, &mut scr)?.0)
+    }
+
+    /// Evaluates the admittance over a whole frequency grid, fanning the
+    /// points across `ctx`'s workers. One symbolic analysis (at
+    /// `freqs[0]`) serves every point; results come back **in grid
+    /// order** and are bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseLuError`] if the pencil is singular at some frequency.
+    pub fn y_grid(
+        &self,
+        freqs: &[f64],
+        ctx: ParCtx,
+    ) -> Result<(Vec<DMat<Complex64>>, SweepCounts), SparseLuError> {
+        let mut counts = SweepCounts::default();
+        if freqs.is_empty() {
+            return Ok((Vec::new(), counts));
+        }
+        if self.parts.n == 0 {
+            let ys = freqs
+                .iter()
+                .map(|&f| {
+                    let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
+                    self.y_base(s)
+                })
+                .collect();
+            return Ok((ys, counts));
+        }
+        let (sym, fresh) = self.symbolic_at(freqs[0])?;
+        if fresh {
+            counts.factorizations += 1;
+        }
+        let results = ctx.map_items(
+            freqs.len(),
+            || self.scratch(sym),
+            |scr, k| self.y_point(sym, freqs[k], scr),
+        );
+        let mut ys = Vec::with_capacity(freqs.len());
+        for r in results {
+            let (y, refactored) = r?;
+            if refactored {
+                counts.refactorizations += 1;
+            } else {
+                counts.factorizations += 1;
+            }
+            ys.push(y);
+        }
+        Ok((ys, counts))
+    }
+}
+
+/// Cached impedance view of one admittance matrix: dense-LU factored
+/// once, with each requested column `Z(:, j) = Y⁻¹ e_j` solved lazily
+/// and memoized — so a loop over port pairs at a fixed frequency pays
+/// one `O(m³)` factorization and at most `m` triangular solves instead
+/// of a fresh factorization per pair.
+#[derive(Clone, Debug)]
+pub struct PortImpedance {
+    lu: DenseLu<Complex64>,
+    m: usize,
+    cols: Vec<Option<Vec<Complex64>>>,
+}
+
+impl PortImpedance {
+    /// Factors `y` once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseLuError`] when `Y` is singular.
+    pub fn new(y: &DMat<Complex64>) -> Result<Self, SparseLuError> {
+        let lu = DenseLu::factor(y).map_err(|e| SparseLuError { column: e.column })?;
+        let m = y.nrows();
+        Ok(PortImpedance {
+            lu,
+            m,
+            cols: vec![None; m],
+        })
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.m
+    }
+
+    /// `Z_ij`, solving (and caching) column `j` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn z(&mut self, i: usize, j: usize) -> Complex64 {
+        assert!(i < self.m && j < self.m, "port index out of range");
+        let col = self.cols[j].get_or_insert_with(|| {
+            let mut e = vec![Complex64::ZERO; self.m];
+            e[j] = Complex64::ONE;
+            self.lu.solve(&e)
+        });
+        col[i]
+    }
+}
+
 /// Evaluator for the exact admittance of a partitioned RC network.
+///
+/// Thin compatibility wrapper over [`YEvaluator`]; prefer the latter
+/// for sweep workloads ([`YEvaluator::y_grid`] parallelizes the grid).
 #[derive(Clone, Debug)]
 pub struct FullAdmittance<'a> {
-    parts: &'a Partitions,
+    eval: YEvaluator<'a>,
 }
 
 impl<'a> FullAdmittance<'a> {
     /// Wraps partitioned network matrices.
     pub fn new(parts: &'a Partitions) -> Self {
-        FullAdmittance { parts }
+        FullAdmittance {
+            eval: YEvaluator::new(parts),
+        }
     }
 
     /// Evaluates `Y(j·2πf)` exactly (an `m×m` complex matrix).
@@ -32,60 +331,18 @@ impl<'a> FullAdmittance<'a> {
     /// [`SparseLuError`] if `(D + sE)` is singular at this frequency
     /// (cannot happen for a well-posed RC network at real frequencies).
     pub fn y_at(&self, f: f64) -> Result<DMat<Complex64>, SparseLuError> {
-        let p = self.parts;
-        let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * f);
-        let m = p.m;
-        let n = p.n;
-        let mut y = DMat::zeros(m, m);
-        for i in 0..m {
-            for (j, v) in p.a.row_iter(i) {
-                y[(i, j)] += Complex64::from_real(v);
-            }
-            for (j, v) in p.b.row_iter(i) {
-                y[(i, j)] += s.scale(v);
-            }
-        }
-        if n == 0 {
-            return Ok(y);
-        }
-        // Assemble (D + sE) in complex CSC.
-        let mut trips: Vec<(usize, usize, Complex64)> = Vec::with_capacity(p.d.nnz() + p.e.nnz());
-        for i in 0..n {
-            for (j, v) in p.d.row_iter(i) {
-                trips.push((i, j, Complex64::from_real(v)));
-            }
-            for (j, v) in p.e.row_iter(i) {
-                trips.push((i, j, s.scale(v)));
-            }
-        }
-        let ds = CscMat::from_triplets(n, n, &trips);
-        let lu = SparseLu::factor(&ds)?;
-        // Column j of (Q + sR).
-        let qt = p.q.transpose();
-        let rt = p.r.transpose();
-        let mut rhs = vec![Complex64::ZERO; n];
-        for j in 0..m {
-            rhs.iter_mut().for_each(|v| *v = Complex64::ZERO);
-            for (i, v) in qt.row_iter(j) {
-                rhs[i] += Complex64::from_real(v);
-            }
-            for (i, v) in rt.row_iter(j) {
-                rhs[i] += s.scale(v);
-            }
-            let x = lu.solve(&rhs);
-            // y(:,j) -= (Q + sR)ᵀ x
-            for i in 0..m {
-                let mut acc = Complex64::ZERO;
-                for (row, v) in qt.row_iter(i) {
-                    acc += x[row].scale(v);
-                }
-                for (row, v) in rt.row_iter(i) {
-                    acc += (s * x[row]).scale(v);
-                }
-                y[(i, j)] -= acc;
-            }
-        }
-        Ok(y)
+        self.eval.y_at(f)
+    }
+
+    /// All port-pair impedances at frequency `f`, factored once — use
+    /// this instead of repeated [`FullAdmittance::transimpedance`] calls
+    /// when querying several pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseLuError`] propagated from `y_at`, or if `Y` is singular.
+    pub fn impedance_at(&self, f: f64) -> Result<PortImpedance, SparseLuError> {
+        PortImpedance::new(&self.y_at(f)?)
     }
 
     /// The `(i, j)` entry of the impedance matrix `Z(jω) = Y(jω)⁻¹` —
@@ -96,8 +353,7 @@ impl<'a> FullAdmittance<'a> {
     /// [`SparseLuError`] propagated from `y_at`, or if `Y` itself is
     /// singular.
     pub fn transimpedance(&self, f: f64, i: usize, j: usize) -> Result<Complex64, SparseLuError> {
-        let y = self.y_at(f)?;
-        transimpedance_of(&y, i, j)
+        Ok(self.impedance_at(f)?.z(i, j))
     }
 }
 
@@ -111,12 +367,8 @@ pub fn transimpedance_of(
     i: usize,
     j: usize,
 ) -> Result<Complex64, SparseLuError> {
-    let lu = pact_sparse::DenseLu::factor(y).map_err(|e| SparseLuError { column: e.column })?;
-    let m = y.nrows();
-    let mut e = vec![Complex64::ZERO; m];
-    e[j] = Complex64::ONE;
-    let z = lu.solve(&e);
-    Ok(z[i])
+    let mut z = PortImpedance::new(y)?;
+    Ok(z.z(i, j))
 }
 
 #[cfg(test)]
@@ -195,5 +447,46 @@ C1 mid 0 2p
         let fa = FullAdmittance::new(&p);
         let y = fa.y_at(1e9).unwrap();
         assert!((y[(0, 0)].re - 0.01).abs() < 1e-15);
+        // The grid path degenerates gracefully too.
+        let ev = YEvaluator::new(&p);
+        let (ys, counts) = ev.y_grid(&[1e8, 1e9], ParCtx::serial()).unwrap();
+        assert_eq!(ys.len(), 2);
+        assert_eq!(counts, SweepCounts::default());
+    }
+
+    #[test]
+    fn grid_matches_pointwise_bitwise() {
+        let p = simple();
+        let freqs: Vec<f64> = (0..12).map(|k| 1e6 * 2f64.powi(k)).collect();
+        let ev = YEvaluator::new(&p);
+        let (ys, counts) = ev.y_grid(&freqs, ParCtx::new(Some(4))).unwrap();
+        assert_eq!(counts.factorizations, 1, "one symbolic capture");
+        assert_eq!(counts.refactorizations, freqs.len() as u64);
+        let ev2 = YEvaluator::new(&p);
+        for (k, &f) in freqs.iter().enumerate() {
+            let y = ev2.y_at(f).unwrap();
+            for i in 0..p.m {
+                for j in 0..p.m {
+                    let (a, b) = (ys[k][(i, j)], y[(i, j)]);
+                    assert!(
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                        "grid vs pointwise differ at f={f} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn port_impedance_caches_columns() {
+        let p = simple();
+        let fa = FullAdmittance::new(&p);
+        let mut z = fa.impedance_at(2e9).unwrap();
+        assert_eq!(z.num_ports(), 2);
+        let z01 = z.z(0, 1);
+        let z01_again = z.z(0, 1);
+        assert_eq!(z01.re.to_bits(), z01_again.re.to_bits());
+        let direct = fa.transimpedance(2e9, 0, 1).unwrap();
+        assert!((z01 - direct).abs() <= 1e-15 * direct.abs());
     }
 }

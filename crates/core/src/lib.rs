@@ -66,7 +66,7 @@ mod telemetry;
 mod transform;
 mod verify;
 
-pub use admittance::{transimpedance_of, FullAdmittance};
+pub use admittance::{transimpedance_of, FullAdmittance, PortImpedance, SweepCounts, YEvaluator};
 pub use cutoff::{CutoffError, CutoffSpec};
 pub use error::PactError;
 pub use matrix_free::{reduce_matrix_free, DSolver, PcgSolver};
@@ -79,7 +79,7 @@ pub use reduce::{
 pub use sanitize::{sanitize_network, SanitizeReport};
 pub use telemetry::{Counters, PhaseTiming, Telemetry, Warning};
 pub use transform::{EPrimeOp, Transform1};
-pub use verify::{verify_reduction, ErrorSample, VerificationReport};
+pub use verify::{verify_reduction, verify_reduction_with, ErrorSample, VerificationReport};
 
 #[cfg(test)]
 mod tests {

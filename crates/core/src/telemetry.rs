@@ -81,6 +81,12 @@ pub struct Counters {
     pub hier_portless_blocks_dropped: u64,
     /// Depth of the nested-dissection tree (peak; takes max).
     pub hier_tree_depth: u64,
+    /// Fresh full sparse-LU factorizations (symbolic + numeric) across
+    /// sweep phases (e.g. the `--verify` exact-admittance grid).
+    pub factorizations: u64,
+    /// Numeric-only refactorizations that reused a cached symbolic
+    /// analysis instead of paying a full factorization.
+    pub refactorizations: u64,
 }
 
 impl Counters {
@@ -113,6 +119,8 @@ impl Counters {
         self.hier_leaf_poles_retained += other.hier_leaf_poles_retained;
         self.hier_portless_blocks_dropped += other.hier_portless_blocks_dropped;
         self.hier_tree_depth = self.hier_tree_depth.max(other.hier_tree_depth);
+        self.factorizations += other.factorizations;
+        self.refactorizations += other.refactorizations;
     }
 
     /// (name, value) pairs in a fixed order — the single source of truth
@@ -149,6 +157,8 @@ impl Counters {
                 self.hier_portless_blocks_dropped,
             ),
             ("hier_tree_depth", self.hier_tree_depth),
+            ("factorizations", self.factorizations),
+            ("refactorizations", self.refactorizations),
         ]
     }
 

@@ -3,9 +3,9 @@
 //! check behind the paper's Figure 5 error bars, packaged as an API (and
 //! the `rcfit --verify` flag).
 
-use pact_sparse::Complex64;
+use pact_sparse::{Complex64, ParCtx};
 
-use crate::admittance::FullAdmittance;
+use crate::admittance::{SweepCounts, YEvaluator};
 use crate::cutoff::CutoffSpec;
 use crate::model::ReducedModel;
 use crate::partition::Partitions;
@@ -33,6 +33,9 @@ pub struct VerificationReport {
     pub tolerance: f64,
     /// Smallest eigenvalues of the reduced `(G'', C'')` pair.
     pub passivity_margins: (f64, f64),
+    /// Factor-vs-refactor effort of the exact-admittance sweep (one
+    /// symbolic analysis serves the grid; see [`YEvaluator::y_grid`]).
+    pub sweep_counts: SweepCounts,
 }
 
 impl VerificationReport {
@@ -60,19 +63,39 @@ pub fn verify_reduction(
     spec: &CutoffSpec,
     points: usize,
 ) -> Result<VerificationReport, String> {
-    let full = FullAdmittance::new(parts);
+    verify_reduction_with(parts, model, spec, points, ParCtx::new(None))
+}
+
+/// [`verify_reduction`] with an explicit parallel execution context:
+/// the exact-admittance grid is factored symbolically once, refactored
+/// numerically per point, and fanned across `ctx`'s workers. Results
+/// are bit-identical at every thread count.
+///
+/// # Errors
+///
+/// See [`verify_reduction`].
+pub fn verify_reduction_with(
+    parts: &Partitions,
+    model: &ReducedModel,
+    spec: &CutoffSpec,
+    points: usize,
+    ctx: ParCtx,
+) -> Result<VerificationReport, String> {
+    let full = YEvaluator::new(parts);
     let f_max = spec.f_max();
     let f_lo = f_max / 100.0;
     let f_hi = f_max * 2.0;
     let m = model.num_ports();
-    let mut samples = Vec::with_capacity(points);
+    let freqs: Vec<f64> = (0..points.max(2))
+        .map(|k| f_lo * (f_hi / f_lo).powf(k as f64 / (points.max(2) - 1) as f64))
+        .collect();
+    let (exact, sweep_counts) = full.y_grid(&freqs, ctx).map_err(|e| e.to_string())?;
+    let mut samples = Vec::with_capacity(freqs.len());
     let mut worst_in_band = 0.0f64;
     let mut worst_overall = 0.0f64;
-    for k in 0..points.max(2) {
-        let f = f_lo * (f_hi / f_lo).powf(k as f64 / (points.max(2) - 1) as f64);
-        let ye = full.y_at(f).map_err(|e| e.to_string())?;
+    for (&f, ye) in freqs.iter().zip(&exact) {
         let yr = model.y_at(f);
-        let scale = max_abs(&ye, m).max(1e-300);
+        let scale = max_abs(ye, m).max(1e-300);
         let mut worst = 0.0f64;
         for i in 0..m {
             for j in 0..m {
@@ -95,6 +118,7 @@ pub fn verify_reduction(
         worst_overall,
         tolerance: spec.tolerance(),
         passivity_margins,
+        sweep_counts,
     })
 }
 

@@ -140,3 +140,101 @@ fn mesh_reduction_is_bit_identical_across_thread_counts() {
 fn ladder_reduction_is_bit_identical_across_thread_counts() {
     check_fixture(&ladder_fixture(), "ladder");
 }
+
+// ---------------------------------------------------------------------
+// Sweep determinism: the parallel AC frequency fan-out and the exact-
+// admittance verification grid must also be bit-identical at every
+// thread count — including their factor/refactor work counters, so the
+// symbolic-reuse accounting itself is thread-invariant.
+// ---------------------------------------------------------------------
+
+#[test]
+fn ac_sweep_is_bit_identical_across_thread_counts() {
+    use pact_circuit::{log_frequencies, AcExcitation, AcOptions, Circuit};
+    use pact_gen::{inverter_pair_deck, LineSpec};
+
+    let ckt = Circuit::from_netlist(&inverter_pair_deck(&LineSpec {
+        segments: 40,
+        ..LineSpec::default()
+    }))
+    .unwrap();
+    let freqs = log_frequencies(7, 1e6, 1e10);
+    let exc = AcExcitation::VSource("Vin".into());
+    let base = ckt
+        .ac_sweep_with(
+            &freqs,
+            &exc,
+            &AcOptions {
+                threads: Some(1),
+                reuse_symbolic: true,
+            },
+        )
+        .unwrap();
+    assert_eq!(base.stats.steps, freqs.len());
+    assert!(
+        base.stats.refactorizations >= freqs.len(),
+        "symbolic reuse must serve the grid (got {} refactorizations)",
+        base.stats.refactorizations
+    );
+    for threads in [2usize, 4, 8] {
+        let par = ckt
+            .ac_sweep_with(
+                &freqs,
+                &exc,
+                &AcOptions {
+                    threads: Some(threads),
+                    reuse_symbolic: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            base.voltages, par.voltages,
+            "ac sweep voltages differ at threads={threads}"
+        );
+        assert_eq!(
+            (base.stats.factorizations, base.stats.refactorizations),
+            (par.stats.factorizations, par.stats.refactorizations),
+            "ac sweep work counters differ at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn admittance_grid_is_bit_identical_across_thread_counts() {
+    use pact::{Partitions, YEvaluator};
+    use pact_sparse::ParCtx;
+
+    let net = mesh_fixture();
+    let parts = Partitions::split(&net.stamp());
+    let eval = YEvaluator::new(&parts);
+    let freqs: Vec<f64> = (0..24)
+        .map(|k| 1e7 * (1e10f64 / 1e7).powf(k as f64 / 23.0))
+        .collect();
+    let (base, counts) = eval.y_grid(&freqs, ParCtx::new(Some(1))).unwrap();
+    assert_eq!(counts.factorizations, 1, "one symbolic serves the grid");
+    assert_eq!(counts.refactorizations as usize, freqs.len());
+    let m = parts.m;
+    for threads in [2usize, 4, 8] {
+        // Fresh evaluator per thread count: the symbolic analysis is
+        // cached per evaluator, so reusing one would report 0
+        // factorizations on later grids and hide counter drift.
+        let eval = YEvaluator::new(&parts);
+        let (par, pcounts) = eval.y_grid(&freqs, ParCtx::new(Some(threads))).unwrap();
+        assert_eq!(
+            (counts.factorizations, counts.refactorizations),
+            (pcounts.factorizations, pcounts.refactorizations),
+            "grid work counters differ at threads={threads}"
+        );
+        for (k, (yb, yp)) in base.iter().zip(&par).enumerate() {
+            for i in 0..m {
+                for j in 0..m {
+                    assert_eq!(
+                        yb[(i, j)],
+                        yp[(i, j)],
+                        "Y[{k}]({i},{j}) differs at threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}

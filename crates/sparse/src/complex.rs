@@ -239,6 +239,12 @@ pub trait Scalar:
     fn one() -> Self;
     /// Magnitude used for pivot selection.
     fn modulus(self) -> f64;
+    /// Squared magnitude. Pivot admissibility compares squared
+    /// magnitudes (the decision is identical to comparing magnitudes,
+    /// while skipping a `hypot` per candidate in the factorization hot
+    /// loop); values beyond `≈1e±154` saturate the squares and are
+    /// treated as singular.
+    fn modulus_sq(self) -> f64;
     /// Lift a real number into the scalar type.
     fn from_f64(x: f64) -> Self;
 }
@@ -255,6 +261,10 @@ impl Scalar for f64 {
     #[inline]
     fn modulus(self) -> f64 {
         self.abs()
+    }
+    #[inline]
+    fn modulus_sq(self) -> f64 {
+        self * self
     }
     #[inline]
     fn from_f64(x: f64) -> Self {
@@ -274,6 +284,10 @@ impl Scalar for Complex64 {
     #[inline]
     fn modulus(self) -> f64 {
         self.abs()
+    }
+    #[inline]
+    fn modulus_sq(self) -> f64 {
+        self.norm_sqr()
     }
     #[inline]
     fn from_f64(x: f64) -> Self {

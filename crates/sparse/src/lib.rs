@@ -17,6 +17,9 @@
 //!   and the extractor for Lanczos' tridiagonal `T`;
 //! - [`DenseLu`] and [`SparseLu`]: LU with partial pivoting, generic over
 //!   real/complex [`Scalar`]s, powering the circuit simulator's MNA solves;
+//!   [`SymbolicLu`] / [`LuCache`] factor once symbolically and refactor
+//!   numerically across sweeps, and [`CscPencil`] re-evaluates `G + jωC`
+//!   in place so frequency sweeps never rebuild structure;
 //! - [`Complex64`]: minimal complex arithmetic for AC analysis.
 //!
 //! ## Example
@@ -55,6 +58,7 @@ mod lu;
 mod ordering;
 mod par;
 mod pcg;
+mod pencil;
 mod rng;
 mod splu;
 
@@ -72,5 +76,6 @@ pub use ordering::{
 };
 pub use par::{split_ranges, ParCtx};
 pub use pcg::{pcg, IncompleteCholesky, PcgResult};
+pub use pencil::CscPencil;
 pub use rng::XorShiftRng;
-pub use splu::{CscMat, SparseLu, SparseLuError};
+pub use splu::{CscMat, LuCache, RefactorError, SparseLu, SparseLuError, SymbolicLu};

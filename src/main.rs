@@ -260,14 +260,24 @@ fn run(args: &Args) -> Result<(), PactError> {
         }
         if args.verify {
             let parts = pact::Partitions::split(&net.stamp());
-            match pact::verify_reduction(&parts, &red.model, &cutoff, 25) {
+            let ctx = pact_sparse::ParCtx::new(args.threads);
+            let report = tel.time("verify_sweep", || {
+                pact::verify_reduction_with(&parts, &red.model, &cutoff, 25, ctx)
+            });
+            match report {
                 Ok(report) => {
+                    tel.counters.factorizations += report.sweep_counts.factorizations;
+                    tel.counters.refactorizations += report.sweep_counts.refactorizations;
                     eprintln!(
                         "rcfit: verify: worst in-band error {:.3} % (tolerance {:.1} %), overall {:.3} %: {}",
                         report.worst_in_band * 100.0,
                         report.tolerance * 100.0,
                         report.worst_overall * 100.0,
                         if report.passes() { "PASS" } else { "FAIL" }
+                    );
+                    eprintln!(
+                        "rcfit: verify: exact sweep used {} factorization(s) + {} refactorization(s)",
+                        report.sweep_counts.factorizations, report.sweep_counts.refactorizations
                     );
                 }
                 Err(e) => eprintln!("rcfit: verify failed to run: {e}"),
