@@ -5,7 +5,7 @@
 //! Plain `main()` harness (no external bench framework); run with
 //! `cargo bench -p pact-bench --bench ablation`.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions, Transform1};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions, Transform1};
 use pact_bench::{min_median, print_table, sample_secs, secs};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::{eigs_above, LanczosConfig, Reorthogonalization};
@@ -68,12 +68,12 @@ fn bench_ordering(rows: &mut Vec<Vec<String>>) {
 fn bench_eigen_strategy(rows: &mut Vec<Vec<String>>) {
     let net = mesh(8, 8, 5, 12); // n ≈ 300: both strategies feasible
     for (label, eigen) in [
-        ("dense", EigenStrategy::Dense),
-        ("laso", EigenStrategy::Laso(LanczosConfig::default())),
+        ("dense", EigenSelect::LowRank),
+        ("laso", EigenSelect::Lanczos(LanczosConfig::default())),
     ] {
         let opts = ReduceOptions {
             cutoff: CutoffSpec::new(1e9, 0.05).expect("spec"),
-            eigen,
+            eigen_backend: eigen,
             ordering: Ordering::Rcm,
             dense_threshold: 0,
             threads: None,
@@ -91,7 +91,7 @@ fn bench_sparsify(rows: &mut Vec<Vec<String>>) {
     let net = mesh(12, 12, 5, 25);
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(3e9, 0.05).expect("spec"),
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
         threads: None,

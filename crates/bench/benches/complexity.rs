@@ -5,7 +5,7 @@
 //! Plain `main()` harness (no external bench framework); run with
 //! `cargo bench -p pact-bench --bench complexity`.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions};
 use pact_baselines::block_krylov_reduce;
 use pact_bench::{min_median, print_table, sample_secs, secs};
 use pact_gen::{substrate_mesh, MeshSpec};
@@ -30,7 +30,7 @@ fn main() {
 
         let opts = ReduceOptions {
             cutoff: CutoffSpec::new(1e9, 0.05).expect("spec"),
-            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
             ordering: Ordering::Rcm,
             dense_threshold: 0,
             threads: None,

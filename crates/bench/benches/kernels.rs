@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo bench -p pact-bench --bench kernels`.
 
-use pact::{CutoffSpec, EigenStrategy, Partitions, ReduceOptions, Transform1};
+use pact::{CutoffSpec, EigenSelect, Partitions, ReduceOptions, Transform1};
 use pact_bench::{min_median, print_table, sample_secs, secs};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::{eigs_above, LanczosConfig};
@@ -88,7 +88,7 @@ fn bench_reduce(rows: &mut Vec<Vec<String>>) {
         let net = substrate_mesh(&spec);
         let opts = ReduceOptions {
             cutoff: CutoffSpec::new(1e9, 0.05).expect("spec"),
-            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
             ordering: Ordering::Rcm,
             dense_threshold: 0,
             threads: None,

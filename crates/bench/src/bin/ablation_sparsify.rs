@@ -7,7 +7,7 @@
 //! and the passivity margin — which must stay non-negative at every
 //! threshold.
 
-use pact::{CutoffSpec, EigenStrategy, Partitions, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, Partitions, ReduceOptions};
 use pact_bench::print_table;
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
@@ -22,7 +22,7 @@ fn main() {
     let fmax = 1e9;
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(fmax, 0.05).expect("cutoff"),
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,

@@ -3,7 +3,7 @@
 //! frequency. The paper finds a single pole at 4.7 GHz and prints the
 //! 3×3 reduced G and C matrices (two ports + one internal node).
 
-use pact::{CutoffSpec, EigenStrategy, Partitions, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, Partitions, ReduceOptions};
 use pact_bench::{mb, print_table, secs, timed};
 use pact_gen::{add_default_models, inverter, rc_line_elements, LineSpec};
 use pact_netlist::{extract_rc, Element, ElementKind, Netlist, Waveform};
@@ -60,7 +60,7 @@ fn main() {
 
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(5e9, 0.05).expect("cutoff"),
-        eigen: EigenStrategy::Dense,
+        eigen_backend: EigenSelect::LowRank,
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,

@@ -4,7 +4,7 @@
 //! The paper's error bars assert ≤5 % error below each reduction's
 //! maximum frequency.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions};
 use pact_bench::print_table;
 use pact_circuit::{log_frequencies, AcExcitation, Circuit};
 use pact_gen::{network_to_elements, substrate_mesh, MeshSpec};
@@ -41,7 +41,7 @@ fn main() {
     for &fmax in &[3e9, 1e9, 300e6] {
         let opts = ReduceOptions {
             cutoff: CutoffSpec::new(fmax, 0.05).expect("cutoff"),
-            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: None,

@@ -15,7 +15,7 @@
 //! Defaults to a 40×40×7 mesh with 64 contacts (≈11k nodes). Pass smaller
 //! dimensions for a quick smoke run, e.g. `par_scaling 16 16 4 16`.
 
-use pact::{CutoffSpec, EigenStrategy, Partitions, ReduceOptions, Transform1};
+use pact::{CutoffSpec, EigenSelect, Partitions, ReduceOptions, Transform1};
 use pact_bench::{print_table, secs, timed};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
@@ -70,7 +70,7 @@ fn main() {
         });
         let opts = ReduceOptions {
             cutoff,
-            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: Some(t),

@@ -5,7 +5,7 @@
 //! that the Padé block memory and orthogonalization work grow with `m`
 //! while LASO's do not.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions};
 use pact_baselines::{block_krylov_reduce, mpvl_memory, pact_lanczos_memory};
 use pact_bench::{mb, print_table, secs, timed};
 use pact_gen::{substrate_mesh, MeshSpec};
@@ -31,7 +31,7 @@ fn main() {
 
         let opts = ReduceOptions {
             cutoff: CutoffSpec::new(1e9, 0.05).expect("cutoff"),
-            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
             ordering: Ordering::NestedDissection,
             dense_threshold: 0,
             threads: None,

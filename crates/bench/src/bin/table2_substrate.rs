@@ -2,7 +2,7 @@
 //! frequencies (3 GHz / 1 GHz / 300 MHz, 5 % tolerance), plus the
 //! 81-point AC sweep cost on the original and each reduced netlist.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions};
 use pact_bench::{mb, print_table, secs, timed};
 use pact_circuit::{log_frequencies, AcExcitation, Circuit};
 use pact_gen::{network_to_elements, substrate_mesh, MeshSpec};
@@ -56,7 +56,7 @@ fn main() {
     for &fmax in &[3e9, 1e9, 300e6] {
         let opts = ReduceOptions {
             cutoff: CutoffSpec::new(fmax, 0.05).expect("cutoff"),
-            eigen: EigenStrategy::Laso(LanczosConfig::default()),
+            eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: None,

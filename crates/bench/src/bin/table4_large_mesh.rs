@@ -4,7 +4,7 @@
 //! ("469 × 19877 × 8 = 71.1 MB for the Lanczos vectors alone; MPVL
 //! requires two of these blocks").
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions};
 use pact_baselines::{format_mb, mpvl_memory, pade_block_memory};
 use pact_bench::{mb, print_table, secs, timed};
 use pact_gen::{substrate_mesh, MeshSpec};
@@ -27,7 +27,7 @@ fn main() {
 
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(500e6, 0.10).expect("cutoff"),
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,

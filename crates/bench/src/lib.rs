@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions, Reduction};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions, Reduction};
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{extract_rc, splice_reduced, Netlist};
 use pact_sparse::Ordering;
@@ -122,7 +122,7 @@ pub fn reduce_deck(
     let ex = extract_rc(deck, &[]).expect("RC extraction failed");
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(f_max, tolerance).expect("bad cutoff"),
-        eigen: EigenStrategy::Auto,
+        eigen_backend: EigenSelect::Auto,
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,
@@ -147,7 +147,7 @@ pub fn reduce_deck_laso(
     let ex = extract_rc(deck, &[]).expect("RC extraction failed");
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(f_max, tolerance).expect("bad cutoff"),
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::NestedDissection,
         dense_threshold: 400,
         threads: None,

@@ -36,7 +36,17 @@ pub enum PactError {
     SingularInternalConductance {
         /// Name of the offending internal node.
         node: String,
-        /// The non-positive (or non-finite) pivot encountered.
+        /// The non-positive pivot encountered.
+        pivot: f64,
+    },
+    /// The conductance block carried a NaN or infinite value (a poisoned
+    /// deck or upstream arithmetic overflow): factorization hit a
+    /// non-finite pivot at the named internal node. Reported as its own
+    /// variant — unlike a singular pivot, no relief floor can repair it.
+    NonFiniteInternalConductance {
+        /// Name of the offending internal node.
+        node: String,
+        /// The non-finite pivot encountered.
         pivot: f64,
     },
     /// The Lanczos eigensolver did not converge near the cutoff.
@@ -68,6 +78,7 @@ impl PactError {
             PactError::Network(_) => "network",
             PactError::Cutoff(_) => "cutoff",
             PactError::SingularInternalConductance { .. } => "singular_internal_conductance",
+            PactError::NonFiniteInternalConductance { .. } => "non_finite_internal_conductance",
             PactError::Lanczos(_) => "lanczos",
             PactError::Eigen(_) => "eigen",
             PactError::Io { .. } => "io",
@@ -94,6 +105,16 @@ impl PactError {
                     .cloned()
                     .unwrap_or_else(|| format!("internal#{index}"));
                 PactError::SingularInternalConductance { node, pivot }
+            }
+            ReduceError::Factor(pact_sparse::FactorError::NonFinitePivot {
+                index, pivot, ..
+            }) => {
+                let node = network
+                    .node_names
+                    .get(network.num_ports + index)
+                    .cloned()
+                    .unwrap_or_else(|| format!("internal#{index}"));
+                PactError::NonFiniteInternalConductance { node, pivot }
             }
             ReduceError::Factor(fe) => PactError::Internal {
                 message: format!("conductance block factorization failed: {fe}"),
@@ -125,6 +146,12 @@ impl std::fmt::Display for PactError {
                 f,
                 "internal node `{node}` has no DC path to any port \
                  (singular pivot {pivot:.3e} in the conductance block)"
+            ),
+            PactError::NonFiniteInternalConductance { node, pivot } => write!(
+                f,
+                "internal node `{node}` produced a non-finite pivot ({pivot}) \
+                 in the conductance block — the deck carries a NaN or \
+                 infinite value"
             ),
             PactError::Lanczos(e) => write!(f, "pole analysis failed: {e}"),
             PactError::Eigen(e) => write!(f, "dense eigendecomposition failed: {e}"),

@@ -6,14 +6,15 @@ use std::time::Instant;
 use pact_netlist::RcNetwork;
 use pact_sparse::{FactorError, ParCtx};
 
+use crate::backend::EigenSelect;
 use crate::cutoff::CutoffSpec;
 use crate::hier::partition_tree::{LeafBlock, PartitionTree};
 use crate::hier::stitch::stitch;
 use crate::reduce::{
-    reduce_impl, reduce_network_flat, remap_factor_index, ReduceError, ReduceOptions,
-    ReduceStrategy, Reduction, ReductionStats,
+    remap_factor_index, ReduceError, ReduceOptions, ReduceStrategy, Reduction, ReductionStats,
 };
 use crate::sanitize::sanitize_network;
+use crate::session::{CacheEntry, ReductionSession, SymbolicCache};
 use crate::telemetry::{Telemetry, Warning};
 
 /// Leaf reductions keep every pole below `LEAF_CUTOFF_GUARD × f_c` (the
@@ -29,6 +30,9 @@ pub const LEAF_CUTOFF_GUARD: f64 = 1024.0;
 struct LeafOutcome {
     reduction: Reduction,
     sanitize_warnings: Vec<Warning>,
+    /// Symbolic analyses this leaf's session computed beyond the shared
+    /// snapshot, merged into the parent session in leaf order.
+    new_cache_entries: Vec<CacheEntry>,
 }
 
 /// Renames a warning's node/element attribution to carry the leaf block
@@ -70,22 +74,32 @@ fn leaf_phase_name(name: &'static str) -> &'static str {
     }
 }
 
-/// Sanitizes and reduces one leaf block with the flat pipeline.
+/// Sanitizes and reduces one leaf block with the flat pipeline inside a
+/// transient session seeded with the parent cache snapshot.
 /// Factorization failures are remapped (via node names) into the parent
 /// network's internal numbering so top-level attribution stays correct.
 fn reduce_leaf(
     leaf: &LeafBlock,
     parent: &RcNetwork,
     opts: &ReduceOptions,
+    snapshot: &SymbolicCache,
 ) -> Result<LeafOutcome, ReduceError> {
     let report = sanitize_network(&leaf.network)?;
-    let reduction = reduce_network_flat(&report.network, opts).map_err(|e| {
-        let e = remap_factor_index(e, &report.network, &leaf.network);
-        remap_factor_index(e, &leaf.network, parent)
-    })?;
+    // Every leaf looks up against the same snapshot, so cache hits (and
+    // the factorizations/refactorizations counters) are independent of
+    // how leaves are assigned to workers.
+    let base = snapshot.len();
+    let mut session = ReductionSession::with_cache(opts.clone(), snapshot.clone());
+    let reduction = session
+        .reduce_network_flat(&report.network, "leaf")
+        .map_err(|e| {
+            let e = remap_factor_index(e, &report.network, &leaf.network);
+            remap_factor_index(e, &leaf.network, parent)
+        })?;
     Ok(LeafOutcome {
         reduction,
         sanitize_warnings: report.warnings,
+        new_cache_entries: session.cache_entries_from(base),
     })
 }
 
@@ -94,12 +108,13 @@ fn reduce_leaf(
 /// Falls back to the flat pipeline when the partition produces at most
 /// one block (tiny networks, or `max_block ≥ n`).
 pub(crate) fn reduce_network_hier(
+    session: &mut ReductionSession,
     network: &RcNetwork,
-    opts: &ReduceOptions,
     max_block: usize,
     max_depth: usize,
 ) -> Result<Reduction, ReduceError> {
     let start = Instant::now();
+    let opts = session.options().clone();
     let m = network.num_ports;
     let n_int = network.num_internal();
     let mut tel = Telemetry::new();
@@ -111,7 +126,7 @@ pub(crate) fn reduce_network_hier(
     if tree.leaves.len() <= 1 {
         // Nothing to divide: run flat, but keep the hier bookkeeping so
         // telemetry still says what happened.
-        let mut red = reduce_network_flat(network, opts)?;
+        let mut red = session.reduce_network_flat(network, "flat")?;
         tel.absorb(&red.telemetry);
         let c = &mut tel.counters;
         c.hier_blocks = tree.leaves.len().max(1) as u64;
@@ -134,11 +149,16 @@ pub(crate) fn reduce_network_hier(
     leaf_opts.strategy = ReduceStrategy::Flat;
     // Under the guarded cutoff a leaf keeps a large fraction of its
     // spectrum, which is exactly the regime where an iterative extremal
-    // solver (LASO) degenerates into full-spectrum Lanczos with massive
-    // reorthogonalization. Blocks are bounded by `max_block`, so solve
-    // them densely; `opts.eigen` still governs the top-level pass, where
-    // the spectral problem has the usual few-poles-in-band shape.
-    leaf_opts.eigen = crate::reduce::EigenStrategy::Dense;
+    // solver (Lanczos) degenerates into full-spectrum iteration with
+    // massive reorthogonalization. Blocks are bounded by `max_block`, so
+    // solve them with the low-rank/dense path; `opts.eigen_backend`
+    // still governs the top-level pass, where the spectral problem has
+    // the usual few-poles-in-band shape.
+    leaf_opts.eigen_backend = EigenSelect::LowRank;
+
+    // Every leaf session starts from the same snapshot of the parent
+    // cache, so lookups are independent of worker assignment.
+    let snapshot = session.cache_snapshot();
 
     // Fan the leaves across workers; results come back in leaf order so
     // the merge below is bit-identical for every thread count.
@@ -147,7 +167,7 @@ pub(crate) fn reduce_network_hier(
     let outcomes: Vec<Result<LeafOutcome, ReduceError>> = ctx.map_items(
         tree.leaves.len(),
         || (),
-        |_, k| reduce_leaf(&tree.leaves[k], network, &leaf_opts),
+        |_, k| reduce_leaf(&tree.leaves[k], network, &leaf_opts, &snapshot),
     );
     tel.record_phase("leaf_reduce", leaf_start.elapsed().as_secs_f64());
 
@@ -158,6 +178,7 @@ pub(crate) fn reduce_network_hier(
     let mut modelled_memory = 0usize;
     for (leaf, outcome) in tree.leaves.iter().zip(outcomes) {
         let o = outcome?; // first failing leaf (in tree order) aborts
+        session.cache_extend(o.new_cache_entries);
         for w in &o.sanitize_warnings {
             match w {
                 Warning::PrunedFloatingInternal { .. } => tel.counters.pruned_internal_nodes += 1,
@@ -173,6 +194,11 @@ pub(crate) fn reduce_network_hier(
         }
         for w in &ltel.warnings {
             tel.warn(tag_warning(w, leaf.id));
+        }
+        for ec in &ltel.eigen_choices {
+            let mut ec = ec.clone();
+            ec.scope = format!("leaf{}", leaf.id);
+            tel.eigen_choices.push(ec);
         }
         // Size/pole counters describing the leaf sub-problems are
         // reported through the hier_* fields; the flat-shaped fields
@@ -195,26 +221,41 @@ pub(crate) fn reduce_network_hier(
     let port_names: Vec<String> = network.node_names[..m].to_vec();
     let internal_names = stitched.internal_names;
     let nsep = tree.separators.len();
-    let top = reduce_impl(&stitched.stamped, &port_names, opts, &|i| {
-        internal_names
-            .get(i)
-            .cloned()
-            .unwrap_or_else(|| format!("internal#{i}"))
-    })
-    .map_err(|e| match e {
-        // A singular pivot on a separator row maps back to an original
-        // internal node; pole-node rows (identity diagonal) cannot fail.
-        ReduceError::Factor(FactorError::NotPositiveDefinite { step, index, pivot })
-            if index < nsep =>
-        {
-            ReduceError::Factor(FactorError::NotPositiveDefinite {
-                step,
-                index: tree.separators[index] - m,
-                pivot,
-            })
-        }
-        other => other,
-    })?;
+    let top = session
+        .reduce_stamped_scoped(
+            &stitched.stamped,
+            &port_names,
+            &|i| {
+                internal_names
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("internal#{i}"))
+            },
+            "top",
+        )
+        .map_err(|e| match e {
+            // A singular pivot on a separator row maps back to an original
+            // internal node; pole-node rows (identity diagonal) cannot fail.
+            ReduceError::Factor(FactorError::NotPositiveDefinite { step, index, pivot })
+                if index < nsep =>
+            {
+                ReduceError::Factor(FactorError::NotPositiveDefinite {
+                    step,
+                    index: tree.separators[index] - m,
+                    pivot,
+                })
+            }
+            ReduceError::Factor(FactorError::NonFinitePivot { step, index, pivot })
+                if index < nsep =>
+            {
+                ReduceError::Factor(FactorError::NonFinitePivot {
+                    step,
+                    index: tree.separators[index] - m,
+                    pivot,
+                })
+            }
+            other => other,
+        })?;
 
     for p in &top.telemetry.phases {
         tel.record_phase(p.name, p.seconds);
@@ -222,6 +263,8 @@ pub(crate) fn reduce_network_hier(
     for w in &top.telemetry.warnings {
         tel.warn(w.clone());
     }
+    tel.eigen_choices
+        .extend(top.telemetry.eigen_choices.iter().cloned());
     let mut tc = top.telemetry.counters;
     tc.num_ports = 0;
     tc.num_internal = 0;

@@ -1,6 +1,6 @@
 //! A minimal, dependency-free JSON value: renderer and parser.
 //!
-//! The telemetry layer ([`crate::telemetry`]) needs machine-readable
+//! The telemetry layer ([`crate::Telemetry`]) needs machine-readable
 //! output (`rcfit --log-json`) without pulling external crates — the
 //! workspace builds fully offline (PR 1's rule). This module implements
 //! just enough of RFC 8259 for that: objects (with *preserved key
@@ -164,7 +164,15 @@ fn render_number(v: f64, out: &mut String) {
     }
 }
 
-fn render_string(s: &str, out: &mut String) {
+/// Appends `s` to `out` as a quoted JSON string literal, escaping
+/// quotes, backslashes, and control characters per RFC 8259.
+///
+/// This is the single escaping routine for the whole workspace — the
+/// [`Value`] renderer and every hand-rolled JSON emitter (bench bins,
+/// telemetry snapshots) route through it, so quoting behaviour cannot
+/// drift between them. Non-ASCII text passes through verbatim: JSON is
+/// UTF-8, so `é` or `Ω` needs no `\u` escape.
+pub fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -180,6 +188,19 @@ fn render_string(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Returns `s` as a quoted, escaped JSON string literal.
+///
+/// Convenience wrapper over [`escape_into`] for `format!`-style callers.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(s, &mut out);
+    out
+}
+
+fn render_string(s: &str, out: &mut String) {
+    escape_into(s, out);
 }
 
 fn err(offset: usize, message: impl Into<String>) -> JsonError {
@@ -421,6 +442,26 @@ mod tests {
     fn parses_escapes_and_whitespace() {
         let doc = Value::parse(" { \"k\\u0041\" : \"a\\nb\\\"c\" } ").unwrap();
         assert_eq!(doc.get("kA").unwrap().as_str().unwrap(), "a\nb\"c");
+    }
+
+    #[test]
+    fn escape_handles_control_chars_and_non_ascii() {
+        // Named escapes for the common control characters.
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(escape("line1\nline2\r\ttab"), "\"line1\\nline2\\r\\ttab\"");
+        // Other control characters get \u00xx form.
+        assert_eq!(escape("\u{0}\u{1f}"), "\"\\u0000\\u001f\"");
+        // Non-ASCII passes through verbatim (JSON is UTF-8).
+        assert_eq!(escape("nœud-Ω-日本"), "\"nœud-Ω-日本\"");
+        // Round-trip through the parser.
+        let original = "mixed \"x\"\\\n\u{7}é漢";
+        let back = Value::parse(&escape(original)).unwrap();
+        assert_eq!(back.as_str().unwrap(), original);
+        // escape_into appends without clobbering existing content.
+        let mut out = String::from("prefix:");
+        escape_into("v", &mut out);
+        assert_eq!(out, "prefix:\"v\"");
     }
 
     #[test]

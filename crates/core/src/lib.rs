@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 mod admittance;
+mod backend;
 mod cutoff;
 mod error;
 pub mod hier;
@@ -62,22 +63,27 @@ mod model;
 mod partition;
 mod reduce;
 mod sanitize;
+mod session;
 mod telemetry;
 mod transform;
 mod verify;
 
 pub use admittance::{transimpedance_of, FullAdmittance, PortImpedance, SweepCounts, YEvaluator};
+pub use backend::{
+    DenseQlBackend, EigenBackend, EigenSelect, EigenSolution, LanczosBackend, LowRankBackend,
+};
 pub use cutoff::{CutoffError, CutoffSpec};
 pub use error::PactError;
 pub use matrix_free::{reduce_matrix_free, DSolver, PcgSolver};
 pub use model::ReducedModel;
 pub use partition::Partitions;
 pub use reduce::{
-    reduce, reduce_network, reduce_network_components, ComponentReduction, EigenStrategy,
-    ReduceError, ReduceOptions, ReduceStrategy, Reduction, ReductionStats,
+    reduce, reduce_network, reduce_network_components, ComponentReduction, ReduceError,
+    ReduceOptions, ReduceStrategy, Reduction, ReductionStats,
 };
 pub use sanitize::{sanitize_network, SanitizeReport};
-pub use telemetry::{Counters, PhaseTiming, Telemetry, Warning};
+pub use session::ReductionSession;
+pub use telemetry::{Counters, EigenChoice, PhaseTiming, Telemetry, Warning};
 pub use transform::{EPrimeOp, Transform1};
 pub use verify::{verify_reduction, verify_reduction_with, ErrorSample, VerificationReport};
 
@@ -191,9 +197,9 @@ mod tests {
         let net = rc_line(50);
         let spec = CutoffSpec::new(5e9, 0.05).unwrap();
         let mut opts = ReduceOptions::new(spec);
-        opts.eigen = EigenStrategy::Dense;
+        opts.eigen_backend = EigenSelect::Dense;
         let dense = reduce_network(&net, &opts).unwrap();
-        opts.eigen = EigenStrategy::Laso(LanczosConfig::default());
+        opts.eigen_backend = EigenSelect::Lanczos(LanczosConfig::default());
         let laso = reduce_network(&net, &opts).unwrap();
         assert_eq!(dense.model.num_poles(), laso.model.num_poles());
         for (a, b) in dense.model.lambdas.iter().zip(&laso.model.lambdas) {

@@ -18,12 +18,16 @@
 //! the logical endpoint of the paper's Section-4 memory argument, and an
 //! extension recorded in DESIGN.md §6.
 
+use std::time::Instant;
+
 use pact_sparse::{axpy, dot, eig_tridiagonal, CsrMat, DMat, FactorError, IncompleteCholesky};
 
 use crate::cutoff::CutoffSpec;
 use crate::model::ReducedModel;
 use crate::partition::Partitions;
-use crate::reduce::{ReduceError, Reduction, ReductionStats};
+use crate::reduce::{ReduceError, ReduceOptions, Reduction};
+use crate::session::{finish_reduction, ReductionSession};
+use crate::telemetry::Telemetry;
 
 /// Abstraction over "solve `D x = b`" so both a direct factorization and
 /// PCG can drive the matrix-free reduction.
@@ -86,6 +90,8 @@ impl DSolver for PcgSolver {
 /// every interaction with `D` goes through `solver` and the pole
 /// analysis runs on the `(E, D)` pencil in the D-inner product.
 ///
+/// One-shot convenience over [`ReductionSession::reduce_matrix_free`].
+///
 /// # Errors
 ///
 /// [`ReduceError::Lanczos`] when the pencil Lanczos cannot resolve the
@@ -96,87 +102,107 @@ pub fn reduce_matrix_free(
     spec: &CutoffSpec,
     solver: &impl DSolver,
 ) -> Result<Reduction, ReduceError> {
-    let start = std::time::Instant::now();
-    let m = parts.m;
-    let n = parts.n;
-    // ---- moments, column at a time (identical algebra to Transform1,
-    //      with `solver` in place of the factorization) ----
-    let mut a1 = parts.a.to_dense();
-    let mut b1 = parts.b.to_dense();
-    let qt = parts.q.transpose();
-    let rt = parts.r.transpose();
-    let col_of = |t: &CsrMat, j: usize| {
-        let mut v = vec![0.0; n];
-        for (i, val) in t.row_iter(j) {
-            v[i] = val;
-        }
-        v
-    };
-    for j in 0..m {
-        let x = solver.solve(&col_of(&qt, j));
-        let y = solver.solve(&col_of(&rt, j));
-        let z = solver.solve(&parts.e.matvec(&x));
-        let qtx = parts.q.matvec_t(&x);
-        let rtx = parts.r.matvec_t(&x);
-        let qty = parts.q.matvec_t(&y);
-        let qtz = parts.q.matvec_t(&z);
-        for i in 0..m {
-            a1[(i, j)] -= qtx[i];
-            b1[(i, j)] += -rtx[i] - qty[i] + qtz[i];
-        }
-    }
-    a1.symmetrize();
-    b1.symmetrize();
+    ReductionSession::new(ReduceOptions::new(*spec))
+        .reduce_matrix_free(parts, port_names, spec, solver)
+}
 
-    // ---- pencil Lanczos in the D-inner product ----
-    let lambda_c = spec.lambda_c();
-    let pairs = pencil_eigs_above(parts, solver, lambda_c).map_err(|iterations| {
-        ReduceError::Lanczos(pact_lanczos::LanczosError::NotConverged { iterations })
-    })?;
-
-    // ---- R'' rows straight from the pencil Ritz vectors ----
-    let k = pairs.len();
-    let mut r2 = DMat::zeros(k, m);
-    let mut lambdas = Vec::with_capacity(k);
-    for (p, (lam, y)) in pairs.iter().enumerate() {
-        lambdas.push(*lam);
-        let ey = parts.e.matvec(y);
-        let z = solver.solve(&ey);
-        let ry = parts.r.matvec_t(y);
-        let qz = parts.q.matvec_t(&z);
+impl ReductionSession {
+    /// Matrix-free PACT through this session: the moment and projection
+    /// right-hand-side buffers come from the session's scratch pool, and
+    /// the pencil-Lanczos backend choice is recorded in telemetry.
+    ///
+    /// # Errors
+    ///
+    /// [`ReduceError::Lanczos`] when the pencil Lanczos cannot resolve
+    /// the spectrum near the cutoff.
+    pub fn reduce_matrix_free(
+        &mut self,
+        parts: &Partitions,
+        port_names: &[String],
+        spec: &CutoffSpec,
+        solver: &impl DSolver,
+    ) -> Result<Reduction, ReduceError> {
+        let start = Instant::now();
+        let mut tel = Telemetry::new();
+        let m = parts.m;
+        let n = parts.n;
+        // ---- moments, column at a time (identical algebra to Transform1,
+        //      with `solver` in place of the factorization) ----
+        let moments_start = Instant::now();
+        let mut a1 = parts.a.to_dense();
+        let mut b1 = parts.b.to_dense();
+        let qt = parts.q.transpose();
+        let rt = parts.r.transpose();
+        let mut rhs = self.scratch.take(n);
+        let fill_col = |t: &CsrMat, j: usize, v: &mut [f64]| {
+            v.iter_mut().for_each(|x| *x = 0.0);
+            for (i, val) in t.row_iter(j) {
+                v[i] = val;
+            }
+        };
         for j in 0..m {
-            r2[(p, j)] = ry[j] - qz[j];
+            fill_col(&qt, j, &mut rhs);
+            let x = solver.solve(&rhs);
+            fill_col(&rt, j, &mut rhs);
+            let y = solver.solve(&rhs);
+            let z = solver.solve(&parts.e.matvec(&x));
+            let qtx = parts.q.matvec_t(&x);
+            let rtx = parts.r.matvec_t(&x);
+            let qty = parts.q.matvec_t(&y);
+            let qtz = parts.q.matvec_t(&z);
+            for i in 0..m {
+                a1[(i, j)] -= qtx[i];
+                b1[(i, j)] += -rtx[i] - qty[i] + qtz[i];
+            }
         }
+        self.scratch.put(rhs);
+        a1.symmetrize();
+        b1.symmetrize();
+        tel.record_phase("moments", moments_start.elapsed().as_secs_f64());
+
+        // ---- pencil Lanczos in the D-inner product ----
+        let eigen_start = Instant::now();
+        let lambda_c = spec.lambda_c();
+        let pairs = pencil_eigs_above(parts, solver, lambda_c).map_err(|iterations| {
+            ReduceError::Lanczos(pact_lanczos::LanczosError::NotConverged { iterations })
+        })?;
+        tel.record_phase("eigen", eigen_start.elapsed().as_secs_f64());
+        tel.record_eigen_choice("pencil", "pencil_lanczos", n, pairs.len());
+
+        // ---- R'' rows straight from the pencil Ritz vectors ----
+        let projection_start = Instant::now();
+        let k = pairs.len();
+        let mut r2 = DMat::zeros(k, m);
+        let mut lambdas = Vec::with_capacity(k);
+        for (p, (lam, y)) in pairs.iter().enumerate() {
+            lambdas.push(*lam);
+            let ey = parts.e.matvec(y);
+            let z = solver.solve(&ey);
+            let ry = parts.r.matvec_t(y);
+            let qz = parts.q.matvec_t(&z);
+            for j in 0..m {
+                r2[(p, j)] = ry[j] - qz[j];
+            }
+        }
+        tel.record_phase("projection", projection_start.elapsed().as_secs_f64());
+        let model = ReducedModel {
+            a1,
+            b1,
+            r2,
+            lambdas,
+            port_names: port_names.to_vec(),
+        };
+        Ok(finish_reduction(
+            tel,
+            start,
+            model,
+            n,
+            0,
+            solver.memory_bytes(),
+            solver.memory_bytes() + 2 * m * m * 8 + (k + 4) * n * 8,
+            None,
+        ))
     }
-    let model = ReducedModel {
-        a1,
-        b1,
-        r2,
-        lambdas,
-        port_names: port_names.to_vec(),
-    };
-    let stats = ReductionStats {
-        num_ports: m,
-        num_internal: n,
-        poles_retained: k,
-        elapsed_seconds: start.elapsed().as_secs_f64(),
-        chol_nnz: 0,
-        chol_memory_bytes: solver.memory_bytes(),
-        modelled_memory_bytes: solver.memory_bytes() + 2 * m * m * 8 + (k + 4) * n * 8,
-        lanczos: None,
-    };
-    let mut telemetry = crate::Telemetry::new();
-    let c = &mut telemetry.counters;
-    c.num_ports = m as u64;
-    c.num_internal = n as u64;
-    c.poles_retained = k as u64;
-    c.poles_dropped = n.saturating_sub(k) as u64;
-    c.peak_matrix_dim = (m + n) as u64;
-    Ok(Reduction {
-        model,
-        stats,
-        telemetry,
-    })
 }
 
 /// Eigenpairs of `E y = λ D y` with `λ > lambda_min`, via D-inner-product

@@ -4,20 +4,21 @@
 //! conversion of the internal blocks (Section 3.1), then pole analysis of
 //! `E'` (Section 3.2) keeping only eigenvalues above `λ_c`, and packages
 //! the result as a [`ReducedModel`] plus work statistics.
+//!
+//! The free functions here are one-shot conveniences over
+//! [`crate::ReductionSession`], which additionally caches symbolic
+//! analyses and scratch across calls — use a session when reducing many
+//! decks.
 
-use std::time::Instant;
-
-use pact_lanczos::{eigs_above_with_stats, LanczosConfig, LanczosError, LanczosStats, SymOp};
+use pact_lanczos::{LanczosError, LanczosStats};
 use pact_netlist::{RcNetwork, Stamped};
-use pact_sparse::{
-    sym_eig, DMat, EigenError, FactorError, Ordering, ParCtx, PivotPolicy, SparseCholesky,
-};
+use pact_sparse::{EigenError, FactorError, Ordering};
 
+use crate::backend::EigenSelect;
 use crate::cutoff::CutoffSpec;
 use crate::model::ReducedModel;
-use crate::partition::Partitions;
-use crate::telemetry::{Telemetry, Warning};
-use crate::transform::Transform1;
+use crate::session::ReductionSession;
+use crate::telemetry::Telemetry;
 
 /// How the reduction is executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,28 +40,18 @@ pub enum ReduceStrategy {
     },
 }
 
-/// How the eigenpairs of `E'` above the cutoff are computed.
-#[derive(Clone, Debug, Default)]
-pub enum EigenStrategy {
-    /// Dense for small `n`, LASO above `dense_threshold`.
-    #[default]
-    Auto,
-    /// Always form `E'` densely and fully decompose it (oracle; `O(n³)`).
-    Dense,
-    /// Always use the Lanczos solver with the given configuration.
-    Laso(LanczosConfig),
-}
-
 /// Options controlling a reduction.
 #[derive(Clone, Debug)]
 pub struct ReduceOptions {
     /// Accuracy specification (max frequency + tolerance).
     pub cutoff: CutoffSpec,
-    /// Eigen solver selection.
-    pub eigen: EigenStrategy,
+    /// Eigen backend selection for the pole analysis
+    /// ([`EigenSelect::Auto`] adapts to block size and capacitance rank).
+    pub eigen_backend: EigenSelect,
     /// Fill-reducing ordering for the Cholesky factorization of `D`.
     pub ordering: Ordering,
-    /// `Auto` strategy switches from dense to LASO above this `n`.
+    /// [`EigenSelect::Auto`] switches from the low-rank/dense path to
+    /// Lanczos above this internal-block size.
     pub dense_threshold: usize,
     /// Worker threads for the parallel stages (port fan-out, Ritz rows,
     /// operator products). `None` ⇒ all available cores. The reduced
@@ -72,7 +63,7 @@ pub struct ReduceOptions {
     /// a typed error. When set, offending pivots are raised to the floor
     /// (a passivity-preserving diagonal stiffening `D → D + ΔD`,
     /// `ΔD ⪰ 0`) and each substitution is recorded as a
-    /// [`Warning::PerturbedPivot`] in the reduction's telemetry.
+    /// [`crate::Warning::PerturbedPivot`] in the reduction's telemetry.
     pub pivot_relief: Option<f64>,
     /// Execution strategy: one-shot flat PACT (default) or hierarchical
     /// divide-and-conquer over a nested-dissection partition tree.
@@ -84,7 +75,7 @@ impl ReduceOptions {
     pub fn new(cutoff: CutoffSpec) -> Self {
         ReduceOptions {
             cutoff,
-            eigen: EigenStrategy::Auto,
+            eigen_backend: EigenSelect::Auto,
             ordering: Ordering::NestedDissection,
             dense_threshold: 400,
             threads: None,
@@ -113,14 +104,15 @@ pub struct ReductionStats {
     /// Modelled peak bytes for the whole reduction: factor + dense port
     /// blocks + Lanczos working set.
     pub modelled_memory_bytes: usize,
-    /// Lanczos work counters when LASO ran.
+    /// Lanczos work counters when the Lanczos backend ran.
     pub lanczos: Option<LanczosStats>,
 }
 
 /// Error from a reduction.
 #[derive(Clone, Debug)]
 pub enum ReduceError {
-    /// `D` was not positive definite (internal node without DC path).
+    /// `D` was not positive definite (internal node without DC path) or
+    /// carried a non-finite entry.
     Factor(FactorError),
     /// The Lanczos solver failed to resolve the spectrum near the cutoff.
     Lanczos(LanczosError),
@@ -173,14 +165,16 @@ pub struct Reduction {
     /// Work statistics.
     pub stats: ReductionStats,
     /// Structured telemetry: per-phase wall times, deterministic
-    /// counters, and warnings (pivot perturbations etc.).
+    /// counters, warnings (pivot perturbations etc.), and the eigen
+    /// backend chosen per block.
     pub telemetry: Telemetry,
 }
 
 /// Reduces stamped network matrices with PACT.
 ///
 /// `port_names` labels the leading `stamped.num_ports` rows and is carried
-/// into the model for netlist output.
+/// into the model for netlist output. One-shot convenience over
+/// [`ReductionSession::reduce`].
 ///
 /// # Errors
 ///
@@ -190,108 +184,7 @@ pub fn reduce(
     port_names: &[String],
     opts: &ReduceOptions,
 ) -> Result<Reduction, ReduceError> {
-    reduce_impl(stamped, port_names, opts, &|i| format!("internal#{i}"))
-}
-
-/// The shared reduction body. `internal_name` maps a `D`-local internal
-/// node index to a display name for warning attribution (the stamped
-/// entry point only knows indices; [`reduce_network`] supplies real node
-/// names).
-pub(crate) fn reduce_impl(
-    stamped: &Stamped,
-    port_names: &[String],
-    opts: &ReduceOptions,
-    internal_name: &dyn Fn(usize) -> String,
-) -> Result<Reduction, ReduceError> {
-    let start = Instant::now();
-    let mut tel = Telemetry::new();
-    let ctx = ParCtx::new(opts.threads);
-    let parts = tel.time("partition", || Partitions::split(stamped));
-
-    let policy = match opts.pivot_relief {
-        Some(rel_threshold) => PivotPolicy::Perturb { rel_threshold },
-        None => PivotPolicy::Error,
-    };
-    let factored = tel.time("factor", || {
-        SparseCholesky::factor_diagnosed(&parts.d, opts.ordering, policy)
-    });
-    let (chol, diag) = factored?;
-    for p in &diag.perturbed {
-        tel.warn(Warning::PerturbedPivot {
-            node: internal_name(p.index),
-            pivot: p.original,
-            replaced_with: p.replaced_with,
-        });
-    }
-    tel.counters.perturbed_pivots = diag.perturbed.len() as u64;
-
-    let t1 = tel.time("moments", || Transform1::with_factor(&parts, chol, &ctx));
-    let lambda_c = opts.cutoff.lambda_c();
-
-    let eigen_start = Instant::now();
-    let poles = match &opts.eigen {
-        EigenStrategy::Dense => low_rank_poles(&t1, &parts, lambda_c, &ctx)
-            .unwrap_or_else(|| dense_poles(&t1, &parts, lambda_c, &ctx)),
-        EigenStrategy::Laso(cfg) => laso_poles(&t1, &parts, lambda_c, cfg, &ctx),
-        EigenStrategy::Auto => {
-            if parts.n <= opts.dense_threshold {
-                low_rank_poles(&t1, &parts, lambda_c, &ctx)
-                    .unwrap_or_else(|| dense_poles(&t1, &parts, lambda_c, &ctx))
-            } else {
-                laso_poles(&t1, &parts, lambda_c, &LanczosConfig::default(), &ctx)
-            }
-        }
-    };
-    tel.record_phase("eigen", eigen_start.elapsed().as_secs_f64());
-    let (lambdas, vectors, lanczos_stats) = poles?;
-
-    let r2 = tel.time("projection", || t1.r2_rows_ctx(&parts, &vectors, &ctx));
-    let model = ReducedModel {
-        a1: t1.a1.clone(),
-        b1: t1.b1.clone(),
-        r2,
-        lambdas: lambdas.clone(),
-        port_names: port_names.to_vec(),
-    };
-
-    let m = parts.m;
-    let k = lambdas.len();
-    let chol_memory = t1.chol.memory_bytes();
-    let modelled = chol_memory
-        + 2 * m * m * 8              // A', B'
-        + k * parts.n * 8            // Ritz vectors
-        + k * m * 8                  // R''
-        + 4 * parts.n * 8; // solver workspace
-    let stats = ReductionStats {
-        num_ports: m,
-        num_internal: parts.n,
-        poles_retained: k,
-        elapsed_seconds: start.elapsed().as_secs_f64(),
-        chol_nnz: t1.chol.l_nnz(),
-        chol_memory_bytes: chol_memory,
-        modelled_memory_bytes: modelled,
-        lanczos: lanczos_stats,
-    };
-
-    let c = &mut tel.counters;
-    c.num_ports = m as u64;
-    c.num_internal = parts.n as u64;
-    c.poles_retained = k as u64;
-    c.poles_dropped = parts.n.saturating_sub(k) as u64;
-    c.peak_matrix_dim = (m + parts.n) as u64;
-    c.chol_nnz = stats.chol_nnz as u64;
-    if let Some(ls) = &stats.lanczos {
-        c.lanczos_iterations = ls.iterations as u64;
-        c.lanczos_matvecs = ls.matvecs as u64;
-        c.lanczos_restarts = ls.restarts as u64;
-        c.lanczos_reorthogonalizations = ls.orthogonalizations as u64;
-    }
-
-    Ok(Reduction {
-        model,
-        stats,
-        telemetry: tel,
-    })
+    ReductionSession::new(opts.clone()).reduce(stamped, port_names)
 }
 
 /// Convenience wrapper: stamps an [`RcNetwork`] and reduces it with the
@@ -300,35 +193,13 @@ pub(crate) fn reduce_impl(
 ///
 /// Warnings in the returned telemetry carry real node names (the
 /// stamped-matrix entry point [`reduce`] can only attribute by index).
+/// One-shot convenience over [`ReductionSession::reduce_network`].
 ///
 /// # Errors
 ///
 /// See [`ReduceError`].
 pub fn reduce_network(network: &RcNetwork, opts: &ReduceOptions) -> Result<Reduction, ReduceError> {
-    match opts.strategy {
-        ReduceStrategy::Flat => reduce_network_flat(network, opts),
-        ReduceStrategy::Hierarchical {
-            max_block,
-            max_depth,
-        } => crate::hier::reduce_network_hier(network, opts, max_block, max_depth),
-    }
-}
-
-/// The flat (single-pass) reduction body shared by [`reduce_network`]
-/// and the hierarchical driver's leaf/fallback paths.
-pub(crate) fn reduce_network_flat(
-    network: &RcNetwork,
-    opts: &ReduceOptions,
-) -> Result<Reduction, ReduceError> {
-    let stamped = network.stamp();
-    let ports: Vec<String> = network.node_names[..network.num_ports].to_vec();
-    reduce_impl(&stamped, &ports, opts, &|i| {
-        network
-            .node_names
-            .get(network.num_ports + i)
-            .cloned()
-            .unwrap_or_else(|| format!("internal#{i}"))
-    })
+    ReductionSession::new(opts.clone()).reduce_network(network)
 }
 
 /// Result of a per-component reduction ([`reduce_network_components`]).
@@ -389,7 +260,8 @@ impl ComponentReduction {
 /// Real layouts contain many electrically independent nets (the paper's
 /// multiplier parasitics are hundreds of separate RC trees); reducing
 /// them per component keeps each eigenproblem small and drops floating
-/// RC islands that no port can observe.
+/// RC islands that no port can observe. One-shot convenience over
+/// [`ReductionSession::reduce_network_components`].
 ///
 /// # Errors
 ///
@@ -398,20 +270,7 @@ pub fn reduce_network_components(
     network: &RcNetwork,
     opts: &ReduceOptions,
 ) -> Result<ComponentReduction, ReduceError> {
-    let mut reductions = Vec::new();
-    let mut floating = 0usize;
-    for comp in network.connected_components() {
-        if comp.num_ports == 0 {
-            floating += 1;
-            continue;
-        }
-        reductions
-            .push(reduce_network(&comp, opts).map_err(|e| remap_factor_index(e, &comp, network))?);
-    }
-    Ok(ComponentReduction {
-        reductions,
-        floating_dropped: floating,
-    })
+    ReductionSession::new(opts.clone()).reduce_network_components(network)
 }
 
 /// Rewrites a component-local factorization failure index into the parent
@@ -423,255 +282,28 @@ pub(crate) fn remap_factor_index(
     comp: &RcNetwork,
     parent: &RcNetwork,
 ) -> ReduceError {
+    let remap = |index: usize| {
+        comp.node_names
+            .get(comp.num_ports + index)
+            .and_then(|name| parent.node_index(name))
+            .and_then(|gi| gi.checked_sub(parent.num_ports))
+            .unwrap_or(index)
+    };
     match e {
         ReduceError::Factor(FactorError::NotPositiveDefinite { step, index, pivot }) => {
-            let remapped = comp
-                .node_names
-                .get(comp.num_ports + index)
-                .and_then(|name| parent.node_index(name))
-                .and_then(|gi| gi.checked_sub(parent.num_ports))
-                .unwrap_or(index);
             ReduceError::Factor(FactorError::NotPositiveDefinite {
                 step,
-                index: remapped,
+                index: remap(index),
+                pivot,
+            })
+        }
+        ReduceError::Factor(FactorError::NonFinitePivot { step, index, pivot }) => {
+            ReduceError::Factor(FactorError::NonFinitePivot {
+                step,
+                index: remap(index),
                 pivot,
             })
         }
         other => other,
     }
-}
-
-type Poles = (Vec<f64>, Vec<Vec<f64>>, Option<LanczosStats>);
-
-/// One rank-1 term `w·u uᵀ` of the capacitance split: `u = e_i − e_j`
-/// for a coupling entry, `u = e_i` (j = None) for residual node
-/// capacitance to ground/ports.
-struct CapTerm {
-    i: usize,
-    j: Option<usize>,
-    w: f64,
-}
-
-/// Splits the internal capacitance block `E` into `Σ c_k u_k u_kᵀ` with
-/// one term per coupling entry plus one per residual diagonal — the
-/// factorization every capacitance stamp admits (a branch between two
-/// internal nodes contributes `c(e_i−e_j)(e_i−e_j)ᵀ`, everything else is
-/// diagonal). Returns `None` if `E` is not such a stamp (positive
-/// off-diagonal or negative residual beyond rounding), which sends the
-/// caller to the general dense path.
-fn capacitance_split(e: &pact_sparse::CsrMat) -> Option<Vec<CapTerm>> {
-    let n = e.nrows();
-    let diag: Vec<f64> = (0..n).map(|i| e.get(i, i)).collect();
-    let mut terms = Vec::new();
-    let mut offsum = vec![0.0f64; n];
-    for i in 0..n {
-        for (j, v) in e.row_iter(i) {
-            if j <= i {
-                continue;
-            }
-            let tol = 1e-12 * (diag[i].abs() + diag[j].abs());
-            if v > tol {
-                return None; // not a capacitance stamp
-            }
-            if v < -tol {
-                terms.push(CapTerm {
-                    i,
-                    j: Some(j),
-                    w: -v,
-                });
-                offsum[i] -= v;
-                offsum[j] -= v;
-            }
-        }
-    }
-    for i in 0..n {
-        let s = diag[i] - offsum[i];
-        let tol = 1e-12 * diag[i].abs();
-        if s < -tol {
-            return None;
-        }
-        if s > tol {
-            terms.push(CapTerm { i, j: None, w: s });
-        }
-    }
-    Some(terms)
-}
-
-/// Pole analysis exploiting the rank deficiency of `E` (the paper's §6
-/// observation that RC extractions carry far fewer capacitors than
-/// nodes): with `E = U Uᵀ` (one scaled column per capacitance term),
-/// `E' = X Xᵀ` for `X = F⁻¹U`, whose nonzero spectrum equals that of the
-/// tiny `c×c` Gram matrix `XᵀX`. Eigenpairs `(λ, z)` of the Gram lift to
-/// eigenvectors `v = Xz/√λ` of `E'`. `None` when `E` is not a
-/// capacitance stamp or the rank bound does not beat `n` — callers fall
-/// back to the dense `n×n` path.
-fn low_rank_poles(
-    t1: &Transform1,
-    parts: &Partitions,
-    lambda_c: f64,
-    ctx: &ParCtx,
-) -> Option<Result<Poles, ReduceError>> {
-    let n = parts.n;
-    if n == 0 {
-        return Some(Ok((Vec::new(), Vec::new(), None)));
-    }
-    let terms = capacitance_split(&parts.e)?;
-    let c = terms.len();
-    if c == 0 {
-        return Some(Ok((Vec::new(), Vec::new(), None)));
-    }
-    if c >= n {
-        return None;
-    }
-    // X = F⁻¹ U, one forward solve per capacitance term; each column is
-    // computed by exactly one worker, so the result is thread-invariant.
-    // A column's support is the elimination-tree reach of its two nodes
-    // — usually a small fraction of `n` — so columns are compressed to
-    // (index, value) pairs. The nonzero pattern is itself deterministic
-    // (exact zeros are reproduced bit-for-bit by the serial-per-column
-    // solves), so the compressed form stays thread-invariant too.
-    let x: Vec<(Vec<u32>, Vec<f64>)> = ctx.map_items(
-        c,
-        || (vec![0.0f64; n], vec![0.0f64; n]),
-        |(rhs, col), k| {
-            rhs.iter_mut().for_each(|v| *v = 0.0);
-            let t = &terms[k];
-            let w = t.w.sqrt();
-            rhs[t.i] = w;
-            if let Some(j) = t.j {
-                rhs[j] = -w;
-            }
-            t1.chol.fsolve_into(rhs, col);
-            let mut idx = Vec::new();
-            let mut val = Vec::new();
-            for (i, &v) in col.iter().enumerate() {
-                if v != 0.0 {
-                    idx.push(i as u32);
-                    val.push(v);
-                }
-            }
-            (idx, val)
-        },
-    );
-    // Gram matrix XᵀX (c×c): row-partitioned sparse merge dots, each
-    // with a fixed index-ascending summation order.
-    let mut gram = DMat::zeros(c, c);
-    let rows = ctx.map_items(
-        c,
-        || (),
-        |_, a| {
-            (a..c)
-                .map(|b| sparse_dot(&x[a], &x[b]))
-                .collect::<Vec<f64>>()
-        },
-    );
-    for (a, row) in rows.iter().enumerate() {
-        for (off, &v) in row.iter().enumerate() {
-            gram[(a, a + off)] = v;
-            gram[(a + off, a)] = v;
-        }
-    }
-    let eig = match sym_eig(&gram) {
-        Ok(e) => e,
-        Err(e) => return Some(Err(e.into())),
-    };
-    let mut lambdas = Vec::new();
-    let mut vectors = Vec::new();
-    // Descending order to match the dense and LASO paths.
-    for idx in (0..c).rev() {
-        let lam = eig.values[idx];
-        if lam < lambda_c {
-            break;
-        }
-        let scale = 1.0 / lam.sqrt();
-        let mut v = vec![0.0f64; n];
-        for (k, (xi, xv)) in x.iter().enumerate() {
-            let zk = eig.vectors[(k, idx)] * scale;
-            if zk != 0.0 {
-                for (&i, &xval) in xi.iter().zip(xv) {
-                    v[i as usize] += zk * xval;
-                }
-            }
-        }
-        lambdas.push(lam);
-        vectors.push(v);
-    }
-    Some(Ok((lambdas, vectors, None)))
-}
-
-/// Dot product of two compressed sparse vectors (sorted indices),
-/// accumulated in ascending index order.
-fn sparse_dot(a: &(Vec<u32>, Vec<f64>), b: &(Vec<u32>, Vec<f64>)) -> f64 {
-    let (ai, av) = a;
-    let (bi, bv) = b;
-    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
-    while i < ai.len() && j < bi.len() {
-        match ai[i].cmp(&bi[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                acc += av[i] * bv[j];
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    acc
-}
-
-fn dense_poles(
-    t1: &Transform1,
-    parts: &Partitions,
-    lambda_c: f64,
-    ctx: &ParCtx,
-) -> Result<Poles, ReduceError> {
-    if parts.n == 0 {
-        return Ok((Vec::new(), Vec::new(), None));
-    }
-    let ep = t1.e_prime_dense_ctx(parts, ctx);
-    let eig = sym_eig(&ep)?;
-    let mut lambdas = Vec::new();
-    let mut vectors = Vec::new();
-    // Descending order to match the LASO path.
-    for idx in (0..parts.n).rev() {
-        let lam = eig.values[idx];
-        if lam >= lambda_c {
-            lambdas.push(lam);
-            vectors.push((0..parts.n).map(|i| eig.vectors[(i, idx)]).collect());
-        } else {
-            break;
-        }
-    }
-    Ok((lambdas, vectors, None))
-}
-
-fn laso_poles(
-    t1: &Transform1,
-    parts: &Partitions,
-    lambda_c: f64,
-    cfg: &LanczosConfig,
-    ctx: &ParCtx,
-) -> Result<Poles, ReduceError> {
-    if parts.n == 0 {
-        return Ok((Vec::new(), Vec::new(), None));
-    }
-    let op = t1.e_prime_operator_ctx(parts, *ctx);
-    debug_assert_eq!(op.dim(), parts.n);
-    // An explicit thread choice in the Lanczos config wins; otherwise the
-    // reduction's resolved thread count flows through.
-    let cfg = if cfg.threads.is_none() {
-        let mut c = cfg.clone();
-        c.threads = Some(ctx.threads());
-        c
-    } else {
-        cfg.clone()
-    };
-    let (pairs, stats) = eigs_above_with_stats(&op, lambda_c, &cfg)?;
-    let mut lambdas = Vec::with_capacity(pairs.len());
-    let mut vectors = Vec::with_capacity(pairs.len());
-    for p in pairs {
-        lambdas.push(p.value);
-        vectors.push(p.vector);
-    }
-    Ok((lambdas, vectors, Some(stats)))
 }

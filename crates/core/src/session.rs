@@ -1,0 +1,556 @@
+//! A reusable reduction session: cached symbolic analyses plus scratch
+//! arenas shared across reductions.
+//!
+//! Reducing many decks of the same extraction flow repeats the same
+//! sparsity patterns over and over — the expensive symbolic Cholesky
+//! analysis (ordering + elimination tree + fill pattern) of each pattern
+//! only needs to happen once. [`ReductionSession`] owns a
+//! pattern-keyed cache of [`SymbolicCholesky`] analyses and a pool of
+//! scratch buffers; every reduction path (flat, hierarchical per-leaf,
+//! matrix-free) runs through it. A one-shot [`crate::reduce`] call is
+//! just a throwaway session.
+//!
+//! Determinism contract: a cache hit replays the cached permutation and
+//! fill pattern through [`SymbolicCholesky::refactor`], which is
+//! bit-identical to a fresh factorization of the same values (orderings
+//! are functions of the pattern alone — see `pact_sparse`). Warm and
+//! cold sessions therefore produce bit-identical reduced models; only
+//! the `factorizations`/`refactorizations` telemetry counters differ.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pact_lanczos::LanczosStats;
+use pact_netlist::{RcNetwork, Stamped};
+use pact_sparse::{
+    CsrMat, FactorDiagnostics, FactorError, Ordering, ParCtx, PivotPolicy, SparseCholesky,
+    SymbolicCholesky,
+};
+
+use crate::backend;
+use crate::model::ReducedModel;
+use crate::partition::Partitions;
+use crate::reduce::{
+    remap_factor_index, ComponentReduction, ReduceError, ReduceOptions, ReduceStrategy, Reduction,
+    ReductionStats,
+};
+use crate::telemetry::{Telemetry, Warning};
+use crate::transform::Transform1;
+
+/// Cached symbolic analyses the session keeps at most.
+const CACHE_CAP: usize = 64;
+
+/// One cached analysis: the FNV pattern key, the ordering it was
+/// computed under, and the shared analysis itself.
+#[derive(Clone)]
+pub(crate) struct CacheEntry {
+    key: u64,
+    ordering: Ordering,
+    sym: Arc<SymbolicCholesky>,
+}
+
+/// A pattern-keyed store of symbolic Cholesky analyses.
+///
+/// Lookup hashes the candidate pattern and then verifies the match
+/// exactly ([`SymbolicCholesky::matches`]), so a hash collision can
+/// never hand back the wrong analysis.
+#[derive(Clone, Default)]
+pub(crate) struct SymbolicCache {
+    entries: Vec<CacheEntry>,
+}
+
+impl SymbolicCache {
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn lookup(&self, key: u64, ordering: Ordering, a: &CsrMat) -> Option<Arc<SymbolicCholesky>> {
+        self.entries
+            .iter()
+            .find(|e| e.key == key && e.ordering == ordering && e.sym.matches(a))
+            .map(|e| Arc::clone(&e.sym))
+    }
+
+    fn insert(&mut self, key: u64, ordering: Ordering, sym: Arc<SymbolicCholesky>) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.key == key && e.ordering == ordering)
+        {
+            return; // already cached (or an astronomically unlikely collision)
+        }
+        if self.entries.len() == CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push(CacheEntry { key, ordering, sym });
+    }
+
+    /// Entries appended after `base` — what a child session learned.
+    pub(crate) fn entries_from(&self, base: usize) -> Vec<CacheEntry> {
+        self.entries[base.min(self.entries.len())..].to_vec()
+    }
+
+    /// Merges entries learned elsewhere (deduplicating by key).
+    pub(crate) fn extend(&mut self, entries: Vec<CacheEntry>) {
+        for e in entries {
+            self.insert(e.key, e.ordering, e.sym);
+        }
+    }
+}
+
+/// FNV-1a over the dimensions and pattern arrays of `a` — the cache key
+/// for its sparsity pattern (values excluded by construction).
+fn pattern_key(a: &CsrMat) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(a.nrows() as u64);
+    eat(a.ncols() as u64);
+    for &p in a.indptr() {
+        eat(p as u64);
+    }
+    for &i in a.indices() {
+        eat(i as u64);
+    }
+    h
+}
+
+/// A bounded pool of `f64` scratch buffers reused across reductions.
+#[derive(Default)]
+pub(crate) struct ScratchPool {
+    bufs: Vec<Vec<f64>>,
+}
+
+impl ScratchPool {
+    /// A zeroed buffer of length `len`, recycled when possible.
+    pub(crate) fn take(&mut self, len: usize) -> Vec<f64> {
+        match self.bufs.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    pub(crate) fn put(&mut self, v: Vec<f64>) {
+        if self.bufs.len() < 32 {
+            self.bufs.push(v);
+        }
+    }
+}
+
+/// A reusable reduction context: options plus the symbolic-analysis
+/// cache and scratch arenas shared by every reduction it runs.
+///
+/// ```
+/// use pact::{CutoffSpec, ReduceOptions, ReductionSession};
+/// use pact_netlist::{extract_rc, parse};
+///
+/// let deck = "* rc\nV1 a 0 1\nM1 x b 0 0 n\n.model n nmos()\n\
+///             R1 a m 50\nR2 m b 50\nC1 m 0 1p\n.end\n";
+/// let net = extract_rc(&parse(deck)?, &[])?.network;
+/// let opts = ReduceOptions::new(CutoffSpec::new(5e9, 0.05)?);
+/// let mut session = ReductionSession::new(opts);
+/// // Same-topology decks after the first reuse the symbolic analysis.
+/// let reductions = session.reduce_batch(&[net.clone(), net])?;
+/// assert_eq!(reductions.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ReductionSession {
+    opts: ReduceOptions,
+    cache: SymbolicCache,
+    pub(crate) scratch: ScratchPool,
+}
+
+impl ReductionSession {
+    /// Creates a session with an empty cache.
+    pub fn new(opts: ReduceOptions) -> ReductionSession {
+        ReductionSession {
+            opts,
+            cache: SymbolicCache::default(),
+            scratch: ScratchPool::default(),
+        }
+    }
+
+    /// A session seeded with an existing cache (hier leaf workers start
+    /// from a snapshot of the parent's cache).
+    pub(crate) fn with_cache(opts: ReduceOptions, cache: SymbolicCache) -> ReductionSession {
+        ReductionSession {
+            opts,
+            cache,
+            scratch: ScratchPool::default(),
+        }
+    }
+
+    /// The options every reduction in this session runs under.
+    pub fn options(&self) -> &ReduceOptions {
+        &self.opts
+    }
+
+    /// Number of symbolic analyses currently cached.
+    pub fn cached_patterns(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// A snapshot of the cache (cheap: shared `Arc`s).
+    pub(crate) fn cache_snapshot(&self) -> SymbolicCache {
+        self.cache.clone()
+    }
+
+    /// Entries this session's cache gained beyond `base` entries.
+    pub(crate) fn cache_entries_from(&self, base: usize) -> Vec<CacheEntry> {
+        self.cache.entries_from(base)
+    }
+
+    /// Merges cache entries learned by child sessions.
+    pub(crate) fn cache_extend(&mut self, entries: Vec<CacheEntry>) {
+        self.cache.extend(entries);
+    }
+
+    /// Reduces stamped network matrices (see [`crate::reduce`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReduceError`].
+    pub fn reduce(
+        &mut self,
+        stamped: &Stamped,
+        port_names: &[String],
+    ) -> Result<Reduction, ReduceError> {
+        self.reduce_stamped_scoped(stamped, port_names, &|i| format!("internal#{i}"), "flat")
+    }
+
+    /// Reduces a network with the strategy selected in the session's
+    /// options (see [`crate::reduce_network`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReduceError`].
+    pub fn reduce_network(&mut self, network: &RcNetwork) -> Result<Reduction, ReduceError> {
+        match self.opts.strategy {
+            ReduceStrategy::Flat => self.reduce_network_flat(network, "flat"),
+            ReduceStrategy::Hierarchical {
+                max_block,
+                max_depth,
+            } => crate::hier::reduce_network_hier(self, network, max_block, max_depth),
+        }
+    }
+
+    /// Reduces a batch of decks, amortizing symbolic analysis across
+    /// same-topology networks: after the first deck of a given sparsity
+    /// pattern, the rest pay only the numeric refactorization.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReduceError`]; the first failing deck aborts the batch.
+    pub fn reduce_batch(&mut self, networks: &[RcNetwork]) -> Result<Vec<Reduction>, ReduceError> {
+        networks
+            .iter()
+            .map(|net| self.reduce_network(net))
+            .collect()
+    }
+
+    /// Reduces each connected component independently (see
+    /// [`crate::reduce_network_components`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReduceError`]; the first failing component aborts.
+    pub fn reduce_network_components(
+        &mut self,
+        network: &RcNetwork,
+    ) -> Result<ComponentReduction, ReduceError> {
+        let mut reductions: Vec<Reduction> = Vec::new();
+        let mut floating = 0usize;
+        for comp in network.connected_components() {
+            if comp.num_ports == 0 {
+                floating += 1;
+                continue;
+            }
+            let mut red = self
+                .reduce_network(&comp)
+                .map_err(|e| remap_factor_index(e, &comp, network))?;
+            let k = reductions.len();
+            for c in &mut red.telemetry.eigen_choices {
+                c.scope = format!("component{k}:{}", c.scope);
+            }
+            reductions.push(red);
+        }
+        Ok(ComponentReduction {
+            reductions,
+            floating_dropped: floating,
+        })
+    }
+
+    /// The flat reduction of one network, with warnings attributed to
+    /// real node names and eigen choices recorded under `scope`.
+    pub(crate) fn reduce_network_flat(
+        &mut self,
+        network: &RcNetwork,
+        scope: &str,
+    ) -> Result<Reduction, ReduceError> {
+        let stamped = network.stamp();
+        let ports: Vec<String> = network.node_names[..network.num_ports].to_vec();
+        self.reduce_stamped_scoped(
+            &stamped,
+            &ports,
+            &|i| {
+                network
+                    .node_names
+                    .get(network.num_ports + i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("internal#{i}"))
+            },
+            scope,
+        )
+    }
+
+    /// The flat reduction body shared by every entry point: partition →
+    /// (cached) factor → moments → pole analysis via the selected eigen
+    /// backend → projection.
+    pub(crate) fn reduce_stamped_scoped(
+        &mut self,
+        stamped: &Stamped,
+        port_names: &[String],
+        internal_name: &dyn Fn(usize) -> String,
+        scope: &str,
+    ) -> Result<Reduction, ReduceError> {
+        let start = Instant::now();
+        let mut tel = Telemetry::new();
+        let ctx = ParCtx::new(self.opts.threads);
+        let parts = tel.time("partition", || Partitions::split(stamped));
+
+        let policy = match self.opts.pivot_relief {
+            Some(rel_threshold) => PivotPolicy::Perturb { rel_threshold },
+            None => PivotPolicy::Error,
+        };
+        let factor_start = Instant::now();
+        let factored = self.factor_internal(&parts.d, policy);
+        tel.record_phase("factor", factor_start.elapsed().as_secs_f64());
+        let (chol, diag, cache_hit) = factored?;
+        for p in &diag.perturbed {
+            tel.warn(Warning::PerturbedPivot {
+                node: internal_name(p.index),
+                pivot: p.original,
+                replaced_with: p.replaced_with,
+            });
+        }
+        tel.counters.perturbed_pivots = diag.perturbed.len() as u64;
+        if cache_hit {
+            tel.counters.refactorizations = 1;
+        } else {
+            tel.counters.factorizations = 1;
+        }
+
+        let t1 = tel.time("moments", || Transform1::with_factor(&parts, chol, &ctx));
+        let lambda_c = self.opts.cutoff.lambda_c();
+
+        let eigen_start = Instant::now();
+        let poles = backend::compute_poles(
+            &self.opts.eigen_backend,
+            self.opts.dense_threshold,
+            &t1,
+            &parts,
+            lambda_c,
+            &ctx,
+        );
+        tel.record_phase("eigen", eigen_start.elapsed().as_secs_f64());
+        let (sol, backend_name) = poles?;
+        tel.record_eigen_choice(scope, backend_name, parts.n, sol.lambdas.len());
+
+        let r2 = tel.time("projection", || t1.r2_rows_ctx(&parts, &sol.vectors, &ctx));
+        let model = ReducedModel {
+            a1: t1.a1.clone(),
+            b1: t1.b1.clone(),
+            r2,
+            lambdas: sol.lambdas,
+            port_names: port_names.to_vec(),
+        };
+
+        let m = parts.m;
+        let k = model.lambdas.len();
+        let chol_memory = t1.chol.memory_bytes();
+        let modelled = chol_memory
+            + 2 * m * m * 8              // A', B'
+            + k * parts.n * 8            // Ritz vectors
+            + k * m * 8                  // R''
+            + 4 * parts.n * 8; // solver workspace
+        Ok(finish_reduction(
+            tel,
+            start,
+            model,
+            parts.n,
+            t1.chol.l_nnz(),
+            chol_memory,
+            modelled,
+            sol.lanczos,
+        ))
+    }
+
+    /// Factors `D`, reusing a cached symbolic analysis when the sparsity
+    /// pattern has been seen before (bit-identical to a fresh factor).
+    fn factor_internal(
+        &mut self,
+        d: &CsrMat,
+        policy: PivotPolicy,
+    ) -> Result<(SparseCholesky, FactorDiagnostics, bool), FactorError> {
+        let key = pattern_key(d);
+        if let Some(sym) = self.cache.lookup(key, self.opts.ordering, d) {
+            let (chol, diag) = sym.refactor(d, policy)?;
+            return Ok((chol, diag, true));
+        }
+        let (chol, diag, sym) = SparseCholesky::factor_analyzed(d, self.opts.ordering, policy)?;
+        self.cache.insert(key, self.opts.ordering, Arc::new(sym));
+        Ok((chol, diag, false))
+    }
+}
+
+/// Packages a finished reduction: statistics plus the shared counter
+/// block (sizes, pole counts, Lanczos work) every path reports the same
+/// way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_reduction(
+    mut tel: Telemetry,
+    start: Instant,
+    model: ReducedModel,
+    num_internal: usize,
+    chol_nnz: usize,
+    chol_memory_bytes: usize,
+    modelled_memory_bytes: usize,
+    lanczos: Option<LanczosStats>,
+) -> Reduction {
+    let m = model.port_names.len();
+    let k = model.lambdas.len();
+    let stats = ReductionStats {
+        num_ports: m,
+        num_internal,
+        poles_retained: k,
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+        chol_nnz,
+        chol_memory_bytes,
+        modelled_memory_bytes,
+        lanczos,
+    };
+
+    let c = &mut tel.counters;
+    c.num_ports = m as u64;
+    c.num_internal = num_internal as u64;
+    c.poles_retained = k as u64;
+    c.poles_dropped = num_internal.saturating_sub(k) as u64;
+    c.peak_matrix_dim = (m + num_internal) as u64;
+    c.chol_nnz = chol_nnz as u64;
+    if let Some(ls) = &stats.lanczos {
+        c.lanczos_iterations = ls.iterations as u64;
+        c.lanczos_matvecs = ls.matvecs as u64;
+        c.lanczos_restarts = ls.restarts as u64;
+        c.lanczos_reorthogonalizations = ls.orthogonalizations as u64;
+    }
+
+    Reduction {
+        model,
+        stats,
+        telemetry: tel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::CutoffSpec;
+    use pact_netlist::{extract_rc, parse};
+
+    fn ladder(nseg: usize, r_total: f64, c_total: f64) -> RcNetwork {
+        let mut deck = String::from("* l\nV1 p0 0 1\nM1 q pN 0 0 n\n.model n nmos()\n");
+        for i in 0..nseg {
+            let a = if i == 0 { "p0".into() } else { format!("n{i}") };
+            let b = if i == nseg - 1 {
+                "pN".into()
+            } else {
+                format!("n{}", i + 1)
+            };
+            deck.push_str(&format!(
+                "R{i} {a} {b} {}\nC{i} {b} 0 {}\n",
+                r_total / nseg as f64,
+                c_total / nseg as f64
+            ));
+        }
+        extract_rc(&parse(&deck).unwrap(), &[]).unwrap().network
+    }
+
+    #[test]
+    fn warm_session_is_bit_identical_and_counts_refactorizations() {
+        let net_a = ladder(40, 250.0, 1.35e-12);
+        let net_b = ladder(40, 180.0, 0.9e-12); // same topology, new values
+        let opts = ReduceOptions::new(CutoffSpec::new(5e9, 0.05).unwrap());
+
+        let mut session = ReductionSession::new(opts.clone());
+        let first = session.reduce_network(&net_a).unwrap();
+        assert_eq!(session.cached_patterns(), 1);
+        assert_eq!(first.telemetry.counters.factorizations, 1);
+        assert_eq!(first.telemetry.counters.refactorizations, 0);
+
+        let warm = session.reduce_network(&net_b).unwrap();
+        assert_eq!(warm.telemetry.counters.factorizations, 0);
+        assert_eq!(warm.telemetry.counters.refactorizations, 1);
+
+        // Cold reduction of the same deck must be bit-identical.
+        let cold = ReductionSession::new(opts).reduce_network(&net_b).unwrap();
+        assert_eq!(warm.model.lambdas, cold.model.lambdas);
+        assert_eq!(warm.model.a1.as_slice(), cold.model.a1.as_slice());
+        assert_eq!(warm.model.b1.as_slice(), cold.model.b1.as_slice());
+        assert_eq!(warm.model.r2.as_slice(), cold.model.r2.as_slice());
+    }
+
+    #[test]
+    fn batch_reuses_one_symbolic_analysis_per_topology() {
+        let decks: Vec<RcNetwork> = (0..5)
+            .map(|i| ladder(30, 200.0 + 10.0 * i as f64, 1e-12))
+            .collect();
+        let opts = ReduceOptions::new(CutoffSpec::new(5e9, 0.05).unwrap());
+        let mut session = ReductionSession::new(opts);
+        let reds = session.reduce_batch(&decks).unwrap();
+        assert_eq!(reds.len(), 5);
+        assert_eq!(session.cached_patterns(), 1);
+        let fresh: u64 = reds
+            .iter()
+            .map(|r| r.telemetry.counters.factorizations)
+            .sum();
+        let reused: u64 = reds
+            .iter()
+            .map(|r| r.telemetry.counters.refactorizations)
+            .sum();
+        assert_eq!(fresh, 1);
+        assert_eq!(reused, 4);
+    }
+
+    #[test]
+    fn eigen_choice_is_recorded_per_block() {
+        let net = ladder(30, 250.0, 1.35e-12);
+        let opts = ReduceOptions::new(CutoffSpec::new(5e9, 0.05).unwrap());
+        let red = ReductionSession::new(opts).reduce_network(&net).unwrap();
+        assert_eq!(red.telemetry.eigen_choices.len(), 1);
+        let c = &red.telemetry.eigen_choices[0];
+        assert_eq!(c.scope, "flat");
+        assert_eq!(c.dim, net.num_internal() as u64);
+        assert_eq!(c.poles, red.model.num_poles() as u64);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let mut pool = ScratchPool::default();
+        let mut v = pool.take(8);
+        v[3] = 7.0;
+        pool.put(v);
+        let w = pool.take(4);
+        assert_eq!(w, vec![0.0; 4], "recycled buffers are zeroed");
+    }
+}

@@ -285,6 +285,38 @@ impl std::fmt::Display for Warning {
     }
 }
 
+/// Which eigen backend served one pole-analysis block, and at what size.
+///
+/// One record per eigendecomposition the run performed: the flat path
+/// emits one, the hierarchical path one per leaf plus one for the top
+/// (separator) pass, and per-component reduction one per component.
+/// Part of the deterministic telemetry subset — backend selection is a
+/// pure function of block size and options, never of thread count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EigenChoice {
+    /// Which block this record describes (`"flat"`, `"leaf3"`, `"top"`,
+    /// `"component2"`, `"pencil"`).
+    pub scope: String,
+    /// Backend that ran: `"dense"`, `"lanczos"`, `"lowrank"`, or
+    /// `"pencil_lanczos"` for the matrix-free path.
+    pub backend: &'static str,
+    /// Dimension of the internal block the backend decomposed.
+    pub dim: u64,
+    /// Poles the backend retained below the cutoff.
+    pub poles: u64,
+}
+
+impl EigenChoice {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("scope".to_owned(), Value::str(self.scope.clone())),
+            ("backend".to_owned(), Value::str(self.backend)),
+            ("dim".to_owned(), Value::num(self.dim as f64)),
+            ("poles".to_owned(), Value::num(self.poles as f64)),
+        ])
+    }
+}
+
 /// The telemetry record for one pipeline run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Telemetry {
@@ -294,6 +326,9 @@ pub struct Telemetry {
     pub counters: Counters,
     /// Deterministic warnings, in pipeline order.
     pub warnings: Vec<Warning>,
+    /// Eigen backend chosen for each pole-analysis block, in pipeline
+    /// order.
+    pub eigen_choices: Vec<EigenChoice>,
 }
 
 impl Telemetry {
@@ -325,14 +360,32 @@ impl Telemetry {
         self.warnings.push(warning);
     }
 
+    /// Records which eigen backend served one pole-analysis block.
+    pub fn record_eigen_choice(
+        &mut self,
+        scope: impl Into<String>,
+        backend: &'static str,
+        dim: usize,
+        poles: usize,
+    ) {
+        self.eigen_choices.push(EigenChoice {
+            scope: scope.into(),
+            backend,
+            dim: dim as u64,
+            poles: poles as u64,
+        });
+    }
+
     /// Merges another record into this one: phase times sum by name,
-    /// counters accumulate, warnings append.
+    /// counters accumulate, warnings and eigen choices append.
     pub fn absorb(&mut self, other: &Telemetry) {
         for p in &other.phases {
             self.record_phase(p.name, p.seconds);
         }
         self.counters.add(&other.counters);
         self.warnings.extend(other.warnings.iter().cloned());
+        self.eigen_choices
+            .extend(other.eigen_choices.iter().cloned());
     }
 
     /// The full machine-readable document (schema `rcfit-telemetry-v1`).
@@ -358,19 +411,37 @@ impl Telemetry {
                 "warnings".to_owned(),
                 Value::Arr(self.warnings.iter().map(Warning::to_json).collect()),
             ),
+            (
+                "eigen_choices".to_owned(),
+                Value::Arr(
+                    self.eigen_choices
+                        .iter()
+                        .map(EigenChoice::to_json)
+                        .collect(),
+                ),
+            ),
         ])
     }
 
-    /// Serializes only the deterministic subset (counters + warnings,
-    /// no timings). Bit-identical across thread counts by the crate's
-    /// determinism contract; `par_determinism` asserts exactly this
-    /// string.
+    /// Serializes only the deterministic subset (counters + warnings +
+    /// eigen choices, no timings). Bit-identical across thread counts by
+    /// the crate's determinism contract; `par_determinism` asserts
+    /// exactly this string.
     pub fn counters_json_string(&self) -> String {
         Value::obj(vec![
             ("counters".to_owned(), self.counters.to_json()),
             (
                 "warnings".to_owned(),
                 Value::Arr(self.warnings.iter().map(Warning::to_json).collect()),
+            ),
+            (
+                "eigen_choices".to_owned(),
+                Value::Arr(
+                    self.eigen_choices
+                        .iter()
+                        .map(EigenChoice::to_json)
+                        .collect(),
+                ),
             ),
         ])
         .render()
@@ -390,6 +461,15 @@ impl Telemetry {
         for (name, v) in self.counters.fields() {
             if v != 0 {
                 out.push_str(&format!("  {name:<28} {v}\n"));
+            }
+        }
+        if !self.eigen_choices.is_empty() {
+            out.push_str("eigen backends\n");
+            for c in &self.eigen_choices {
+                out.push_str(&format!(
+                    "  {:<14} {:<10} dim={} poles={}\n",
+                    c.scope, c.backend, c.dim, c.poles
+                ));
             }
         }
         if !self.warnings.is_empty() {
@@ -474,6 +554,26 @@ mod tests {
         let s = t.counters_json_string();
         assert!(!s.contains("seconds"), "timings must not leak: {s}");
         assert!(s.contains("\"chol_nnz\":99"));
+    }
+
+    #[test]
+    fn eigen_choices_serialize_and_absorb() {
+        let mut a = Telemetry::new();
+        a.record_eigen_choice("flat", "lowrank", 12, 3);
+        let mut b = Telemetry::new();
+        b.record_eigen_choice("leaf0", "lanczos", 900, 17);
+        a.absorb(&b);
+        assert_eq!(a.eigen_choices.len(), 2);
+        assert_eq!(a.eigen_choices[1].scope, "leaf0");
+        let s = a.counters_json_string();
+        assert!(s.contains("\"backend\":\"lowrank\""), "{s}");
+        assert!(s.contains("\"scope\":\"leaf0\""), "{s}");
+        let doc = a.to_json();
+        let back = Value::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+        let trace = a.render_trace();
+        assert!(trace.contains("eigen backends"), "{trace}");
+        assert!(trace.contains("lanczos"), "{trace}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! track the exact admittance, and the mesh's pole ladder must behave as
 //! designed (wells dominate the low-frequency spectrum).
 
-use pact::{CutoffSpec, EigenStrategy, FullAdmittance, Partitions, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, FullAdmittance, Partitions, ReduceOptions};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
 
@@ -22,9 +22,9 @@ fn laso_matches_dense_oracle_on_mesh() {
     let net = small_mesh();
     let spec = CutoffSpec::new(2e9, 0.05).unwrap();
     let mut opts = ReduceOptions::new(spec);
-    opts.eigen = EigenStrategy::Dense;
+    opts.eigen_backend = EigenSelect::LowRank;
     let dense = pact::reduce_network(&net, &opts).unwrap();
-    opts.eigen = EigenStrategy::Laso(LanczosConfig::default());
+    opts.eigen_backend = EigenSelect::Lanczos(LanczosConfig::default());
     let laso = pact::reduce_network(&net, &opts).unwrap();
     assert_eq!(
         dense.model.num_poles(),

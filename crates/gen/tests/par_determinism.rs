@@ -5,7 +5,7 @@
 //! partitions work deterministically and never reassociates floating
 //! point across a thread boundary, so `assert_eq!` on `f64` is exact.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions, Reduction};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions, Reduction};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{Branch, RcNetwork};
@@ -71,10 +71,10 @@ fn ladder_fixture() -> RcNetwork {
     }
 }
 
-fn reduce_with_threads(net: &RcNetwork, eigen: &EigenStrategy, threads: usize) -> Reduction {
+fn reduce_with_threads(net: &RcNetwork, eigen_backend: &EigenSelect, threads: usize) -> Reduction {
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(2e9, 0.05).unwrap(),
-        eigen: eigen.clone(),
+        eigen_backend: eigen_backend.clone(),
         ordering: pact_sparse::Ordering::NestedDissection,
         dense_threshold: 0,
         threads: Some(threads),
@@ -112,8 +112,8 @@ fn assert_bit_identical(base: &Reduction, other: &Reduction, what: &str) {
 
 fn check_fixture(net: &RcNetwork, label: &str) {
     for (ename, eigen) in [
-        ("laso", EigenStrategy::Laso(LanczosConfig::default())),
-        ("dense", EigenStrategy::Dense),
+        ("laso", EigenSelect::Lanczos(LanczosConfig::default())),
+        ("dense", EigenSelect::LowRank),
     ] {
         let base = reduce_with_threads(net, &eigen, 1);
         assert!(

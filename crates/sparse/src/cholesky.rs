@@ -27,6 +27,21 @@ pub enum FactorError {
         /// The offending pivot value.
         pivot: f64,
     },
+    /// A non-finite pivot (NaN or ±∞) appeared during elimination. This is
+    /// reported as its own variant — never silently floored by
+    /// [`PivotPolicy::Perturb`] — because a NaN comparing `false` against
+    /// any threshold would otherwise take an arbitrary branch.
+    NonFinitePivot {
+        /// Elimination step (in permuted order) where the pivot failed.
+        step: usize,
+        /// Row/column of the *original* (unpermuted) matrix.
+        index: usize,
+        /// The offending pivot value.
+        pivot: f64,
+    },
+    /// The matrix handed to [`SymbolicCholesky::refactor`] has a different
+    /// sparsity pattern than the one the symbolic analysis was built from.
+    StructureMismatch,
     /// The matrix is not square.
     NotSquare,
 }
@@ -35,8 +50,9 @@ impl FactorError {
     /// The original (unpermuted) row of the failing pivot, if any.
     pub fn failed_index(&self) -> Option<usize> {
         match self {
-            FactorError::NotPositiveDefinite { index, .. } => Some(*index),
-            FactorError::NotSquare => None,
+            FactorError::NotPositiveDefinite { index, .. }
+            | FactorError::NonFinitePivot { index, .. } => Some(*index),
+            FactorError::StructureMismatch | FactorError::NotSquare => None,
         }
     }
 }
@@ -47,6 +63,15 @@ impl std::fmt::Display for FactorError {
             FactorError::NotPositiveDefinite { step, index, pivot } => write!(
                 f,
                 "matrix is not positive definite: pivot {pivot:e} at step {step} (matrix row {index})"
+            ),
+            FactorError::NonFinitePivot { step, index, pivot } => write!(
+                f,
+                "non-finite pivot {pivot} at step {step} (matrix row {index}); \
+                 the input contains NaN or infinite values"
+            ),
+            FactorError::StructureMismatch => write!(
+                f,
+                "matrix sparsity pattern differs from the symbolic analysis"
             ),
             FactorError::NotSquare => write!(f, "matrix is not square"),
         }
@@ -73,9 +98,12 @@ pub enum PivotPolicy {
     /// Fail with [`FactorError::NotPositiveDefinite`] on any pivot `≤ 0`
     /// (the strict behavior of [`SparseCholesky::factor`]).
     Error,
-    /// Replace any pivot below `rel_threshold · max_i |A_ii|` (including
-    /// non-positive and non-finite pivots) with that floor value and
-    /// record it. `rel_threshold` must be positive and finite.
+    /// Replace any finite pivot below `rel_threshold · max_i |A_ii|`
+    /// (including non-positive pivots) with that floor value and record
+    /// it. Non-finite pivots are *not* repaired: they indicate poisoned
+    /// input (NaN/∞ element values), not a quasi-singular but physical
+    /// network, and fail with [`FactorError::NonFinitePivot`].
+    /// `rel_threshold` must be positive and finite.
     Perturb {
         /// Relative pivot floor, e.g. `1e-12`.
         rel_threshold: f64,
@@ -143,6 +171,321 @@ pub struct SparseCholesky {
     parent: Vec<usize>,
 }
 
+/// The reusable, value-free part of a sparse Cholesky factorization: the
+/// fill-reducing permutation, the elimination tree, and the column counts
+/// of `L` — everything that depends only on the sparsity *pattern* of `A`.
+///
+/// Computing the nested-dissection ordering and the elimination tree is
+/// the dominant non-numeric cost of [`SparseCholesky::factor`]; when many
+/// matrices share one pattern (parameter sweeps, same-topology decks, the
+/// [`crate::LuCache`] analogue for SPD systems) a single analysis serves
+/// them all. [`SymbolicCholesky::refactor`] replays exactly the numeric
+/// elimination that a fresh [`SparseCholesky::factor_diagnosed`] with the
+/// same ordering would run — same floating-point operations in the same
+/// order — so the resulting factor is bit-identical to a cold
+/// factorization.
+#[derive(Clone, Debug)]
+pub struct SymbolicCholesky {
+    n: usize,
+    /// Fill-reducing permutation captured at analysis time.
+    perm: Vec<usize>,
+    /// Inverse permutation.
+    iperm: Vec<usize>,
+    /// Elimination tree parents over the permuted pattern.
+    parent: Vec<usize>,
+    /// Column pointers of unit-lower `L` (fill pattern is value-free).
+    lp: Vec<usize>,
+    /// Row pointers of the *unpermuted* input pattern, for
+    /// [`SymbolicCholesky::matches`].
+    a_indptr: Vec<usize>,
+    /// Column indices of the unpermuted input pattern.
+    a_indices: Vec<usize>,
+}
+
+impl SymbolicCholesky {
+    /// Runs the symbolic analysis (ordering + elimination tree + column
+    /// counts) for a symmetric matrix pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::NotSquare`] for rectangular input.
+    pub fn analyze(a: &CsrMat, ordering: Ordering) -> Result<Self, FactorError> {
+        if a.nrows() != a.ncols() {
+            return Err(FactorError::NotSquare);
+        }
+        Self::analyze_with_permutation(a, ordering.permutation(a))
+    }
+
+    /// Runs the symbolic analysis under an explicit permutation.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::NotSquare`] for rectangular input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` has the wrong length.
+    pub fn analyze_with_permutation(a: &CsrMat, perm: Vec<usize>) -> Result<Self, FactorError> {
+        if a.nrows() != a.ncols() {
+            return Err(FactorError::NotSquare);
+        }
+        let n = a.nrows();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        let iperm = invert_permutation(&perm);
+        let ap = a.permute_sym(&perm);
+
+        // Elimination tree + column counts over the permuted pattern.
+        let mut parent = vec![usize::MAX; n];
+        let mut lnz = vec![0usize; n];
+        let mut flag = vec![usize::MAX; n];
+        for k in 0..n {
+            flag[k] = k;
+            for (j, _) in ap.row_iter(k) {
+                if j >= k {
+                    continue;
+                }
+                let mut i = j;
+                while flag[i] != k {
+                    if parent[i] == usize::MAX {
+                        parent[i] = k;
+                    }
+                    lnz[i] += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+            }
+        }
+        let mut lp = vec![0usize; n + 1];
+        for k in 0..n {
+            lp[k + 1] = lp[k] + lnz[k];
+        }
+
+        Ok(SymbolicCholesky {
+            n,
+            perm,
+            iperm,
+            parent,
+            lp,
+            a_indptr: a.indptr().to_vec(),
+            a_indices: a.indices().to_vec(),
+        })
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of off-diagonal entries the factor will hold.
+    #[inline]
+    pub fn l_nnz(&self) -> usize {
+        self.lp[self.n]
+    }
+
+    /// The fill-reducing permutation captured at analysis time.
+    #[inline]
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Modelled memory footprint of the analysis in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.perm.len() + self.iperm.len() + self.parent.len() + self.lp.len()) * 8
+            + (self.a_indptr.len() + self.a_indices.len()) * 8
+    }
+
+    /// Whether `a` has exactly the sparsity pattern this analysis was built
+    /// from (values are free to differ).
+    pub fn matches(&self, a: &CsrMat) -> bool {
+        a.nrows() == self.n
+            && a.ncols() == self.n
+            && a.indptr() == self.a_indptr.as_slice()
+            && a.indices() == self.a_indices.as_slice()
+    }
+
+    /// Numeric-only factorization of a matrix with the analyzed pattern.
+    ///
+    /// Bit-identical to a fresh [`SparseCholesky::factor_diagnosed`] with
+    /// the ordering that produced this analysis: the replay executes the
+    /// same elimination with the same permutation, so every intermediate
+    /// and final value matches exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::StructureMismatch`] when `a`'s pattern differs from
+    /// the analyzed one; otherwise the same pivot errors as
+    /// [`SparseCholesky::factor_diagnosed`].
+    pub fn refactor(
+        &self,
+        a: &CsrMat,
+        policy: PivotPolicy,
+    ) -> Result<(SparseCholesky, FactorDiagnostics), FactorError> {
+        let mut out = SparseCholesky {
+            n: 0,
+            perm: Vec::new(),
+            iperm: Vec::new(),
+            lp: Vec::new(),
+            li: Vec::new(),
+            lx: Vec::new(),
+            d: Vec::new(),
+            sqrt_d: Vec::new(),
+            parent: Vec::new(),
+        };
+        let diag = self.refactor_into(a, policy, &mut out)?;
+        Ok((out, diag))
+    }
+
+    /// Allocation-reusing [`SymbolicCholesky::refactor`]: overwrites `out`
+    /// in place, keeping its buffers when they are already large enough.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SymbolicCholesky::refactor`]. On error `out` is left in an
+    /// unspecified but safe-to-reuse state.
+    pub fn refactor_into(
+        &self,
+        a: &CsrMat,
+        policy: PivotPolicy,
+        out: &mut SparseCholesky,
+    ) -> Result<FactorDiagnostics, FactorError> {
+        if a.nrows() != a.ncols() {
+            return Err(FactorError::NotSquare);
+        }
+        if !self.matches(a) {
+            return Err(FactorError::StructureMismatch);
+        }
+        let n = self.n;
+        let perm = &self.perm;
+        let parent = &self.parent;
+        let lp = &self.lp;
+        let nnz_l = lp[n];
+        let ap = a.permute_sym(perm);
+
+        // The pivot floor for PivotPolicy::Perturb is anchored to the
+        // largest original diagonal entry, so it is invariant under the
+        // fill-reducing permutation and the thread count.
+        let pivot_floor = match policy {
+            PivotPolicy::Perturb { rel_threshold }
+                if rel_threshold.is_finite() && rel_threshold > 0.0 =>
+            {
+                let mut max_diag = 0.0f64;
+                for k in 0..n {
+                    for (j, v) in ap.row_iter(k) {
+                        if j == k {
+                            max_diag = max_diag.max(v.abs());
+                        }
+                    }
+                }
+                Some(rel_threshold * max_diag.max(f64::MIN_POSITIVE))
+            }
+            _ => None,
+        };
+
+        out.n = n;
+        out.perm.clone_from(perm);
+        out.iperm.clone_from(&self.iperm);
+        out.parent.clone_from(parent);
+        out.lp.clone_from(lp);
+        out.li.clear();
+        out.li.resize(nnz_l, 0);
+        out.lx.clear();
+        out.lx.resize(nnz_l, 0.0);
+        out.d.clear();
+        out.d.resize(n, 0.0);
+
+        let mut diag = FactorDiagnostics::default();
+        let li = &mut out.li;
+        let lx = &mut out.lx;
+        let d = &mut out.d;
+        let mut y = vec![0f64; n];
+        let mut pattern = vec![0usize; n];
+        let mut next = lp.clone(); // insertion point per column
+        let mut flag = vec![usize::MAX; n];
+        // Up-looking numeric elimination, one row of L at a time.
+        for k in 0..n {
+            // Scatter row k of the (permuted) upper triangle into y and
+            // compute the reach (pattern of row k of L) in topological order.
+            let mut top = n;
+            flag[k] = k;
+            let mut dk = 0.0;
+            for (j, v) in ap.row_iter(k) {
+                if j > k {
+                    continue;
+                }
+                if j == k {
+                    dk = v;
+                    continue;
+                }
+                y[j] = v;
+                let mut len = 0usize;
+                let mut i = j;
+                // Walk up the etree until hitting a flagged node.
+                let mut stack_base = top;
+                while flag[i] != k {
+                    pattern[len] = i;
+                    len += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+                // Push in reverse so that `pattern[top..n]` is topological.
+                for s in (0..len).rev() {
+                    stack_base -= 1;
+                    pattern[stack_base] = pattern[s];
+                }
+                top = stack_base;
+            }
+            // Sparse triangular solve over the pattern.
+            for &i in &pattern[top..n] {
+                let yi = y[i];
+                y[i] = 0.0;
+                let lki = yi / d[i];
+                // Apply column i of L to y (only entries below row i exist;
+                // all stored rows are < k).
+                for p in lp[i]..next[i] {
+                    y[li[p]] -= lx[p] * yi;
+                }
+                dk -= lki * yi;
+                li[next[i]] = k;
+                lx[next[i]] = lki;
+                next[i] += 1;
+            }
+            if !dk.is_finite() {
+                return Err(FactorError::NonFinitePivot {
+                    step: k,
+                    index: perm[k],
+                    pivot: dk,
+                });
+            }
+            match pivot_floor {
+                Some(floor) if dk < floor => {
+                    diag.perturbed.push(PerturbedPivot {
+                        index: perm[k],
+                        original: dk,
+                        replaced_with: floor,
+                    });
+                    dk = floor;
+                }
+                Some(_) => {}
+                None => {
+                    if dk <= 0.0 {
+                        return Err(FactorError::NotPositiveDefinite {
+                            step: k,
+                            index: perm[k],
+                            pivot: dk,
+                        });
+                    }
+                }
+            }
+            d[k] = dk;
+        }
+
+        out.sqrt_d.clear();
+        out.sqrt_d.extend(out.d.iter().map(|v| v.sqrt()));
+        Ok(diag)
+    }
+}
+
 impl SparseCholesky {
     /// Factors a symmetric positive-definite matrix.
     ///
@@ -201,158 +544,31 @@ impl SparseCholesky {
         Self::factor_full(a, perm, PivotPolicy::Error).map(|(f, _)| f)
     }
 
+    /// Factors under an explicit [`PivotPolicy`] and also returns the
+    /// reusable [`SymbolicCholesky`] analysis, so later matrices with the
+    /// same sparsity pattern can skip the fill-reducing ordering and
+    /// elimination-tree construction via [`SymbolicCholesky::refactor`]
+    /// ("one symbolic, many numerics").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseCholesky::factor_diagnosed`].
+    pub fn factor_analyzed(
+        a: &CsrMat,
+        ordering: Ordering,
+        policy: PivotPolicy,
+    ) -> Result<(Self, FactorDiagnostics, SymbolicCholesky), FactorError> {
+        let sym = SymbolicCholesky::analyze(a, ordering)?;
+        let (factor, diag) = sym.refactor(a, policy)?;
+        Ok((factor, diag, sym))
+    }
+
     fn factor_full(
         a: &CsrMat,
         perm: Vec<usize>,
         policy: PivotPolicy,
     ) -> Result<(Self, FactorDiagnostics), FactorError> {
-        if a.nrows() != a.ncols() {
-            return Err(FactorError::NotSquare);
-        }
-        let n = a.nrows();
-        assert_eq!(perm.len(), n, "permutation length mismatch");
-        let iperm = invert_permutation(&perm);
-        let ap = a.permute_sym(&perm);
-
-        // ---- symbolic: elimination tree + column counts ----
-        let mut parent = vec![usize::MAX; n];
-        let mut lnz = vec![0usize; n];
-        let mut flag = vec![usize::MAX; n];
-        for k in 0..n {
-            flag[k] = k;
-            for (j, _) in ap.row_iter(k) {
-                if j >= k {
-                    continue;
-                }
-                let mut i = j;
-                while flag[i] != k {
-                    if parent[i] == usize::MAX {
-                        parent[i] = k;
-                    }
-                    lnz[i] += 1;
-                    flag[i] = k;
-                    i = parent[i];
-                }
-            }
-        }
-        let mut lp = vec![0usize; n + 1];
-        for k in 0..n {
-            lp[k + 1] = lp[k] + lnz[k];
-        }
-        let nnz_l = lp[n];
-
-        // ---- numeric: up-looking, one row of L at a time ----
-        // The pivot floor for PivotPolicy::Perturb is anchored to the
-        // largest original diagonal entry, so it is invariant under the
-        // fill-reducing permutation and the thread count.
-        let pivot_floor = match policy {
-            PivotPolicy::Perturb { rel_threshold }
-                if rel_threshold.is_finite() && rel_threshold > 0.0 =>
-            {
-                let mut max_diag = 0.0f64;
-                for k in 0..n {
-                    for (j, v) in ap.row_iter(k) {
-                        if j == k {
-                            max_diag = max_diag.max(v.abs());
-                        }
-                    }
-                }
-                Some(rel_threshold * max_diag.max(f64::MIN_POSITIVE))
-            }
-            _ => None,
-        };
-        let mut diag = FactorDiagnostics::default();
-        let mut li = vec![0usize; nnz_l];
-        let mut lx = vec![0f64; nnz_l];
-        let mut d = vec![0f64; n];
-        let mut y = vec![0f64; n];
-        let mut pattern = vec![0usize; n];
-        let mut next = lp.clone(); // insertion point per column
-        let mut flag = vec![usize::MAX; n];
-        for k in 0..n {
-            // Scatter row k of the (permuted) upper triangle into y and
-            // compute the reach (pattern of row k of L) in topological order.
-            let mut top = n;
-            flag[k] = k;
-            let mut dk = 0.0;
-            for (j, v) in ap.row_iter(k) {
-                if j > k {
-                    continue;
-                }
-                if j == k {
-                    dk = v;
-                    continue;
-                }
-                y[j] = v;
-                let mut len = 0usize;
-                let mut i = j;
-                // Walk up the etree until hitting a flagged node.
-                let mut stack_base = top;
-                while flag[i] != k {
-                    pattern[len] = i;
-                    len += 1;
-                    flag[i] = k;
-                    i = parent[i];
-                }
-                // Push in reverse so that `pattern[top..n]` is topological.
-                for s in (0..len).rev() {
-                    stack_base -= 1;
-                    pattern[stack_base] = pattern[s];
-                }
-                top = stack_base;
-            }
-            // Sparse triangular solve over the pattern.
-            for &i in &pattern[top..n] {
-                let yi = y[i];
-                y[i] = 0.0;
-                let lki = yi / d[i];
-                // Apply column i of L to y (only entries below row i exist;
-                // all stored rows are < k).
-                for p in lp[i]..next[i] {
-                    y[li[p]] -= lx[p] * yi;
-                }
-                dk -= lki * yi;
-                li[next[i]] = k;
-                lx[next[i]] = lki;
-                next[i] += 1;
-            }
-            match pivot_floor {
-                Some(floor) if !(dk.is_finite() && dk >= floor) => {
-                    diag.perturbed.push(PerturbedPivot {
-                        index: perm[k],
-                        original: dk,
-                        replaced_with: floor,
-                    });
-                    dk = floor;
-                }
-                _ => {
-                    if dk <= 0.0 || !dk.is_finite() {
-                        return Err(FactorError::NotPositiveDefinite {
-                            step: k,
-                            index: perm[k],
-                            pivot: dk,
-                        });
-                    }
-                }
-            }
-            d[k] = dk;
-        }
-
-        let sqrt_d = d.iter().map(|v| v.sqrt()).collect();
-        Ok((
-            SparseCholesky {
-                n,
-                perm,
-                iperm,
-                lp,
-                li,
-                lx,
-                d,
-                sqrt_d,
-                parent,
-            },
-            diag,
-        ))
+        SymbolicCholesky::analyze_with_permutation(a, perm)?.refactor(a, policy)
     }
 
     /// Matrix dimension.
@@ -1091,5 +1307,117 @@ mod tests {
         }
         // Min-degree should not be drastically worse than natural on a grid.
         assert!(f2.l_nnz() <= 2 * f1.l_nnz());
+    }
+
+    /// Same-pattern matrix with different values (the session-cache case).
+    fn scale_values(a: &CsrMat, s: f64) -> CsrMat {
+        CsrMat::from_raw(
+            a.nrows(),
+            a.ncols(),
+            a.indptr().to_vec(),
+            a.indices().to_vec(),
+            a.data().iter().map(|v| v * s).collect(),
+        )
+    }
+
+    #[test]
+    fn refactor_is_bitwise_identical_to_fresh() {
+        let a = spd_grid(9, 8);
+        let b = scale_values(&a, 1.75);
+        for ord in ALL_ORDERINGS {
+            let (f0, diag0, sym) =
+                SparseCholesky::factor_analyzed(&a, ord, PivotPolicy::Error).unwrap();
+            assert!(sym.matches(&a) && sym.matches(&b));
+            assert_eq!(sym.n(), a.nrows());
+            assert_eq!(sym.l_nnz(), f0.l_nnz());
+            assert!(sym.memory_bytes() > 0);
+            assert!(diag0.perturbed.is_empty());
+
+            // Refactor on the *same* values reproduces the factor exactly.
+            let (f1, _) = sym.refactor(&a, PivotPolicy::Error).unwrap();
+            assert_eq!(f0.lx, f1.lx);
+            assert_eq!(f0.li, f1.li);
+            assert_eq!(f0.d, f1.d);
+            assert_eq!(f0.perm, f1.perm);
+
+            // Refactor on new values matches a fresh factorization with the
+            // same ordering bit-for-bit, both allocating and in place.
+            let (fresh, _) = SparseCholesky::factor_diagnosed(&b, ord, PivotPolicy::Error).unwrap();
+            let (f2, _) = sym.refactor(&b, PivotPolicy::Error).unwrap();
+            assert_eq!(fresh.lx, f2.lx);
+            assert_eq!(fresh.d, f2.d);
+            let mut reused = f1;
+            sym.refactor_into(&b, PivotPolicy::Error, &mut reused)
+                .unwrap();
+            assert_eq!(fresh.lx, reused.lx);
+            assert_eq!(fresh.d, reused.d);
+            assert_eq!(fresh.sqrt_d, reused.sqrt_d);
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_different_structure() {
+        let a = spd_grid(6, 6);
+        let other = spd_path(36);
+        let (_, _, sym) =
+            SparseCholesky::factor_analyzed(&a, Ordering::NestedDissection, PivotPolicy::Error)
+                .unwrap();
+        assert!(!sym.matches(&other));
+        assert_eq!(
+            sym.refactor(&other, PivotPolicy::Error).unwrap_err(),
+            FactorError::StructureMismatch
+        );
+    }
+
+    #[test]
+    fn refactor_replays_perturbation_decisions() {
+        // A quasi-singular diagonal entry must be perturbed identically on
+        // the fresh and the replayed path.
+        let mut t = TripletMat::new(3, 3);
+        t.stamp_conductance(Some(0), Some(1), 1.0);
+        t.push(0, 0, 1e-30);
+        t.push(1, 1, 0.5);
+        t.push(2, 2, 1e-30);
+        let a = t.to_csr();
+        let policy = PivotPolicy::Perturb {
+            rel_threshold: 1e-12,
+        };
+        let (fresh, diag_fresh, sym) =
+            SparseCholesky::factor_analyzed(&a, Ordering::Natural, policy).unwrap();
+        assert!(!diag_fresh.perturbed.is_empty());
+        let (replay, diag_replay) = sym.refactor(&a, policy).unwrap();
+        assert_eq!(diag_fresh, diag_replay);
+        assert_eq!(fresh.d, replay.d);
+    }
+
+    #[test]
+    fn nan_pivot_is_a_typed_error_not_a_silent_floor() {
+        let mut t = TripletMat::new(2, 2);
+        t.push(0, 0, f64::NAN);
+        t.push(1, 1, 1.0);
+        let a = t.to_csr();
+        // Under the strict policy a NaN is reported as non-finite, not as
+        // an ordinary indefinite pivot.
+        let err = SparseCholesky::factor_diagnosed(&a, Ordering::Natural, PivotPolicy::Error)
+            .unwrap_err();
+        assert!(
+            matches!(err, FactorError::NonFinitePivot { index: 0, .. }),
+            "unexpected error: {err:?}"
+        );
+        // Pivot relief must refuse to "repair" a NaN: that is poisoned
+        // input, not a quasi-singular but physical network.
+        let err = SparseCholesky::factor_diagnosed(
+            &a,
+            Ordering::Natural,
+            PivotPolicy::Perturb {
+                rel_threshold: 1e-12,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FactorError::NonFinitePivot { .. }),
+            "perturb policy floored a NaN: {err:?}"
+        );
+        assert_eq!(err.failed_index(), Some(0));
     }
 }

@@ -12,20 +12,35 @@
 
 use crate::dense::DMat;
 
-/// Error from a QL iteration that failed to converge.
+/// Error from the dense symmetric eigensolver.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct EigenError {
-    /// Index of the eigenvalue whose QL iteration exceeded the sweep limit.
-    pub index: usize,
+pub enum EigenError {
+    /// The QL iteration failed to converge (more than 50 sweeps for one
+    /// eigenvalue — essentially impossible for finite symmetric input).
+    NotConverged {
+        /// Index of the eigenvalue whose QL iteration exceeded the limit.
+        index: usize,
+    },
+    /// The input matrix contains a NaN or infinite entry. Detected before
+    /// iterating: the QL deflation floor is derived from the matrix norm,
+    /// and a NaN norm makes every deflation comparison silently false.
+    NonFinite {
+        /// Row (for [`sym_eig`]) or tridiagonal index (for
+        /// [`eig_tridiagonal`]) of the first non-finite entry.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for EigenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "QL iteration failed to converge at eigenvalue {}",
-            self.index
-        )
+        match self {
+            EigenError::NotConverged { index } => {
+                write!(f, "QL iteration failed to converge at eigenvalue {index}")
+            }
+            EigenError::NonFinite { index } => {
+                write!(f, "non-finite entry at row {index} of the eigenproblem")
+            }
+        }
     }
 }
 
@@ -71,6 +86,15 @@ pub fn sym_eig(a: &DMat<f64>) -> Result<SymEig, EigenError> {
             vectors: DMat::zeros(0, 0),
         });
     }
+    // Only the lower triangle is referenced; reject poisoned input up
+    // front so a NaN cannot defeat the deflation floor inside tql2.
+    for i in 0..n {
+        for j in 0..=i {
+            if !a[(i, j)].is_finite() {
+                return Err(EigenError::NonFinite { index: i });
+            }
+        }
+    }
     let (mut d, mut e, mut z) = tred2(a);
     tql2(&mut d, &mut e, &mut z)?;
     sort_ascending(&mut d, &mut z);
@@ -98,6 +122,16 @@ pub fn eig_tridiagonal(
     assert!(n == 0 || e.len() == n - 1, "off-diagonal length mismatch");
     if n == 0 {
         return Ok((Vec::new(), DMat::zeros(0, 0)));
+    }
+    for (i, v) in d.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(EigenError::NonFinite { index: i });
+        }
+    }
+    for (i, v) in e.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(EigenError::NonFinite { index: i });
+        }
     }
     let mut dd = d.to_vec();
     // tql2 wants e shifted: e[i] = subdiagonal below d[i], with e[n-1] = 0.
@@ -257,7 +291,7 @@ fn tql2_raw(
             }
             iter += 1;
             if iter > 50 {
-                return Err(EigenError { index: l });
+                return Err(EigenError::NotConverged { index: l });
             }
             // Form shift (Wilkinson).
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);

@@ -54,6 +54,7 @@ mod coo;
 mod csr;
 mod dense;
 mod eigen;
+mod factor;
 mod lu;
 mod ordering;
 mod par;
@@ -63,13 +64,15 @@ mod rng;
 mod splu;
 
 pub use cholesky::{
-    FactorDiagnostics, FactorError, PerturbedPivot, PivotPolicy, SparseCholesky, LANES,
+    FactorDiagnostics, FactorError, PerturbedPivot, PivotPolicy, SparseCholesky, SymbolicCholesky,
+    LANES,
 };
 pub use complex::{Complex64, Scalar};
 pub use coo::TripletMat;
 pub use csr::CsrMat;
 pub use dense::{axpy, dot, norm2, norm_inf, scale, DMat, DMatF};
 pub use eigen::{eig_tridiagonal, sym_eig, EigenError, SymEig};
+pub use factor::Factorization;
 pub use lu::{invert, DenseLu, SingularMatrixError};
 pub use ordering::{
     invert_permutation, is_permutation, nested_dissection_partition, profile, NdPartition, Ordering,

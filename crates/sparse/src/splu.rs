@@ -351,6 +351,12 @@ impl<S: Scalar> SparseLu<S> {
                 let i = xi[idx];
                 if pinv[i] == usize::MAX {
                     let m = x[i].modulus_sq();
+                    // A NaN candidate compares false against every
+                    // threshold; report it as a typed error instead of
+                    // silently skipping it (it would poison L either way).
+                    if !m.is_finite() {
+                        return Err(SparseLuError { column: j });
+                    }
                     if m > best_sq {
                         best_sq = m;
                         best = i;
@@ -787,15 +793,21 @@ impl SymbolicLu {
             x[j] = S::zero();
             let pivot_sq = pivot.modulus_sq();
             let mut best_sq = pivot_sq;
+            // `f64::max` silently drops NaN operands and `NaN < t` is
+            // false, so a poisoned column could slip past both checks
+            // below; track finiteness explicitly instead.
+            let mut all_finite = pivot_sq.is_finite();
             out.ux[dpos] = pivot;
             out.lx[self.lp[j]] = S::one();
             for p in self.lp[j] + 1..self.lp[j + 1] {
                 let v = x[self.li[p]];
                 x[self.li[p]] = S::zero();
-                best_sq = best_sq.max(v.modulus_sq());
+                let m = v.modulus_sq();
+                all_finite &= m.is_finite();
+                best_sq = best_sq.max(m);
                 out.lx[p] = v / pivot;
             }
-            if best_sq == 0.0 || !best_sq.is_finite() {
+            if !all_finite || best_sq == 0.0 || !best_sq.is_finite() {
                 return Err(RefactorError::Singular { column: j });
             }
             if pivot_sq < self.threshold * self.threshold * best_sq {

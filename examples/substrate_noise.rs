@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example substrate_noise`.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions};
 use pact_circuit::Circuit;
 use pact_gen::{full_adder_deck, MeshSpec};
 use pact_lanczos::LanczosConfig;
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(1e9, 0.05)?,
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 400,
         threads: None,

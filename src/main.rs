@@ -2,11 +2,17 @@
 //! (the prototype CAD tool of Section 5 of Kerns & Yang, DAC 1996).
 //!
 //! ```text
-//! rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRACTION]
-//!       [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats]
+//! rcfit INPUT.sp [INPUT2.sp ...] [-o OUTPUT.sp] [--fmax HZ] [--tol FRACTION]
+//!       [--sparsify TOL] [--port NODE]... [--threads N]
+//!       [--eigen auto|dense|lanczos|lowrank] [--dense] [--stats]
 //!       [--trace] [--log-json PATH] [--strict-pivots]
 //!       [--hier] [--block-size N] [--max-depth N]
 //! ```
+//!
+//! Several decks may be given at once; they are reduced through one
+//! [`pact::ReductionSession`], so same-topology decks reuse the cached
+//! symbolic Cholesky analysis instead of re-running fill-reducing
+//! ordering and elimination-tree construction per deck.
 //!
 //! The flow mirrors the paper's Figure 1: parse → extract RC elements and
 //! classify ports → sanitize (prune floating internal nodes, drop
@@ -23,8 +29,8 @@
 use std::process::ExitCode;
 
 use pact::{
-    sanitize_network, CutoffSpec, EigenStrategy, PactError, ReduceOptions, ReduceStrategy,
-    Telemetry, Warning,
+    sanitize_network, CutoffSpec, EigenSelect, PactError, ReduceOptions, ReduceStrategy,
+    ReductionSession, Telemetry, Warning,
 };
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{extract_rc, parse, parse_value, splice_reduced};
@@ -40,15 +46,39 @@ const DEFAULT_BLOCK_SIZE: usize = 2000;
 /// Default `--max-depth`: dissection recursion budget.
 const DEFAULT_MAX_DEPTH: usize = 16;
 
+/// The `--eigen` flag: which pole-analysis backend to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EigenArg {
+    Auto,
+    Dense,
+    Lanczos,
+    LowRank,
+}
+
+impl EigenArg {
+    fn parse(s: &str) -> Result<EigenArg, String> {
+        match s {
+            "auto" => Ok(EigenArg::Auto),
+            "dense" => Ok(EigenArg::Dense),
+            "lanczos" => Ok(EigenArg::Lanczos),
+            "lowrank" => Ok(EigenArg::LowRank),
+            other => Err(format!(
+                "--eigen expects auto, dense, lanczos, or lowrank (got `{other}`)"
+            )),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Args {
-    input: String,
+    inputs: Vec<String>,
     output: Option<String>,
     f_max: f64,
     tolerance: f64,
     sparsify: f64,
     extra_ports: Vec<String>,
     threads: Option<usize>,
+    eigen: Option<EigenArg>,
     dense: bool,
     stats: bool,
     components: bool,
@@ -62,13 +92,18 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: rcfit INPUT.sp [-o OUTPUT.sp] [--fmax HZ] [--tol FRAC] \
-     [--sparsify TOL] [--port NODE]... [--threads N] [--dense] [--stats] [--components] \
+    "usage: rcfit INPUT.sp [INPUT2.sp ...] [-o OUTPUT.sp] [--fmax HZ] [--tol FRAC] \
+     [--sparsify TOL] [--port NODE]... [--threads N] \
+     [--eigen auto|dense|lanczos|lowrank] [--dense] [--stats] [--components] \
      [--verify] [--trace] [--log-json PATH] [--strict-pivots] \
      [--hier] [--block-size N] [--max-depth N]\n\
      defaults: --fmax 1g --tol 0.05 --sparsify 1e-9 --threads <all cores>\n\
      HZ accepts SPICE suffixes (500meg, 3g, ...); the reduced model is\n\
      bit-identical for every --threads value.\n\
+     --eigen picks the pole-analysis backend (default lanczos; --dense is an\n\
+     alias for --eigen lowrank); several decks reduce through one session so\n\
+     same-topology decks reuse the symbolic analysis (-o/--log-json then need\n\
+     a single deck).\n\
      --trace prints per-phase timings/counters; --log-json writes them as JSON;\n\
      --strict-pivots fails on quasi-singular pivots instead of perturbing them;\n\
      --hier reduces via nested-dissection blocks of at most --block-size nodes\n\
@@ -77,13 +112,14 @@ fn usage() -> &'static str {
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
-        input: String::new(),
+        inputs: Vec::new(),
         output: None,
         f_max: 1e9,
         tolerance: 0.05,
         sparsify: 1e-9,
         extra_ports: Vec::new(),
         threads: None,
+        eigen: None,
         dense: false,
         stats: false,
         components: false,
@@ -127,6 +163,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.threads = Some(n);
             }
+            "--eigen" => args.eigen = Some(EigenArg::parse(&next(a)?)?),
             "--dense" => args.dense = true,
             "--stats" => args.stats = true,
             "--components" => args.components = true,
@@ -150,21 +187,94 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|_| "--max-depth needs an integer".to_owned())?;
             }
             "-h" | "--help" => return Err(usage().to_owned()),
-            other if args.input.is_empty() && !other.starts_with('-') => {
-                args.input = other.to_owned();
+            other if !other.starts_with('-') => {
+                args.inputs.push(other.to_owned());
             }
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
     }
-    if args.input.is_empty() {
+    if args.inputs.is_empty() {
         return Err(usage().to_owned());
+    }
+    if args.inputs.len() > 1 {
+        if args.output.is_some() {
+            return Err("-o/--output needs a single input deck".to_owned());
+        }
+        if args.log_json.is_some() {
+            return Err("--log-json needs a single input deck".to_owned());
+        }
     }
     Ok(args)
 }
 
+/// Resolves the `--eigen`/`--dense` flags to a backend selector.
+///
+/// `--eigen` wins when both are present; bare `--dense` keeps its
+/// historical meaning (the rank-revealing low-rank path with a dense
+/// fallback, now spelled [`EigenSelect::LowRank`]).
+fn eigen_select(args: &Args) -> EigenSelect {
+    match args.eigen {
+        Some(EigenArg::Auto) => EigenSelect::Auto,
+        Some(EigenArg::Dense) => EigenSelect::Dense,
+        Some(EigenArg::Lanczos) => EigenSelect::Lanczos(LanczosConfig::default()),
+        Some(EigenArg::LowRank) => EigenSelect::LowRank,
+        None if args.dense => EigenSelect::LowRank,
+        None => EigenSelect::Lanczos(LanczosConfig::default()),
+    }
+}
+
 fn run(args: &Args) -> Result<(), PactError> {
+    let cutoff = CutoffSpec::new(args.f_max, args.tolerance)?;
+    let opts = ReduceOptions {
+        cutoff,
+        eigen_backend: eigen_select(args),
+        ordering: Ordering::NestedDissection,
+        dense_threshold: 400,
+        threads: args.threads,
+        pivot_relief: if args.strict_pivots {
+            None
+        } else {
+            Some(PIVOT_RELIEF)
+        },
+        strategy: if args.hier {
+            ReduceStrategy::Hierarchical {
+                max_block: args.block_size,
+                max_depth: args.max_depth,
+            }
+        } else {
+            ReduceStrategy::Flat
+        },
+    };
+    let mut session = ReductionSession::new(opts);
+    let batch = args.inputs.len() > 1;
+    for (i, input) in args.inputs.iter().enumerate() {
+        if batch {
+            eprintln!(
+                "rcfit: reducing {input} (deck {} of {})",
+                i + 1,
+                args.inputs.len()
+            );
+        }
+        run_deck(args, input, &cutoff, &mut session)?;
+    }
+    if batch {
+        eprintln!(
+            "rcfit: batch done: {} deck(s), {} cached symbolic analysis pattern(s)",
+            args.inputs.len(),
+            session.cached_patterns()
+        );
+    }
+    Ok(())
+}
+
+fn run_deck(
+    args: &Args,
+    input: &str,
+    cutoff: &CutoffSpec,
+    session: &mut ReductionSession,
+) -> Result<(), PactError> {
     let mut tel = Telemetry::new();
-    let text = std::fs::read_to_string(&args.input).map_err(|e| PactError::io(&args.input, &e))?;
+    let text = std::fs::read_to_string(input).map_err(|e| PactError::io(input, &e))?;
     let deck = tel.time("parse", || parse(&text))?;
     let deck = tel.time("flatten", || deck.flatten())?;
     for (name, count) in deck.duplicate_element_names() {
@@ -188,36 +298,11 @@ fn run(args: &Args) -> Result<(), PactError> {
     }
     let net = &sanitized.network;
 
-    let cutoff = CutoffSpec::new(args.f_max, args.tolerance)?;
-    let opts = ReduceOptions {
-        cutoff,
-        eigen: if args.dense {
-            EigenStrategy::Dense
-        } else {
-            EigenStrategy::Laso(LanczosConfig::default())
-        },
-        ordering: Ordering::NestedDissection,
-        dense_threshold: 400,
-        threads: args.threads,
-        pivot_relief: if args.strict_pivots {
-            None
-        } else {
-            Some(PIVOT_RELIEF)
-        },
-        strategy: if args.hier {
-            ReduceStrategy::Hierarchical {
-                max_block: args.block_size,
-                max_depth: args.max_depth,
-            }
-        } else {
-            ReduceStrategy::Flat
-        },
-    };
-
     // Reduce (whole-network or per-component), collect the SPICE elements
     // of the reduced network, and fold the reduction telemetry in.
     let elements = if args.components {
-        let red = pact::reduce_network_components(net, &opts)
+        let red = session
+            .reduce_network_components(net)
             .map_err(|e| PactError::from_reduce(e, net))?;
         tel.absorb(&red.telemetry());
         eprintln!(
@@ -228,7 +313,9 @@ fn run(args: &Args) -> Result<(), PactError> {
         );
         red.to_netlist_elements("rcfit", args.sparsify)
     } else {
-        let red = pact::reduce_network(net, &opts).map_err(|e| PactError::from_reduce(e, net))?;
+        let red = session
+            .reduce_network(net)
+            .map_err(|e| PactError::from_reduce(e, net))?;
         tel.absorb(&red.telemetry);
         eprintln!(
             "rcfit: kept {} pole(s) below the {:.3e} Hz cutoff ({} internal nodes eliminated)",
@@ -262,7 +349,7 @@ fn run(args: &Args) -> Result<(), PactError> {
             let parts = pact::Partitions::split(&net.stamp());
             let ctx = pact_sparse::ParCtx::new(args.threads);
             let report = tel.time("verify_sweep", || {
-                pact::verify_reduction_with(&parts, &red.model, &cutoff, 25, ctx)
+                pact::verify_reduction_with(&parts, &red.model, cutoff, 25, ctx)
             });
             match report {
                 Ok(report) => {
@@ -362,7 +449,7 @@ mod tests {
             "--strict-pivots",
         ]))
         .unwrap();
-        assert_eq!(a.input, "in.sp");
+        assert_eq!(a.inputs, vec!["in.sp"]);
         assert_eq!(a.output.as_deref(), Some("out.sp"));
         assert_eq!(a.f_max, 3e9);
         assert_eq!(a.tolerance, 0.1);
@@ -440,6 +527,44 @@ mod tests {
         assert!(parse_args(&argv(&["x.sp", "--block-size", "0"])).is_err());
         assert!(parse_args(&argv(&["x.sp", "--block-size", "lots"])).is_err());
         assert!(parse_args(&argv(&["x.sp", "--max-depth"])).is_err());
+    }
+
+    #[test]
+    fn eigen_flag_parses_and_resolves() {
+        let a = parse_args(&argv(&["x.sp", "--eigen", "auto"])).unwrap();
+        assert_eq!(a.eigen, Some(EigenArg::Auto));
+        assert!(matches!(eigen_select(&a), EigenSelect::Auto));
+        let a = parse_args(&argv(&["x.sp", "--eigen", "dense"])).unwrap();
+        assert!(matches!(eigen_select(&a), EigenSelect::Dense));
+        let a = parse_args(&argv(&["x.sp", "--eigen", "lanczos"])).unwrap();
+        assert!(matches!(eigen_select(&a), EigenSelect::Lanczos(_)));
+        let a = parse_args(&argv(&["x.sp", "--eigen", "lowrank"])).unwrap();
+        assert!(matches!(eigen_select(&a), EigenSelect::LowRank));
+        assert!(parse_args(&argv(&["x.sp", "--eigen", "magic"])).is_err());
+        assert!(parse_args(&argv(&["x.sp", "--eigen"])).is_err());
+    }
+
+    #[test]
+    fn dense_flag_keeps_lowrank_semantics_and_eigen_wins() {
+        // Bare --dense is the historical alias for the low-rank path.
+        let a = parse_args(&argv(&["x.sp", "--dense"])).unwrap();
+        assert!(matches!(eigen_select(&a), EigenSelect::LowRank));
+        // Default (no flag) stays Lanczos.
+        let d = parse_args(&argv(&["x.sp"])).unwrap();
+        assert!(matches!(eigen_select(&d), EigenSelect::Lanczos(_)));
+        // An explicit --eigen overrides --dense.
+        let b = parse_args(&argv(&["x.sp", "--dense", "--eigen", "dense"])).unwrap();
+        assert!(matches!(eigen_select(&b), EigenSelect::Dense));
+    }
+
+    #[test]
+    fn multiple_decks_parse_but_reject_single_output_flags() {
+        let a = parse_args(&argv(&["a.sp", "b.sp", "c.sp"])).unwrap();
+        assert_eq!(a.inputs, vec!["a.sp", "b.sp", "c.sp"]);
+        let e = parse_args(&argv(&["a.sp", "b.sp", "-o", "out.sp"])).unwrap_err();
+        assert!(e.contains("single input deck"));
+        let e = parse_args(&argv(&["a.sp", "b.sp", "--log-json", "t.json"])).unwrap_err();
+        assert!(e.contains("single input deck"));
     }
 
     #[test]

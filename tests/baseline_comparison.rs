@@ -4,7 +4,7 @@
 //! are passive, and the Padé basis memory couples to the port count
 //! while PACT's does not.
 
-use pact::{CutoffSpec, EigenStrategy, Partitions, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, Partitions, ReduceOptions};
 use pact_baselines::{admittance_moments, block_krylov_reduce, pade_fit};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::LanczosConfig;
@@ -28,7 +28,7 @@ fn pact_and_krylov_agree_at_low_frequency() {
     let (net, parts, ports) = mesh(8);
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(2e9, 0.05).unwrap(),
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
         threads: None,
@@ -72,7 +72,7 @@ fn pade_basis_memory_couples_to_ports_pact_does_not() {
     let (net_b, parts_b, ports_b) = mesh(24);
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(1e9, 0.05).unwrap(),
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
         threads: None,

@@ -14,8 +14,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use pact::{
-    reduce_network, sanitize_network, CutoffSpec, EigenStrategy, PactError, ReduceOptions,
-    Reduction,
+    reduce_network, sanitize_network, CutoffSpec, EigenSelect, PactError, ReduceOptions, Reduction,
 };
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{Branch, RcNetwork};
@@ -150,7 +149,7 @@ fn run_pipeline(net: &RcNetwork, strict_pivots: bool) -> Result<Reduction, PactE
     let sanitized = sanitize_network(net).map_err(PactError::from)?;
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(1e9, 0.1).map_err(PactError::from)?,
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: pact_sparse::Ordering::MinDegree,
         dense_threshold: 0,
         threads: None,

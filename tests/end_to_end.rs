@@ -3,7 +3,7 @@
 //! both transient and AC — the complete RCFIT pipeline of the paper's
 //! Figure 1 exercised across every crate.
 
-use pact::{CutoffSpec, EigenStrategy, ReduceOptions};
+use pact::{CutoffSpec, EigenSelect, ReduceOptions};
 use pact_circuit::{log_frequencies, AcExcitation, Circuit};
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{extract_rc, parse, splice_reduced};
@@ -108,7 +108,7 @@ fn reduced_ac_matches_below_fmax() {
     let fmax = 2e9;
     let opts = ReduceOptions {
         cutoff: CutoffSpec::new(fmax, 0.05).expect("spec"),
-        eigen: EigenStrategy::Laso(LanczosConfig::default()),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
         ordering: Ordering::Rcm,
         dense_threshold: 0,
         threads: None,
