@@ -36,6 +36,7 @@ EOF
     --log-json "$tmp/telemetry.json" -o "$tmp/reduced.sp" "$tmp/smoke.sp" \
     2> "$tmp/trace.txt"
 grep -q "rcfit-telemetry-v1" "$tmp/telemetry.json"
+grep -q "supernode_count" "$tmp/telemetry.json"
 grep -q "phase" "$tmp/trace.txt"
 test -s "$tmp/reduced.sp"
 
@@ -135,6 +136,22 @@ mkdir -p results
     echo "auto_poles     $auto_poles"
 } > results/backend_parity.txt
 cat results/backend_parity.txt
+
+echo "==> supernodal kernel parity + perf A/B (-> results/supernodal_perf.txt)"
+# Runs the scalar-vs-supernodal A/B on the paper's Table-4 mesh: isolated
+# factor/refactor timings, end-to-end reduction timings, and an asserted
+# retained-pole parity gate. The kernel-equivalence guarantee across all
+# generator families, strategies, backends, thread counts, and warm
+# refactors is asserted by the supernodal_parity suite.
+cargo test -q --release --test supernodal_parity > "$tmp/supernodal_test.txt"
+./target/release/supernodal_perf | tee "$tmp/supernodal_ab.txt"
+grep -q "parity: OK" "$tmp/supernodal_ab.txt"
+mkdir -p results
+{
+    echo "# Supernodal vs scalar Cholesky kernel A/B, $(nproc) core(s)."
+    echo "# (A quick small-mesh variant: supernodal_perf --smoke.)"
+    cat "$tmp/supernodal_ab.txt"
+} > results/supernodal_perf.txt
 
 echo "==> session batch smoke (warm reduce_batch amortization)"
 # --smoke asserts bitwise cold-vs-warm equality and the one-symbolic-

@@ -79,6 +79,7 @@ fn bench_eigen_strategy(rows: &mut Vec<Vec<String>>) {
             threads: None,
             pivot_relief: None,
             strategy: pact::ReduceStrategy::Flat,
+            chol_kernel: pact::CholKernel::Auto,
         };
         let s = sample_secs(SAMPLES, || {
             pact::reduce_network(&net, &opts).expect("reduce")
@@ -97,6 +98,7 @@ fn bench_sparsify(rows: &mut Vec<Vec<String>>) {
         threads: None,
         pivot_relief: None,
         strategy: pact::ReduceStrategy::Flat,
+        chol_kernel: pact::CholKernel::Auto,
     };
     let red = pact::reduce_network(&net, &opts).expect("reduce");
     let (g, _) = red.model.to_matrices_normalized();

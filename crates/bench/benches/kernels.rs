@@ -12,7 +12,7 @@ use pact::{CutoffSpec, EigenSelect, Partitions, ReduceOptions, Transform1};
 use pact_bench::{min_median, print_table, sample_secs, secs};
 use pact_gen::{substrate_mesh, MeshSpec};
 use pact_lanczos::{eigs_above, LanczosConfig};
-use pact_sparse::{Ordering, SparseCholesky};
+use pact_sparse::{ldl_update_trapezoid, CholKernel, Ordering, PivotPolicy, SparseCholesky};
 
 const SAMPLES: usize = 10;
 
@@ -45,10 +45,42 @@ fn bench_cholesky(rows: &mut Vec<Vec<String>>) {
         ("cholesky/mesh_2k", (16, 16, 8)),
     ] {
         let (_, parts) = mesh_parts(dims.0, dims.1, dims.2, 16);
+        // A/B the two numeric kernels over the same ordering: the
+        // supernodal blocked panels vs the scalar up-looking reference.
+        for kernel in [CholKernel::Supernodal, CholKernel::Scalar] {
+            let s = sample_secs(SAMPLES, || {
+                SparseCholesky::factor_analyzed_with_kernel(
+                    &parts.d,
+                    Ordering::Rcm,
+                    PivotPolicy::Error,
+                    kernel,
+                )
+                .expect("factor")
+            });
+            rows.push(row(&format!("{label}/{kernel:?}"), &s));
+        }
+    }
+}
+
+/// The supernodal hot loop in isolation: one trapezoidal panel-panel
+/// update `out = L_panel · D · L_blockᵀ` at representative panel shapes
+/// (descendant rows × supernode width), the cache-blocked kernel that
+/// replaces the scalar dot-product inner loop.
+fn bench_panel_update(rows: &mut Vec<Vec<String>>) {
+    for (m, width) in [(64usize, 8usize), (256, 16), (1024, 32)] {
+        let ld = m + width;
+        let mut panel = vec![0.0f64; ld * width];
+        for (i, v) in panel.iter_mut().enumerate() {
+            *v = ((i % 97) as f64 - 48.0) * 1e-2;
+        }
+        let dvals: Vec<f64> = (0..width).map(|t| 1.0 + t as f64).collect();
+        let nc = width.min(m);
+        let mut out = vec![0.0f64; m * nc];
         let s = sample_secs(SAMPLES, || {
-            SparseCholesky::factor(&parts.d, Ordering::Rcm).expect("factor")
+            ldl_update_trapezoid(&panel, ld, width, m, nc, width, &dvals, &mut out);
+            out[0]
         });
-        rows.push(row(label, &s));
+        rows.push(row(&format!("panel_update/{m}x{width}"), &s));
     }
 }
 
@@ -94,6 +126,7 @@ fn bench_reduce(rows: &mut Vec<Vec<String>>) {
             threads: None,
             pivot_relief: None,
             strategy: pact::ReduceStrategy::Flat,
+            chol_kernel: pact::CholKernel::Auto,
         };
         let s = sample_secs(SAMPLES, || {
             pact::reduce_network(&net, &opts).expect("reduce")
@@ -105,6 +138,7 @@ fn bench_reduce(rows: &mut Vec<Vec<String>>) {
 fn main() {
     let mut rows = Vec::new();
     bench_cholesky(&mut rows);
+    bench_panel_update(&mut rows);
     bench_transform1(&mut rows);
     bench_laso(&mut rows);
     bench_reduce(&mut rows);

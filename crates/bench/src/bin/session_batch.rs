@@ -31,6 +31,7 @@ fn options() -> ReduceOptions {
         threads: Some(1),
         pivot_relief: None,
         strategy: pact::ReduceStrategy::Flat,
+        chol_kernel: pact::CholKernel::Auto,
     }
 }
 

@@ -128,6 +128,7 @@ pub fn reduce_deck(
         threads: None,
         pivot_relief: None,
         strategy: pact::ReduceStrategy::Flat,
+        chol_kernel: pact::CholKernel::Auto,
     };
     let (red, elapsed) =
         timed(|| pact::reduce_network(&ex.network, &opts).expect("reduction failed"));
@@ -153,6 +154,7 @@ pub fn reduce_deck_laso(
         threads: None,
         pivot_relief: None,
         strategy: pact::ReduceStrategy::Flat,
+        chol_kernel: pact::CholKernel::Auto,
     };
     let (red, elapsed) =
         timed(|| pact::reduce_network(&ex.network, &opts).expect("reduction failed"));

@@ -76,6 +76,7 @@ pub use cutoff::{CutoffError, CutoffSpec};
 pub use error::PactError;
 pub use matrix_free::{reduce_matrix_free, DSolver, PcgSolver};
 pub use model::ReducedModel;
+pub use pact_sparse::CholKernel;
 pub use partition::Partitions;
 pub use reduce::{
     reduce, reduce_network, reduce_network_components, ComponentReduction, ReduceError,

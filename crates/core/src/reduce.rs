@@ -12,7 +12,7 @@
 
 use pact_lanczos::{LanczosError, LanczosStats};
 use pact_netlist::{RcNetwork, Stamped};
-use pact_sparse::{EigenError, FactorError, Ordering};
+use pact_sparse::{CholKernel, EigenError, FactorError, Ordering};
 
 use crate::backend::EigenSelect;
 use crate::cutoff::CutoffSpec;
@@ -68,6 +68,13 @@ pub struct ReduceOptions {
     /// Execution strategy: one-shot flat PACT (default) or hierarchical
     /// divide-and-conquer over a nested-dissection partition tree.
     pub strategy: ReduceStrategy,
+    /// Numeric Cholesky kernel for factoring `D`:
+    /// [`CholKernel::Auto`] (default) resolves to the supernodal blocked
+    /// kernel unless `PACT_CHOL_KERNEL=scalar` is set;
+    /// [`CholKernel::Scalar`] forces the scalar up-looking reference
+    /// kernel (the A/B escape hatch for benchmarking). Retained poles
+    /// agree between the kernels to floating-point roundoff.
+    pub chol_kernel: CholKernel,
 }
 
 impl ReduceOptions {
@@ -81,6 +88,7 @@ impl ReduceOptions {
             threads: None,
             pivot_relief: None,
             strategy: ReduceStrategy::Flat,
+            chol_kernel: CholKernel::Auto,
         }
     }
 }

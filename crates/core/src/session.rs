@@ -23,8 +23,8 @@ use std::time::Instant;
 use pact_lanczos::LanczosStats;
 use pact_netlist::{RcNetwork, Stamped};
 use pact_sparse::{
-    CsrMat, FactorDiagnostics, FactorError, Ordering, ParCtx, PivotPolicy, SparseCholesky,
-    SymbolicCholesky,
+    CholKernel, CsrMat, FactorDiagnostics, FactorError, Ordering, ParCtx, PivotPolicy,
+    SparseCholesky, SymbolicCholesky,
 };
 
 use crate::backend;
@@ -40,20 +40,24 @@ use crate::transform::Transform1;
 /// Cached symbolic analyses the session keeps at most.
 const CACHE_CAP: usize = 64;
 
-/// One cached analysis: the FNV pattern key, the ordering it was
-/// computed under, and the shared analysis itself.
+/// One cached analysis: the pattern fingerprint, the ordering and kernel
+/// it was computed under, and the shared analysis itself.
 #[derive(Clone)]
 pub(crate) struct CacheEntry {
     key: u64,
     ordering: Ordering,
+    kernel: CholKernel,
     sym: Arc<SymbolicCholesky>,
 }
 
 /// A pattern-keyed store of symbolic Cholesky analyses.
 ///
-/// Lookup hashes the candidate pattern and then verifies the match
-/// exactly ([`SymbolicCholesky::matches`]), so a hash collision can
-/// never hand back the wrong analysis.
+/// Lookup compares the stored 64-bit pattern fingerprint plus the
+/// dimension ([`SymbolicCholesky::matches`]) — O(1) per candidate, the
+/// point of the fingerprint — so a warm hit costs no pattern walk at
+/// all. Handing back a wrong analysis would need an FNV-1a collision
+/// between different patterns (~2⁻⁶⁴ per pair); debug builds assert
+/// against the exact comparison.
 #[derive(Clone, Default)]
 pub(crate) struct SymbolicCache {
     entries: Vec<CacheEntry>,
@@ -64,25 +68,44 @@ impl SymbolicCache {
         self.entries.len()
     }
 
-    fn lookup(&self, key: u64, ordering: Ordering, a: &CsrMat) -> Option<Arc<SymbolicCholesky>> {
+    fn lookup(
+        &self,
+        key: u64,
+        ordering: Ordering,
+        kernel: CholKernel,
+        a: &CsrMat,
+    ) -> Option<Arc<SymbolicCholesky>> {
         self.entries
             .iter()
-            .find(|e| e.key == key && e.ordering == ordering && e.sym.matches(a))
+            .find(|e| {
+                e.key == key && e.ordering == ordering && e.kernel == kernel && e.sym.matches(a)
+            })
             .map(|e| Arc::clone(&e.sym))
     }
 
-    fn insert(&mut self, key: u64, ordering: Ordering, sym: Arc<SymbolicCholesky>) {
+    fn insert(
+        &mut self,
+        key: u64,
+        ordering: Ordering,
+        kernel: CholKernel,
+        sym: Arc<SymbolicCholesky>,
+    ) {
         if self
             .entries
             .iter()
-            .any(|e| e.key == key && e.ordering == ordering)
+            .any(|e| e.key == key && e.ordering == ordering && e.kernel == kernel)
         {
             return; // already cached (or an astronomically unlikely collision)
         }
         if self.entries.len() == CACHE_CAP {
             self.entries.remove(0);
         }
-        self.entries.push(CacheEntry { key, ordering, sym });
+        self.entries.push(CacheEntry {
+            key,
+            ordering,
+            kernel,
+            sym,
+        });
     }
 
     /// Entries appended after `base` — what a child session learned.
@@ -93,32 +116,16 @@ impl SymbolicCache {
     /// Merges entries learned elsewhere (deduplicating by key).
     pub(crate) fn extend(&mut self, entries: Vec<CacheEntry>) {
         for e in entries {
-            self.insert(e.key, e.ordering, e.sym);
+            self.insert(e.key, e.ordering, e.kernel, e.sym);
         }
     }
 }
 
-/// FNV-1a over the dimensions and pattern arrays of `a` — the cache key
-/// for its sparsity pattern (values excluded by construction).
+/// The cache key for `a`'s sparsity pattern: the fingerprint the matrix
+/// computed at construction time (values excluded by construction), so
+/// keying a lookup is O(1) rather than a rehash of the index arrays.
 fn pattern_key(a: &CsrMat) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(a.nrows() as u64);
-    eat(a.ncols() as u64);
-    for &p in a.indptr() {
-        eat(p as u64);
-    }
-    for &i in a.indices() {
-        eat(i as u64);
-    }
-    h
+    a.pattern_key()
 }
 
 /// A bounded pool of `f64` scratch buffers reused across reductions.
@@ -350,6 +357,9 @@ impl ReductionSession {
         } else {
             tel.counters.factorizations = 1;
         }
+        tel.counters.supernode_count = chol.supernode_count() as u64;
+        tel.counters.max_panel_cols = chol.max_panel_cols() as u64;
+        tel.counters.panel_flops = chol.panel_flops();
 
         let t1 = tel.time("moments", || Transform1::with_factor(&parts, chol, &ctx));
         let lambda_c = self.opts.cutoff.lambda_c();
@@ -403,13 +413,16 @@ impl ReductionSession {
         d: &CsrMat,
         policy: PivotPolicy,
     ) -> Result<(SparseCholesky, FactorDiagnostics, bool), FactorError> {
+        let kernel = self.opts.chol_kernel.resolved();
         let key = pattern_key(d);
-        if let Some(sym) = self.cache.lookup(key, self.opts.ordering, d) {
+        if let Some(sym) = self.cache.lookup(key, self.opts.ordering, kernel, d) {
             let (chol, diag) = sym.refactor(d, policy)?;
             return Ok((chol, diag, true));
         }
-        let (chol, diag, sym) = SparseCholesky::factor_analyzed(d, self.opts.ordering, policy)?;
-        self.cache.insert(key, self.opts.ordering, Arc::new(sym));
+        let (chol, diag, sym) =
+            SparseCholesky::factor_analyzed_with_kernel(d, self.opts.ordering, policy, kernel)?;
+        self.cache
+            .insert(key, self.opts.ordering, kernel, Arc::new(sym));
         Ok((chol, diag, false))
     }
 }

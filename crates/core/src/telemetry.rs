@@ -44,6 +44,14 @@ pub struct Counters {
     pub peak_matrix_dim: u64,
     /// Nonzeros in the Cholesky factor `L` of `D`.
     pub chol_nnz: u64,
+    /// Supernode panels in the Cholesky factor of `D` (0 when the scalar
+    /// kernel is selected).
+    pub supernode_count: u64,
+    /// Widest supernode panel in columns (peak; takes max).
+    pub max_panel_cols: u64,
+    /// Structural flops of the supernodal numeric factorization — a
+    /// function of the sparsity pattern only, so thread-count invariant.
+    pub panel_flops: u64,
     /// Pivots replaced by the relief floor (see `PivotPolicy::Perturb`).
     pub perturbed_pivots: u64,
     /// Internal nodes pruned for lacking a resistive path to any port.
@@ -99,6 +107,9 @@ impl Counters {
         self.poles_dropped += other.poles_dropped;
         self.peak_matrix_dim = self.peak_matrix_dim.max(other.peak_matrix_dim);
         self.chol_nnz += other.chol_nnz;
+        self.supernode_count += other.supernode_count;
+        self.max_panel_cols = self.max_panel_cols.max(other.max_panel_cols);
+        self.panel_flops += other.panel_flops;
         self.perturbed_pivots += other.perturbed_pivots;
         self.pruned_internal_nodes += other.pruned_internal_nodes;
         self.disconnected_ports += other.disconnected_ports;
@@ -133,6 +144,9 @@ impl Counters {
             ("poles_dropped", self.poles_dropped),
             ("peak_matrix_dim", self.peak_matrix_dim),
             ("chol_nnz", self.chol_nnz),
+            ("supernode_count", self.supernode_count),
+            ("max_panel_cols", self.max_panel_cols),
+            ("panel_flops", self.panel_flops),
             ("perturbed_pivots", self.perturbed_pivots),
             ("pruned_internal_nodes", self.pruned_internal_nodes),
             ("disconnected_ports", self.disconnected_ports),

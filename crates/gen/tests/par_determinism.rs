@@ -80,6 +80,7 @@ fn reduce_with_threads(net: &RcNetwork, eigen_backend: &EigenSelect, threads: us
         threads: Some(threads),
         pivot_relief: None,
         strategy: pact::ReduceStrategy::Flat,
+        chol_kernel: pact::CholKernel::Auto,
     };
     pact::reduce_network(net, &opts).unwrap()
 }
@@ -123,6 +124,23 @@ fn check_fixture(net: &RcNetwork, label: &str) {
         assert!(
             base.telemetry.counters.poles_retained > 0,
             "{label}/{ename}: telemetry counters not populated"
+        );
+        // The default kernel is supernodal: its counters must be
+        // populated, and — because panel_flops is counted structurally
+        // from the symbolic plan, never from runtime scheduling — they
+        // must be bit-identical at every thread count (covered by the
+        // counters equality in assert_bit_identical below).
+        assert!(
+            base.telemetry.counters.supernode_count > 0,
+            "{label}/{ename}: supernodal kernel reported no supernodes"
+        );
+        assert!(
+            base.telemetry.counters.max_panel_cols > 0,
+            "{label}/{ename}: supernodal kernel reported zero-width panels"
+        );
+        assert!(
+            base.telemetry.counters.panel_flops > 0,
+            "{label}/{ename}: supernodal kernel reported no panel flops"
         );
         for threads in [2usize, 4, 8] {
             let par = reduce_with_threads(net, &eigen, threads);

@@ -308,6 +308,17 @@ fn lanczos_run(
     // Ritz indices (into the current T eigendecomposition) promoted this
     // run, keyed by rounded eigenvalue to survive re-decomposition.
     let mut promoted: Vec<usize> = Vec::new();
+    // Ritz values already assembled and residual-tested this run
+    // (accepted *or* rejected as linearly dependent). A converged Ritz
+    // value is stable across later decompositions to within its residual
+    // bound, so re-assembling it at every subsequent check would repeat
+    // an O(k·n) sweep only to re-reach the same verdict — historically
+    // the single most expensive part of the whole eigensolve. An
+    // eigenvalue that genuinely reappears in the deflated complement
+    // (a multiplicity) is still found, by the next restart: its Krylov
+    // sequence is deflated against the accepted copy, which is exactly
+    // how repeated eigenvalues are recovered in the first place.
+    let mut tested: Vec<f64> = Vec::new();
 
     for j in 0..max_iters {
         op.apply(&basis[j], &mut av);
@@ -388,6 +399,12 @@ fn lanczos_run(
                 if bound > cfg.conv_tol * t_scale {
                     continue;
                 }
+                // Already assembled this run (to within residual-bound
+                // drift)? The verdict would repeat; skip the O(k·n) sweep.
+                let match_tol = 16.0 * cfg.conv_tol * t_scale;
+                if tested.iter().any(|&t| (t - theta).abs() <= match_tol) {
+                    continue;
+                }
                 promoted.push(idx);
                 // Is this Ritz value already represented among converged
                 // pairs from this run? Match by assembling the vector and
@@ -414,7 +431,15 @@ fn lanczos_run(
                             residual_bound: bound,
                         });
                         new_this_run += 1;
+                        tested.push(theta);
                     }
+                    // A residual failure is a ghost (possible without
+                    // reorthogonalization); leave it re-testable — it may
+                    // become genuine once the sequence converges further.
+                } else {
+                    // Linearly dependent on already-accepted pairs: a
+                    // duplicate this Krylov sequence cannot resolve.
+                    tested.push(theta);
                 }
             }
             // Boundary proof: some Ritz value at/below the cutoff has

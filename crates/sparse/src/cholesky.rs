@@ -1,14 +1,58 @@
-//! Sparse symmetric factorization: up-looking LDLᵀ with elimination tree,
-//! wrapped as the Cholesky factor `L_chol = L·D^{1/2}` that PACT's first
-//! congruence transform needs.
+//! Sparse symmetric factorization: LDLᵀ with elimination tree, wrapped as
+//! the Cholesky factor `L_chol = L·D^{1/2}` that PACT's first congruence
+//! transform needs.
 //!
-//! The factorization follows Davis's LDL algorithm: a symbolic pass builds
-//! the elimination tree and column counts, then a numeric pass computes one
-//! row of `L` at a time with a sparse triangular solve over the row's
-//! elimination-tree reach. No dynamic fill-in reallocation is required.
+//! Two numeric kernels share one symbolic analysis and one public type:
+//!
+//! - **Supernodal** (default): the analysis postorders the elimination
+//!   tree, detects supernodes — chains of columns with (near-)identical
+//!   below-diagonal sparsity — and the numeric pass assembles each one as
+//!   a dense column panel with cache-blocked updates
+//!   ([`crate::supernodal`]). Triangular solves stream over the panels.
+//! - **Scalar**: Davis's up-looking LDL — a symbolic pass builds the
+//!   elimination tree and column counts, then a numeric pass computes one
+//!   row of `L` at a time with a sparse triangular solve over the row's
+//!   elimination-tree reach. Retained as the A/B reference behind
+//!   [`CholKernel::Scalar`] / `PACT_CHOL_KERNEL=scalar`.
+//!
+//! Neither kernel requires dynamic fill-in reallocation, and both share
+//! the pivot policies and typed pivot errors below.
+
+use std::sync::Arc;
 
 use crate::csr::CsrMat;
-use crate::ordering::{invert_permutation, Ordering};
+use crate::ordering::{etree_postorder, invert_permutation, Ordering};
+use crate::supernodal::{build_plan, refactor_numeric, SupernodalFactor, SupernodePlan};
+
+/// Selects the numeric factorization kernel (and the matching factor
+/// storage) used by [`SymbolicCholesky::analyze`] and everything layered
+/// on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CholKernel {
+    /// Resolve at analysis time: the `PACT_CHOL_KERNEL` environment
+    /// variable (`"scalar"`, case-insensitive) selects the scalar
+    /// reference kernel, anything else the supernodal default. This is
+    /// the A/B escape hatch for benchmarking the blocked path.
+    #[default]
+    Auto,
+    /// Blocked supernodal panels (the default resolution of `Auto`).
+    Supernodal,
+    /// Scalar up-looking reference kernel.
+    Scalar,
+}
+
+impl CholKernel {
+    /// Resolves [`CholKernel::Auto`] against the environment.
+    pub fn resolved(self) -> CholKernel {
+        match self {
+            CholKernel::Auto => match std::env::var("PACT_CHOL_KERNEL") {
+                Ok(v) if v.eq_ignore_ascii_case("scalar") => CholKernel::Scalar,
+                _ => CholKernel::Supernodal,
+            },
+            k => k,
+        }
+    }
+}
 
 /// Error from attempting to factor a matrix that is not symmetric positive
 /// definite.
@@ -157,18 +201,40 @@ pub struct SparseCholesky {
     perm: Vec<usize>,
     /// Inverse permutation.
     iperm: Vec<usize>,
-    /// Column pointers of unit-lower `L` (CSC, diagonal not stored).
-    lp: Vec<usize>,
-    /// Row indices of `L`.
-    li: Vec<usize>,
-    /// Values of `L`.
-    lx: Vec<f64>,
+    /// Kernel-specific storage of unit-lower `L` (diagonal not stored).
+    data: FactorData,
     /// Positive pivots `D`.
     d: Vec<f64>,
     /// `sqrt(D)` cached for the Cholesky-factor solves.
     sqrt_d: Vec<f64>,
     /// Elimination tree parents (`usize::MAX` for roots).
     parent: Vec<usize>,
+}
+
+/// Storage of the unit-lower factor, per numeric kernel.
+#[derive(Clone, Debug)]
+enum FactorData {
+    /// CSC columns of `L` (scalar up-looking kernel).
+    Scalar {
+        /// Column pointers.
+        lp: Vec<usize>,
+        /// Row indices.
+        li: Vec<usize>,
+        /// Values.
+        lx: Vec<f64>,
+    },
+    /// Dense column panels over a supernode partition.
+    Super(SupernodalFactor),
+}
+
+impl Default for FactorData {
+    fn default() -> Self {
+        FactorData::Scalar {
+            lp: Vec::new(),
+            li: Vec::new(),
+            lx: Vec::new(),
+        }
+    }
 }
 
 /// The reusable, value-free part of a sparse Cholesky factorization: the
@@ -195,8 +261,14 @@ pub struct SymbolicCholesky {
     parent: Vec<usize>,
     /// Column pointers of unit-lower `L` (fill pattern is value-free).
     lp: Vec<usize>,
+    /// Supernode partition when the analysis targets the supernodal
+    /// kernel; `None` selects the scalar kernel at refactor time.
+    plan: Option<Arc<SupernodePlan>>,
+    /// Structure fingerprint of the unpermuted input pattern — the O(1)
+    /// fast path of [`SymbolicCholesky::matches`].
+    a_key: u64,
     /// Row pointers of the *unpermuted* input pattern, for
-    /// [`SymbolicCholesky::matches`].
+    /// [`SymbolicCholesky::matches_exact`].
     a_indptr: Vec<usize>,
     /// Column indices of the unpermuted input pattern.
     a_indices: Vec<usize>,
@@ -204,19 +276,48 @@ pub struct SymbolicCholesky {
 
 impl SymbolicCholesky {
     /// Runs the symbolic analysis (ordering + elimination tree + column
-    /// counts) for a symmetric matrix pattern.
+    /// counts + supernode detection) for a symmetric matrix pattern,
+    /// targeting the default kernel ([`CholKernel::Auto`]).
     ///
     /// # Errors
     ///
     /// [`FactorError::NotSquare`] for rectangular input.
     pub fn analyze(a: &CsrMat, ordering: Ordering) -> Result<Self, FactorError> {
+        Self::analyze_with_kernel(a, ordering, CholKernel::Auto)
+    }
+
+    /// Runs the symbolic analysis targeting an explicit numeric kernel.
+    ///
+    /// For both kernels the fill-reducing permutation is composed with a
+    /// postorder of the elimination tree. A postorder is a topological
+    /// reorder of the tree, so fill-in and column counts are preserved
+    /// exactly; it makes supernode chains contiguous (required by the
+    /// panel layout) and gives both kernels the *same* permutation so
+    /// their factors are directly comparable.
+    ///
+    /// # Errors
+    ///
+    /// [`FactorError::NotSquare`] for rectangular input.
+    pub fn analyze_with_kernel(
+        a: &CsrMat,
+        ordering: Ordering,
+        kernel: CholKernel,
+    ) -> Result<Self, FactorError> {
         if a.nrows() != a.ncols() {
             return Err(FactorError::NotSquare);
         }
-        Self::analyze_with_permutation(a, ordering.permutation(a))
+        let kernel = kernel.resolved();
+        let perm = ordering.permutation(a);
+        // First pass for the elimination tree, then re-analyze under the
+        // postorder-composed permutation.
+        let pre = Self::analyze_perm_kernel(a, perm, CholKernel::Scalar)?;
+        let post = etree_postorder(&pre.parent);
+        let perm2: Vec<usize> = post.iter().map(|&k| pre.perm[k]).collect();
+        Self::analyze_perm_kernel(a, perm2, kernel)
     }
 
-    /// Runs the symbolic analysis under an explicit permutation.
+    /// Runs the symbolic analysis under an explicit permutation, taken
+    /// verbatim (no postorder composition), targeting the scalar kernel.
     ///
     /// # Errors
     ///
@@ -226,6 +327,14 @@ impl SymbolicCholesky {
     ///
     /// Panics if `perm` has the wrong length.
     pub fn analyze_with_permutation(a: &CsrMat, perm: Vec<usize>) -> Result<Self, FactorError> {
+        Self::analyze_perm_kernel(a, perm, CholKernel::Scalar)
+    }
+
+    fn analyze_perm_kernel(
+        a: &CsrMat,
+        perm: Vec<usize>,
+        kernel: CholKernel,
+    ) -> Result<Self, FactorError> {
         if a.nrows() != a.ncols() {
             return Err(FactorError::NotSquare);
         }
@@ -260,12 +369,19 @@ impl SymbolicCholesky {
             lp[k + 1] = lp[k] + lnz[k];
         }
 
+        let plan = match kernel.resolved() {
+            CholKernel::Scalar => None,
+            _ => Some(Arc::new(build_plan(&parent, &lnz, &ap))),
+        };
+
         Ok(SymbolicCholesky {
             n,
             perm,
             iperm,
             parent,
             lp,
+            plan,
+            a_key: a.pattern_key(),
             a_indptr: a.indptr().to_vec(),
             a_indices: a.indices().to_vec(),
         })
@@ -289,15 +405,75 @@ impl SymbolicCholesky {
         &self.perm
     }
 
+    /// Elimination-tree parent array over the permuted pattern (roots
+    /// hold `usize::MAX`).
+    #[inline]
+    pub fn etree(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// Below-diagonal entry count of each factor column (permuted order).
+    pub fn column_counts(&self) -> Vec<usize> {
+        self.lp.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// The numeric kernel this analysis targets.
+    #[inline]
+    pub fn kernel(&self) -> CholKernel {
+        if self.plan.is_some() {
+            CholKernel::Supernodal
+        } else {
+            CholKernel::Scalar
+        }
+    }
+
+    /// Number of supernode panels (0 when targeting the scalar kernel).
+    pub fn supernode_count(&self) -> usize {
+        self.plan.as_ref().map_or(0, |p| p.nsup())
+    }
+
+    /// Widest supernode panel in columns (0 for the scalar kernel).
+    pub fn max_panel_cols(&self) -> usize {
+        self.plan.as_ref().map_or(0, |p| p.max_width)
+    }
+
+    /// Column ranges `[lo, hi)` of the supernode partition, in permuted
+    /// order (empty for the scalar kernel).
+    pub fn supernode_col_ranges(&self) -> Vec<(usize, usize)> {
+        match &self.plan {
+            Some(p) => p.sn_ptr.windows(2).map(|w| (w[0], w[1])).collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// Modelled memory footprint of the analysis in bytes.
     pub fn memory_bytes(&self) -> usize {
         (self.perm.len() + self.iperm.len() + self.parent.len() + self.lp.len()) * 8
             + (self.a_indptr.len() + self.a_indices.len()) * 8
+            + self.plan.as_ref().map_or(0, |p| p.index_bytes())
     }
 
     /// Whether `a` has exactly the sparsity pattern this analysis was built
     /// from (values are free to differ).
+    ///
+    /// O(1): compares the stored 64-bit structure fingerprint (plus the
+    /// dimensions), not the index arrays — this is the hot check on every
+    /// warm session-cache hit. A false positive requires an FNV-1a
+    /// collision between different patterns (~2⁻⁶⁴ per pair); callers that
+    /// cannot tolerate that use [`SymbolicCholesky::matches_exact`].
     pub fn matches(&self, a: &CsrMat) -> bool {
+        let hit = a.nrows() == self.n && a.ncols() == self.n && a.pattern_key() == self.a_key;
+        debug_assert_eq!(
+            hit,
+            self.matches_exact(a),
+            "structure fingerprint collision"
+        );
+        hit
+    }
+
+    /// Full index-array comparison behind [`SymbolicCholesky::matches`]:
+    /// exact, O(nnz).
+    pub fn matches_exact(&self, a: &CsrMat) -> bool {
         a.nrows() == self.n
             && a.ncols() == self.n
             && a.indptr() == self.a_indptr.as_slice()
@@ -325,9 +501,7 @@ impl SymbolicCholesky {
             n: 0,
             perm: Vec::new(),
             iperm: Vec::new(),
-            lp: Vec::new(),
-            li: Vec::new(),
-            lx: Vec::new(),
+            data: FactorData::default(),
             d: Vec::new(),
             sqrt_d: Vec::new(),
             parent: Vec::new(),
@@ -386,104 +560,157 @@ impl SymbolicCholesky {
         out.perm.clone_from(perm);
         out.iperm.clone_from(&self.iperm);
         out.parent.clone_from(parent);
-        out.lp.clone_from(lp);
-        out.li.clear();
-        out.li.resize(nnz_l, 0);
-        out.lx.clear();
-        out.lx.resize(nnz_l, 0.0);
         out.d.clear();
         out.d.resize(n, 0.0);
 
         let mut diag = FactorDiagnostics::default();
-        let li = &mut out.li;
-        let lx = &mut out.lx;
-        let d = &mut out.d;
-        let mut y = vec![0f64; n];
-        let mut pattern = vec![0usize; n];
-        let mut next = lp.clone(); // insertion point per column
-        let mut flag = vec![usize::MAX; n];
-        // Up-looking numeric elimination, one row of L at a time.
-        for k in 0..n {
-            // Scatter row k of the (permuted) upper triangle into y and
-            // compute the reach (pattern of row k of L) in topological order.
-            let mut top = n;
-            flag[k] = k;
-            let mut dk = 0.0;
-            for (j, v) in ap.row_iter(k) {
-                if j > k {
-                    continue;
-                }
-                if j == k {
-                    dk = v;
-                    continue;
-                }
-                y[j] = v;
-                let mut len = 0usize;
-                let mut i = j;
-                // Walk up the etree until hitting a flagged node.
-                let mut stack_base = top;
-                while flag[i] != k {
-                    pattern[len] = i;
-                    len += 1;
-                    flag[i] = k;
-                    i = parent[i];
-                }
-                // Push in reverse so that `pattern[top..n]` is topological.
-                for s in (0..len).rev() {
-                    stack_base -= 1;
-                    pattern[stack_base] = pattern[s];
-                }
-                top = stack_base;
-            }
-            // Sparse triangular solve over the pattern.
-            for &i in &pattern[top..n] {
-                let yi = y[i];
-                y[i] = 0.0;
-                let lki = yi / d[i];
-                // Apply column i of L to y (only entries below row i exist;
-                // all stored rows are < k).
-                for p in lp[i]..next[i] {
-                    y[li[p]] -= lx[p] * yi;
-                }
-                dk -= lki * yi;
-                li[next[i]] = k;
-                lx[next[i]] = lki;
-                next[i] += 1;
-            }
-            if !dk.is_finite() {
-                return Err(FactorError::NonFinitePivot {
-                    step: k,
-                    index: perm[k],
-                    pivot: dk,
-                });
-            }
-            match pivot_floor {
-                Some(floor) if dk < floor => {
-                    diag.perturbed.push(PerturbedPivot {
-                        index: perm[k],
-                        original: dk,
-                        replaced_with: floor,
-                    });
-                    dk = floor;
-                }
-                Some(_) => {}
-                None => {
-                    if dk <= 0.0 {
-                        return Err(FactorError::NotPositiveDefinite {
-                            step: k,
-                            index: perm[k],
-                            pivot: dk,
-                        });
+        match &self.plan {
+            Some(plan) => {
+                // Supernodal numeric pass over the prebuilt panel plan,
+                // reusing out's panel buffer when it has one.
+                let mut fac = match std::mem::take(&mut out.data) {
+                    FactorData::Super(mut f) => {
+                        f.plan = Arc::clone(plan);
+                        f
                     }
-                }
+                    FactorData::Scalar { .. } => SupernodalFactor {
+                        plan: Arc::clone(plan),
+                        px: Vec::new(),
+                        flops: 0,
+                    },
+                };
+                let res = refactor_numeric(&ap, perm, pivot_floor, &mut out.d, &mut fac, &mut diag);
+                out.data = FactorData::Super(fac);
+                res?;
             }
-            d[k] = dk;
+            None => {
+                let (mut lp_out, mut li, mut lx) = match std::mem::take(&mut out.data) {
+                    FactorData::Scalar { lp, li, lx } => (lp, li, lx),
+                    FactorData::Super(_) => (Vec::new(), Vec::new(), Vec::new()),
+                };
+                lp_out.clone_from(lp);
+                li.clear();
+                li.resize(nnz_l, 0);
+                lx.clear();
+                lx.resize(nnz_l, 0.0);
+                let res = scalar_refactor_numeric(
+                    &ap,
+                    perm,
+                    parent,
+                    lp,
+                    pivot_floor,
+                    &mut li,
+                    &mut lx,
+                    &mut out.d,
+                    &mut diag,
+                );
+                out.data = FactorData::Scalar { lp: lp_out, li, lx };
+                res?;
+            }
         }
 
         out.sqrt_d.clear();
         out.sqrt_d.extend(out.d.iter().map(|v| v.sqrt()));
         Ok(diag)
     }
+}
+
+/// Up-looking scalar numeric elimination (Davis's LDL), one row of `L` at
+/// a time over the elimination-tree reach of the row.
+#[allow(clippy::too_many_arguments)]
+fn scalar_refactor_numeric(
+    ap: &CsrMat,
+    perm: &[usize],
+    parent: &[usize],
+    lp: &[usize],
+    pivot_floor: Option<f64>,
+    li: &mut [usize],
+    lx: &mut [f64],
+    d: &mut [f64],
+    diag: &mut FactorDiagnostics,
+) -> Result<(), FactorError> {
+    let n = perm.len();
+    let mut y = vec![0f64; n];
+    let mut pattern = vec![0usize; n];
+    let mut next = lp.to_vec(); // insertion point per column
+    let mut flag = vec![usize::MAX; n];
+    for k in 0..n {
+        // Scatter row k of the (permuted) upper triangle into y and
+        // compute the reach (pattern of row k of L) in topological order.
+        let mut top = n;
+        flag[k] = k;
+        let mut dk = 0.0;
+        for (j, v) in ap.row_iter(k) {
+            if j > k {
+                continue;
+            }
+            if j == k {
+                dk = v;
+                continue;
+            }
+            y[j] = v;
+            let mut len = 0usize;
+            let mut i = j;
+            // Walk up the etree until hitting a flagged node.
+            let mut stack_base = top;
+            while flag[i] != k {
+                pattern[len] = i;
+                len += 1;
+                flag[i] = k;
+                i = parent[i];
+            }
+            // Push in reverse so that `pattern[top..n]` is topological.
+            for s in (0..len).rev() {
+                stack_base -= 1;
+                pattern[stack_base] = pattern[s];
+            }
+            top = stack_base;
+        }
+        // Sparse triangular solve over the pattern.
+        for &i in &pattern[top..n] {
+            let yi = y[i];
+            y[i] = 0.0;
+            let lki = yi / d[i];
+            // Apply column i of L to y (only entries below row i exist;
+            // all stored rows are < k).
+            for p in lp[i]..next[i] {
+                y[li[p]] -= lx[p] * yi;
+            }
+            dk -= lki * yi;
+            li[next[i]] = k;
+            lx[next[i]] = lki;
+            next[i] += 1;
+        }
+        if !dk.is_finite() {
+            return Err(FactorError::NonFinitePivot {
+                step: k,
+                index: perm[k],
+                pivot: dk,
+            });
+        }
+        match pivot_floor {
+            Some(floor) if dk < floor => {
+                diag.perturbed.push(PerturbedPivot {
+                    index: perm[k],
+                    original: dk,
+                    replaced_with: floor,
+                });
+                dk = floor;
+            }
+            Some(_) => {}
+            None => {
+                if dk <= 0.0 {
+                    return Err(FactorError::NotPositiveDefinite {
+                        step: k,
+                        index: perm[k],
+                        pivot: dk,
+                    });
+                }
+            }
+        }
+        d[k] = dk;
+    }
+    Ok(())
 }
 
 impl SparseCholesky {
@@ -498,11 +725,7 @@ impl SparseCholesky {
     /// [`FactorError::NotPositiveDefinite`] if a pivot `≤ 0` is found,
     /// [`FactorError::NotSquare`] for rectangular input.
     pub fn factor(a: &CsrMat, ordering: Ordering) -> Result<Self, FactorError> {
-        if a.nrows() != a.ncols() {
-            return Err(FactorError::NotSquare);
-        }
-        let perm = ordering.permutation(a);
-        Self::factor_with_permutation(a, perm)
+        Self::factor_analyzed(a, ordering, PivotPolicy::Error).map(|(f, _, _)| f)
     }
 
     /// Factors under an explicit [`PivotPolicy`], returning the factor
@@ -523,11 +746,7 @@ impl SparseCholesky {
         ordering: Ordering,
         policy: PivotPolicy,
     ) -> Result<(Self, FactorDiagnostics), FactorError> {
-        if a.nrows() != a.ncols() {
-            return Err(FactorError::NotSquare);
-        }
-        let perm = ordering.permutation(a);
-        Self::factor_full(a, perm, policy)
+        Self::factor_analyzed(a, ordering, policy).map(|(f, diag, _)| (f, diag))
     }
 
     /// Factors with an explicit permutation (row `i` of `PAPᵀ` is row
@@ -558,7 +777,25 @@ impl SparseCholesky {
         ordering: Ordering,
         policy: PivotPolicy,
     ) -> Result<(Self, FactorDiagnostics, SymbolicCholesky), FactorError> {
-        let sym = SymbolicCholesky::analyze(a, ordering)?;
+        Self::factor_analyzed_with_kernel(a, ordering, policy, CholKernel::Auto)
+    }
+
+    /// [`SparseCholesky::factor_analyzed`] with an explicit numeric
+    /// kernel — the in-process A/B switch between the supernodal and
+    /// scalar paths (tests and benches use this instead of the
+    /// `PACT_CHOL_KERNEL` environment variable to avoid cross-thread
+    /// races on the process environment).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseCholesky::factor_analyzed`].
+    pub fn factor_analyzed_with_kernel(
+        a: &CsrMat,
+        ordering: Ordering,
+        policy: PivotPolicy,
+        kernel: CholKernel,
+    ) -> Result<(Self, FactorDiagnostics, SymbolicCholesky), FactorError> {
+        let sym = SymbolicCholesky::analyze_with_kernel(a, ordering, kernel)?;
         let (factor, diag) = sym.refactor(a, policy)?;
         Ok((factor, diag, sym))
     }
@@ -577,16 +814,73 @@ impl SparseCholesky {
         self.n
     }
 
-    /// Number of stored off-diagonal entries of `L` (fill-in measure).
+    /// Number of *structural* off-diagonal entries of `L` (fill-in
+    /// measure). For the supernodal representation this counts the
+    /// entries the scalar kernel would store, not the panel padding, so
+    /// the fill metric is kernel-invariant.
     #[inline]
     pub fn l_nnz(&self) -> usize {
-        self.lx.len()
+        match &self.data {
+            FactorData::Scalar { lx, .. } => lx.len(),
+            FactorData::Super(f) => f.plan.struct_nnz,
+        }
     }
 
     /// Modelled memory footprint of the factor in bytes (values + indices +
-    /// pointers), used for the paper's memory tables.
+    /// pointers), used for the paper's memory tables. The supernodal
+    /// representation needs no per-entry row index, so it is typically
+    /// well below the scalar kernel's 16 bytes/entry despite panel
+    /// padding.
     pub fn memory_bytes(&self) -> usize {
-        self.lx.len() * (8 + 8) + self.lp.len() * 8 + self.d.len() * 16
+        match &self.data {
+            FactorData::Scalar { lp, li, lx } => {
+                lx.len() * 8 + li.len() * 8 + lp.len() * 8 + self.d.len() * 16
+            }
+            FactorData::Super(f) => f.memory_bytes() + self.d.len() * 16,
+        }
+    }
+
+    /// Whether the factor is stored as supernodal panels.
+    #[inline]
+    pub fn is_supernodal(&self) -> bool {
+        matches!(&self.data, FactorData::Super(_))
+    }
+
+    /// Number of supernode panels (0 for the scalar representation).
+    pub fn supernode_count(&self) -> usize {
+        match &self.data {
+            FactorData::Scalar { .. } => 0,
+            FactorData::Super(f) => f.plan.nsup(),
+        }
+    }
+
+    /// Widest supernode panel in columns (0 for the scalar representation).
+    pub fn max_panel_cols(&self) -> usize {
+        match &self.data {
+            FactorData::Scalar { .. } => 0,
+            FactorData::Super(f) => f.plan.max_width,
+        }
+    }
+
+    /// Structural flop count of the supernodal numeric factorization — a
+    /// function of the pattern only, identical across refactors and
+    /// thread counts (0 for the scalar representation).
+    pub fn panel_flops(&self) -> u64 {
+        match &self.data {
+            FactorData::Scalar { .. } => 0,
+            FactorData::Super(f) => f.flops,
+        }
+    }
+
+    /// The stored factor values: off-diagonal CSC entries for the scalar
+    /// kernel, concatenated dense panels for the supernodal one. Useful
+    /// for bitwise comparisons between factors of the *same*
+    /// representation (e.g. fresh vs. refactored).
+    pub fn factor_values(&self) -> &[f64] {
+        match &self.data {
+            FactorData::Scalar { lx, .. } => lx,
+            FactorData::Super(f) => &f.px,
+        }
     }
 
     /// The fill-reducing permutation used.
@@ -689,8 +983,10 @@ impl SparseCholesky {
     }
 
     /// Allocation-free [`SparseCholesky::fsolve`]: writes `F⁻¹ b` into
-    /// `out` (permuted coordinates, like `fsolve`). Needs no workspace —
-    /// the forward solve runs in place on `out`.
+    /// `out` (permuted coordinates, like `fsolve`). Takes no
+    /// caller-provided workspace — the forward solve runs in place on
+    /// `out` (the supernodal kernel carries a small internal panel
+    /// buffer).
     ///
     /// # Panics
     ///
@@ -726,25 +1022,35 @@ impl SparseCholesky {
 
     /// In-place forward solve with unit lower `L` (permuted coordinates).
     fn lsolve_unit(&self, x: &mut [f64]) {
-        for j in 0..self.n {
-            let xj = x[j];
-            if xj == 0.0 {
-                continue;
+        match &self.data {
+            FactorData::Scalar { lp, li, lx } => {
+                for j in 0..self.n {
+                    let xj = x[j];
+                    if xj == 0.0 {
+                        continue;
+                    }
+                    for p in lp[j]..lp[j + 1] {
+                        x[li[p]] -= lx[p] * xj;
+                    }
+                }
             }
-            for p in self.lp[j]..self.lp[j + 1] {
-                x[self.li[p]] -= self.lx[p] * xj;
-            }
+            FactorData::Super(f) => f.lsolve_unit(x),
         }
     }
 
     /// In-place backward solve with unit `Lᵀ` (permuted coordinates).
     fn ltsolve_unit(&self, x: &mut [f64]) {
-        for j in (0..self.n).rev() {
-            let mut acc = x[j];
-            for p in self.lp[j]..self.lp[j + 1] {
-                acc -= self.lx[p] * x[self.li[p]];
+        match &self.data {
+            FactorData::Scalar { lp, li, lx } => {
+                for j in (0..self.n).rev() {
+                    let mut acc = x[j];
+                    for p in lp[j]..lp[j + 1] {
+                        acc -= lx[p] * x[li[p]];
+                    }
+                    x[j] = acc;
+                }
             }
-            x[j] = acc;
+            FactorData::Super(f) => f.ltsolve_unit(x),
         }
     }
 
@@ -910,17 +1216,22 @@ impl SparseCholesky {
     /// node-major in `w`.
     fn lsolve_lanes(&self, w: &mut [f64], width: usize) {
         debug_assert!(width <= LANES);
-        for j in 0..self.n {
-            let mut xj = [0.0f64; LANES];
-            let base = j * width;
-            xj[..width].copy_from_slice(&w[base..base + width]);
-            for p in self.lp[j]..self.lp[j + 1] {
-                let l = self.lx[p];
-                let rbase = self.li[p] * width;
-                for r in 0..width {
-                    w[rbase + r] -= l * xj[r];
+        match &self.data {
+            FactorData::Scalar { lp, li, lx } => {
+                for j in 0..self.n {
+                    let mut xj = [0.0f64; LANES];
+                    let base = j * width;
+                    xj[..width].copy_from_slice(&w[base..base + width]);
+                    for p in lp[j]..lp[j + 1] {
+                        let l = lx[p];
+                        let rbase = li[p] * width;
+                        for r in 0..width {
+                            w[rbase + r] -= l * xj[r];
+                        }
+                    }
                 }
             }
+            FactorData::Super(f) => f.lsolve_lanes(w, width),
         }
     }
 
@@ -928,18 +1239,23 @@ impl SparseCholesky {
     /// node-major in `w`.
     fn ltsolve_lanes(&self, w: &mut [f64], width: usize) {
         debug_assert!(width <= LANES);
-        for j in (0..self.n).rev() {
-            let base = j * width;
-            let mut acc = [0.0f64; LANES];
-            acc[..width].copy_from_slice(&w[base..base + width]);
-            for p in self.lp[j]..self.lp[j + 1] {
-                let l = self.lx[p];
-                let rbase = self.li[p] * width;
-                for r in 0..width {
-                    acc[r] -= l * w[rbase + r];
+        match &self.data {
+            FactorData::Scalar { lp, li, lx } => {
+                for j in (0..self.n).rev() {
+                    let base = j * width;
+                    let mut acc = [0.0f64; LANES];
+                    acc[..width].copy_from_slice(&w[base..base + width]);
+                    for p in lp[j]..lp[j + 1] {
+                        let l = lx[p];
+                        let rbase = li[p] * width;
+                        for r in 0..width {
+                            acc[r] -= l * w[rbase + r];
+                        }
+                    }
+                    w[base..base + width].copy_from_slice(&acc[..width]);
                 }
             }
-            w[base..base + width].copy_from_slice(&acc[..width]);
+            FactorData::Super(f) => f.ltsolve_lanes(w, width),
         }
     }
 }
@@ -1335,22 +1651,21 @@ mod tests {
 
             // Refactor on the *same* values reproduces the factor exactly.
             let (f1, _) = sym.refactor(&a, PivotPolicy::Error).unwrap();
-            assert_eq!(f0.lx, f1.lx);
-            assert_eq!(f0.li, f1.li);
-            assert_eq!(f0.d, f1.d);
-            assert_eq!(f0.perm, f1.perm);
+            assert_eq!(f0.factor_values(), f1.factor_values());
+            assert_eq!(f0.pivots(), f1.pivots());
+            assert_eq!(f0.permutation(), f1.permutation());
 
             // Refactor on new values matches a fresh factorization with the
             // same ordering bit-for-bit, both allocating and in place.
             let (fresh, _) = SparseCholesky::factor_diagnosed(&b, ord, PivotPolicy::Error).unwrap();
             let (f2, _) = sym.refactor(&b, PivotPolicy::Error).unwrap();
-            assert_eq!(fresh.lx, f2.lx);
-            assert_eq!(fresh.d, f2.d);
+            assert_eq!(fresh.factor_values(), f2.factor_values());
+            assert_eq!(fresh.pivots(), f2.pivots());
             let mut reused = f1;
             sym.refactor_into(&b, PivotPolicy::Error, &mut reused)
                 .unwrap();
-            assert_eq!(fresh.lx, reused.lx);
-            assert_eq!(fresh.d, reused.d);
+            assert_eq!(fresh.factor_values(), reused.factor_values());
+            assert_eq!(fresh.pivots(), reused.pivots());
             assert_eq!(fresh.sqrt_d, reused.sqrt_d);
         }
     }

@@ -43,29 +43,66 @@ pub struct CsrMat {
     indptr: Vec<usize>,
     indices: Vec<usize>,
     data: Vec<f64>,
+    /// Fingerprint of `(nrows, ncols, indptr, indices)`, computed once at
+    /// construction so pattern-identity checks are O(1). Equal patterns
+    /// always hash equal; a hash match is *almost certainly* a pattern
+    /// match (64-bit FNV — collision odds are negligible, and the
+    /// factorization caches verify exactly in debug builds).
+    pattern_key: u64,
+}
+
+/// Word-at-a-time FNV-1a over the structural arrays of a CSR pattern.
+///
+/// The dimensions and array lengths are folded in first so patterns that
+/// differ only in shape or concatenation boundaries cannot collide
+/// trivially.
+fn pattern_fingerprint(nrows: usize, ncols: usize, indptr: &[usize], indices: &[usize]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let eat = |h: u64, w: u64| (h ^ w).wrapping_mul(PRIME);
+    h = eat(h, nrows as u64);
+    h = eat(h, ncols as u64);
+    h = eat(h, indptr.len() as u64);
+    h = eat(h, indices.len() as u64);
+    for &w in indptr {
+        h = eat(h, w as u64);
+    }
+    for &w in indices {
+        h = eat(h, w as u64);
+    }
+    h
 }
 
 impl CsrMat {
-    /// An `nrows × ncols` matrix with no stored entries.
-    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+    /// Internal constructor: every path that assembles raw CSR arrays goes
+    /// through here so the pattern fingerprint is always populated.
+    fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Self {
+        let pattern_key = pattern_fingerprint(nrows, ncols, &indptr, &indices);
         CsrMat {
             nrows,
             ncols,
-            indptr: vec![0; nrows + 1],
-            indices: Vec::new(),
-            data: Vec::new(),
+            indptr,
+            indices,
+            data,
+            pattern_key,
         }
+    }
+
+    /// An `nrows × ncols` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self::from_parts(nrows, ncols, vec![0; nrows + 1], Vec::new(), Vec::new())
     }
 
     /// The `n × n` identity.
     pub fn identity(n: usize) -> Self {
-        CsrMat {
-            nrows: n,
-            ncols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n).collect(),
-            data: vec![1.0; n],
-        }
+        Self::from_parts(n, n, (0..=n).collect(), (0..n).collect(), vec![1.0; n])
     }
 
     /// Builds from raw CSR arrays.
@@ -94,13 +131,7 @@ impl CsrMat {
                 assert!(last < ncols, "column index out of range in row {i}");
             }
         }
-        CsrMat {
-            nrows,
-            ncols,
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_parts(nrows, ncols, indptr, indices, data)
     }
 
     /// Builds from parallel triplet arrays, summing duplicates and dropping
@@ -159,13 +190,7 @@ impl CsrMat {
             }
             out_indptr[i + 1] = out_icol.len();
         }
-        CsrMat {
-            nrows,
-            ncols,
-            indptr: out_indptr,
-            indices: out_icol,
-            data: out_val,
-        }
+        Self::from_parts(nrows, ncols, out_indptr, out_icol, out_val)
     }
 
     /// Builds from a dense matrix, skipping entries with magnitude ≤ `tol`.
@@ -183,13 +208,7 @@ impl CsrMat {
             }
             indptr[i + 1] = indices.len();
         }
-        CsrMat {
-            nrows: m.nrows(),
-            ncols: m.ncols(),
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_parts(m.nrows(), m.ncols(), indptr, indices, data)
     }
 
     /// Number of rows.
@@ -226,6 +245,18 @@ impl CsrMat {
     #[inline]
     pub fn data(&self) -> &[f64] {
         &self.data
+    }
+
+    /// O(1) fingerprint of the sparsity pattern (shape + `indptr` +
+    /// `indices`, values excluded), precomputed at construction.
+    ///
+    /// Two matrices with the same pattern always report the same key;
+    /// matrices with different patterns collide with probability ~2⁻⁶⁴.
+    /// Symbolic-factorization caches use this to verify cache hits in
+    /// O(1) instead of re-walking the full index arrays.
+    #[inline]
+    pub fn pattern_key(&self) -> u64 {
+        self.pattern_key
     }
 
     /// Iterator over `(col, value)` pairs of row `i`.
@@ -393,13 +424,7 @@ impl CsrMat {
                 next[j] += 1;
             }
         }
-        CsrMat {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_parts(self.ncols, self.nrows, indptr, indices, data)
     }
 
     /// Extracts the submatrix selecting `rows` and `cols` (relabelled in the
@@ -429,13 +454,7 @@ impl CsrMat {
             }
             indptr[newi + 1] = indices.len();
         }
-        CsrMat {
-            nrows: rows.len(),
-            ncols: cols.len(),
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_parts(rows.len(), cols.len(), indptr, indices, data)
     }
 
     /// Symmetric permutation `P A Pᵀ` where row/col `i` of the result is
@@ -519,13 +538,7 @@ impl CsrMat {
             }
             indptr[i + 1] = indices.len();
         }
-        CsrMat {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            indptr,
-            indices,
-            data,
-        }
+        Self::from_parts(self.nrows, self.ncols, indptr, indices, data)
     }
 
     /// Checks symmetry within tolerance `tol` (absolute, entrywise).
@@ -766,5 +779,30 @@ mod tests {
         let idn = CsrMat::identity(4);
         let x = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(idn.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn pattern_key_tracks_structure_not_values() {
+        let m = sample();
+        // Same pattern, different values: identical key.
+        let scaled = CsrMat::from_raw(
+            m.nrows(),
+            m.ncols(),
+            m.indptr().to_vec(),
+            m.indices().to_vec(),
+            m.data().iter().map(|v| v * 3.0).collect(),
+        );
+        assert_eq!(m.pattern_key(), scaled.pattern_key());
+        // Different pattern: different key (no collision on this pair).
+        let other = CsrMat::identity(3);
+        assert_ne!(m.pattern_key(), other.pattern_key());
+        // Derived matrices carry a freshly computed key.
+        assert_eq!(m.transpose().pattern_key(), m.pattern_key()); // symmetric
+        assert_ne!(m.submatrix(&[0, 1], &[0, 1]).pattern_key(), m.pattern_key());
+        // Shape is part of the key even with no stored entries.
+        assert_ne!(
+            CsrMat::zeros(2, 3).pattern_key(),
+            CsrMat::zeros(3, 2).pattern_key()
+        );
     }
 }

@@ -369,6 +369,60 @@ pub fn norm_inf(a: &[f64]) -> f64 {
     a.iter().fold(0.0f64, |m, v| m.max(v.abs()))
 }
 
+/// Dense trapezoidal update kernel of the supernodal Cholesky:
+/// `out = L₂ · D · L₁ᵀ` where both factors are row blocks of one
+/// column-major panel.
+///
+/// `panel` holds a dense `ld × width` column-major block (`panel[t * ld + i]`
+/// is row `i` of column `t`). With `L₁ = panel[row0 .. row0+nc, 0..width]`
+/// and `L₂ = panel[row0 .. row0+m, 0..width]` (so `L₁` is the leading `nc`
+/// rows of `L₂`, `nc ≤ m`), the kernel accumulates the lower trapezoid of
+/// the `m × nc` product into `out` column-major:
+///
+/// `out[c * m + r] = Σ_t panel[t·ld + row0 + r] · dvals[t] · panel[t·ld + row0 + c]`
+///
+/// for `r ≥ c` only — entries above the diagonal of the update block are
+/// never referenced by the caller's scatter and are left untouched after
+/// the initial zero-fill of the `m · nc` prefix. All three inner loops run
+/// over contiguous memory, which is the entire point: this one routine is
+/// where the supernodal factorization spends its floating-point budget.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) when `panel`, `dvals`, or `out` are too
+/// short for the requested shape.
+#[allow(clippy::too_many_arguments)]
+pub fn ldl_update_trapezoid(
+    panel: &[f64],
+    ld: usize,
+    row0: usize,
+    m: usize,
+    nc: usize,
+    width: usize,
+    dvals: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert!(row0 + m <= ld);
+    debug_assert!(nc <= m);
+    out[..m * nc].fill(0.0);
+    for t in 0..width {
+        let dt = dvals[t];
+        let colt = &panel[t * ld + row0..t * ld + row0 + m];
+        for c in 0..nc {
+            let coef = dt * colt[c];
+            if coef == 0.0 {
+                // Padded (relaxed-supernode) slots hold exact zeros; the
+                // skip changes at most the sign of a produced zero.
+                continue;
+            }
+            let ob = c * m;
+            for r in c..m {
+                out[ob + r] += coef * colt[r];
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,5 +500,33 @@ mod tests {
         assert!(a.asymmetry() > 0.0);
         a.symmetrize();
         assert_eq!(a.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn ldl_update_trapezoid_matches_reference() {
+        // A 6×3 panel; update block starts at row 2 with m=4 rows, the
+        // first nc=2 of which are the target columns.
+        let ld = 6;
+        let width = 3;
+        let (m, nc, row0) = (4usize, 2usize, 2usize);
+        let panel: Vec<f64> = (0..ld * width)
+            .map(|k| ((k * 7 + 3) % 11) as f64 - 5.0)
+            .collect();
+        let dvals = [2.0, -0.5, 3.0];
+        let mut out = vec![f64::NAN; m * nc + 1];
+        out[m * nc] = 42.0; // sentinel: untouched past the prefix
+        ldl_update_trapezoid(&panel, ld, row0, m, nc, width, &dvals, &mut out);
+        for c in 0..nc {
+            for r in c..m {
+                let want: f64 = (0..width)
+                    .map(|t| panel[t * ld + row0 + r] * dvals[t] * panel[t * ld + row0 + c])
+                    .sum();
+                assert!(
+                    (out[c * m + r] - want).abs() < 1e-12,
+                    "mismatch at r={r} c={c}"
+                );
+            }
+        }
+        assert_eq!(out[m * nc], 42.0);
     }
 }

@@ -9,9 +9,10 @@
 //! - [`TripletMat`] / [`CsrMat`]: sparse matrix construction ("stamping")
 //!   and symmetric sparse operations (products, partition extraction,
 //!   symmetric permutation);
-//! - [`SparseCholesky`]: up-looking LDLᵀ with elimination tree and
-//!   fill-reducing [`Ordering`], exposing the Cholesky-factor solves
-//!   `F⁻¹`/`F⁻ᵀ` used by the paper's first congruence transform;
+//! - [`SparseCholesky`]: supernodal (blocked) LDLᵀ with elimination tree
+//!   and fill-reducing [`Ordering`], exposing the Cholesky-factor solves
+//!   `F⁻¹`/`F⁻ᵀ` used by the paper's first congruence transform (a
+//!   scalar up-looking reference kernel stays behind [`CholKernel`]);
 //! - [`sym_eig`] / [`eig_tridiagonal`]: dense symmetric eigensolver
 //!   (Householder + implicit-shift QL), the oracle behind pole analysis
 //!   and the extractor for Lanczos' tridiagonal `T`;
@@ -62,20 +63,22 @@ mod pcg;
 mod pencil;
 mod rng;
 mod splu;
+mod supernodal;
 
 pub use cholesky::{
-    FactorDiagnostics, FactorError, PerturbedPivot, PivotPolicy, SparseCholesky, SymbolicCholesky,
-    LANES,
+    CholKernel, FactorDiagnostics, FactorError, PerturbedPivot, PivotPolicy, SparseCholesky,
+    SymbolicCholesky, LANES,
 };
 pub use complex::{Complex64, Scalar};
 pub use coo::TripletMat;
 pub use csr::CsrMat;
-pub use dense::{axpy, dot, norm2, norm_inf, scale, DMat, DMatF};
+pub use dense::{axpy, dot, ldl_update_trapezoid, norm2, norm_inf, scale, DMat, DMatF};
 pub use eigen::{eig_tridiagonal, sym_eig, EigenError, SymEig};
 pub use factor::Factorization;
 pub use lu::{invert, DenseLu, SingularMatrixError};
 pub use ordering::{
-    invert_permutation, is_permutation, nested_dissection_partition, profile, NdPartition, Ordering,
+    etree_postorder, invert_permutation, is_permutation, nested_dissection_partition, profile,
+    NdPartition, Ordering,
 };
 pub use par::{split_ranges, ParCtx};
 pub use pcg::{pcg, IncompleteCholesky, PcgResult};

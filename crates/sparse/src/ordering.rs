@@ -424,6 +424,53 @@ fn min_degree(a: &CsrMat) -> Vec<usize> {
     order
 }
 
+/// Postorder of an elimination tree given as a parent array (roots hold
+/// `usize::MAX`).
+///
+/// Returns `post` such that `post[k]` is the node visited `k`-th in a
+/// depth-first postorder traversal; children (and roots) are visited in
+/// ascending node order, so the result is deterministic. Relabelling
+/// columns by an etree postorder leaves the fill pattern, the column
+/// counts, and the tree itself invariant (it is a topological reorder of
+/// the elimination), while making every parent chain — and therefore every
+/// supernode — occupy *contiguous* column indices. The supernodal
+/// Cholesky composes this with the fill-reducing permutation.
+pub fn etree_postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Child lists in ascending order: descending construction order makes
+    // the intrusive list head the smallest child.
+    let mut head = vec![usize::MAX; n];
+    let mut next = vec![usize::MAX; n];
+    for j in (0..n).rev() {
+        let p = parent[j];
+        if p != usize::MAX {
+            debug_assert!(p > j, "etree parent must be larger than the child");
+            next[j] = head[p];
+            head[p] = j;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<usize> = Vec::new();
+    for r in 0..n {
+        if parent[r] != usize::MAX {
+            continue;
+        }
+        stack.push(r);
+        while let Some(&top) = stack.last() {
+            let c = head[top];
+            if c == usize::MAX {
+                post.push(top);
+                stack.pop();
+            } else {
+                head[top] = next[c]; // consume child c
+                stack.push(c);
+            }
+        }
+    }
+    debug_assert_eq!(post.len(), n);
+    post
+}
+
 /// Profile (sum of row bandwidths) of a symmetric pattern under a
 /// permutation; a cheap proxy for Cholesky fill under envelope methods.
 pub fn profile(a: &CsrMat, perm: &[usize]) -> usize {
@@ -600,6 +647,35 @@ mod tests {
             let p = ord.permutation(&empty_single);
             assert_eq!(p, vec![0], "{ord:?} wrong on an isolated vertex");
         }
+    }
+
+    #[test]
+    fn etree_postorder_is_a_valid_topological_order() {
+        // A small forest:   4        6
+        //                  / \       |
+        //                 1   3      5
+        //                 |   |
+        //                 0   2      and an isolated root 7.
+        let m = usize::MAX;
+        let parent = [1usize, 4, 3, 4, m, 6, m, m];
+        let post = etree_postorder(&parent);
+        assert_eq!(post.len(), 8);
+        // A permutation…
+        let mut seen = [false; 8];
+        for &p in &post {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // …where every child appears before its parent.
+        let pos = invert_permutation(&post);
+        for (j, &p) in parent.iter().enumerate() {
+            if p != m {
+                assert!(pos[j] < pos[p], "child {j} after parent {p}");
+            }
+        }
+        // Chains already in order stay the identity.
+        assert_eq!(etree_postorder(&[1, 2, m]), vec![0, 1, 2]);
+        assert_eq!(etree_postorder(&[]), Vec::<usize>::new());
     }
 
     #[test]

@@ -29,8 +29,8 @@
 use std::process::ExitCode;
 
 use pact::{
-    sanitize_network, CutoffSpec, EigenSelect, PactError, ReduceOptions, ReduceStrategy,
-    ReductionSession, Telemetry, Warning,
+    sanitize_network, CholKernel, CutoffSpec, EigenSelect, PactError, ReduceOptions,
+    ReduceStrategy, ReductionSession, Telemetry, Warning,
 };
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{extract_rc, parse, parse_value, splice_reduced};
@@ -89,6 +89,7 @@ struct Args {
     hier: bool,
     block_size: usize,
     max_depth: usize,
+    chol_kernel: CholKernel,
 }
 
 fn usage() -> &'static str {
@@ -96,7 +97,8 @@ fn usage() -> &'static str {
      [--sparsify TOL] [--port NODE]... [--threads N] \
      [--eigen auto|dense|lanczos|lowrank] [--dense] [--stats] [--components] \
      [--verify] [--trace] [--log-json PATH] [--strict-pivots] \
-     [--hier] [--block-size N] [--max-depth N]\n\
+     [--hier] [--block-size N] [--max-depth N] \
+     [--chol-kernel auto|supernodal|scalar]\n\
      defaults: --fmax 1g --tol 0.05 --sparsify 1e-9 --threads <all cores>\n\
      HZ accepts SPICE suffixes (500meg, 3g, ...); the reduced model is\n\
      bit-identical for every --threads value.\n\
@@ -107,7 +109,9 @@ fn usage() -> &'static str {
      --trace prints per-phase timings/counters; --log-json writes them as JSON;\n\
      --strict-pivots fails on quasi-singular pivots instead of perturbing them;\n\
      --hier reduces via nested-dissection blocks of at most --block-size nodes\n\
-     (default 2000) with --max-depth recursion levels (default 16)"
+     (default 2000) with --max-depth recursion levels (default 16);\n\
+     --chol-kernel picks the numeric Cholesky kernel (default auto = the\n\
+     supernodal blocked kernel; scalar is the up-looking reference kernel)"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -130,6 +134,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         hier: false,
         block_size: DEFAULT_BLOCK_SIZE,
         max_depth: DEFAULT_MAX_DEPTH,
+        chol_kernel: CholKernel::Auto,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -185,6 +190,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.max_depth = next(a)?
                     .parse()
                     .map_err(|_| "--max-depth needs an integer".to_owned())?;
+            }
+            "--chol-kernel" => {
+                args.chol_kernel = match next(a)?.as_str() {
+                    "auto" => CholKernel::Auto,
+                    "supernodal" => CholKernel::Supernodal,
+                    "scalar" => CholKernel::Scalar,
+                    other => {
+                        return Err(format!(
+                            "--chol-kernel expects auto, supernodal, or scalar (got `{other}`)"
+                        ))
+                    }
+                };
             }
             "-h" | "--help" => return Err(usage().to_owned()),
             other if !other.starts_with('-') => {
@@ -244,6 +261,7 @@ fn run(args: &Args) -> Result<(), PactError> {
         } else {
             ReduceStrategy::Flat
         },
+        chol_kernel: args.chol_kernel,
     };
     let mut session = ReductionSession::new(opts);
     let batch = args.inputs.len() > 1;
