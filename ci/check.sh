@@ -14,7 +14,9 @@ echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> cargo build --release"
-cargo build --release
+# --workspace so the smoke sections below get every release binary
+# (rcfit, rcfitd, gen_mesh, the bench drivers), not just the root bin.
+cargo build --release --workspace
 
 echo "==> cargo test (tier-1)"
 cargo test -q
@@ -161,5 +163,58 @@ root="$PWD"
 (cd "$tmp" && "$root/target/release/session_batch" --smoke) | tee "$tmp/session_smoke.txt"
 grep -q "smoke OK" "$tmp/session_smoke.txt"
 grep -q "^PERF " "$tmp/session_smoke.txt"
+
+echo "==> rcfitd daemon smoke (JSONL over stdin)"
+# Two same-topology decks (the second must hit a warm session and reduce
+# byte-identically), one request with a misspelled option (typed error),
+# a stats probe, and a clean shutdown.
+python3 - > "$tmp/serve_requests.jsonl" <<'EOF'
+import json
+deck = ("* ci ladder\nVdrv in 0 1\nR1 in n1 100\nR2 n1 n2 100\n"
+        "R3 n2 out 100\nC1 n1 0 1p\nC2 n2 0 2p\nC3 out 0 1p\n"
+        "Iload out 0 1m\n.end\n")
+print(json.dumps({"id": "s1", "deck": deck}))
+print(json.dumps({"id": "s2", "deck": deck}))
+print(json.dumps({"id": "bad", "deck": deck, "options": {"tolerence": 0.1}}))
+print(json.dumps({"id": "st", "op": "stats"}))
+print(json.dumps({"id": "end", "op": "shutdown"}))
+EOF
+./target/release/rcfitd --workers 2 < "$tmp/serve_requests.jsonl" \
+    > "$tmp/serve_responses.jsonl"
+python3 - "$tmp/serve_responses.jsonl" <<'EOF'
+import json, sys
+docs = {d["id"]: d for d in map(json.loads, open(sys.argv[1]))}
+assert len(docs) == 5, sorted(docs)
+assert all(d["schema"] == "rcfitd-v1" for d in docs.values())
+assert docs["s1"]["ok"] and not docs["s1"]["session_hit"]
+assert docs["s2"]["ok"] and docs["s2"]["session_hit"], \
+    "second same-topology deck must hit a warm session"
+assert docs["s2"]["deck"] == docs["s1"]["deck"], \
+    "identical decks must reduce byte-identically"
+assert docs["s1"]["telemetry"]["schema"] == "rcfit-telemetry-v1"
+assert not docs["bad"]["ok"]
+assert docs["bad"]["error"]["code"] == "unknown_option", docs["bad"]["error"]
+# Stats is answered inline by the dispatcher, so only the submit-side
+# counters are ordered with respect to it.
+assert docs["st"]["stats"]["counters"]["requests"] >= 3
+assert docs["st"]["stats"]["workers"] == 2
+assert docs["end"]["shutdown"] is True
+print("daemon smoke ok: warm hit + typed error + stats + clean shutdown")
+EOF
+
+echo "==> serve load smoke (daemon vs cold one-shot -> results/serve_perf.txt)"
+# --smoke byte-compares every daemon response against the cold one-shot
+# loop and reports the latency/throughput PERF line; the committed
+# full-size study (1200 decks) lives in BENCH_serve.json.
+(cd "$tmp" && "$root/target/release/serve_load" --smoke) | tee "$tmp/serve_smoke.txt"
+grep -q "smoke OK" "$tmp/serve_smoke.txt"
+mkdir -p results
+{
+    echo "# rcfitd serving smoke: serve_load --smoke (60 mixed decks, daemon"
+    echo "# vs cold one-shot loop), $(nproc) core(s). Full-size study:"
+    echo "# BENCH_serve.json (cargo run --release -p pact-bench --bin serve_load)."
+    grep "^PERF " "$tmp/serve_smoke.txt"
+} > results/serve_perf.txt
+cat results/serve_perf.txt
 
 echo "==> all checks passed"

@@ -1,0 +1,375 @@
+//! Serving-grade load study: drives the `rcfitd` daemon with a stream of
+//! mixed decks (substrate mesh, power grid, inverter line — each with a
+//! per-deck capacitor value sweep on a fixed topology) from several
+//! client threads, and compares it against a cold one-shot loop (a fresh
+//! `ReductionSession` per deck, sequential — what scripting `rcfit` per
+//! deck costs). Reports latency percentiles, warm-session hit rate and
+//! the throughput ratio to `BENCH_serve.json`.
+//!
+//! Every daemon response is also byte-compared against the cold loop's
+//! rendered deck, so the run doubles as a large-N check of the
+//! scheduling-not-numerics contract.
+//!
+//! ```text
+//! cargo run --release -p pact-bench --bin serve_load [--smoke] [DECKS]
+//! ```
+//!
+//! Defaults to 1200 decks over 3 topology families; `--smoke` shrinks
+//! the families and deck count for CI and skips the JSON report (the
+//! committed `BENCH_serve.json` is always a full run).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use pact::json::Value;
+use pact::ReductionSession;
+use pact_bench::{print_table, secs, timed};
+use pact_gen::{
+    inverter_pair_deck, network_to_elements, power_grid_deck, substrate_mesh, LineSpec, MeshSpec,
+    PowerGridSpec,
+};
+use pact_netlist::{ElementKind, Netlist};
+use pact_serve::{
+    prepare_deck, reduce_prepared, render_reduced, Daemon, DeckOptions, ReplySink, ServeConfig,
+};
+
+/// One fixed-topology deck family of the mixed workload.
+struct Family {
+    name: &'static str,
+    base: Netlist,
+    /// Ports forced via the request's `ports` option (pure-RC decks have
+    /// no port-forcing devices).
+    ports: Vec<String>,
+}
+
+fn families(smoke: bool) -> Vec<Family> {
+    // Full-mode sizes are picked so the symbolic phase (ordering +
+    // elimination tree) is a real fraction of each reduction — that is
+    // the work the daemon's warm sessions amortize.
+    let (mesh_n, mesh_z, contacts, grid_n, taps, segments) = if smoke {
+        (6, 2, 4, 6, 2, 20)
+    } else {
+        (14, 4, 6, 20, 4, 800)
+    };
+    let mesh = substrate_mesh(&MeshSpec {
+        nx: mesh_n,
+        ny: mesh_n,
+        nz: mesh_z,
+        num_contacts: contacts,
+        num_wells: contacts / 2,
+        ..MeshSpec::table2()
+    });
+    vec![
+        Family {
+            name: "mesh",
+            base: Netlist {
+                title: "* serve_load substrate mesh".to_owned(),
+                elements: network_to_elements(&mesh, "m"),
+                ..Netlist::default()
+            },
+            ports: (0..contacts).map(|k| format!("port{k}")).collect(),
+        },
+        Family {
+            name: "grid",
+            base: power_grid_deck(&PowerGridSpec {
+                nx: grid_n,
+                ny: grid_n,
+                num_taps: taps,
+                ..PowerGridSpec::default()
+            })
+            .netlist,
+            ports: Vec::new(),
+        },
+        Family {
+            name: "line",
+            base: inverter_pair_deck(&LineSpec {
+                segments,
+                ..LineSpec::default()
+            }),
+            ports: Vec::new(),
+        },
+    ]
+}
+
+/// Variant `k` of a family: identical topology, capacitor values scaled
+/// by a process-corner-style sweep factor. Same `topology_key`, so the
+/// daemon's warm sessions apply; different numbers, so every deck is
+/// real work.
+fn variant_deck(fam: &Family, k: usize) -> String {
+    let scale = 1.0 + 0.03 * (k % 9) as f64;
+    let mut deck = fam.base.clone();
+    for e in &mut deck.elements {
+        if let ElementKind::Capacitor { farads, .. } = &mut e.kind {
+            *farads *= scale;
+        }
+    }
+    deck.to_string()
+}
+
+/// One request of the workload: the JSONL line a client sends plus the
+/// raw deck text and ports (for the cold reference run).
+struct Work {
+    id: String,
+    line: String,
+    deck: String,
+    ports: Vec<String>,
+}
+
+fn workload(families: &[Family], total: usize) -> Vec<Work> {
+    (0..total)
+        .map(|k| {
+            let fam = &families[k % families.len()];
+            let deck = variant_deck(fam, k / families.len());
+            let id = format!("{}-{k}", fam.name);
+            let mut options = vec![("threads".to_owned(), Value::num(1.0))];
+            if !fam.ports.is_empty() {
+                options.push((
+                    "ports".to_owned(),
+                    Value::Arr(fam.ports.iter().map(Value::str).collect()),
+                ));
+            }
+            let line = Value::obj(vec![
+                ("id".to_owned(), Value::str(&id)),
+                ("deck".to_owned(), Value::str(&deck)),
+                ("options".to_owned(), Value::obj(options)),
+            ])
+            .render();
+            Work {
+                id,
+                line,
+                deck,
+                ports: fam.ports.clone(),
+            }
+        })
+        .collect()
+}
+
+/// The cold baseline: a fresh session per deck, sequential — and the
+/// bit-identity reference for every daemon response.
+fn cold_loop(work: &[Work]) -> HashMap<String, String> {
+    work.iter()
+        .map(|w| {
+            let opts = DeckOptions {
+                threads: Some(1), // the daemon's per-request default
+                extra_ports: w.ports.clone(),
+                ..DeckOptions::default()
+            };
+            let prep = prepare_deck(&w.deck, &w.ports).expect("deck prepares");
+            let mut session = ReductionSession::new(opts.reduce_options().unwrap());
+            let red = reduce_prepared(&prep, &mut session, false).expect("deck reduces");
+            let mut tel = prep.telemetry.clone();
+            tel.absorb(&red.telemetry());
+            let (text, _) = render_reduced(&prep, &red, "rcfit", opts.sparsify, &mut tel);
+            (w.id.clone(), text)
+        })
+        .collect()
+}
+
+/// Submits the whole workload from `clients` threads; returns once every
+/// submit call has returned. Responses keep arriving until the daemon is
+/// drained — read `done` only after `Daemon::shutdown`.
+fn submit_all(
+    daemon: &Daemon,
+    work: &[Work],
+    clients: usize,
+    starts: &Arc<Mutex<HashMap<String, Instant>>>,
+    done: &Arc<Mutex<Vec<(Instant, String)>>>,
+) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let starts = Arc::clone(starts);
+            let done = Arc::clone(done);
+            scope.spawn(move || {
+                let sink_done = Arc::clone(&done);
+                let sink: ReplySink = Arc::new(move |l: &str| {
+                    sink_done
+                        .lock()
+                        .unwrap()
+                        .push((Instant::now(), l.to_owned()));
+                });
+                for w in work.iter().skip(c).step_by(clients) {
+                    starts.lock().unwrap().insert(w.id.clone(), Instant::now());
+                    daemon.submit(&w.line, &sink);
+                }
+            });
+        }
+    });
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut total = 1200usize;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            other => total = other.parse().expect("args: [--smoke] [DECKS]"),
+        }
+    }
+    if smoke {
+        total = total.min(60);
+    }
+    let clients = 2;
+    let fams = families(smoke);
+    let work = workload(&fams, total);
+    println!(
+        "# Serve load: {total} decks over {} families, {clients} clients",
+        fams.len()
+    );
+
+    let (cold, cold_s) = timed(|| cold_loop(&work));
+
+    let daemon = Daemon::new(ServeConfig {
+        queue_cap: total.max(64),
+        max_deck_bytes: 16 << 20,
+        ..ServeConfig::default()
+    });
+    let workers = daemon.num_workers();
+    let starts: Arc<Mutex<HashMap<String, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    // The sink records completion instants only; response parsing
+    // happens after the clock stops.
+    let done: Arc<Mutex<Vec<(Instant, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    // The daemon wall clock includes the drain-on-shutdown join, so
+    // throughput counts every delivered response, not just the enqueues.
+    let t0 = Instant::now();
+    submit_all(&daemon, &work, clients, &starts, &done);
+    let counters = daemon.shutdown();
+    let daemon_s = t0.elapsed().as_secs_f64();
+
+    let starts = starts.lock().unwrap();
+    let mut latencies = HashMap::new();
+    let mut lines = Vec::new();
+    for (at, line) in done.lock().unwrap().drain(..) {
+        let doc = Value::parse(&line).expect("response parses");
+        let id = doc.get("id").unwrap().as_str().unwrap().to_owned();
+        latencies.insert(id.clone(), (at - starts[&id]).as_secs_f64());
+        lines.push(line);
+    }
+
+    assert_eq!(lines.len(), total, "every request answered exactly once");
+    for line in &lines {
+        let doc = Value::parse(line).unwrap();
+        let id = doc.get("id").unwrap().as_str().unwrap();
+        assert_eq!(
+            doc.get("ok"),
+            Some(&Value::Bool(true)),
+            "{id} failed: {line}"
+        );
+        assert_eq!(
+            doc.get("deck").unwrap().as_str().unwrap(),
+            cold[id],
+            "{id} drifted from the cold one-shot reduction"
+        );
+    }
+
+    let mut lat_ms: Vec<f64> = latencies.values().map(|s| s * 1e3).collect();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+    let (p50, p95, p99) = (
+        percentile(&lat_ms, 0.50),
+        percentile(&lat_ms, 0.95),
+        percentile(&lat_ms, 0.99),
+    );
+
+    let hits = counters.session_hits.load(AtomicOrdering::Relaxed);
+    let misses = counters.session_misses.load(AtomicOrdering::Relaxed);
+    let shed = counters.shed.load(AtomicOrdering::Relaxed);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let ratio = cold_s / daemon_s;
+
+    print_table(
+        "Serve load",
+        &["mode", "seconds", "decks/s", "p50 ms", "p95 ms", "p99 ms"],
+        &[
+            vec![
+                "cold (one-shot loop)".into(),
+                secs(cold_s),
+                format!("{:.1}", total as f64 / cold_s),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+            vec![
+                format!("daemon ({workers} workers)"),
+                secs(daemon_s),
+                format!("{:.1}", total as f64 / daemon_s),
+                format!("{p50:.2}"),
+                format!("{p95:.2}"),
+                format!("{p99:.2}"),
+            ],
+        ],
+    );
+    println!(
+        "warm hit rate {:.1}% ({hits} hits, {misses} misses), {shed} shed",
+        hit_rate * 100.0
+    );
+    println!(
+        "PERF cold_s={cold_s:.6} daemon_s={daemon_s:.6} throughput_ratio={ratio:.3} \
+         p50_ms={p50:.3} p95_ms={p95:.3} p99_ms={p99:.3} hit_rate={hit_rate:.4}"
+    );
+
+    if smoke {
+        println!("smoke OK");
+    } else {
+        let json = render_json(
+            total, workers, clients, cold_s, daemon_s, p50, p95, p99, hits, misses, shed,
+        );
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json");
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serializer dependency);
+/// strings go through the shared `pact::json::escape` helper.
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    total: usize,
+    workers: usize,
+    clients: usize,
+    cold_s: f64,
+    daemon_s: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    hits: u64,
+    misses: u64,
+    shed: u64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  {}: {},\n",
+        pact::json::escape("bench"),
+        pact::json::escape("serve_load")
+    ));
+    out.push_str(&format!("  \"decks\": {total},\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!(
+        "  \"cold\": {{\"seconds\": {cold_s:.6}, \"decks_per_s\": {:.2}}},\n",
+        total as f64 / cold_s
+    ));
+    out.push_str(&format!(
+        "  \"daemon\": {{\"seconds\": {daemon_s:.6}, \"decks_per_s\": {:.2}, \
+         \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}}},\n",
+        total as f64 / daemon_s
+    ));
+    out.push_str(&format!(
+        "  \"sessions\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {:.4}, \
+         \"shed\": {shed}}},\n",
+        hits as f64 / (hits + misses).max(1) as f64
+    ));
+    out.push_str(&format!(
+        "  \"throughput_ratio\": {:.4}\n",
+        cold_s / daemon_s
+    ));
+    out.push_str("}\n");
+    out
+}

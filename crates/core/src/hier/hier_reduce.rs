@@ -88,7 +88,7 @@ fn reduce_leaf(
     // Every leaf looks up against the same snapshot, so cache hits (and
     // the factorizations/refactorizations counters) are independent of
     // how leaves are assigned to workers.
-    let base = snapshot.len();
+    let base = snapshot.next_seq();
     let mut session = ReductionSession::with_cache(opts.clone(), snapshot.clone());
     let reduction = session
         .reduce_network_flat(&report.network, "leaf")
@@ -99,7 +99,7 @@ fn reduce_leaf(
     Ok(LeafOutcome {
         reduction,
         sanitize_warnings: report.warnings,
-        new_cache_entries: session.cache_entries_from(base),
+        new_cache_entries: session.cache_entries_since(base),
     })
 }
 

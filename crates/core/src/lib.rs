@@ -58,6 +58,7 @@ mod cutoff;
 mod error;
 pub mod hier;
 pub mod json;
+pub mod lru;
 mod matrix_free;
 mod model;
 mod partition;
@@ -74,6 +75,7 @@ pub use backend::{
 };
 pub use cutoff::{CutoffError, CutoffSpec};
 pub use error::PactError;
+pub use lru::LruCache;
 pub use matrix_free::{reduce_matrix_free, DSolver, PcgSolver};
 pub use model::ReducedModel;
 pub use pact_sparse::CholKernel;

@@ -28,6 +28,7 @@ use pact_sparse::{
 };
 
 use crate::backend;
+use crate::lru::LruCache;
 use crate::model::ReducedModel;
 use crate::partition::Partitions;
 use crate::reduce::{
@@ -37,50 +38,62 @@ use crate::reduce::{
 use crate::telemetry::{Telemetry, Warning};
 use crate::transform::Transform1;
 
-/// Cached symbolic analyses the session keeps at most.
+/// Cached symbolic analyses the session keeps at most (default).
 const CACHE_CAP: usize = 64;
 
-/// One cached analysis: the pattern fingerprint, the ordering and kernel
-/// it was computed under, and the shared analysis itself.
+/// Cache key: pattern fingerprint plus the ordering and kernel the
+/// analysis was computed under.
+pub(crate) type SymKey = (u64, Ordering, CholKernel);
+
+/// One cached analysis as handed between sessions (hier leaf workers
+/// report what they learned as a list of these).
+pub(crate) type CacheEntry = (SymKey, Arc<SymbolicCholesky>);
+
+/// A pattern-keyed, bounded-LRU store of symbolic Cholesky analyses,
+/// built on the shared [`LruCache`] machinery.
+///
+/// Lookup compares the stored 64-bit pattern fingerprint — O(1) per
+/// candidate, the point of the fingerprint — and then verifies the
+/// exact pattern ([`SymbolicCholesky::matches`]) before trusting the
+/// hit, so an FNV-1a collision between different patterns (~2⁻⁶⁴ per
+/// pair) falls through to a fresh analysis whose insert *replaces* the
+/// colliding entry (newest wins) instead of poisoning the cache.
 #[derive(Clone)]
-pub(crate) struct CacheEntry {
-    key: u64,
-    ordering: Ordering,
-    kernel: CholKernel,
-    sym: Arc<SymbolicCholesky>,
+pub(crate) struct SymbolicCache {
+    lru: LruCache<SymKey, Arc<SymbolicCholesky>>,
 }
 
-/// A pattern-keyed store of symbolic Cholesky analyses.
-///
-/// Lookup compares the stored 64-bit pattern fingerprint plus the
-/// dimension ([`SymbolicCholesky::matches`]) — O(1) per candidate, the
-/// point of the fingerprint — so a warm hit costs no pattern walk at
-/// all. Handing back a wrong analysis would need an FNV-1a collision
-/// between different patterns (~2⁻⁶⁴ per pair); debug builds assert
-/// against the exact comparison.
-#[derive(Clone, Default)]
-pub(crate) struct SymbolicCache {
-    entries: Vec<CacheEntry>,
+impl Default for SymbolicCache {
+    fn default() -> SymbolicCache {
+        SymbolicCache::with_capacity(CACHE_CAP)
+    }
 }
 
 impl SymbolicCache {
+    pub(crate) fn with_capacity(cap: usize) -> SymbolicCache {
+        SymbolicCache {
+            lru: LruCache::new(cap),
+        }
+    }
+
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.lru.len()
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.lru.evictions()
     }
 
     fn lookup(
-        &self,
+        &mut self,
         key: u64,
         ordering: Ordering,
         kernel: CholKernel,
         a: &CsrMat,
     ) -> Option<Arc<SymbolicCholesky>> {
-        self.entries
-            .iter()
-            .find(|e| {
-                e.key == key && e.ordering == ordering && e.kernel == kernel && e.sym.matches(a)
-            })
-            .map(|e| Arc::clone(&e.sym))
+        self.lru
+            .get_if(&(key, ordering, kernel), |sym| sym.matches(a))
+            .map(Arc::clone)
     }
 
     fn insert(
@@ -90,33 +103,25 @@ impl SymbolicCache {
         kernel: CholKernel,
         sym: Arc<SymbolicCholesky>,
     ) {
-        if self
-            .entries
-            .iter()
-            .any(|e| e.key == key && e.ordering == ordering && e.kernel == kernel)
-        {
-            return; // already cached (or an astronomically unlikely collision)
-        }
-        if self.entries.len() == CACHE_CAP {
-            self.entries.remove(0);
-        }
-        self.entries.push(CacheEntry {
-            key,
-            ordering,
-            kernel,
-            sym,
-        });
+        self.lru.insert((key, ordering, kernel), sym);
     }
 
-    /// Entries appended after `base` — what a child session learned.
-    pub(crate) fn entries_from(&self, base: usize) -> Vec<CacheEntry> {
-        self.entries[base.min(self.entries.len())..].to_vec()
+    /// The insertion stamp to snapshot before handing clones to workers.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.lru.next_seq()
     }
 
-    /// Merges entries learned elsewhere (deduplicating by key).
+    /// Entries inserted at stamp `base` or later — what a child session
+    /// learned after the snapshot (promotions of snapshot entries are
+    /// not re-reported).
+    pub(crate) fn entries_since(&self, base: u64) -> Vec<CacheEntry> {
+        self.lru.entries_since(base)
+    }
+
+    /// Merges entries learned elsewhere (same-key entries replace).
     pub(crate) fn extend(&mut self, entries: Vec<CacheEntry>) {
-        for e in entries {
-            self.insert(e.key, e.ordering, e.kernel, e.sym);
+        for (key, sym) in entries {
+            self.lru.insert(key, sym);
         }
     }
 }
@@ -178,12 +183,42 @@ pub struct ReductionSession {
     pub(crate) scratch: ScratchPool,
 }
 
+// A session is owned by one serving worker at a time and moves between
+// threads (the `rcfitd` daemon keeps a pool of warm sessions per worker);
+// the symbolic analyses it caches are shared read-only across sessions.
+// Everything inside is plain owned storage (`Vec`s behind `Arc`s), so
+// these hold structurally — the assertions pin the contract so a future
+// field with interior mutability fails to compile here, not in the
+// daemon.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<ReductionSession>();
+    assert_send_sync::<SymbolicCache>();
+    assert_send_sync::<SymbolicCholesky>();
+};
+
 impl ReductionSession {
     /// Creates a session with an empty cache.
     pub fn new(opts: ReduceOptions) -> ReductionSession {
         ReductionSession {
             opts,
             cache: SymbolicCache::default(),
+            scratch: ScratchPool::default(),
+        }
+    }
+
+    /// Creates a session whose symbolic cache holds at most `cap`
+    /// patterns (least-recently-used eviction). Long-running servers pin
+    /// this to bound per-worker memory; the default is 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_capacity(opts: ReduceOptions, cap: usize) -> ReductionSession {
+        ReductionSession {
+            opts,
+            cache: SymbolicCache::with_capacity(cap),
             scratch: ScratchPool::default(),
         }
     }
@@ -208,14 +243,23 @@ impl ReductionSession {
         self.cache.len()
     }
 
+    /// Symbolic analyses evicted from the cache by capacity pressure
+    /// since the session was created. A re-reduction of an evicted
+    /// pattern pays the full analysis again (counted in the
+    /// `factorizations` telemetry counter, not `refactorizations`).
+    pub fn pattern_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
     /// A snapshot of the cache (cheap: shared `Arc`s).
     pub(crate) fn cache_snapshot(&self) -> SymbolicCache {
         self.cache.clone()
     }
 
-    /// Entries this session's cache gained beyond `base` entries.
-    pub(crate) fn cache_entries_from(&self, base: usize) -> Vec<CacheEntry> {
-        self.cache.entries_from(base)
+    /// Entries this session's cache gained at insertion stamp `base` or
+    /// later (see [`SymbolicCache::entries_since`]).
+    pub(crate) fn cache_entries_since(&self, base: u64) -> Vec<CacheEntry> {
+        self.cache.entries_since(base)
     }
 
     /// Merges cache entries learned by child sessions.
@@ -555,6 +599,78 @@ mod tests {
         assert_eq!(c.scope, "flat");
         assert_eq!(c.dim, net.num_internal() as u64);
         assert_eq!(c.poles, red.model.num_poles() as u64);
+    }
+
+    #[test]
+    fn symbolic_cache_evicts_least_recently_used_under_cap_pressure() {
+        let opts = ReduceOptions::new(CutoffSpec::new(5e9, 0.05).unwrap());
+        let mut s = ReductionSession::with_capacity(opts, 2);
+        let net_a = ladder(20, 200.0, 1.0e-12);
+        let net_b = ladder(25, 200.0, 1.0e-12);
+        let net_c = ladder(30, 200.0, 1.0e-12);
+
+        s.reduce_network(&net_a).unwrap(); // cache: [A]
+        s.reduce_network(&net_b).unwrap(); // cache: [A, B]
+        assert_eq!(s.cached_patterns(), 2);
+
+        // Touch A so B — not first-inserted A — is least recently used.
+        let warm_a = s.reduce_network(&net_a).unwrap();
+        assert_eq!(warm_a.telemetry.counters.refactorizations, 1);
+
+        s.reduce_network(&net_c).unwrap(); // evicts B: cache [A, C]
+        assert_eq!(s.cached_patterns(), 2);
+        assert_eq!(s.pattern_evictions(), 1);
+
+        // A survived the eviction (LRU, not FIFO): still a warm hit.
+        let warm_a2 = s.reduce_network(&net_a).unwrap();
+        assert_eq!(warm_a2.telemetry.counters.factorizations, 0);
+        assert_eq!(warm_a2.telemetry.counters.refactorizations, 1);
+
+        // B was evicted: re-reduction pays the full symbolic analysis
+        // again and is counted in `factorizations`.
+        let re_b = s.reduce_network(&net_b).unwrap();
+        assert_eq!(re_b.telemetry.counters.factorizations, 1);
+        assert_eq!(re_b.telemetry.counters.refactorizations, 0);
+        assert_eq!(s.pattern_evictions(), 2, "inserting B evicted C");
+    }
+
+    #[test]
+    fn fingerprint_collision_falls_through_exact_match_and_replaces() {
+        let net_a = ladder(10, 100.0, 1e-12);
+        let net_b = ladder(16, 100.0, 1e-12);
+        let da = Partitions::split(&net_a.stamp()).d;
+        let db = Partitions::split(&net_b.stamp()).d;
+        let ordering = Ordering::NestedDissection;
+        let kernel = CholKernel::Auto.resolved();
+        let factor = |d: &CsrMat| {
+            let (_, _, sym) = SparseCholesky::factor_analyzed_with_kernel(
+                d,
+                ordering,
+                PivotPolicy::Error,
+                kernel,
+            )
+            .unwrap();
+            Arc::new(sym)
+        };
+
+        // Forge an FNV-1a collision: store A's analysis under B's
+        // fingerprint. The exact `matches` verification must reject it.
+        let mut cache = SymbolicCache::with_capacity(4);
+        cache.insert(db.pattern_key(), ordering, kernel, factor(&da));
+        assert!(
+            cache
+                .lookup(db.pattern_key(), ordering, kernel, &db)
+                .is_none(),
+            "a colliding fingerprint must fall through the exact pattern check"
+        );
+
+        // The fresh analysis of B then *replaces* the colliding entry
+        // (newest wins) instead of being shadowed by it forever.
+        cache.insert(db.pattern_key(), ordering, kernel, factor(&db));
+        assert_eq!(cache.len(), 1, "collision resolves by replacement");
+        assert!(cache
+            .lookup(db.pattern_key(), ordering, kernel, &db)
+            .is_some());
     }
 
     #[test]

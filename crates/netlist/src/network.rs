@@ -274,6 +274,38 @@ impl RcNetwork {
         self.node_names.iter().position(|n| n == name)
     }
 
+    /// FNV-1a fingerprint of the network *topology*: node and port
+    /// counts plus the terminal pairs of every resistor and capacitor,
+    /// element values excluded.
+    ///
+    /// Two networks with the same key stamp `G`/`C` matrices with the
+    /// same sparsity pattern, so they share one symbolic Cholesky
+    /// analysis in a `ReductionSession`. The `rcfitd` daemon shards
+    /// requests across workers by this key, which is what lands
+    /// same-topology decks on the same warm session. (Node *names* are
+    /// deliberately excluded: only index structure shapes the matrices.)
+    pub fn topology_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let eat = |h: u64, w: u64| (h ^ w).wrapping_mul(PRIME);
+        // Ground terminals hash as `usize::MAX` (never a node index).
+        let term = |t: Option<usize>| t.map_or(u64::MAX, |i| i as u64);
+        let mut h = OFFSET;
+        h = eat(h, self.node_names.len() as u64);
+        h = eat(h, self.num_ports as u64);
+        h = eat(h, self.resistors.len() as u64);
+        h = eat(h, self.capacitors.len() as u64);
+        for r in &self.resistors {
+            h = eat(h, term(r.a));
+            h = eat(h, term(r.b));
+        }
+        for c in &self.capacitors {
+            h = eat(h, term(c.a));
+            h = eat(h, term(c.b));
+        }
+        h
+    }
+
     /// Element counts `(resistors, capacitors)` — the paper's "R's" and
     /// "C's" table columns.
     pub fn element_counts(&self) -> (usize, usize) {
@@ -545,5 +577,48 @@ C3 f2 0 1p
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].num_ports, ex.network.num_ports);
         assert_eq!(comps[0].num_nodes(), ex.network.num_nodes());
+    }
+
+    #[test]
+    fn topology_key_tracks_structure_not_values() {
+        let base = extract_rc(&ladder_deck(), &[]).unwrap().network;
+
+        // Same structure, different element values: same key (this is
+        // what lets a process-corner sweep share one warm session).
+        let mut scaled = base.clone();
+        for r in &mut scaled.resistors {
+            r.value *= 3.0;
+        }
+        for c in &mut scaled.capacitors {
+            c.value *= 0.5;
+        }
+        assert_eq!(base.topology_key(), scaled.topology_key());
+
+        // Renaming nodes changes nothing structural.
+        let mut renamed = base.clone();
+        for n in &mut renamed.node_names {
+            n.push_str("_x");
+        }
+        assert_eq!(base.topology_key(), renamed.topology_key());
+
+        // Adding a branch, rewiring a terminal, or changing the port
+        // split all change the key.
+        let mut extra = base.clone();
+        extra.capacitors.push(Branch {
+            a: Some(0),
+            b: None,
+            value: 1e-15,
+        });
+        assert_ne!(base.topology_key(), extra.topology_key());
+
+        let mut rewired = base.clone();
+        rewired.resistors[0].b = None; // to ground instead of a node
+        assert_ne!(base.topology_key(), rewired.topology_key());
+
+        let mut reported = base.clone();
+        reported.num_ports = base.num_ports.saturating_sub(1).max(1);
+        if reported.num_ports != base.num_ports {
+            assert_ne!(base.topology_key(), reported.topology_key());
+        }
     }
 }

@@ -1,0 +1,108 @@
+//! Transport front ends for the daemon: stdin/stdout JSONL and a Unix
+//! domain socket, both driving the same [`Daemon::submit`] loop.
+//!
+//! Client faults are a transport concern and stay here: a connection
+//! that dies with responses in flight turns each failed write into a
+//! counted `disconnects` tick and never touches the daemon core — the
+//! worker that was reducing for the dead client finishes, its response
+//! is dropped on the floor, and its warm session stays warm for the next
+//! caller.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+
+use crate::server::{Daemon, ReplySink, Submission};
+
+/// Feeds request lines from `reader` into the daemon until EOF or a
+/// shutdown request; responses go through `sink`.
+///
+/// # Errors
+///
+/// Propagates read errors from `reader`.
+pub fn serve_lines<R: BufRead>(daemon: &Daemon, reader: R, sink: &ReplySink) -> io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if daemon.submit(&line, sink) == Submission::Shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves JSONL over stdin/stdout until EOF or shutdown. Does not drain
+/// the daemon — the caller keeps ownership and calls
+/// [`Daemon::shutdown`] afterwards.
+///
+/// # Errors
+///
+/// Propagates stdin read errors.
+pub fn serve_stdin(daemon: &Daemon) -> io::Result<()> {
+    let sink: ReplySink = Arc::new(|line: &str| {
+        let mut out = io::stdout().lock();
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    });
+    serve_lines(daemon, BufReader::new(io::stdin().lock()), &sink)
+}
+
+/// Serves JSONL over a Unix domain socket at `path` (replacing any stale
+/// socket file) until a client sends `{"op":"shutdown"}`. Each
+/// connection gets a reader thread; responses are serialized per
+/// connection, and a write failure marks the connection dead exactly
+/// once.
+///
+/// # Errors
+///
+/// Propagates bind/accept errors.
+pub fn serve_unix(daemon: &Daemon, path: &Path) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| -> io::Result<()> {
+        for stream in listener.incoming() {
+            if stop.load(AtomicOrdering::Relaxed) {
+                break;
+            }
+            let stream = stream?;
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || serve_connection(daemon, stream, &stop, path));
+        }
+        Ok(())
+    })?;
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Runs one connection's read loop. On shutdown, pokes the listener with
+/// a throwaway connect so the accept loop observes the stop flag.
+fn serve_connection(daemon: &Daemon, stream: UnixStream, stop: &AtomicBool, path: &Path) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let dead = Arc::new(AtomicBool::new(false));
+    let counters = Arc::clone(daemon.counters());
+    let sink: ReplySink = {
+        let writer = Arc::clone(&writer);
+        let dead = Arc::clone(&dead);
+        Arc::new(move |line: &str| {
+            let mut w = writer.lock().unwrap();
+            let sent = writeln!(w, "{line}").and_then(|()| w.flush());
+            if sent.is_err() && !dead.swap(true, AtomicOrdering::Relaxed) {
+                counters.disconnects.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+        })
+    };
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if daemon.submit(&line, &sink) == Submission::Shutdown {
+            stop.store(true, AtomicOrdering::Relaxed);
+            let _ = UnixStream::connect(path);
+            break;
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The shared deck pipeline: one code path from SPICE text to reduced
+//! SPICE text, used by both the one-shot `rcfit` CLI and the `rcfitd`
+//! daemon workers.
+//!
+//! Bit-identity between the daemon and the CLI is a protocol guarantee
+//! (`rcfitd-v1` responses must match what `rcfit` would print for the
+//! same deck and options), and the cheapest way to guarantee it is by
+//! construction: both front ends call [`prepare_deck`],
+//! [`reduce_prepared`] and [`render_reduced`] in that order, and neither
+//! owns any numeric decision of its own. Option resolution (including
+//! the historical `--dense` alias and the pivot-relief default) lives
+//! here for the same reason.
+
+use pact::{
+    sanitize_network, CholKernel, ComponentReduction, CutoffSpec, EigenSelect, PactError,
+    ReduceOptions, ReduceStrategy, Reduction, ReductionSession, Telemetry, Warning,
+};
+use pact_lanczos::LanczosConfig;
+use pact_netlist::{extract_rc, parse, splice_reduced, Element, Netlist, RcNetwork};
+use pact_sparse::Ordering;
+
+/// Default relative pivot-relief floor for quasi-singular `D` diagonals;
+/// see `ReduceOptions::pivot_relief`.
+pub const PIVOT_RELIEF: f64 = 1e-12;
+
+/// Default `--block-size`: target internal nodes per hierarchical leaf.
+pub const DEFAULT_BLOCK_SIZE: usize = 2000;
+
+/// Default `--max-depth`: dissection recursion budget.
+pub const DEFAULT_MAX_DEPTH: usize = 16;
+
+/// The `--eigen` flag / `"eigen"` option: which pole-analysis backend to
+/// use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EigenArg {
+    /// Let the reducer pick per sub-problem.
+    Auto,
+    /// The dense reference eigensolver.
+    Dense,
+    /// Shift-invert Lanczos (the default).
+    Lanczos,
+    /// The rank-revealing low-rank path with a dense fallback.
+    LowRank,
+}
+
+impl EigenArg {
+    /// Parses the spelling shared by `rcfit --eigen` and the daemon's
+    /// `"eigen"` option.
+    pub fn parse(s: &str) -> Result<EigenArg, String> {
+        match s {
+            "auto" => Ok(EigenArg::Auto),
+            "dense" => Ok(EigenArg::Dense),
+            "lanczos" => Ok(EigenArg::Lanczos),
+            "lowrank" => Ok(EigenArg::LowRank),
+            other => Err(format!(
+                "eigen expects auto, dense, lanczos, or lowrank (got `{other}`)"
+            )),
+        }
+    }
+
+    /// The canonical spelling (inverse of [`EigenArg::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EigenArg::Auto => "auto",
+            EigenArg::Dense => "dense",
+            EigenArg::Lanczos => "lanczos",
+            EigenArg::LowRank => "lowrank",
+        }
+    }
+}
+
+/// Everything a deck reduction depends on beyond the deck text itself:
+/// the resolved form of the `rcfit` CLI flags and of the `rcfitd`
+/// request `options` object.
+#[derive(Clone, Debug)]
+pub struct DeckOptions {
+    /// Maximum frequency of interest (Hz).
+    pub f_max: f64,
+    /// Relative error tolerance at `f_max`.
+    pub tolerance: f64,
+    /// Element-dropping tolerance for the realized reduced network.
+    pub sparsify: f64,
+    /// Node names forced to be ports beyond the paper's port rule.
+    pub extra_ports: Vec<String>,
+    /// Worker threads inside one reduction (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Explicit eigen backend choice, if any.
+    pub eigen: Option<EigenArg>,
+    /// The historical `--dense` alias for the low-rank path.
+    pub dense: bool,
+    /// Reduce each connected component separately.
+    pub components: bool,
+    /// Fail on quasi-singular pivots instead of perturbing them.
+    pub strict_pivots: bool,
+    /// Reduce via nested-dissection blocks.
+    pub hier: bool,
+    /// `--block-size`: max internal nodes per hierarchical leaf.
+    pub block_size: usize,
+    /// `--max-depth`: dissection recursion budget.
+    pub max_depth: usize,
+    /// Numeric Cholesky kernel selection.
+    pub chol_kernel: CholKernel,
+}
+
+impl Default for DeckOptions {
+    fn default() -> DeckOptions {
+        DeckOptions {
+            f_max: 1e9,
+            tolerance: 0.05,
+            sparsify: 1e-9,
+            extra_ports: Vec::new(),
+            threads: None,
+            eigen: None,
+            dense: false,
+            components: false,
+            strict_pivots: false,
+            hier: false,
+            block_size: DEFAULT_BLOCK_SIZE,
+            max_depth: DEFAULT_MAX_DEPTH,
+            chol_kernel: CholKernel::Auto,
+        }
+    }
+}
+
+impl DeckOptions {
+    /// Resolves the eigen choice: an explicit `eigen` wins, bare `dense`
+    /// keeps its historical low-rank meaning, and the default is
+    /// shift-invert Lanczos.
+    pub fn eigen_select(&self) -> EigenSelect {
+        match self.eigen {
+            Some(EigenArg::Auto) => EigenSelect::Auto,
+            Some(EigenArg::Dense) => EigenSelect::Dense,
+            Some(EigenArg::Lanczos) => EigenSelect::Lanczos(LanczosConfig::default()),
+            Some(EigenArg::LowRank) => EigenSelect::LowRank,
+            None if self.dense => EigenSelect::LowRank,
+            None => EigenSelect::Lanczos(LanczosConfig::default()),
+        }
+    }
+
+    /// The fully resolved reduction options.
+    ///
+    /// # Errors
+    ///
+    /// Fails (code `cutoff`) when `f_max`/`tolerance` do not define a
+    /// valid cutoff.
+    pub fn reduce_options(&self) -> Result<ReduceOptions, PactError> {
+        let cutoff = CutoffSpec::new(self.f_max, self.tolerance)?;
+        Ok(ReduceOptions {
+            cutoff,
+            eigen_backend: self.eigen_select(),
+            ordering: Ordering::NestedDissection,
+            dense_threshold: 400,
+            threads: self.threads,
+            pivot_relief: if self.strict_pivots {
+                None
+            } else {
+                Some(PIVOT_RELIEF)
+            },
+            strategy: if self.hier {
+                ReduceStrategy::Hierarchical {
+                    max_block: self.block_size,
+                    max_depth: self.max_depth,
+                }
+            } else {
+                ReduceStrategy::Flat
+            },
+            chol_kernel: self.chol_kernel,
+        })
+    }
+
+    /// A canonical string of every field [`DeckOptions::reduce_options`]
+    /// depends on — the daemon's warm-session pool key. Render-only
+    /// fields (`sparsify`) and deck-shaping fields (`extra_ports`, which
+    /// change the *network*, hence the topology shard, not the session)
+    /// are deliberately excluded.
+    pub fn session_key(&self) -> String {
+        let eigen = match self.eigen {
+            Some(e) => e.name(),
+            None if self.dense => "lowrank",
+            None => "lanczos",
+        };
+        let strategy = if self.hier {
+            format!("hier:{}:{}", self.block_size, self.max_depth)
+        } else {
+            "flat".to_owned()
+        };
+        let kernel = match self.chol_kernel {
+            CholKernel::Auto => "auto",
+            CholKernel::Supernodal => "supernodal",
+            CholKernel::Scalar => "scalar",
+        };
+        format!(
+            "fmax={};tol={};eigen={eigen};threads={:?};strict={};strategy={strategy};kernel={kernel}",
+            self.f_max, self.tolerance, self.threads, self.strict_pivots
+        )
+    }
+}
+
+/// A deck carried through the front half of the pipeline: parsed,
+/// flattened, extracted and sanitized, ready to be reduced.
+#[derive(Clone, Debug)]
+pub struct PreparedDeck {
+    /// The flattened original deck (reduced elements splice into this).
+    pub deck: Netlist,
+    /// The sanitized RC network.
+    pub network: RcNetwork,
+    /// Ports in the raw extraction, before sanitization.
+    pub raw_ports: usize,
+    /// Internal nodes in the raw extraction.
+    pub raw_internal: usize,
+    /// Resistors in the raw extraction.
+    pub raw_resistors: usize,
+    /// Capacitors in the raw extraction.
+    pub raw_capacitors: usize,
+    /// Sanitizer warnings (already folded into `telemetry`; kept
+    /// separately so the CLI can echo them to stderr).
+    pub sanitize_warnings: Vec<Warning>,
+    /// Telemetry for the phases run so far (parse/flatten/extract/
+    /// sanitize) plus their warnings and counters.
+    pub telemetry: Telemetry,
+}
+
+impl PreparedDeck {
+    /// The FNV-1a topology fingerprint of the *sanitized* network — the
+    /// daemon's shard key. Computed after sanitization so value-dependent
+    /// pruning (dropped zero caps, floating internals) is reflected.
+    pub fn topology_key(&self) -> u64 {
+        self.network.topology_key()
+    }
+}
+
+/// Runs the front half of the pipeline on deck text:
+/// parse → flatten → extract → sanitize.
+///
+/// # Errors
+///
+/// Any [`PactError`] with the usual typed codes (`parse`, `flatten`,
+/// `network`, ...).
+pub fn prepare_deck(text: &str, extra_ports: &[String]) -> Result<PreparedDeck, PactError> {
+    let mut tel = Telemetry::new();
+    let deck = tel.time("parse", || parse(text))?;
+    let deck = tel.time("flatten", || deck.flatten())?;
+    for (name, count) in deck.duplicate_element_names() {
+        tel.counters.duplicate_element_names += 1;
+        tel.warn(Warning::DuplicateElementName { name, count });
+    }
+    let port_refs: Vec<&str> = extra_ports.iter().map(String::as_str).collect();
+    let ex = tel.time("extract", || extract_rc(&deck, &port_refs))?;
+    let raw_ports = ex.network.num_ports;
+    let raw_internal = ex.network.num_internal();
+    let raw_resistors = ex.network.resistors.len();
+    let raw_capacitors = ex.network.capacitors.len();
+    let sanitized = tel.time("sanitize", || sanitize_network(&ex.network))?;
+    sanitized.record(&mut tel);
+    Ok(PreparedDeck {
+        deck,
+        network: sanitized.network,
+        raw_ports,
+        raw_internal,
+        raw_resistors,
+        raw_capacitors,
+        sanitize_warnings: sanitized.warnings,
+        telemetry: tel,
+    })
+}
+
+/// The back half's result: a whole-network or per-component reduction.
+#[derive(Clone, Debug)]
+pub enum ReducedDeck {
+    /// One reduction of the whole connected network (boxed: a
+    /// `Reduction` is large relative to the per-component variant).
+    Whole(Box<Reduction>),
+    /// Independent reductions of each connected component.
+    Components(ComponentReduction),
+}
+
+impl ReducedDeck {
+    /// The reduction's telemetry (aggregated across components).
+    pub fn telemetry(&self) -> Telemetry {
+        match self {
+            ReducedDeck::Whole(r) => r.telemetry.clone(),
+            ReducedDeck::Components(c) => c.telemetry(),
+        }
+    }
+
+    /// Poles retained by the reduced model(s).
+    pub fn num_poles(&self) -> usize {
+        match self {
+            ReducedDeck::Whole(r) => r.model.num_poles(),
+            ReducedDeck::Components(c) => c.num_poles(),
+        }
+    }
+
+    /// SPICE elements realizing the reduced network.
+    pub fn to_netlist_elements(&self, prefix: &str, sparsify_tol: f64) -> Vec<Element> {
+        match self {
+            ReducedDeck::Whole(r) => r.model.to_netlist_elements(prefix, sparsify_tol),
+            ReducedDeck::Components(c) => c.to_netlist_elements(prefix, sparsify_tol),
+        }
+    }
+}
+
+/// Reduces a prepared deck inside `session` (whole-network, or per
+/// connected component when `components` is set).
+///
+/// # Errors
+///
+/// Reduction failures, remapped to node/element attribution on the
+/// prepared network.
+pub fn reduce_prepared(
+    prep: &PreparedDeck,
+    session: &mut ReductionSession,
+    components: bool,
+) -> Result<ReducedDeck, PactError> {
+    let net = &prep.network;
+    if components {
+        session
+            .reduce_network_components(net)
+            .map(ReducedDeck::Components)
+            .map_err(|e| PactError::from_reduce(e, net))
+    } else {
+        session
+            .reduce_network(net)
+            .map(|r| ReducedDeck::Whole(Box::new(r)))
+            .map_err(|e| PactError::from_reduce(e, net))
+    }
+}
+
+/// Realizes the reduced model as SPICE elements, splices them into the
+/// original deck and renders the result. Returns the rendered deck text
+/// and the number of realized elements; the `emit` phase is recorded on
+/// `tel`.
+pub fn render_reduced(
+    prep: &PreparedDeck,
+    reduced: &ReducedDeck,
+    prefix: &str,
+    sparsify: f64,
+    tel: &mut Telemetry,
+) -> (String, usize) {
+    let elements = reduced.to_netlist_elements(prefix, sparsify);
+    let count = elements.len();
+    let rendered = tel.time("emit", || splice_reduced(&prep.deck, elements).to_string());
+    (rendered, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECK: &str = "* ladder\n\
+        R1 in n1 1k\n\
+        R2 n1 out 1k\n\
+        C1 n1 0 1p\n\
+        C2 out 0 1p\n\
+        V1 in 0 1\n\
+        RL out 0 10k\n\
+        .end\n";
+
+    #[test]
+    fn pipeline_round_trips_a_deck() {
+        let prep = prepare_deck(DECK, &[]).unwrap();
+        assert_eq!(
+            prep.network.num_ports, 1,
+            "only `in` touches a non-RC device"
+        );
+        assert_eq!(prep.raw_resistors, 3);
+        assert_eq!(prep.raw_capacitors, 2);
+        let opts = DeckOptions::default();
+        let mut session = ReductionSession::new(opts.reduce_options().unwrap());
+        let red = reduce_prepared(&prep, &mut session, false).unwrap();
+        let mut tel = prep.telemetry.clone();
+        let (text, n) = render_reduced(&prep, &red, "rcfit", opts.sparsify, &mut tel);
+        assert!(n > 0);
+        assert!(text.contains("V1"), "non-RC elements survive the splice");
+        assert!(tel.phases.iter().any(|p| p.name == "emit"));
+    }
+
+    #[test]
+    fn prepared_decks_same_topology_share_a_shard_key() {
+        let prep = prepare_deck(DECK, &[]).unwrap();
+        let scaled = DECK.replace("1k", "2k").replace("1p", "3p");
+        let prep2 = prepare_deck(&scaled, &[]).unwrap();
+        assert_eq!(prep.topology_key(), prep2.topology_key());
+        let rewired = DECK.replace("C2 out 0 1p", "C2 n1 out 1p");
+        let prep3 = prepare_deck(&rewired, &[]).unwrap();
+        assert_ne!(prep.topology_key(), prep3.topology_key());
+    }
+
+    #[test]
+    fn session_key_tracks_numeric_options_only() {
+        let a = DeckOptions::default();
+        let b = DeckOptions {
+            sparsify: 1e-3,
+            extra_ports: vec!["n1".to_owned()],
+            ..DeckOptions::default()
+        };
+        assert_eq!(
+            a.session_key(),
+            b.session_key(),
+            "render-only fields excluded"
+        );
+        let c = DeckOptions {
+            f_max: 2e9,
+            ..DeckOptions::default()
+        };
+        assert_ne!(a.session_key(), c.session_key());
+        let d = DeckOptions {
+            hier: true,
+            ..DeckOptions::default()
+        };
+        assert_ne!(a.session_key(), d.session_key());
+    }
+
+    #[test]
+    fn dense_alias_and_eigen_override_resolve_like_the_cli() {
+        let mut o = DeckOptions::default();
+        assert!(matches!(o.eigen_select(), EigenSelect::Lanczos(_)));
+        o.dense = true;
+        assert!(matches!(o.eigen_select(), EigenSelect::LowRank));
+        o.eigen = Some(EigenArg::Dense);
+        assert!(matches!(o.eigen_select(), EigenSelect::Dense));
+    }
+}

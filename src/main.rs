@@ -28,46 +28,12 @@
 
 use std::process::ExitCode;
 
-use pact::{
-    sanitize_network, CholKernel, CutoffSpec, EigenSelect, PactError, ReduceOptions,
-    ReduceStrategy, ReductionSession, Telemetry, Warning,
+use pact::{CholKernel, PactError, ReductionSession};
+use pact_netlist::parse_value;
+use pact_serve::{
+    prepare_deck, reduce_prepared, render_reduced, DeckOptions, EigenArg, ReducedDeck,
+    DEFAULT_BLOCK_SIZE, DEFAULT_MAX_DEPTH,
 };
-use pact_lanczos::LanczosConfig;
-use pact_netlist::{extract_rc, parse, parse_value, splice_reduced};
-use pact_sparse::Ordering;
-
-/// Default relative pivot-relief floor for quasi-singular `D` diagonals;
-/// see `ReduceOptions::pivot_relief`.
-const PIVOT_RELIEF: f64 = 1e-12;
-
-/// Default `--block-size`: target internal nodes per hierarchical leaf.
-const DEFAULT_BLOCK_SIZE: usize = 2000;
-
-/// Default `--max-depth`: dissection recursion budget.
-const DEFAULT_MAX_DEPTH: usize = 16;
-
-/// The `--eigen` flag: which pole-analysis backend to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum EigenArg {
-    Auto,
-    Dense,
-    Lanczos,
-    LowRank,
-}
-
-impl EigenArg {
-    fn parse(s: &str) -> Result<EigenArg, String> {
-        match s {
-            "auto" => Ok(EigenArg::Auto),
-            "dense" => Ok(EigenArg::Dense),
-            "lanczos" => Ok(EigenArg::Lanczos),
-            "lowrank" => Ok(EigenArg::LowRank),
-            other => Err(format!(
-                "--eigen expects auto, dense, lanczos, or lowrank (got `{other}`)"
-            )),
-        }
-    }
-}
 
 #[derive(Debug)]
 struct Args {
@@ -224,46 +190,30 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Resolves the `--eigen`/`--dense` flags to a backend selector.
-///
-/// `--eigen` wins when both are present; bare `--dense` keeps its
-/// historical meaning (the rank-revealing low-rank path with a dense
-/// fallback, now spelled [`EigenSelect::LowRank`]).
-fn eigen_select(args: &Args) -> EigenSelect {
-    match args.eigen {
-        Some(EigenArg::Auto) => EigenSelect::Auto,
-        Some(EigenArg::Dense) => EigenSelect::Dense,
-        Some(EigenArg::Lanczos) => EigenSelect::Lanczos(LanczosConfig::default()),
-        Some(EigenArg::LowRank) => EigenSelect::LowRank,
-        None if args.dense => EigenSelect::LowRank,
-        None => EigenSelect::Lanczos(LanczosConfig::default()),
+/// The CLI flags as shared-pipeline options. Resolution of defaults
+/// (the `--dense` alias, pivot relief, ordering, dense threshold) lives
+/// in [`DeckOptions`], shared verbatim with the `rcfitd` daemon so both
+/// front ends produce bit-identical output.
+fn deck_options(args: &Args) -> DeckOptions {
+    DeckOptions {
+        f_max: args.f_max,
+        tolerance: args.tolerance,
+        sparsify: args.sparsify,
+        extra_ports: args.extra_ports.clone(),
+        threads: args.threads,
+        eigen: args.eigen,
+        dense: args.dense,
+        components: args.components,
+        strict_pivots: args.strict_pivots,
+        hier: args.hier,
+        block_size: args.block_size,
+        max_depth: args.max_depth,
+        chol_kernel: args.chol_kernel,
     }
 }
 
 fn run(args: &Args) -> Result<(), PactError> {
-    let cutoff = CutoffSpec::new(args.f_max, args.tolerance)?;
-    let opts = ReduceOptions {
-        cutoff,
-        eigen_backend: eigen_select(args),
-        ordering: Ordering::NestedDissection,
-        dense_threshold: 400,
-        threads: args.threads,
-        pivot_relief: if args.strict_pivots {
-            None
-        } else {
-            Some(PIVOT_RELIEF)
-        },
-        strategy: if args.hier {
-            ReduceStrategy::Hierarchical {
-                max_block: args.block_size,
-                max_depth: args.max_depth,
-            }
-        } else {
-            ReduceStrategy::Flat
-        },
-        chol_kernel: args.chol_kernel,
-    };
-    let mut session = ReductionSession::new(opts);
+    let mut session = ReductionSession::new(deck_options(args).reduce_options()?);
     let batch = args.inputs.len() > 1;
     for (i, input) in args.inputs.iter().enumerate() {
         if batch {
@@ -273,7 +223,7 @@ fn run(args: &Args) -> Result<(), PactError> {
                 args.inputs.len()
             );
         }
-        run_deck(args, input, &cutoff, &mut session)?;
+        run_deck(args, input, &mut session)?;
     }
     if batch {
         eprintln!(
@@ -285,117 +235,92 @@ fn run(args: &Args) -> Result<(), PactError> {
     Ok(())
 }
 
-fn run_deck(
-    args: &Args,
-    input: &str,
-    cutoff: &CutoffSpec,
-    session: &mut ReductionSession,
-) -> Result<(), PactError> {
-    let mut tel = Telemetry::new();
+fn run_deck(args: &Args, input: &str, session: &mut ReductionSession) -> Result<(), PactError> {
     let text = std::fs::read_to_string(input).map_err(|e| PactError::io(input, &e))?;
-    let deck = tel.time("parse", || parse(&text))?;
-    let deck = tel.time("flatten", || deck.flatten())?;
-    for (name, count) in deck.duplicate_element_names() {
-        tel.counters.duplicate_element_names += 1;
-        tel.warn(Warning::DuplicateElementName { name, count });
-    }
-    let port_refs: Vec<&str> = args.extra_ports.iter().map(String::as_str).collect();
-    let ex = tel.time("extract", || extract_rc(&deck, &port_refs))?;
+    // The front half (parse → flatten → extract → sanitize) and the
+    // reduce/render back half are the shared pact-serve pipeline — the
+    // CLI only adds progress reporting around it.
+    let prep = prepare_deck(&text, &args.extra_ports)?;
     eprintln!(
         "rcfit: extracted RC network: {} ports, {} internal nodes, {} R, {} C",
-        ex.network.num_ports,
-        ex.network.num_internal(),
-        ex.network.resistors.len(),
-        ex.network.capacitors.len()
+        prep.raw_ports, prep.raw_internal, prep.raw_resistors, prep.raw_capacitors
     );
-
-    let sanitized = tel.time("sanitize", || sanitize_network(&ex.network))?;
-    sanitized.record(&mut tel);
-    for w in &sanitized.warnings {
+    for w in &prep.sanitize_warnings {
         eprintln!("rcfit: warning: {w}");
     }
-    let net = &sanitized.network;
 
-    // Reduce (whole-network or per-component), collect the SPICE elements
-    // of the reduced network, and fold the reduction telemetry in.
-    let elements = if args.components {
-        let red = session
-            .reduce_network_components(net)
-            .map_err(|e| PactError::from_reduce(e, net))?;
-        tel.absorb(&red.telemetry());
-        eprintln!(
-            "rcfit: {} component(s) reduced, {} floating island(s) dropped, {} pole(s) kept",
-            red.reductions.len(),
-            red.floating_dropped,
-            red.num_poles()
-        );
-        red.to_netlist_elements("rcfit", args.sparsify)
-    } else {
-        let red = session
-            .reduce_network(net)
-            .map_err(|e| PactError::from_reduce(e, net))?;
-        tel.absorb(&red.telemetry);
-        eprintln!(
-            "rcfit: kept {} pole(s) below the {:.3e} Hz cutoff ({} internal nodes eliminated)",
-            red.model.num_poles(),
-            cutoff.cutoff_frequency(),
-            net.num_internal() - red.model.num_poles()
-        );
-        if args.stats {
-            let s = &red.stats;
+    let red = reduce_prepared(&prep, session, args.components)?;
+    let mut tel = prep.telemetry.clone();
+    tel.absorb(&red.telemetry());
+    match &red {
+        ReducedDeck::Components(c) => {
             eprintln!(
-                "rcfit: reduction {:.3} s; Cholesky |L| = {} nnz ({:.1} MB); modelled peak {:.1} MB",
-                s.elapsed_seconds,
-                s.chol_nnz,
-                s.chol_memory_bytes as f64 / 1e6,
-                s.modelled_memory_bytes as f64 / 1e6
+                "rcfit: {} component(s) reduced, {} floating island(s) dropped, {} pole(s) kept",
+                c.reductions.len(),
+                c.floating_dropped,
+                c.num_poles()
             );
-            if let Some(ls) = s.lanczos {
+        }
+        ReducedDeck::Whole(r) => {
+            let cutoff = session.options().cutoff;
+            eprintln!(
+                "rcfit: kept {} pole(s) below the {:.3e} Hz cutoff ({} internal nodes eliminated)",
+                r.model.num_poles(),
+                cutoff.cutoff_frequency(),
+                prep.network.num_internal() - r.model.num_poles()
+            );
+            if args.stats {
+                let s = &r.stats;
                 eprintln!(
-                    "rcfit: LASO: {} matvecs, {} iterations, {} restarts",
-                    ls.matvecs, ls.iterations, ls.restarts
+                    "rcfit: reduction {:.3} s; Cholesky |L| = {} nnz ({:.1} MB); modelled peak {:.1} MB",
+                    s.elapsed_seconds,
+                    s.chol_nnz,
+                    s.chol_memory_bytes as f64 / 1e6,
+                    s.modelled_memory_bytes as f64 / 1e6
                 );
-            }
-            match red.model.passivity_margins() {
-                Ok((g, c)) => {
-                    eprintln!("rcfit: passivity margins: λmin(G'')={g:.3e}, λmin(C'')={c:.3e}");
-                }
-                Err(e) => eprintln!("rcfit: passivity check failed: {e}"),
-            }
-        }
-        if args.verify {
-            let parts = pact::Partitions::split(&net.stamp());
-            let ctx = pact_sparse::ParCtx::new(args.threads);
-            let report = tel.time("verify_sweep", || {
-                pact::verify_reduction_with(&parts, &red.model, cutoff, 25, ctx)
-            });
-            match report {
-                Ok(report) => {
-                    tel.counters.factorizations += report.sweep_counts.factorizations;
-                    tel.counters.refactorizations += report.sweep_counts.refactorizations;
+                if let Some(ls) = s.lanczos {
                     eprintln!(
-                        "rcfit: verify: worst in-band error {:.3} % (tolerance {:.1} %), overall {:.3} %: {}",
-                        report.worst_in_band * 100.0,
-                        report.tolerance * 100.0,
-                        report.worst_overall * 100.0,
-                        if report.passes() { "PASS" } else { "FAIL" }
-                    );
-                    eprintln!(
-                        "rcfit: verify: exact sweep used {} factorization(s) + {} refactorization(s)",
-                        report.sweep_counts.factorizations, report.sweep_counts.refactorizations
+                        "rcfit: LASO: {} matvecs, {} iterations, {} restarts",
+                        ls.matvecs, ls.iterations, ls.restarts
                     );
                 }
-                Err(e) => eprintln!("rcfit: verify failed to run: {e}"),
+                match r.model.passivity_margins() {
+                    Ok((g, c)) => {
+                        eprintln!("rcfit: passivity margins: λmin(G'')={g:.3e}, λmin(C'')={c:.3e}");
+                    }
+                    Err(e) => eprintln!("rcfit: passivity check failed: {e}"),
+                }
+            }
+            if args.verify {
+                let parts = pact::Partitions::split(&prep.network.stamp());
+                let ctx = pact_sparse::ParCtx::new(args.threads);
+                let report = tel.time("verify_sweep", || {
+                    pact::verify_reduction_with(&parts, &r.model, &cutoff, 25, ctx)
+                });
+                match report {
+                    Ok(report) => {
+                        tel.counters.factorizations += report.sweep_counts.factorizations;
+                        tel.counters.refactorizations += report.sweep_counts.refactorizations;
+                        eprintln!(
+                            "rcfit: verify: worst in-band error {:.3} % (tolerance {:.1} %), overall {:.3} %: {}",
+                            report.worst_in_band * 100.0,
+                            report.tolerance * 100.0,
+                            report.worst_overall * 100.0,
+                            if report.passes() { "PASS" } else { "FAIL" }
+                        );
+                        eprintln!(
+                            "rcfit: verify: exact sweep used {} factorization(s) + {} refactorization(s)",
+                            report.sweep_counts.factorizations, report.sweep_counts.refactorizations
+                        );
+                    }
+                    Err(e) => eprintln!("rcfit: verify failed to run: {e}"),
+                }
             }
         }
-        red.model.to_netlist_elements("rcfit", args.sparsify)
-    };
+    }
 
-    eprintln!(
-        "rcfit: reduced network realized with {} elements",
-        elements.len()
-    );
-    let rendered = tel.time("emit", || splice_reduced(&deck, elements).to_string());
+    let (rendered, element_count) = render_reduced(&prep, &red, "rcfit", args.sparsify, &mut tel);
+    eprintln!("rcfit: reduced network realized with {element_count} elements");
     tel.time("write", || match &args.output {
         Some(path) => std::fs::write(path, &rendered).map_err(|e| PactError::io(path, &e)),
         None => {
@@ -436,9 +361,14 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pact::EigenSelect;
 
     fn argv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn eigen_select(args: &Args) -> EigenSelect {
+        deck_options(args).eigen_select()
     }
 
     #[test]
