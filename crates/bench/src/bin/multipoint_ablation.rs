@@ -1,0 +1,458 @@
+//! Multipoint ablation: accuracy versus retained poles, flat PACT
+//! against the `pact::multipoint` expansion backend, on the Table 2
+//! substrate (25 ports, 3 GHz / 5 %) and the Table 4-style mesh
+//! (500 MHz / 10 %).
+//!
+//! ```text
+//! cargo run --release -p pact-bench --bin multipoint_ablation [--smoke]
+//! ```
+//!
+//! For each mesh the harness reduces flat and multipoint, measures the
+//! worst in-band `|Z|` error of each model against a reference sweep
+//! (Figure 5's criterion: an 81-point log AC sweep, error taken below
+//! `f_max`; the reference is the original network, except on the full
+//! Table 4 mesh where it is the flat model — see `Section`), then
+//! ablates the multipoint model pole by pole — dropping `(r̃ᵢ, λ̃ᵢ)`
+//! rows in ascending order of their worst in-band contribution, which
+//! is passivity-safe — to trace the full accuracy-versus-poles curve.
+//! The headline numbers are the smallest multipoint pole counts whose
+//! error still beats flat's (`poles_at_flat_accuracy`) and still meets
+//! the tolerance spec (`poles_at_spec`), written to
+//! `BENCH_multipoint.json`. `--smoke` shrinks both meshes for CI.
+
+use pact::{
+    CutoffSpec, EigenSelect, ReduceOptions, ReduceStrategy, ReducedModel, ReductionSession,
+};
+use pact_bench::{print_table, secs, timed};
+use pact_circuit::{log_frequencies, AcExcitation, Circuit};
+use pact_gen::{network_to_elements, substrate_mesh, MeshSpec};
+use pact_lanczos::LanczosConfig;
+use pact_netlist::{Element, Netlist};
+use pact_sparse::{DMat, Ordering};
+
+struct Section {
+    name: &'static str,
+    spec: MeshSpec,
+    f_max: f64,
+    tolerance: f64,
+    /// Measure errors against an AC sweep of the *original* network.
+    /// The full Table 4 mesh turns this off — 81 complex factorizations
+    /// of a 20k-node 3-D mesh dominate the whole bench (the repo's
+    /// `table4_large_mesh` bench never sweeps the original either) —
+    /// and measures against the flat reduced model instead, which the
+    /// smoke section pins to the original within 0.05 %.
+    orig_reference: bool,
+}
+
+/// One model's measured accuracy: retained poles and the worst in-band
+/// relative `|Z|` error against the original network.
+struct Measured {
+    poles: usize,
+    worst_err: f64,
+    seconds: f64,
+}
+
+struct SectionResult {
+    name: &'static str,
+    nodes: usize,
+    ports: usize,
+    flat: Measured,
+    multipoint: Measured,
+    /// Accuracy-versus-poles curve for the multipoint model, one entry
+    /// per truncation (descending pole count).
+    curve: Vec<(usize, f64)>,
+    /// Smallest multipoint pole count whose error is no worse than
+    /// flat's full model (usize::MAX when the curve never gets there).
+    poles_at_flat_accuracy: usize,
+    /// Smallest multipoint pole count still inside the section's error
+    /// tolerance (usize::MAX when even the full model misses it).
+    poles_at_spec: usize,
+    /// What the errors are measured against: "original" or "flat".
+    reference: &'static str,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("# Multipoint ablation: accuracy vs poles, flat vs multipoint");
+
+    let sections = if smoke {
+        vec![
+            Section {
+                name: "table2_smoke",
+                spec: MeshSpec {
+                    nx: 10,
+                    ny: 10,
+                    nz: 4,
+                    num_contacts: 16,
+                    ..MeshSpec::table2()
+                },
+                f_max: 3e9,
+                tolerance: 0.05,
+                orig_reference: true,
+            },
+            Section {
+                name: "table4_smoke",
+                spec: MeshSpec {
+                    nx: 14,
+                    ny: 14,
+                    nz: 5,
+                    num_contacts: 24,
+                    ..MeshSpec::table4()
+                },
+                f_max: 500e6,
+                tolerance: 0.10,
+                orig_reference: true,
+            },
+        ]
+    } else {
+        vec![
+            Section {
+                name: "table2",
+                spec: MeshSpec::table2(),
+                f_max: 3e9,
+                tolerance: 0.05,
+                orig_reference: true,
+            },
+            Section {
+                name: "table4",
+                spec: MeshSpec::table4(),
+                f_max: 500e6,
+                tolerance: 0.10,
+                orig_reference: false,
+            },
+        ]
+    };
+
+    let results: Vec<SectionResult> = sections.iter().map(run_section).collect();
+
+    let mut rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            r.name.to_owned(),
+            format!("{}", r.flat.poles),
+            format!("{:.3}", r.flat.worst_err * 100.0),
+            format!("{}", r.multipoint.poles),
+            format!("{:.3}", r.multipoint.worst_err * 100.0),
+            if r.poles_at_flat_accuracy == usize::MAX {
+                "-".into()
+            } else {
+                format!("{}", r.poles_at_flat_accuracy)
+            },
+            if r.poles_at_spec == usize::MAX {
+                "-".into()
+            } else {
+                format!("{}", r.poles_at_spec)
+            },
+            r.reference.to_owned(),
+        ]);
+    }
+    print_table(
+        "Accuracy vs poles (worst in-band |Z| error, % of original)",
+        &[
+            "mesh",
+            "flat poles",
+            "flat err %",
+            "mp poles",
+            "mp err %",
+            "mp poles @ flat acc",
+            "mp poles @ spec",
+            "reference",
+        ],
+        &rows,
+    );
+
+    for r in &results {
+        println!(
+            "PERF {name}_flat_poles={fp} {name}_flat_err={fe:.6} \
+             {name}_mp_poles={mp} {name}_mp_err={me:.6}",
+            name = r.name,
+            fp = r.flat.poles,
+            fe = r.flat.worst_err,
+            mp = r.multipoint.poles,
+            me = r.multipoint.worst_err
+        );
+    }
+
+    let json = render_json(&results, smoke);
+    std::fs::write("BENCH_multipoint.json", &json).expect("write BENCH_multipoint.json");
+    println!("wrote BENCH_multipoint.json");
+    if smoke {
+        println!("smoke OK");
+    }
+}
+
+fn run_section(section: &Section) -> SectionResult {
+    let net = substrate_mesh(&section.spec);
+    let (r0, c0) = net.element_counts();
+    println!(
+        "\n## {}: {} nodes ({} ports), {} R, {} C, fmax {:.1e} Hz, tol {:.0} %",
+        section.name,
+        net.num_nodes(),
+        net.num_ports,
+        r0,
+        c0,
+        section.f_max,
+        section.tolerance * 100.0
+    );
+
+    // The |Z| reference on the standard 81-point log sweep (monitor
+    // and injection ports as in the Table 2 bench, clamped to the
+    // contact count so the smoke meshes stay valid).
+    let freqs = log_frequencies(27, 1e7, 1e10);
+    let inject = "port3".to_owned();
+    let monitor = format!("port{}", section.spec.num_contacts.min(25) - 1);
+    let sweep_z = |deck: &Netlist| -> Vec<pact_sparse::Complex64> {
+        let ckt = Circuit::from_netlist(deck).expect("compile for sweep");
+        let ac = ckt
+            .ac_sweep(&freqs, &AcExcitation::CurrentInto(inject.clone()))
+            .expect("AC sweep");
+        ac.voltage(&monitor).expect("monitor voltage")
+    };
+
+    let (flat_red, flat_t) = timed(|| {
+        ReductionSession::new(options(section, ReduceStrategy::Flat))
+            .reduce_network(&net)
+            .expect("flat reduce")
+    });
+
+    let (reference, ref_z) = if section.orig_reference {
+        let z = sweep_z(&deck_of(network_to_elements(&net, "sub")));
+        ("original", z)
+    } else {
+        let z = sweep_z(&deck_of(flat_red.model.to_netlist_elements("red", 1e-9)));
+        ("flat", z)
+    };
+
+    let measure = |model: &ReducedModel| -> f64 {
+        let z = sweep_z(&deck_of(model.to_netlist_elements("red", 1e-9)));
+        let mut worst: f64 = 0.0;
+        for (k, &f) in freqs.iter().enumerate() {
+            if f > section.f_max {
+                break;
+            }
+            worst = worst.max((z[k].abs() - ref_z[k].abs()).abs() / ref_z[k].abs());
+        }
+        worst
+    };
+
+    let flat = Measured {
+        poles: flat_red.model.num_poles(),
+        worst_err: measure(&flat_red.model),
+        seconds: flat_t,
+    };
+    println!(
+        "flat:       {} poles, worst in-band error {:.3} % vs {reference}, {}",
+        flat.poles,
+        flat.worst_err * 100.0,
+        secs(flat.seconds)
+    );
+
+    let (mp_red, mp_t) = timed(|| {
+        ReductionSession::new(options(
+            section,
+            ReduceStrategy::Multipoint {
+                num_points: pact::multipoint::DEFAULT_NUM_POINTS,
+            },
+        ))
+        .reduce_network(&net)
+        .expect("multipoint reduce")
+    });
+    let multipoint = Measured {
+        poles: mp_red.model.num_poles(),
+        worst_err: measure(&mp_red.model),
+        seconds: mp_t,
+    };
+    println!(
+        "multipoint: {} poles, worst in-band error {:.3} %, {} \
+         ({} basis columns from {} shifted candidates)",
+        multipoint.poles,
+        multipoint.worst_err * 100.0,
+        secs(multipoint.seconds),
+        mp_red.telemetry.counters.multipoint_basis_columns,
+        mp_red.telemetry.counters.multipoint_moment_poles
+    );
+
+    // Ablation: re-measure with the weakest poles dropped one at a
+    // time. Dropping rows of `(r̃, λ̃)` is a principal submatrix of the
+    // diagonalized model — passivity-safe by construction.
+    let (ranked, dropped_contributions) = ranked_truncations(&mp_red.model, section.f_max);
+    let mut curve = Vec::new();
+    for model in &ranked {
+        curve.push((model.num_poles(), measure(model)));
+    }
+    for ((poles, err), c) in curve.iter().zip(&dropped_contributions) {
+        println!(
+            "  mp truncated to {poles:2} poles: worst in-band error {:.3} % \
+             (next drop's est. contribution {:.3e} of tol)",
+            err * 100.0,
+            c / section.tolerance
+        );
+    }
+    let poles_at_flat_accuracy = curve
+        .iter()
+        .rev()
+        .find(|(_, err)| *err <= flat.worst_err)
+        .map_or(usize::MAX, |(p, _)| *p);
+    let poles_at_spec = curve
+        .iter()
+        .rev()
+        .find(|(_, err)| *err <= section.tolerance)
+        .map_or(usize::MAX, |(p, _)| *p);
+
+    SectionResult {
+        name: section.name,
+        nodes: net.num_nodes(),
+        ports: net.num_ports,
+        flat,
+        multipoint,
+        curve,
+        poles_at_flat_accuracy,
+        poles_at_spec,
+        reference,
+    }
+}
+
+fn options(section: &Section, strategy: ReduceStrategy) -> ReduceOptions {
+    ReduceOptions {
+        cutoff: CutoffSpec::new(section.f_max, section.tolerance).expect("cutoff"),
+        eigen_backend: EigenSelect::Lanczos(LanczosConfig::default()),
+        ordering: Ordering::NestedDissection,
+        dense_threshold: 400,
+        threads: None,
+        pivot_relief: None,
+        strategy,
+        expansion_points: None,
+        chol_kernel: pact::CholKernel::Auto,
+    }
+}
+
+fn deck_of(elements: Vec<Element>) -> Netlist {
+    let mut nl = Netlist::new("multipoint ablation");
+    nl.elements = elements;
+    nl
+}
+
+/// The full model followed by progressively truncated copies: poles
+/// leave in ascending order of their worst *per-port* in-band
+/// contribution `ω² r̃ᵢⱼ² / √(1 + (ωλ̃)²) / (|A'ⱼⱼ| + ω B'ⱼⱼ)` at
+/// `ω = 2π f_max` — the same ranking the reducer's keep rule uses.
+fn ranked_truncations(model: &ReducedModel, f_max: f64) -> (Vec<ReducedModel>, Vec<f64>) {
+    let k = model.num_poles();
+    let m = model.num_ports();
+    let omega = 2.0 * std::f64::consts::PI * f_max;
+    let port_scale: Vec<f64> = (0..m)
+        .map(|j| model.a1[(j, j)].abs() + omega * model.b1[(j, j)].abs())
+        .collect();
+    let mut order: Vec<usize> = (0..k).collect();
+    let contribution = |i: usize| {
+        let band = omega * omega / (1.0 + (omega * model.lambdas[i]).powi(2)).sqrt();
+        (0..m)
+            .map(|j| band * model.r2[(i, j)] * model.r2[(i, j)] / port_scale[j])
+            .fold(0.0f64, f64::max)
+    };
+    order.sort_by(|&a, &b| contribution(b).total_cmp(&contribution(a)));
+    // For the j-pole truncation, the next pole to go is order[j-1] (the
+    // weakest survivor); its estimated contribution contextualizes the
+    // measured error jump at j-1 poles.
+    let next_drop: Vec<f64> = (0..=k)
+        .rev()
+        .map(|j| {
+            if j == 0 {
+                0.0
+            } else {
+                contribution(order[j - 1])
+            }
+        })
+        .collect();
+    // keep[0..j] are the j strongest poles, in the model's native order.
+    let models = (0..=k)
+        .rev()
+        .map(|j| {
+            let mut keep: Vec<usize> = order[..j].to_vec();
+            keep.sort_unstable();
+            let mut r2 = DMat::zeros(j, m);
+            for (row, &i) in keep.iter().enumerate() {
+                for col in 0..m {
+                    r2[(row, col)] = model.r2[(i, col)];
+                }
+            }
+            ReducedModel {
+                a1: model.a1.clone(),
+                b1: model.b1.clone(),
+                r2,
+                lambdas: keep.iter().map(|&i| model.lambdas[i]).collect(),
+                port_names: model.port_names.clone(),
+            }
+        })
+        .collect();
+    (models, next_drop)
+}
+
+/// Hand-rolled JSON (the workspace has no serializer dependency).
+fn render_json(results: &[SectionResult], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  {}: {},\n",
+        pact::json::escape("bench"),
+        pact::json::escape("multipoint_ablation")
+    ));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"sections\": [\n");
+    for (si, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      {}: {},\n",
+            pact::json::escape("name"),
+            pact::json::escape(r.name)
+        ));
+        out.push_str(&format!(
+            "      \"nodes\": {}, \"ports\": {},\n",
+            r.nodes, r.ports
+        ));
+        out.push_str(&format!(
+            "      {}: {},\n",
+            pact::json::escape("reference"),
+            pact::json::escape(r.reference)
+        ));
+        out.push_str(&format!(
+            "      \"flat\": {{\"poles\": {}, \"worst_in_band_err\": {:.6e}, \"seconds\": {:.6}}},\n",
+            r.flat.poles, r.flat.worst_err, r.flat.seconds
+        ));
+        out.push_str(&format!(
+            "      \"multipoint\": {{\"poles\": {}, \"worst_in_band_err\": {:.6e}, \"seconds\": {:.6}}},\n",
+            r.multipoint.poles, r.multipoint.worst_err, r.multipoint.seconds
+        ));
+        out.push_str("      \"curve\": [");
+        for (ci, (poles, err)) in r.curve.iter().enumerate() {
+            if ci > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"poles\": {poles}, \"worst_in_band_err\": {err:.6e}}}"
+            ));
+        }
+        out.push_str("],\n");
+        if r.poles_at_flat_accuracy == usize::MAX {
+            out.push_str("      \"poles_at_flat_accuracy\": null,\n");
+        } else {
+            out.push_str(&format!(
+                "      \"poles_at_flat_accuracy\": {},\n",
+                r.poles_at_flat_accuracy
+            ));
+        }
+        if r.poles_at_spec == usize::MAX {
+            out.push_str("      \"poles_at_spec\": null\n");
+        } else {
+            out.push_str(&format!("      \"poles_at_spec\": {}\n", r.poles_at_spec));
+        }
+        out.push_str(if si + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -89,6 +89,18 @@ pub struct Counters {
     pub hier_portless_blocks_dropped: u64,
     /// Depth of the nested-dissection tree (peak; takes max).
     pub hier_tree_depth: u64,
+    /// Expansion points used by the multipoint strategy (shifted points;
+    /// the always-present s = 0 moment block is not counted).
+    pub multipoint_points: u64,
+    /// Orthonormal basis columns after stacking and deduplication — the
+    /// dimension of the projected pencil.
+    pub multipoint_basis_columns: u64,
+    /// Candidate basis columns dropped as linearly dependent during
+    /// orthonormalization.
+    pub multipoint_basis_dropped: u64,
+    /// Moment-matching (non-spectral) candidate columns generated across
+    /// all expansion points before orthonormalization.
+    pub multipoint_moment_poles: u64,
     /// Fresh full sparse-LU factorizations (symbolic + numeric) across
     /// sweep phases (e.g. the `--verify` exact-admittance grid).
     pub factorizations: u64,
@@ -130,6 +142,10 @@ impl Counters {
         self.hier_leaf_poles_retained += other.hier_leaf_poles_retained;
         self.hier_portless_blocks_dropped += other.hier_portless_blocks_dropped;
         self.hier_tree_depth = self.hier_tree_depth.max(other.hier_tree_depth);
+        self.multipoint_points += other.multipoint_points;
+        self.multipoint_basis_columns += other.multipoint_basis_columns;
+        self.multipoint_basis_dropped += other.multipoint_basis_dropped;
+        self.multipoint_moment_poles += other.multipoint_moment_poles;
         self.factorizations += other.factorizations;
         self.refactorizations += other.refactorizations;
     }
@@ -171,6 +187,10 @@ impl Counters {
                 self.hier_portless_blocks_dropped,
             ),
             ("hier_tree_depth", self.hier_tree_depth),
+            ("multipoint_points", self.multipoint_points),
+            ("multipoint_basis_columns", self.multipoint_basis_columns),
+            ("multipoint_basis_dropped", self.multipoint_basis_dropped),
+            ("multipoint_moment_poles", self.multipoint_moment_poles),
             ("factorizations", self.factorizations),
             ("refactorizations", self.refactorizations),
         ]

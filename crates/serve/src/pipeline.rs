@@ -69,6 +69,42 @@ impl EigenArg {
     }
 }
 
+/// The `--strategy` flag / `"strategy"` option: how the reduction is
+/// executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyArg {
+    /// One-shot flat PACT over the whole network.
+    Flat,
+    /// Nested-dissection divide-and-conquer.
+    Hier,
+    /// Multipoint moment expansion with congruence projection.
+    Multipoint,
+}
+
+impl StrategyArg {
+    /// Parses the spelling shared by `rcfit --strategy` and the daemon's
+    /// `"strategy"` option.
+    pub fn parse(s: &str) -> Result<StrategyArg, String> {
+        match s {
+            "flat" => Ok(StrategyArg::Flat),
+            "hier" => Ok(StrategyArg::Hier),
+            "multipoint" => Ok(StrategyArg::Multipoint),
+            other => Err(format!(
+                "strategy expects flat, hier, or multipoint (got `{other}`)"
+            )),
+        }
+    }
+
+    /// The canonical spelling (inverse of [`StrategyArg::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyArg::Flat => "flat",
+            StrategyArg::Hier => "hier",
+            StrategyArg::Multipoint => "multipoint",
+        }
+    }
+}
+
 /// Everything a deck reduction depends on beyond the deck text itself:
 /// the resolved form of the `rcfit` CLI flags and of the `rcfitd`
 /// request `options` object.
@@ -100,6 +136,13 @@ pub struct DeckOptions {
     pub max_depth: usize,
     /// Numeric Cholesky kernel selection.
     pub chol_kernel: CholKernel,
+    /// Explicit execution-strategy choice, if any (`--strategy` /
+    /// `"strategy"`). `None` keeps the historical resolution: `hier`
+    /// when the `--hier` alias is set, flat otherwise.
+    pub strategy: Option<StrategyArg>,
+    /// Explicit multipoint expansion points in hertz (`--points` /
+    /// `"points"`), validated to be finite and nonzero at the edges.
+    pub points: Option<Vec<f64>>,
 }
 
 impl Default for DeckOptions {
@@ -118,6 +161,8 @@ impl Default for DeckOptions {
             block_size: DEFAULT_BLOCK_SIZE,
             max_depth: DEFAULT_MAX_DEPTH,
             chol_kernel: CholKernel::Auto,
+            strategy: None,
+            points: None,
         }
     }
 }
@@ -156,16 +201,31 @@ impl DeckOptions {
             } else {
                 Some(PIVOT_RELIEF)
             },
-            strategy: if self.hier {
-                ReduceStrategy::Hierarchical {
-                    max_block: self.block_size,
-                    max_depth: self.max_depth,
-                }
-            } else {
-                ReduceStrategy::Flat
-            },
+            strategy: self.reduce_strategy(),
+            expansion_points: self.points.clone(),
             chol_kernel: self.chol_kernel,
         })
+    }
+
+    /// Resolves the execution strategy: an explicit `strategy` wins,
+    /// the bare `--hier` alias keeps its historical meaning, and the
+    /// default is flat.
+    pub fn reduce_strategy(&self) -> ReduceStrategy {
+        match self.strategy {
+            Some(StrategyArg::Multipoint) => ReduceStrategy::Multipoint {
+                num_points: pact::multipoint::DEFAULT_NUM_POINTS,
+            },
+            Some(StrategyArg::Hier) => ReduceStrategy::Hierarchical {
+                max_block: self.block_size,
+                max_depth: self.max_depth,
+            },
+            Some(StrategyArg::Flat) => ReduceStrategy::Flat,
+            None if self.hier => ReduceStrategy::Hierarchical {
+                max_block: self.block_size,
+                max_depth: self.max_depth,
+            },
+            None => ReduceStrategy::Flat,
+        }
     }
 
     /// A canonical string of every field [`DeckOptions::reduce_options`]
@@ -179,10 +239,23 @@ impl DeckOptions {
             None if self.dense => "lowrank",
             None => "lanczos",
         };
-        let strategy = if self.hier {
-            format!("hier:{}:{}", self.block_size, self.max_depth)
-        } else {
-            "flat".to_owned()
+        let strategy = match self.reduce_strategy() {
+            ReduceStrategy::Flat => "flat".to_owned(),
+            ReduceStrategy::Hierarchical {
+                max_block,
+                max_depth,
+            } => format!("hier:{max_block}:{max_depth}"),
+            ReduceStrategy::Multipoint { num_points } => {
+                let points = match &self.points {
+                    Some(p) => p
+                        .iter()
+                        .map(|f| format!("{f:e}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    None => "auto".to_owned(),
+                };
+                format!("multipoint:{num_points}:{points}")
+            }
         };
         let kernel = match self.chol_kernel {
             CholKernel::Auto => "auto",
@@ -409,6 +482,64 @@ mod tests {
             ..DeckOptions::default()
         };
         assert_ne!(a.session_key(), d.session_key());
+    }
+
+    #[test]
+    fn strategy_arg_round_trips_and_rejects_unknowns() {
+        for s in ["flat", "hier", "multipoint"] {
+            assert_eq!(StrategyArg::parse(s).unwrap().name(), s);
+        }
+        let err = StrategyArg::parse("quadtree").unwrap_err();
+        assert!(err.contains("quadtree"), "error names the bad value: {err}");
+    }
+
+    #[test]
+    fn explicit_strategy_overrides_the_hier_alias() {
+        let o = DeckOptions {
+            hier: true,
+            strategy: Some(StrategyArg::Flat),
+            ..DeckOptions::default()
+        };
+        assert!(matches!(o.reduce_strategy(), ReduceStrategy::Flat));
+        let m = DeckOptions {
+            strategy: Some(StrategyArg::Multipoint),
+            points: Some(vec![5e8, -2e9]),
+            ..DeckOptions::default()
+        };
+        assert!(matches!(
+            m.reduce_strategy(),
+            ReduceStrategy::Multipoint { .. }
+        ));
+        let opts = m.reduce_options().unwrap();
+        assert_eq!(opts.expansion_points.as_deref(), Some(&[5e8, -2e9][..]));
+    }
+
+    #[test]
+    fn session_key_tracks_strategy_and_points() {
+        let a = DeckOptions::default();
+        let m = DeckOptions {
+            strategy: Some(StrategyArg::Multipoint),
+            ..DeckOptions::default()
+        };
+        assert_ne!(a.session_key(), m.session_key());
+        let mp = DeckOptions {
+            points: Some(vec![1e9]),
+            ..m.clone()
+        };
+        assert_ne!(m.session_key(), mp.session_key());
+        let hier_alias = DeckOptions {
+            hier: true,
+            ..DeckOptions::default()
+        };
+        let hier_explicit = DeckOptions {
+            strategy: Some(StrategyArg::Hier),
+            ..DeckOptions::default()
+        };
+        assert_eq!(
+            hier_alias.session_key(),
+            hier_explicit.session_key(),
+            "alias and explicit spelling resolve to the same session"
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   server-side. Exactly one of the two for `reduce`.
 //! - `options` — an object mirroring the `rcfit` flags (`fmax`, `tol`,
 //!   `sparsify`, `ports`, `threads`, `eigen`, `dense`, `components`,
-//!   `strict_pivots`, `hier`, `block_size`, `max_depth`, `chol_kernel`).
+//!   `strict_pivots`, `hier`, `block_size`, `max_depth`, `chol_kernel`,
+//!   `strategy`, `points`).
 //!
 //! Unknown request fields and unknown option keys are *rejected* (code
 //! `unknown_option`) rather than ignored: a silently dropped option
@@ -28,7 +29,7 @@ use pact::json::Value;
 use pact::CholKernel;
 use pact_netlist::parse_value;
 
-use crate::pipeline::{DeckOptions, EigenArg};
+use crate::pipeline::{DeckOptions, EigenArg, StrategyArg};
 
 /// The response/request schema tag.
 pub const SCHEMA: &str = "rcfitd-v1";
@@ -172,6 +173,66 @@ fn apply_option(
         "hier" => opts.hier = as_bool(v, "hier", id)?,
         "block_size" => opts.block_size = as_positive_int(v, "block_size", id)?,
         "max_depth" => opts.max_depth = as_positive_int(v, "max_depth", id)?,
+        "strategy" => {
+            let s = as_str(v, "strategy", id)?;
+            opts.strategy =
+                Some(StrategyArg::parse(s).map_err(|e| ProtocolError::new(id, "bad_request", e))?);
+        }
+        // `points` accepts JSON numbers or SPICE-suffixed strings
+        // ("500meg"), like `fmax`; negative values put the expansion
+        // point on the negative real axis.
+        "points" => {
+            let arr = v.as_arr().ok_or_else(|| {
+                ProtocolError::new(
+                    id,
+                    "bad_request",
+                    "`points` needs an array of frequencies (Hz)",
+                )
+            })?;
+            let mut points = Vec::with_capacity(arr.len());
+            for p in arr {
+                let f = match p {
+                    Value::Num(f) => *f,
+                    Value::Str(s) => {
+                        let (mag, neg) = match s.strip_prefix('-') {
+                            Some(rest) => (rest, true),
+                            None => (s.as_str(), false),
+                        };
+                        let v = parse_value(mag).map_err(|e| {
+                            ProtocolError::new(id, "bad_request", format!("`points`: {e}"))
+                        })?;
+                        if neg {
+                            -v
+                        } else {
+                            v
+                        }
+                    }
+                    _ => {
+                        return Err(ProtocolError::new(
+                            id,
+                            "bad_request",
+                            "`points` entries must be numbers or SPICE-suffixed strings",
+                        ))
+                    }
+                };
+                if !f.is_finite() || f == 0.0 {
+                    return Err(ProtocolError::new(
+                        id,
+                        "bad_request",
+                        "`points` entries must be finite and nonzero (the s = 0 moment is always matched)",
+                    ));
+                }
+                points.push(f);
+            }
+            if points.is_empty() {
+                return Err(ProtocolError::new(
+                    id,
+                    "bad_request",
+                    "`points` needs at least one frequency",
+                ));
+            }
+            opts.points = Some(points);
+        }
         "chol_kernel" => {
             opts.chol_kernel = match as_str(v, "chol_kernel", id)? {
                 "auto" => CholKernel::Auto,
@@ -274,6 +335,28 @@ pub fn parse_request(line: &str, max_deck_bytes: usize) -> Result<Request, Proto
                     "bad_request",
                     "`options` must be an object",
                 ))
+            }
+        }
+    }
+    // Cross-field validation. The CLI resolves `--hier` + `--strategy`
+    // by letting the explicit strategy win; the protocol rejects the
+    // combination outright so a caller can never be surprised by the
+    // resolution order.
+    if options.points.is_some() && options.strategy != Some(StrategyArg::Multipoint) {
+        return Err(ProtocolError::new(
+            &id,
+            "bad_request",
+            "`points` requires `\"strategy\":\"multipoint\"`",
+        ));
+    }
+    if options.hier {
+        if let Some(s) = options.strategy {
+            if s != StrategyArg::Hier {
+                return Err(ProtocolError::new(
+                    &id,
+                    "bad_request",
+                    format!("`hier` conflicts with `\"strategy\":\"{}\"`", s.name()),
+                ));
             }
         }
     }
@@ -438,6 +521,59 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#, 100).unwrap().op,
             Op::Shutdown
         );
+    }
+
+    #[test]
+    fn strategy_and_points_options_parse_and_validate() {
+        let line =
+            r#"{"deck":"x","options":{"strategy":"multipoint","points":[5e8,"-2g","1meg"]}}"#;
+        let r = parse_request(line, DEFAULT_MAX_DECK_BYTES).unwrap();
+        assert_eq!(r.options.strategy, Some(StrategyArg::Multipoint));
+        assert_eq!(r.options.points.as_deref(), Some(&[5e8, -2e9, 1e6][..]));
+
+        let e = parse_request(
+            r#"{"deck":"x","options":{"strategy":"quadtree"}}"#,
+            DEFAULT_MAX_DECK_BYTES,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        assert!(e.message.contains("quadtree"));
+
+        for bad in [
+            r#"{"deck":"x","options":{"strategy":"multipoint","points":[0]}}"#,
+            r#"{"deck":"x","options":{"strategy":"multipoint","points":[]}}"#,
+            r#"{"deck":"x","options":{"strategy":"multipoint","points":"1g"}}"#,
+        ] {
+            let e = parse_request(bad, DEFAULT_MAX_DECK_BYTES).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn cross_field_conflicts_are_bad_requests() {
+        let e = parse_request(
+            r#"{"deck":"x","options":{"points":[1e9]}}"#,
+            DEFAULT_MAX_DECK_BYTES,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        assert!(e.message.contains("multipoint"));
+
+        let e = parse_request(
+            r#"{"deck":"x","options":{"hier":true,"strategy":"flat"}}"#,
+            DEFAULT_MAX_DECK_BYTES,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        assert!(e.message.contains("conflicts"));
+
+        // `hier` plus the matching explicit spelling is fine.
+        let r = parse_request(
+            r#"{"deck":"x","options":{"hier":true,"strategy":"hier"}}"#,
+            DEFAULT_MAX_DECK_BYTES,
+        )
+        .unwrap();
+        assert_eq!(r.options.strategy, Some(StrategyArg::Hier));
     }
 
     #[test]

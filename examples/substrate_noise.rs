@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads: None,
         pivot_relief: None,
         strategy: pact::ReduceStrategy::Flat,
+        expansion_points: None,
         chol_kernel: pact::CholKernel::Auto,
     };
     let red = pact::reduce_network(&ex.network, &opts)?;

@@ -7,6 +7,7 @@
 //!       [--eigen auto|dense|lanczos|lowrank] [--dense] [--stats]
 //!       [--trace] [--log-json PATH] [--strict-pivots]
 //!       [--hier] [--block-size N] [--max-depth N]
+//!       [--strategy flat|hier|multipoint] [--points HZ,HZ,...]
 //! ```
 //!
 //! Several decks may be given at once; they are reduced through one
@@ -31,7 +32,7 @@ use std::process::ExitCode;
 use pact::{CholKernel, PactError, ReductionSession};
 use pact_netlist::parse_value;
 use pact_serve::{
-    prepare_deck, reduce_prepared, render_reduced, DeckOptions, EigenArg, ReducedDeck,
+    prepare_deck, reduce_prepared, render_reduced, DeckOptions, EigenArg, ReducedDeck, StrategyArg,
     DEFAULT_BLOCK_SIZE, DEFAULT_MAX_DEPTH,
 };
 
@@ -56,6 +57,8 @@ struct Args {
     block_size: usize,
     max_depth: usize,
     chol_kernel: CholKernel,
+    strategy: Option<StrategyArg>,
+    points: Option<Vec<f64>>,
 }
 
 fn usage() -> &'static str {
@@ -64,6 +67,7 @@ fn usage() -> &'static str {
      [--eigen auto|dense|lanczos|lowrank] [--dense] [--stats] [--components] \
      [--verify] [--trace] [--log-json PATH] [--strict-pivots] \
      [--hier] [--block-size N] [--max-depth N] \
+     [--strategy flat|hier|multipoint] [--points HZ,HZ,...] \
      [--chol-kernel auto|supernodal|scalar]\n\
      defaults: --fmax 1g --tol 0.05 --sparsify 1e-9 --threads <all cores>\n\
      HZ accepts SPICE suffixes (500meg, 3g, ...); the reduced model is\n\
@@ -76,6 +80,12 @@ fn usage() -> &'static str {
      --strict-pivots fails on quasi-singular pivots instead of perturbing them;\n\
      --hier reduces via nested-dissection blocks of at most --block-size nodes\n\
      (default 2000) with --max-depth recursion levels (default 16);\n\
+     --strategy picks the reduction algorithm (flat = one-shot PACT, hier =\n\
+     nested dissection, multipoint = multipoint moment expansion with\n\
+     passivity-preserving congruence); --points overrides multipoint's\n\
+     auto-selected expansion frequencies (comma-separated, SPICE suffixes\n\
+     accepted; positive = imaginary-axis s=j2\u{3c0}f, negative = negative real\n\
+     axis s=-2\u{3c0}|f|);\n\
      --chol-kernel picks the numeric Cholesky kernel (default auto = the\n\
      supernodal blocked kernel; scalar is the up-looking reference kernel)"
 }
@@ -101,6 +111,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         block_size: DEFAULT_BLOCK_SIZE,
         max_depth: DEFAULT_MAX_DEPTH,
         chol_kernel: CholKernel::Auto,
+        strategy: None,
+        points: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -157,6 +169,33 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--max-depth needs an integer".to_owned())?;
             }
+            "--strategy" => args.strategy = Some(StrategyArg::parse(&next(a)?)?),
+            "--points" => {
+                let list = next(a)?;
+                let mut points = Vec::new();
+                for part in list.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        return Err("--points has an empty entry".to_owned());
+                    }
+                    // parse_value has no sign handling, so peel a
+                    // leading `-` (negative = negative-real-axis point).
+                    let (mag, neg) = match part.strip_prefix('-') {
+                        Some(rest) => (rest, true),
+                        None => (part, false),
+                    };
+                    let f = parse_value(mag).map_err(|e| format!("--points: {e}"))?;
+                    let f = if neg { -f } else { f };
+                    if !f.is_finite() || f == 0.0 {
+                        return Err(
+                            "--points entries must be finite and nonzero (the s = 0 moment is always matched)"
+                                .to_owned(),
+                        );
+                    }
+                    points.push(f);
+                }
+                args.points = Some(points);
+            }
             "--chol-kernel" => {
                 args.chol_kernel = match next(a)?.as_str() {
                     "auto" => CholKernel::Auto,
@@ -178,6 +217,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.inputs.is_empty() {
         return Err(usage().to_owned());
+    }
+    if args.points.is_some() && args.strategy != Some(StrategyArg::Multipoint) {
+        return Err("--points requires --strategy multipoint".to_owned());
     }
     if args.inputs.len() > 1 {
         if args.output.is_some() {
@@ -209,6 +251,8 @@ fn deck_options(args: &Args) -> DeckOptions {
         block_size: args.block_size,
         max_depth: args.max_depth,
         chol_kernel: args.chol_kernel,
+        strategy: args.strategy,
+        points: args.points.clone(),
     }
 }
 
@@ -475,6 +519,54 @@ mod tests {
         assert!(parse_args(&argv(&["x.sp", "--block-size", "0"])).is_err());
         assert!(parse_args(&argv(&["x.sp", "--block-size", "lots"])).is_err());
         assert!(parse_args(&argv(&["x.sp", "--max-depth"])).is_err());
+    }
+
+    #[test]
+    fn strategy_and_points_flags_parse_and_validate() {
+        let a = parse_args(&argv(&[
+            "x.sp",
+            "--strategy",
+            "multipoint",
+            "--points",
+            "500meg,-2g,1e6",
+        ]))
+        .unwrap();
+        assert_eq!(a.strategy, Some(StrategyArg::Multipoint));
+        assert_eq!(a.points.as_deref(), Some(&[5e8, -2e9, 1e6][..]));
+        let opts = deck_options(&a).reduce_options().unwrap();
+        assert!(matches!(
+            opts.strategy,
+            pact::ReduceStrategy::Multipoint { .. }
+        ));
+        assert_eq!(
+            opts.expansion_points.as_deref(),
+            Some(&[5e8, -2e9, 1e6][..])
+        );
+
+        // Explicit strategy beats the --hier alias.
+        let b = parse_args(&argv(&["x.sp", "--hier", "--strategy", "flat"])).unwrap();
+        let opts = deck_options(&b).reduce_options().unwrap();
+        assert!(matches!(opts.strategy, pact::ReduceStrategy::Flat));
+
+        assert!(parse_args(&argv(&["x.sp", "--strategy", "magic"])).is_err());
+        assert!(parse_args(&argv(&["x.sp", "--points", "1g"])).is_err());
+        let e = parse_args(&argv(&[
+            "x.sp",
+            "--strategy",
+            "multipoint",
+            "--points",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("finite and nonzero"));
+        assert!(parse_args(&argv(&[
+            "x.sp",
+            "--strategy",
+            "multipoint",
+            "--points",
+            "1g,,2g",
+        ]))
+        .is_err());
     }
 
     #[test]

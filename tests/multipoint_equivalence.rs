@@ -1,0 +1,256 @@
+//! Multipoint reduction equivalence and passivity.
+//!
+//! The `pact::multipoint` backend must (1) degenerate to flat PACT when
+//! no shifted expansion points are given — the spectral basis alone
+//! spans flat's retained eigenspace, so poles and port responses agree
+//! to rounding — (2) stay provably passive (congruence projection keeps
+//! `G''` and `C''` PSD) with shifted points in play, and (3) honour the
+//! repo-wide determinism contract: bit-identical results across thread
+//! counts and across warm/cold sessions.
+
+use pact::{CutoffSpec, ReduceOptions, ReduceStrategy, Reduction, ReductionSession};
+use pact_gen::{
+    inverter_pair_deck, power_grid_deck, substrate_mesh, LineSpec, MeshSpec, PowerGridSpec,
+};
+use pact_netlist::{extract_rc, RcNetwork};
+use pact_sparse::Scalar;
+
+/// Relative agreement required between flat and base-only multipoint.
+const REL_TOL: f64 = 1e-8;
+
+fn mesh_fixture() -> RcNetwork {
+    substrate_mesh(&MeshSpec {
+        nx: 10,
+        ny: 10,
+        nz: 4,
+        num_contacts: 16,
+        ..MeshSpec::table2()
+    })
+}
+
+fn powergrid_fixture() -> RcNetwork {
+    let deck = power_grid_deck(&PowerGridSpec {
+        nx: 12,
+        ny: 12,
+        num_taps: 8,
+        ..PowerGridSpec::default()
+    });
+    extract_rc(&deck.netlist, &[]).unwrap().network
+}
+
+fn line_fixture() -> RcNetwork {
+    let deck = inverter_pair_deck(&LineSpec {
+        segments: 100,
+        ..LineSpec::default()
+    });
+    extract_rc(&deck, &[]).unwrap().network
+}
+
+fn families() -> Vec<(&'static str, RcNetwork, f64)> {
+    vec![
+        ("mesh", mesh_fixture(), 2e9),
+        ("powergrid", powergrid_fixture(), 1e9),
+        ("line", line_fixture(), 5e9),
+    ]
+}
+
+fn options(fmax: f64, threads: usize, strategy: ReduceStrategy) -> ReduceOptions {
+    let mut opts = ReduceOptions::new(CutoffSpec::new(fmax, 0.05).unwrap());
+    opts.threads = Some(threads);
+    opts.strategy = strategy;
+    opts
+}
+
+fn multipoint(fmax: f64, threads: usize, points: Option<Vec<f64>>) -> ReduceOptions {
+    let mut opts = options(fmax, threads, ReduceStrategy::Multipoint { num_points: 2 });
+    opts.expansion_points = points;
+    opts
+}
+
+fn assert_bits_equal(base: &Reduction, other: &Reduction, what: &str) {
+    assert_eq!(base.model.a1, other.model.a1, "{what}: A' differs");
+    assert_eq!(base.model.b1, other.model.b1, "{what}: B' differs");
+    assert_eq!(
+        base.model.lambdas, other.model.lambdas,
+        "{what}: poles differ"
+    );
+    assert_eq!(base.model.r2, other.model.r2, "{what}: R'' differs");
+}
+
+#[test]
+fn base_only_multipoint_matches_flat_to_rounding() {
+    for (label, net, fmax) in families() {
+        let flat = ReductionSession::new(options(fmax, 1, ReduceStrategy::Flat))
+            .reduce_network(&net)
+            .unwrap();
+        // An explicit `{0}` point list filters to no shifted points (the
+        // s = 0 block is always present), so only the spectral basis
+        // remains and the flat keep rule applies.
+        let mp = ReductionSession::new(multipoint(fmax, 1, Some(vec![0.0])))
+            .reduce_network(&net)
+            .unwrap();
+        assert_eq!(mp.model.a1, flat.model.a1, "{label}: A' differs");
+        assert_eq!(mp.model.b1, flat.model.b1, "{label}: B' differs");
+        assert_eq!(
+            mp.model.num_poles(),
+            flat.model.num_poles(),
+            "{label}: pole counts differ"
+        );
+        for (a, b) in flat.model.lambdas.iter().zip(&mp.model.lambdas) {
+            assert!(
+                (a - b).abs() <= REL_TOL * a.abs().max(1e-300),
+                "{label}: pole {a:.12e} (flat) vs {b:.12e} (multipoint)"
+            );
+        }
+        // Port responses are invariant to eigenvector sign flips, so
+        // compare Y(s) on a sweep instead of R'' entries.
+        for f in [fmax / 100.0, fmax / 10.0, fmax / 3.0, fmax] {
+            let yf = flat.model.y_at(f);
+            let ym = mp.model.y_at(f);
+            let scale = (0..yf.nrows())
+                .flat_map(|i| (0..yf.ncols()).map(move |j| (i, j)))
+                .map(|(i, j)| yf[(i, j)].modulus())
+                .fold(0.0f64, f64::max);
+            for i in 0..yf.nrows() {
+                for j in 0..yf.ncols() {
+                    let d = (yf[(i, j)] - ym[(i, j)]).modulus();
+                    assert!(
+                        d <= REL_TOL * scale,
+                        "{label}: Y({f:.3e})[{i},{j}] differs by {d:.3e} (scale {scale:.3e})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multipoint_models_are_passive() {
+    for (label, net, fmax) in families() {
+        // Auto points (imaginary axis) and an explicit mix including a
+        // negative-real-axis shift both have to stay passive.
+        for (pname, points) in [
+            ("auto", None),
+            ("explicit", Some(vec![fmax / 2.0, -fmax / 5.0, 2.0 * fmax])),
+        ] {
+            let red = ReductionSession::new(multipoint(fmax, 1, points))
+                .reduce_network(&net)
+                .unwrap();
+            let (g_min, c_min) = red.model.passivity_margins().unwrap();
+            assert!(
+                red.model.is_passive(1e-8),
+                "{label}/{pname}: model not passive (λmin(G'')={g_min:.3e}, λmin(C'')={c_min:.3e})"
+            );
+        }
+    }
+}
+
+#[test]
+fn multipoint_is_bit_identical_across_thread_counts() {
+    for (label, net, fmax) in families() {
+        let base = ReductionSession::new(multipoint(fmax, 1, None))
+            .reduce_network(&net)
+            .unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = ReductionSession::new(multipoint(fmax, threads, None))
+                .reduce_network(&net)
+                .unwrap();
+            assert_bits_equal(&base, &par, &format!("{label} threads={threads}"));
+            assert_eq!(
+                base.telemetry.counters_json_string(),
+                par.telemetry.counters_json_string(),
+                "{label} threads={threads}: telemetry differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_multipoint_session_reproduces_cold_bitwise() {
+    for (label, net, fmax) in families() {
+        let cold = ReductionSession::new(multipoint(fmax, 1, None))
+            .reduce_network(&net)
+            .unwrap();
+        let mut session = ReductionSession::new(multipoint(fmax, 1, None));
+        let first = session.reduce_network(&net).unwrap();
+        let warm = session.reduce_network(&net).unwrap();
+        assert_bits_equal(&cold, &first, &format!("{label} first"));
+        assert_bits_equal(&cold, &warm, &format!("{label} warm"));
+        assert_eq!(
+            session.cached_lu_patterns(),
+            1,
+            "{label}: shifted-pencil symbolic analysis not cached"
+        );
+        // The warm pass replays both cached symbolic analyses (Cholesky
+        // and shifted-pencil LU) instead of re-running them.
+        assert_eq!(
+            warm.telemetry.counters.factorizations, 0,
+            "{label}: warm pass re-ran a symbolic analysis"
+        );
+        assert!(
+            warm.telemetry.counters.refactorizations > first.telemetry.counters.refactorizations,
+            "{label}: warm pass did not reuse the caches"
+        );
+    }
+}
+
+#[test]
+fn multipoint_telemetry_reports_points_and_basis() {
+    let net = line_fixture();
+    let red = ReductionSession::new(multipoint(5e9, 1, None))
+        .reduce_network(&net)
+        .unwrap();
+    let c = &red.telemetry.counters;
+    assert_eq!(c.multipoint_points, 2, "auto selection places two points");
+    assert!(c.multipoint_moment_poles > 0, "no shifted candidates");
+    assert!(c.multipoint_basis_columns > 0, "empty projection basis");
+    assert!(
+        red.telemetry
+            .eigen_choices
+            .iter()
+            .any(|e| e.scope == "multipoint:base"),
+        "missing base eigen choice"
+    );
+    assert!(
+        red.telemetry
+            .eigen_choices
+            .iter()
+            .any(|e| e.scope == "multipoint:pencil" && e.backend == "dense"),
+        "missing pencil eigen choice"
+    );
+    assert!(red
+        .telemetry
+        .phases
+        .iter()
+        .any(|p| p.name == "multipoint_basis"));
+    assert!(red
+        .telemetry
+        .phases
+        .iter()
+        .any(|p| p.name == "multipoint_project"));
+}
+
+#[test]
+fn expansion_point_on_a_pole_is_a_typed_error() {
+    // A negative-real-axis point is guaranteed to hit a pole somewhere;
+    // scan a few candidate shifts near the spectrum until one lands
+    // within relief tolerance. Rather than hunt blindly, place the shift
+    // *exactly* on a pole: λ̃ of the pencil (D + sE) vanishes at
+    // s = −1/λᵢ for each generalized eigenvalue λᵢ of (E, D), and the
+    // reduction reports those as pole frequencies fᵢ = 1/(2πλᵢ) — so
+    // s = −2πfᵢ is singular by construction.
+    let net = line_fixture();
+    let flat = ReductionSession::new(options(5e9, 1, ReduceStrategy::Flat))
+        .reduce_network(&net)
+        .unwrap();
+    let pole_hz = flat.model.pole_frequencies()[0];
+    let err = ReductionSession::new(multipoint(5e9, 1, Some(vec![-pole_hz])))
+        .reduce_network(&net)
+        .unwrap_err();
+    match err {
+        pact::ReduceError::ExpansionPointAtPole { point_hz, .. } => {
+            assert_eq!(point_hz, -pole_hz);
+        }
+        other => panic!("expected ExpansionPointAtPole, got {other:?}"),
+    }
+}

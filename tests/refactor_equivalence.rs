@@ -15,7 +15,7 @@ use pact_gen::{
     inverter_pair_deck, power_grid_deck, substrate_mesh, LineSpec, MeshSpec, PowerGridSpec,
 };
 use pact_netlist::{extract_rc, RcNetwork, Stamped};
-use pact_sparse::{Complex64, CscMat, LuCache, RefactorError, SparseLu};
+use pact_sparse::{Complex64, CscMat, CscPencil, LuCache, RefactorError, SparseLu};
 
 fn mesh_fixture() -> RcNetwork {
     substrate_mesh(&MeshSpec {
@@ -185,6 +185,53 @@ fn powergrid_refactor_is_bit_identical_to_fresh_factor() {
 #[test]
 fn line_refactor_is_bit_identical_to_fresh_factor() {
     check_family(&line_fixture(), "line");
+}
+
+/// The multipoint expansion path: one `CscPencil` over `(G, C)`, the
+/// symbolic analysis captured from the real `s = 0` evaluation, then
+/// numeric refactorizations at shifted points — `Complex64` on the
+/// imaginary axis, `f64` on the negative real axis. Each must be
+/// bit-identical to a fresh factorization of the same shifted matrix.
+#[test]
+fn pencil_refactor_at_nonzero_shifts_is_bit_identical() {
+    for (label, net) in [
+        ("mesh", mesh_fixture()),
+        ("powergrid", powergrid_fixture()),
+        ("line", line_fixture()),
+    ] {
+        // The internal (D, E) block, exactly as the multipoint reducer
+        // shifts it — the full G can have zero conductance rows, but D
+        // is SPD, so the s = 0 capture is always well posed.
+        let parts = pact::Partitions::split(&net.stamp());
+        let n = parts.n;
+        let gtrips: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|i| parts.d.row_iter(i).map(move |(j, v)| (i, j, v)))
+            .collect();
+        let ctrips: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|i| parts.e.row_iter(i).map(move |(j, v)| (i, j, v)))
+            .collect();
+        let pencil = CscPencil::from_triplets(n, &gtrips, &ctrips);
+        let a0 = pencil.eval_real(0.0);
+        let (_, sym) = SparseLu::factor_analyzed(&a0).unwrap();
+
+        // Imaginary-axis shifts: complex refactor through the symbolic
+        // captured from the *real* s = 0 matrix.
+        for omega in [2e8, 2e10] {
+            let a_s = pencil.eval(omega);
+            assert!(sym.matches(&a_s), "{label}: complex shift structure");
+            let fresh = SparseLu::factor(&a_s).unwrap();
+            let refac = sym.refactor(&a_s).unwrap();
+            assert_complex_bits_equal(&fresh, &refac, &format!("{label}: pencil jω={omega:.0e}"));
+        }
+
+        // A mild negative-real-axis shift (well inside the SPD region,
+        // far from the pencil's poles): real refactor, same symbolic.
+        let a_neg = pencil.eval_real(-1e3);
+        assert!(sym.matches(&a_neg), "{label}: real shift structure");
+        let fresh = SparseLu::factor(&a_neg).unwrap();
+        let refac = sym.refactor(&a_neg).unwrap();
+        assert_real_bits_equal(&fresh, &refac, &format!("{label}: pencil σ=-1e3"));
+    }
 }
 
 /// A value change that invalidates the remembered pivot order must be
