@@ -199,10 +199,10 @@ pub(crate) fn compute_poles(
 /// One rank-1 term `w·u uᵀ` of the capacitance split: `u = e_i − e_j`
 /// for a coupling entry, `u = e_i` (j = None) for residual node
 /// capacitance to ground/ports.
-struct CapTerm {
-    i: usize,
-    j: Option<usize>,
-    w: f64,
+pub(crate) struct CapTerm {
+    pub(crate) i: usize,
+    pub(crate) j: Option<usize>,
+    pub(crate) w: f64,
 }
 
 /// Splits the internal capacitance block `E` into `Σ c_k u_k u_kᵀ` with
@@ -212,7 +212,7 @@ struct CapTerm {
 /// diagonal). Returns `None` if `E` is not such a stamp (positive
 /// off-diagonal or negative residual beyond rounding), which sends the
 /// caller to the general dense path.
-fn capacitance_split(e: &pact_sparse::CsrMat) -> Option<Vec<CapTerm>> {
+pub(crate) fn capacitance_split(e: &pact_sparse::CsrMat) -> Option<Vec<CapTerm>> {
     let n = e.nrows();
     let diag: Vec<f64> = (0..n).map(|i| e.get(i, i)).collect();
     let mut terms = Vec::new();
@@ -358,7 +358,7 @@ fn low_rank_poles(
 
 /// Dot product of two compressed sparse vectors (sorted indices),
 /// accumulated in ascending index order.
-fn sparse_dot(a: &(Vec<u32>, Vec<f64>), b: &(Vec<u32>, Vec<f64>)) -> f64 {
+pub(crate) fn sparse_dot(a: &(Vec<u32>, Vec<f64>), b: &(Vec<u32>, Vec<f64>)) -> f64 {
     let (ai, av) = a;
     let (bi, bv) = b;
     let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);

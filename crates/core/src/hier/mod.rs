@@ -4,11 +4,22 @@
 //! eigendecomposes one `E'` of dimension `n`; this module breaks that
 //! monolith apart. The internal-node graph is split by nested-dissection
 //! vertex separators ([`PartitionTree`]), each leaf block is reduced
-//! independently with the existing flat pipeline — its separator
-//! neighbors promoted to temporary ports — and the per-block reduced
-//! models are stitched back together ([`stitch`]) into a much smaller
-//! network over `ports ∪ separators ∪ leaf poles`, which a final flat
-//! pass reduces to the delivered model.
+//! independently — its separator neighbors promoted to temporary ports —
+//! and the per-block reduced models are stitched back together
+//! ([`stitch`]) into a much smaller network over
+//! `ports ∪ separators ∪ leaf poles`, which a final flat pass reduces to
+//! the delivered model.
+//!
+//! Leaves run the two-level Schur path of the (crate-private)
+//! `hier::leaf` module:
+//! internals are eliminated through a symbolic-cache-shared Cholesky
+//! factor (the `leaf_reuse` pre-pass analyzes each distinct pattern
+//! once per fan-out), the pole content comes from a small `c×c` Gram
+//! eigenproblem, and residues are read off the moment panel — no
+//! per-pole solves. Sub-cutoff poles are trimmed against an explicit
+//! per-leaf error budget instead of the blanket [`LEAF_CUTOFF_GUARD`]
+//! retention, which the fallback (non-low-rank-capacitance) leaf path
+//! still uses.
 //!
 //! ## Why composition is sound
 //!
@@ -19,10 +30,12 @@
 //! definiteness — and therefore passivity — survives the whole tree, and
 //! the first two port moments compose exactly (leaf `A'`/`B'` are exact,
 //! and the top pass matches the stitched network's moments exactly).
-//! The only approximation is pole truncation: leaves drop poles above a
-//! *guarded* cutoff [`LEAF_CUTOFF_GUARD`] times the user's, so the
-//! discrepancy against a flat reduction stays far below the user
-//! tolerance in-band.
+//! The only approximation is pole truncation: two-level leaves drop
+//! sub-cutoff poles only while their worst-case in-band contribution
+//! (`ω_max²‖r_p‖²` each) fits a per-leaf budget, and fallback leaves
+//! drop only poles a factor [`LEAF_CUTOFF_GUARD`] above the band — in
+//! both regimes the discrepancy against a flat reduction stays far
+//! below the user tolerance in-band.
 //!
 //! ## Determinism
 //!
@@ -32,6 +45,7 @@
 //! counter are bit-identical for any `--threads` value.
 
 mod hier_reduce;
+pub(crate) mod leaf;
 mod partition_tree;
 mod stitch;
 

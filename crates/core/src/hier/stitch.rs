@@ -59,8 +59,23 @@ pub fn stitch(net: &RcNetwork, tree: &PartitionTree, models: &[ReducedModel]) ->
         top[s] = m + k;
     }
 
-    let mut g = TripletMat::new(dim, dim);
-    let mut c = TripletMat::new(dim, dim);
+    // Entry counts are known exactly up front (dense mb×mb leaf blocks
+    // dominate); reserving avoids realloc churn during the stamp loop.
+    let g_cap = 4 * tree.residual_resistors.len()
+        + models
+            .iter()
+            .map(|md| md.num_ports() * md.num_ports() + md.num_poles())
+            .sum::<usize>();
+    let c_cap = 4 * tree.residual_capacitors.len()
+        + models
+            .iter()
+            .map(|md| {
+                let mb = md.num_ports();
+                mb * mb + md.num_poles() * (1 + 2 * mb)
+            })
+            .sum::<usize>();
+    let mut g = TripletMat::with_capacity(dim, dim, g_cap);
+    let mut c = TripletMat::with_capacity(dim, dim, c_cap);
 
     // Residual branches live entirely on ports/separators/ground.
     for r in &tree.residual_resistors {

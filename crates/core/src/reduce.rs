@@ -29,9 +29,15 @@ pub enum ReduceStrategy {
     Flat,
     /// Divide-and-conquer ([`crate::hier`]): partition the internal-node
     /// graph by nested-dissection vertex separators, reduce each leaf
-    /// block independently with flat PACT (separator nodes promoted to
-    /// temporary ports), stitch the reduced blocks back together and run
-    /// a final flat pass over the much smaller stitched network.
+    /// block independently (separator nodes promoted to temporary
+    /// ports) via the two-level Schur path — one Cholesky per leaf,
+    /// boundary Schur complement on the factor, W-trick pole extraction,
+    /// and an error-budgeted trim of out-of-band leaf poles — then
+    /// stitch the reduced blocks and run a final flat pass over the
+    /// much smaller stitched network. Leaves sharing a sparsity pattern
+    /// reuse one symbolic analysis through the session, and the leaf
+    /// fan-out parallelizes over the worker pool with bit-identical
+    /// results at any thread count.
     Hierarchical {
         /// Target maximum internal nodes per leaf block.
         max_block: usize,

@@ -84,7 +84,7 @@ impl SymbolicCache {
         self.lru.evictions()
     }
 
-    fn lookup(
+    pub(crate) fn lookup(
         &mut self,
         key: u64,
         ordering: Ordering,
@@ -96,7 +96,7 @@ impl SymbolicCache {
             .map(Arc::clone)
     }
 
-    fn insert(
+    pub(crate) fn insert(
         &mut self,
         key: u64,
         ordering: Ordering,
@@ -104,18 +104,6 @@ impl SymbolicCache {
         sym: Arc<SymbolicCholesky>,
     ) {
         self.lru.insert((key, ordering, kernel), sym);
-    }
-
-    /// The insertion stamp to snapshot before handing clones to workers.
-    pub(crate) fn next_seq(&self) -> u64 {
-        self.lru.next_seq()
-    }
-
-    /// Entries inserted at stamp `base` or later — what a child session
-    /// learned after the snapshot (promotions of snapshot entries are
-    /// not re-reported).
-    pub(crate) fn entries_since(&self, base: u64) -> Vec<CacheEntry> {
-        self.lru.entries_since(base)
     }
 
     /// Merges entries learned elsewhere (same-key entries replace).
@@ -233,17 +221,6 @@ impl ReductionSession {
         }
     }
 
-    /// A session seeded with an existing cache (hier leaf workers start
-    /// from a snapshot of the parent's cache).
-    pub(crate) fn with_cache(opts: ReduceOptions, cache: SymbolicCache) -> ReductionSession {
-        ReductionSession {
-            opts,
-            cache,
-            lu_cache: LruCache::new(CACHE_CAP),
-            scratch: ScratchPool::default(),
-        }
-    }
-
     /// The options every reduction in this session runs under.
     pub fn options(&self) -> &ReduceOptions {
         &self.opts
@@ -265,12 +242,6 @@ impl ReductionSession {
     /// A snapshot of the cache (cheap: shared `Arc`s).
     pub(crate) fn cache_snapshot(&self) -> SymbolicCache {
         self.cache.clone()
-    }
-
-    /// Entries this session's cache gained at insertion stamp `base` or
-    /// later (see [`SymbolicCache::entries_since`]).
-    pub(crate) fn cache_entries_since(&self, base: u64) -> Vec<CacheEntry> {
-        self.cache.entries_since(base)
     }
 
     /// Merges cache entries learned by child sessions.

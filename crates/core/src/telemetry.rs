@@ -84,6 +84,12 @@ pub struct Counters {
     pub hier_max_separator_nodes: u64,
     /// Poles retained across all leaf reductions (before the top pass).
     pub hier_leaf_poles_retained: u64,
+    /// Guard-band leaf poles dropped by the per-leaf residue budget (the
+    /// two-level leaf path's replacement for blanket cutoff widening).
+    pub hier_leaf_trimmed_poles: u64,
+    /// Leaf factorizations that reused a symbolic analysis deduplicated
+    /// across the leaf fan-out (same-pattern leaves analyze once).
+    pub hier_leaf_pattern_reuses: u64,
     /// Leaf blocks with no port/separator boundary, dropped as
     /// unobservable.
     pub hier_portless_blocks_dropped: u64,
@@ -140,6 +146,8 @@ impl Counters {
             .hier_max_separator_nodes
             .max(other.hier_max_separator_nodes);
         self.hier_leaf_poles_retained += other.hier_leaf_poles_retained;
+        self.hier_leaf_trimmed_poles += other.hier_leaf_trimmed_poles;
+        self.hier_leaf_pattern_reuses += other.hier_leaf_pattern_reuses;
         self.hier_portless_blocks_dropped += other.hier_portless_blocks_dropped;
         self.hier_tree_depth = self.hier_tree_depth.max(other.hier_tree_depth);
         self.multipoint_points += other.multipoint_points;
@@ -182,6 +190,8 @@ impl Counters {
             ("hier_max_block_nodes", self.hier_max_block_nodes),
             ("hier_max_separator_nodes", self.hier_max_separator_nodes),
             ("hier_leaf_poles_retained", self.hier_leaf_poles_retained),
+            ("hier_leaf_trimmed_poles", self.hier_leaf_trimmed_poles),
+            ("hier_leaf_pattern_reuses", self.hier_leaf_pattern_reuses),
             (
                 "hier_portless_blocks_dropped",
                 self.hier_portless_blocks_dropped,
@@ -331,8 +341,10 @@ pub struct EigenChoice {
     /// Which block this record describes (`"flat"`, `"leaf3"`, `"top"`,
     /// `"component2"`, `"pencil"`).
     pub scope: String,
-    /// Backend that ran: `"dense"`, `"lanczos"`, `"lowrank"`, or
-    /// `"pencil_lanczos"` for the matrix-free path.
+    /// Backend that ran: `"dense"`, `"lanczos"`, `"lowrank"`,
+    /// `"pencil_lanczos"` for the matrix-free path, or `"schur"` for the
+    /// hierarchical two-level leaf path (Gram eigenanalysis on the
+    /// factored Schur complement, residues read off the moment panel).
     pub backend: &'static str,
     /// Dimension of the internal block the backend decomposed.
     pub dim: u64,

@@ -84,10 +84,35 @@ impl Transform1 {
     /// factor and moment phases separately; given the factor, the moment
     /// work itself cannot fail.
     pub fn with_factor(p: &Partitions, chol: SparseCholesky, ctx: &ParCtx) -> Self {
+        Self::with_factor_panel(p, chol, ctx, false).0
+    }
+
+    /// Like [`Transform1::with_factor`], optionally retaining the solved
+    /// panel `S = Y − Z = D⁻¹(R − E·D⁻¹Q) = D⁻¹P` (column-major `n×m`,
+    /// one column per port) that the moment fan-out already computes.
+    ///
+    /// The hierarchical two-level leaf path uses it to read residue rows
+    /// directly: `R''[p, :] = u_pᵀF⁻¹P = (1/√λ_p)·z_pᵀ·Uᵀ·S` for Gram
+    /// eigenpairs `(λ_p, z_p)` of `XᵀX` with `X = F⁻¹U`, so no per-pole
+    /// triple solves are needed. Retention only copies buffers the
+    /// transform produced anyway — the arithmetic sequence of the moment
+    /// computation is unchanged, so `a1`/`b1` stay bit-identical to the
+    /// non-retaining call.
+    pub(crate) fn with_factor_panel(
+        p: &Partitions,
+        chol: SparseCholesky,
+        ctx: &ParCtx,
+        retain_panel: bool,
+    ) -> (Self, Option<Vec<f64>>) {
         let m = p.m;
         let n = p.n;
         let mut a1 = p.a.to_dense();
         let mut b1 = p.b.to_dense();
+        let mut panel = if retain_panel {
+            vec![0.0f64; n * m]
+        } else {
+            Vec::new()
+        };
         // Column-at-a-time over ports: x_j = D⁻¹ q_j, y_j = D⁻¹ r_j,
         // z_j = D⁻¹ (E x_j). Then
         //   A'(:,j) = A(:,j) − Qᵀ x_j
@@ -98,14 +123,17 @@ impl Transform1 {
             let rt = p.r.transpose();
             let blocks = split_ranges(m, m.div_ceil(LANES));
             let contribs = ctx.map_items(blocks.len(), BlockScratch::default, |s, bi| {
-                port_block_contribution(p, &chol, &qt, &rt, blocks[bi].clone(), s)
+                port_block_contribution(p, &chol, &qt, &rt, blocks[bi].clone(), s, retain_panel)
             });
-            for (block, (da, db)) in blocks.iter().zip(contribs) {
+            for (block, (da, db, yz)) in blocks.iter().zip(contribs) {
                 for (r, j) in block.clone().enumerate() {
                     for i in 0..m {
                         a1[(i, j)] -= da[r * m + i];
                         b1[(i, j)] += db[r * m + i];
                     }
+                }
+                if let Some(yz) = yz {
+                    panel[block.start * n..block.start * n + yz.len()].copy_from_slice(&yz);
                 }
             }
         }
@@ -113,7 +141,10 @@ impl Transform1 {
         // reduced model is exactly symmetric.
         a1.symmetrize();
         b1.symmetrize();
-        Transform1 { a1, b1, chol, m, n }
+        (
+            Transform1 { a1, b1, chol, m, n },
+            retain_panel.then_some(panel),
+        )
     }
 
     /// The row block `R''` of the transformed connection susceptance for a
@@ -237,7 +268,8 @@ struct BlockScratch {
 
 /// Computes one port block's contribution columns: `da[r·m + i]` is
 /// subtracted from `A'(i, j)` and `db[r·m + i]` added to `B'(i, j)` for
-/// port `j = ports.start + r`.
+/// port `j = ports.start + r`. With `retain_panel` the solved
+/// `y_j − z_j` columns are returned too (column-major `n×w`).
 fn port_block_contribution(
     p: &Partitions,
     chol: &SparseCholesky,
@@ -245,7 +277,8 @@ fn port_block_contribution(
     rt: &CsrMat,
     ports: Range<usize>,
     s: &mut BlockScratch,
-) -> (Vec<f64>, Vec<f64>) {
+    retain_panel: bool,
+) -> (Vec<f64>, Vec<f64>, Option<Vec<f64>>) {
     let n = p.n;
     let m = p.m;
     let w = ports.len();
@@ -263,14 +296,22 @@ fn port_block_contribution(
     }
     chol.solve_block_into(&s.rhs, w, &mut s.x, &mut s.work);
 
-    // Y block: y_j = D⁻¹ r_j.
-    s.rhs.iter_mut().for_each(|v| *v = 0.0);
-    for (r, j) in ports.clone().enumerate() {
-        for (i, v) in rt.row_iter(j) {
-            s.rhs[r * n + i] = v;
+    // Y block: y_j = D⁻¹ r_j. `R = 0` (no port–internal capacitive
+    // coupling, the common case for ground-capacitor decks) makes every
+    // y_j exactly zero: the triangular solves reproduce exact zeros from
+    // a zero right-hand side, and subtracting an exact 0.0 leaves every
+    // float unchanged. Skipping the solves and the Qᵀy subtraction below
+    // is therefore bit-identical, not just approximately equal.
+    let skip_y = rt.nnz() == 0;
+    if !skip_y {
+        s.rhs.iter_mut().for_each(|v| *v = 0.0);
+        for (r, j) in ports.clone().enumerate() {
+            for (i, v) in rt.row_iter(j) {
+                s.rhs[r * n + i] = v;
+            }
         }
+        chol.solve_block_into(&s.rhs, w, &mut s.y, &mut s.work);
     }
-    chol.solve_block_into(&s.rhs, w, &mut s.y, &mut s.work);
 
     // Z block: z_j = D⁻¹ (E x_j).
     for r in 0..w {
@@ -288,16 +329,25 @@ fn port_block_contribution(
         for (o, v) in db[r * m..(r + 1) * m].iter_mut().zip(&s.mt) {
             *o -= v;
         }
-        p.q.matvec_t_into(&s.y[r * n..(r + 1) * n], &mut s.mt);
-        for (o, v) in db[r * m..(r + 1) * m].iter_mut().zip(&s.mt) {
-            *o -= v;
+        if !skip_y {
+            p.q.matvec_t_into(&s.y[r * n..(r + 1) * n], &mut s.mt);
+            for (o, v) in db[r * m..(r + 1) * m].iter_mut().zip(&s.mt) {
+                *o -= v;
+            }
         }
         p.q.matvec_t_into(&s.z[r * n..(r + 1) * n], &mut s.mt);
         for (o, v) in db[r * m..(r + 1) * m].iter_mut().zip(&s.mt) {
             *o += v;
         }
     }
-    (da, db)
+    let yz = retain_panel.then(|| {
+        s.y[..n * w]
+            .iter()
+            .zip(&s.z[..n * w])
+            .map(|(y, z)| y - z)
+            .collect::<Vec<f64>>()
+    });
+    (da, db, yz)
 }
 
 /// Per-worker scratch of [`Transform1::r2_rows_ctx`].

@@ -62,6 +62,13 @@ fn nested_dissection(a: &CsrMat) -> Vec<usize> {
 /// Threshold below which subgraphs are ordered by local minimum degree.
 const ND_LEAF: usize = 64;
 
+/// Subgraphs above this size that expose no separator (quasi-dense
+/// blobs — e.g. the union of leaf-boundary cliques a hierarchical
+/// stitch produces) are ordered by local RCM instead of the quadratic
+/// local minimum degree, which spends seconds re-cliquing a dense
+/// elimination front for no fill benefit.
+const ND_BLOB_RCM: usize = 512;
+
 fn dissect(a: &CsrMat, nodes: &[usize], order: &mut Vec<usize>) {
     if nodes.len() <= ND_LEAF {
         order.extend(local_min_degree(a, nodes));
@@ -69,8 +76,14 @@ fn dissect(a: &CsrMat, nodes: &[usize], order: &mut Vec<usize>) {
     }
     let Some((part_a, sep, part_b)) = level_set_bisect(a, nodes) else {
         // No meaningful separator (graph is a clique-ish blob or a
-        // short path): fall back to local minimum degree.
-        order.extend(local_min_degree(a, nodes));
+        // short path): fall back to a local ordering — minimum degree
+        // while it is cheap, RCM once the blob is big enough that
+        // min-degree's dense elimination front turns quadratic.
+        if nodes.len() > ND_BLOB_RCM {
+            order.extend(local_rcm(a, nodes));
+        } else {
+            order.extend(local_min_degree(a, nodes));
+        }
         return;
     };
     dissect(a, &part_a, order);
@@ -78,24 +91,23 @@ fn dissect(a: &CsrMat, nodes: &[usize], order: &mut Vec<usize>) {
     order.extend(sep);
 }
 
-/// BFS level-set vertex bisection of the subgraph of `a` induced by
-/// `nodes`: breadth-first levels from a pseudo-peripheral seed, the
-/// median level as separator. Returns `(part_a, separator, part_b)`
-/// where no edge of `a` joins `part_a` to `part_b` (BFS levels only
-/// connect consecutively; disconnected remainders land in `part_b`,
-/// which they touch by no edge at all). Returns `None` when the
-/// subgraph has fewer than three levels or a side would be empty —
-/// i.e. there is no useful separator.
-fn level_set_bisect(a: &CsrMat, nodes: &[usize]) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
-    if nodes.len() < 3 {
-        return None;
-    }
+/// BFS level sets of the subgraph of `a` induced by `nodes`, from a
+/// pseudo-peripheral seed. Levels only connect consecutively, so any
+/// single level is a vertex separator of the reached component;
+/// `unreached` holds the other components (touched by no edge at all).
+struct LevelSets {
+    /// `levels[l]` = vertices at BFS depth `l`, in visit order.
+    levels: Vec<Vec<usize>>,
+    /// Vertices outside the seed's component, in `nodes` order.
+    unreached: Vec<usize>,
+}
+
+fn bfs_level_sets(a: &CsrMat, nodes: &[usize]) -> LevelSets {
     // Membership map for this subgraph.
     let mut local = std::collections::BTreeMap::new();
     for (k, &v) in nodes.iter().enumerate() {
         local.insert(v, k);
     }
-    // BFS from a pseudo-peripheral node to build level sets.
     let start = pseudo_peripheral(a, nodes, &local);
     let mut level = vec![usize::MAX; nodes.len()];
     let mut queue = std::collections::VecDeque::new();
@@ -118,52 +130,187 @@ fn level_set_bisect(a: &CsrMat, nodes: &[usize]) -> Option<(Vec<usize>, Vec<usiz
             }
         }
     }
-    // Disconnected remainder: any unreached node forms its own part.
     let unreached: Vec<usize> = nodes
         .iter()
         .copied()
         .filter(|v| level[local[v]] == usize::MAX)
         .collect();
-    if levels.len() < 3 {
-        if unreached.is_empty() {
-            return None;
-        }
-        // The reached component is too small to bisect, but the
-        // subgraph is disconnected: split reached from unreached with
-        // an empty separator (no edge joins them).
-        let reached: Vec<usize> = nodes
-            .iter()
-            .copied()
-            .filter(|v| level[local[v]] != usize::MAX)
-            .collect();
-        return Some((reached, Vec::new(), unreached));
-    }
-    // Median level is the separator.
-    let total: usize = nodes.len() - unreached.len();
-    let mut acc = 0usize;
-    let mut sep_level = levels.len() / 2;
-    for (li, lv) in levels.iter().enumerate() {
-        acc += lv.len();
-        if acc * 2 >= total {
-            sep_level = li.clamp(1, levels.len() - 2);
-            break;
-        }
-    }
+    LevelSets { levels, unreached }
+}
+
+/// Splits level sets at `sep_level`: levels below form `part_a`, the
+/// chosen level is the separator, levels above plus the unreached
+/// components form `part_b`.
+fn split_at_level(ls: &LevelSets, sep_level: usize) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
     let mut part_a: Vec<usize> = Vec::new();
     let mut part_b: Vec<usize> = Vec::new();
     let mut sep: Vec<usize> = Vec::new();
-    for (li, lv) in levels.iter().enumerate() {
+    for (li, lv) in ls.levels.iter().enumerate() {
         match li.cmp(&sep_level) {
             std::cmp::Ordering::Less => part_a.extend(lv),
             std::cmp::Ordering::Equal => sep.extend(lv),
             std::cmp::Ordering::Greater => part_b.extend(lv),
         }
     }
-    part_b.extend(unreached);
+    part_b.extend(&ls.unreached);
+    (part_a, sep, part_b)
+}
+
+/// Shared preamble of the bisection variants: degenerate-size and
+/// too-few-levels handling. `Err(Some(split))` is an early answer (the
+/// disconnected reached-vs-unreached split), `Err(None)` means no
+/// useful separator exists, `Ok(ls)` hands the level sets on.
+type Bisection = (Vec<usize>, Vec<usize>, Vec<usize>);
+
+fn bisect_levels(a: &CsrMat, nodes: &[usize]) -> Result<LevelSets, Option<Bisection>> {
+    if nodes.len() < 3 {
+        return Err(None);
+    }
+    let ls = bfs_level_sets(a, nodes);
+    if ls.levels.len() < 3 {
+        if ls.unreached.is_empty() {
+            return Err(None);
+        }
+        // The reached component is too small to bisect, but the
+        // subgraph is disconnected: split reached from unreached with
+        // an empty separator (no edge joins them).
+        let reached: Vec<usize> = ls.levels.iter().flatten().copied().collect();
+        return Err(Some((reached, Vec::new(), ls.unreached)));
+    }
+    Ok(ls)
+}
+
+/// BFS level-set vertex bisection of the subgraph of `a` induced by
+/// `nodes`: breadth-first levels from a pseudo-peripheral seed, the
+/// median level as separator. Returns `(part_a, separator, part_b)`
+/// where no edge of `a` joins `part_a` to `part_b` (BFS levels only
+/// connect consecutively; disconnected remainders land in `part_b`,
+/// which they touch by no edge at all). Returns `None` when the
+/// subgraph has fewer than three levels or a side would be empty —
+/// i.e. there is no useful separator.
+fn level_set_bisect(a: &CsrMat, nodes: &[usize]) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    let ls = match bisect_levels(a, nodes) {
+        Ok(ls) => ls,
+        Err(early) => return early,
+    };
+    let (part_a, sep, part_b) = split_at_level(&ls, median_mass_level(&ls));
     if part_a.is_empty() || part_b.is_empty() {
         return None;
     }
     Some((part_a, sep, part_b))
+}
+
+/// The level at which cumulative reached mass first crosses one half,
+/// clamped to keep both sides nonempty.
+fn median_mass_level(ls: &LevelSets) -> usize {
+    let total: usize = ls.levels.iter().map(Vec::len).sum();
+    let mut acc = 0usize;
+    let mut sep_level = ls.levels.len() / 2;
+    for (li, lv) in ls.levels.iter().enumerate() {
+        acc += lv.len();
+        if acc * 2 >= total {
+            sep_level = li.clamp(1, ls.levels.len() - 2);
+            break;
+        }
+    }
+    sep_level
+}
+
+/// Level-set bisection tuned for the hierarchical partitioner
+/// ([`nested_dissection_partition`]): every separator vertex becomes an
+/// interface port whose boundary block the downstream reduction pays
+/// for *densely*, so separator thickness — not just balance — is the
+/// cost driver. Two refinements over [`level_set_bisect`]:
+///
+/// 1. the separator is the *thinnest* BFS level whose cut keeps at
+///    least a quarter of the reached mass on each side (the ordering
+///    pass keeps the plain median-mass cut, where balance matters more
+///    than thickness), tie-broken toward the median then the lower
+///    level;
+/// 2. separator vertices touching only one side are shaved back into
+///    that side — BFS levels on non-tensor meshes routinely carry such
+///    one-sided fat.
+///
+/// Shaving preserves the separator invariant (no edge joins `part_a`
+/// to `part_b`): a vertex moved into `part_a` had no `part_b` neighbor
+/// when it moved, a vertex moved into `part_b` had no neighbor in the
+/// *already-grown* `part_a`, and two shaved vertices that were
+/// neighbors can only both move toward the same side (the `part_b`
+/// check runs against post-shave `part_a`, so it sees the other mover).
+/// Same return contract as [`level_set_bisect`].
+fn level_set_bisect_thin(
+    a: &CsrMat,
+    nodes: &[usize],
+) -> Option<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    let ls = match bisect_levels(a, nodes) {
+        Ok(ls) => ls,
+        Err(early) => return early,
+    };
+    let total: usize = ls.levels.iter().map(Vec::len).sum();
+    let median = median_mass_level(&ls);
+    // Thinnest level keeping ≥ 25% of reached mass strictly below and
+    // strictly above the cut, clamped to interior levels.
+    let mut best = median;
+    let mut best_size = usize::MAX;
+    let mut below = 0usize;
+    for (li, lv) in ls.levels.iter().enumerate() {
+        let above = total - below - lv.len();
+        if li >= 1 && li + 1 < ls.levels.len() && 4 * below >= total && 4 * above >= total {
+            // Ascending scan: equal size and distance keeps the lower
+            // level automatically.
+            let better = lv.len() < best_size
+                || (lv.len() == best_size && li.abs_diff(median) < best.abs_diff(median));
+            if better {
+                best = li;
+                best_size = lv.len();
+            }
+        }
+        below += lv.len();
+    }
+    let (mut part_a, sep, mut part_b) = split_at_level(&ls, best);
+    if part_a.is_empty() || part_b.is_empty() {
+        return None;
+    }
+
+    // Two-phase shave. Sides are tracked on the original vertex ids so
+    // neighbor probes are O(1).
+    const SIDE_A: u8 = 0;
+    const SIDE_SEP: u8 = 1;
+    const SIDE_B: u8 = 2;
+    const OUTSIDE: u8 = 3;
+    let mut side = vec![OUTSIDE; a.nrows()];
+    for &v in &part_a {
+        side[v] = SIDE_A;
+    }
+    for &v in &sep {
+        side[v] = SIDE_SEP;
+    }
+    for &v in &part_b {
+        side[v] = SIDE_B;
+    }
+    // Phase 1: separator vertices with no part_b neighbor fold into
+    // part_a (their edges all stay on the a-side of the cut).
+    for &v in &sep {
+        if a.row_iter(v).all(|(w, _)| side[w] != SIDE_B) {
+            side[v] = SIDE_A;
+            part_a.push(v);
+        }
+    }
+    // Phase 2: remaining separator vertices with no neighbor in the
+    // *grown* part_a fold into part_b.
+    let mut thin_sep = Vec::with_capacity(sep.len());
+    for &v in &sep {
+        if side[v] != SIDE_SEP {
+            continue;
+        }
+        if a.row_iter(v).all(|(w, _)| side[w] != SIDE_A) {
+            side[v] = SIDE_B;
+            part_b.push(v);
+        } else {
+            thin_sep.push(v);
+        }
+    }
+    Some((part_a, thin_sep, part_b))
 }
 
 /// A vertex partition produced by recursive nested dissection
@@ -245,7 +392,7 @@ fn partition_rec(
         }
         return;
     }
-    match level_set_bisect(a, &nodes) {
+    match level_set_bisect_thin(a, &nodes) {
         Some((part_a, sep, part_b)) => {
             out.separators.push(sep);
             partition_rec(a, part_a, max_block, max_depth, depth + 1, out);
@@ -285,6 +432,52 @@ fn pseudo_peripheral(
         }
     }
     far
+}
+
+/// Reverse Cuthill–McKee restricted to a node subset: the dissection
+/// fallback for large blobs where [`local_min_degree`] would go
+/// quadratic. One BFS per component from a minimum-subset-degree seed,
+/// neighbors visited in ascending subset-degree order, result reversed
+/// — `O(nnz log nnz)` regardless of how dense the blob is.
+fn local_rcm(a: &CsrMat, nodes: &[usize]) -> Vec<usize> {
+    // Subset membership / visit marker on original ids.
+    let mut state = vec![0u8; a.nrows()]; // 0 outside, 1 member, 2 visited
+    for &v in nodes {
+        state[v] = 1;
+    }
+    let degree = |v: usize| {
+        a.row_iter(v)
+            .filter(|&(w, _)| w != v && state[w] != 0)
+            .count()
+    };
+    let degrees: std::collections::BTreeMap<usize, usize> =
+        nodes.iter().map(|&v| (v, degree(v))).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    let mut queue = std::collections::VecDeque::new();
+    let mut neighbors: Vec<usize> = Vec::new();
+    let mut seeds: Vec<usize> = nodes.to_vec();
+    seeds.sort_unstable_by_key(|&v| (degrees[&v], v));
+    for &seed in &seeds {
+        if state[seed] == 2 {
+            continue;
+        }
+        state[seed] = 2;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            neighbors.clear();
+            neighbors.extend(a.row_iter(u).map(|(w, _)| w).filter(|&w| state[w] == 1));
+            neighbors.sort_unstable_by_key(|&w| (degrees[&w], w));
+            for &w in &neighbors {
+                if state[w] == 1 {
+                    state[w] = 2;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    order.reverse();
+    order
 }
 
 /// Minimum-degree ordering restricted to a node subset (used as the

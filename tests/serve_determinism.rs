@@ -2,8 +2,9 @@
 //! layer.
 //!
 //! Several client threads hammer one daemon with a mix of mesh,
-//! power-grid and inverter-line decks. Every response must be
-//! *bit-identical* to a one-shot run of the shared pipeline (what
+//! power-grid, inverter-line and hierarchically-reduced mesh decks.
+//! Every response must be *bit-identical* to a one-shot run of the
+//! shared pipeline (what
 //! `rcfit` would print), regardless of worker count, queue interleaving
 //! or warm-session state; and the per-request telemetry counters must be
 //! independent of worker assignment except for the two warmth counters
@@ -30,6 +31,9 @@ struct Family {
     deck: String,
     /// Extra ports forced via the request's `ports` option.
     ports: Vec<String>,
+    /// `Some(max_block)` routes the request through the hierarchical
+    /// strategy (the daemon's `"hier"`/`"block_size"` options).
+    hier_block: Option<usize>,
     /// Expected reduced deck bytes (one-shot shared pipeline).
     expected_deck: String,
     /// Expected telemetry counters with the warmth counters removed.
@@ -67,6 +71,28 @@ fn small_grid_deck() -> (String, Vec<String>) {
     (power_grid_deck(&spec).netlist.to_string(), Vec::new())
 }
 
+/// A mesh reduced hierarchically: exercises the two-level Schur leaf
+/// fan-out and the per-worker session pool's leaf-pattern reuse. Uses
+/// its own topology so the one-cold-analysis-per-family accounting
+/// below stays exact.
+fn hier_mesh_deck() -> (String, Vec<String>) {
+    let spec = MeshSpec {
+        nx: 10,
+        ny: 10,
+        nz: 4,
+        num_contacts: 8,
+        ..MeshSpec::table2()
+    };
+    let net = substrate_mesh(&spec);
+    let deck = Netlist {
+        title: "* soak hier substrate mesh".to_owned(),
+        elements: network_to_elements(&net, "h"),
+        ..Netlist::default()
+    };
+    let ports = (0..spec.num_contacts).map(|k| format!("port{k}")).collect();
+    (deck.to_string(), ports)
+}
+
 fn line_deck() -> (String, Vec<String>) {
     let spec = LineSpec {
         segments: 40,
@@ -90,10 +116,16 @@ fn counters_without_warmth(tel: &Value) -> Vec<(String, Value)> {
 
 /// The one-shot reference: the shared pipeline with a fresh session,
 /// exactly what `rcfit` runs for this deck.
-fn one_shot(deck: &str, ports: &[String]) -> (String, Vec<(String, Value)>) {
+fn one_shot(
+    deck: &str,
+    ports: &[String],
+    hier_block: Option<usize>,
+) -> (String, Vec<(String, Value)>) {
     let opts = DeckOptions {
         threads: Some(1), // the daemon's per-request default
         extra_ports: ports.to_vec(),
+        hier: hier_block.is_some(),
+        block_size: hier_block.unwrap_or(DeckOptions::default().block_size),
         ..DeckOptions::default()
     };
     let prep = prepare_deck(deck, ports).expect("deck prepares");
@@ -107,17 +139,19 @@ fn one_shot(deck: &str, ports: &[String]) -> (String, Vec<(String, Value)>) {
 
 fn families() -> Vec<Family> {
     [
-        ("mesh", small_mesh_deck()),
-        ("grid", small_grid_deck()),
-        ("line", line_deck()),
+        ("mesh", small_mesh_deck(), None),
+        ("grid", small_grid_deck(), None),
+        ("line", line_deck(), None),
+        ("hier", hier_mesh_deck(), Some(48)),
     ]
     .into_iter()
-    .map(|(name, (deck, ports))| {
-        let (expected_deck, expected_counters) = one_shot(&deck, &ports);
+    .map(|(name, (deck, ports), hier_block)| {
+        let (expected_deck, expected_counters) = one_shot(&deck, &ports, hier_block);
         Family {
             name,
             deck,
             ports,
+            hier_block,
             expected_deck,
             expected_counters,
         }
@@ -127,6 +161,10 @@ fn families() -> Vec<Family> {
 
 fn request_line(id: &str, fam: &Family) -> String {
     let mut options = vec![("threads".to_owned(), Value::num(1.0))];
+    if let Some(block) = fam.hier_block {
+        options.push(("hier".to_owned(), Value::Bool(true)));
+        options.push(("block_size".to_owned(), Value::num(block as f64)));
+    }
     if !fam.ports.is_empty() {
         options.push((
             "ports".to_owned(),
