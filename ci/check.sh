@@ -287,4 +287,60 @@ mkdir -p results
 } > results/serve_perf.txt
 cat results/serve_perf.txt
 
+echo "==> extraction + chain-collapse smoke (-> results/extract_perf.txt)"
+# chain_collapse --smoke runs the 2000-segment line deck A/B and asserts
+# the acceptance gates: collapse eliminates >= 50% of the island's
+# internal nodes, two runs emit byte-identical decks (bit-identical port
+# responses), the re-stitched deck's in-band AC matches the unreduced
+# deck within the collapse budget, and the mixed R/C/L/diode/MOS deck
+# extracts end-to-end. Run in a scratch dir so the committed full-size
+# BENCH_extract.json is not overwritten.
+(cd "$tmp" && "$root/target/release/chain_collapse" --smoke) \
+    | tee "$tmp/extract_smoke.txt"
+grep -q "chain collapse OK" "$tmp/extract_smoke.txt"
+mkdir -p results
+{
+    echo "# Chain-collapse A/B smoke: 2000-segment line deck, fmax 1 GHz,"
+    echo "# $(nproc) core(s). reduce_embedded wall clock, extraction only vs"
+    echo "# collapse + extraction. Full run: BENCH_extract.json"
+    echo "# (cargo run --release -p pact-bench --bin chain_collapse)."
+    grep "^PERF " "$tmp/extract_smoke.txt"
+} > results/extract_perf.txt
+cat results/extract_perf.txt
+
+echo "==> rcfit --extract --collapse-chains CLI smoke (2000-segment line)"
+# The same workload through the CLI flags: telemetry must report the
+# collapsed chain and the eliminated nodes, and the re-stitched deck must
+# be a parseable SPICE payload.
+python3 - > "$tmp/long_line.sp" <<'EOF'
+n = 2000
+print("* 2000-segment extraction smoke line")
+print("Vdrv in 0 1")
+print("Rdrv in x0 50")
+for i in range(n):
+    a, b = f"x{i}", f"x{i+1}"
+    print(f"R{i} {a} {b} {250.0 / n:.9g}")
+    print(f"C{i} {b} 0 {1.35e-12 / n:.6e}")
+print("Iload x2000 0 1m")
+print(".end")
+EOF
+./target/release/rcfit --extract --collapse-chains --chain-tol 1e-4 \
+    --fmax 1g --log-json "$tmp/extract_telemetry.json" \
+    -o "$tmp/extract_reduced.sp" "$tmp/long_line.sp" > /dev/null
+test -s "$tmp/extract_reduced.sp"
+python3 - "$tmp/extract_telemetry.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "rcfit-telemetry-v1", d.get("schema")
+c = d["counters"]
+assert c["extract_subnets"] >= 1, "no RC island extracted"
+assert c["chains_collapsed"] >= 1, "chain collapse did not run"
+assert c["nodes_eliminated"] > 0, "no nodes eliminated"
+assert c["nodes_eliminated"] >= 1000, \
+    f"eliminated {c['nodes_eliminated']} of ~2000 internal nodes (< 50%)"
+print(f"extraction telemetry ok: {c['extract_subnets']} island(s), "
+      f"{c['chains_collapsed']} chain(s) collapsed, "
+      f"{c['nodes_eliminated']} nodes eliminated")
+EOF
+
 echo "==> all checks passed"

@@ -156,9 +156,9 @@ fn cold_loop(work: &[Work]) -> HashMap<String, String> {
                 extra_ports: w.ports.clone(),
                 ..DeckOptions::default()
             };
-            let prep = prepare_deck(&w.deck, &w.ports).expect("deck prepares");
+            let prep = prepare_deck(&w.deck, &opts).expect("deck prepares");
             let mut session = ReductionSession::new(opts.reduce_options().unwrap());
-            let red = reduce_prepared(&prep, &mut session, false).expect("deck reduces");
+            let red = reduce_prepared(&prep, &mut session, &opts).expect("deck reduces");
             let mut tel = prep.telemetry.clone();
             tel.absorb(&red.telemetry());
             let (text, _) = render_reduced(&prep, &red, "rcfit", opts.sparsify, &mut tel);

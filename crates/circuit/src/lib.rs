@@ -6,10 +6,14 @@
 //! models with source-breakpoint alignment), and small-signal AC sweeps —
 //! all over the sparse LU kernel of `pact-sparse`.
 //!
-//! Devices: resistors, capacitors, independent V/I sources (DC, PULSE,
-//! PWL, SIN) and level-1 MOSFETs with gate and drain/source-to-body
+//! Devices: resistors, capacitors, inductors, independent V/I sources
+//! (DC, PULSE, PWL, SIN), linear controlled sources (E/G/F/H), junction
+//! diodes, and level-1 MOSFETs with gate and drain/source-to-body
 //! junction capacitances (the substrate-noise injection path of the
-//! paper's Figure 6 experiment).
+//! paper's Figure 6 experiment). Inductors, VCVS and CCVS elements add
+//! branch-current unknowns to the MNA system; inductors and diodes use
+//! companion models (backward-Euler/trapezoidal and Newton
+//! linearization respectively) in transient and DC.
 //!
 //! The simulator exists so that every table and figure comparing
 //! "HSPICE on the original network" vs "HSPICE on the reduced network"
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod diode;
 mod mosfet;
 
 use std::collections::BTreeMap;
@@ -40,6 +45,7 @@ use std::time::Instant;
 use pact_netlist::{is_ground, ElementKind, Netlist, Waveform};
 use pact_sparse::{Complex64, CscMat, CscPencil, LuCache, ParCtx, SparseLu};
 
+pub use diode::{eval_diode, stamp_diode, Diode, DiodeOp, VTHERM};
 pub use mosfet::{eval_level1, stamp_level1, MosOp, Mosfet};
 
 /// Minimum conductance from every node to ground (SPICE `GMIN`).
@@ -63,6 +69,19 @@ pub enum CircuitError {
         /// Missing model name.
         model: String,
     },
+    /// A current-controlled source (F/H) references a voltage source
+    /// that does not exist in the deck.
+    UnknownControl {
+        /// Element name.
+        element: String,
+        /// Missing controlling voltage-source name.
+        ctrl: String,
+    },
+    /// A `.DC` sweep names a source that does not exist.
+    UnknownSource {
+        /// Missing source name.
+        source: String,
+    },
     /// The Newton iteration failed to converge.
     NoConvergence {
         /// Analysis phase that failed (e.g. "dc", "transient t=...").
@@ -80,6 +99,15 @@ impl std::fmt::Display for CircuitError {
         match self {
             CircuitError::UnknownModel { element, model } => {
                 write!(f, "element {element} references unknown model `{model}`")
+            }
+            CircuitError::UnknownControl { element, ctrl } => {
+                write!(
+                    f,
+                    "element {element} references unknown controlling source `{ctrl}`"
+                )
+            }
+            CircuitError::UnknownSource { source } => {
+                write!(f, ".dc sweep references unknown source `{source}`")
             }
             CircuitError::NoConvergence { context } => {
                 write!(f, "newton iteration failed to converge ({context})")
@@ -99,6 +127,13 @@ struct Branch2 {
     value: f64,
 }
 
+/// Branch voltage `v_a − v_b` of a two-terminal element.
+fn vab2(c: &Branch2, xx: &[f64]) -> f64 {
+    let va = c.a.map_or(0.0, |i| xx[i]);
+    let vb = c.b.map_or(0.0, |i| xx[i]);
+    va - vb
+}
+
 /// An independent source instance.
 #[derive(Clone, Debug)]
 struct Source {
@@ -108,16 +143,44 @@ struct Source {
     name: String,
 }
 
+/// A voltage-controlled source (VCVS `E` / VCCS `G`): output pair plus a
+/// sensed voltage pair and a gain (V/V or S).
+#[derive(Clone, Copy, Debug)]
+struct VoltCtl {
+    p: Option<usize>,
+    n: Option<usize>,
+    cp: Option<usize>,
+    cn: Option<usize>,
+    gain: f64,
+}
+
+/// A current-controlled source (CCCS `F` / CCVS `H`): output pair plus
+/// the index of the controlling voltage source whose branch current is
+/// sensed, and a gain (A/A or Ω).
+#[derive(Clone, Copy, Debug)]
+struct CurrCtl {
+    p: Option<usize>,
+    n: Option<usize>,
+    ctrl: usize,
+    gain: f64,
+}
+
 /// A compiled circuit ready for analysis.
 #[derive(Clone, Debug)]
 pub struct Circuit {
     /// Non-ground node names, index = MNA unknown.
     nodes: Vec<String>,
     resistors: Vec<Branch2>,
-    /// Physical + MOSFET parasitic capacitors.
+    /// Physical + MOSFET parasitic + diode junction capacitors.
     capacitors: Vec<Branch2>,
+    inductors: Vec<Branch2>,
     vsources: Vec<Source>,
     isources: Vec<Source>,
+    vcvs: Vec<VoltCtl>,
+    vccs: Vec<VoltCtl>,
+    cccs: Vec<CurrCtl>,
+    ccvs: Vec<CurrCtl>,
+    diodes: Vec<Diode>,
     mosfets: Vec<Mosfet>,
 }
 
@@ -171,7 +234,9 @@ struct SolveCtx {
     cache: LuCache,
     /// Numeric factorizations of linear-circuit matrices, keyed by the
     /// exact bits of `(gmin, cap_geq)` — the only values the matrix
-    /// depends on when no MOSFETs are present. Most-recently-used first.
+    /// depends on when no nonlinear devices (MOSFETs, diodes) are
+    /// present; inductor companion resistances are `cap_geq · L`.
+    /// Most-recently-used first.
     numeric: Vec<((u64, u64), SparseLu<f64>)>,
 }
 
@@ -211,9 +276,33 @@ impl Circuit {
             nodes: Vec::new(),
             resistors: Vec::new(),
             capacitors: Vec::new(),
+            inductors: Vec::new(),
             vsources: Vec::new(),
             isources: Vec::new(),
+            vcvs: Vec::new(),
+            vccs: Vec::new(),
+            cccs: Vec::new(),
+            ccvs: Vec::new(),
+            diodes: Vec::new(),
             mosfets: Vec::new(),
+        };
+        // Pre-scan voltage-source names so F/H elements can reference a
+        // controlling source defined later in the deck. Indexes match
+        // `ckt.vsources` because both walk elements in deck order.
+        let vnames: Vec<&str> = nl
+            .elements
+            .iter()
+            .filter(|e| matches!(e.kind, ElementKind::VSource { .. }))
+            .map(|e| e.name.as_str())
+            .collect();
+        let find_ctrl = |element: &str, ctrl: &str| -> Result<usize, CircuitError> {
+            vnames
+                .iter()
+                .position(|v| v.eq_ignore_ascii_case(ctrl))
+                .ok_or_else(|| CircuitError::UnknownControl {
+                    element: element.to_owned(),
+                    ctrl: ctrl.to_owned(),
+                })
         };
         for e in &nl.elements {
             match &e.kind {
@@ -250,6 +339,75 @@ impl Circuit {
                         wave: wave.clone(),
                         name: e.name.clone(),
                     });
+                }
+                ElementKind::Inductor { a, b, henries } => {
+                    let a = lookup(a, &mut nodes);
+                    let b = lookup(b, &mut nodes);
+                    ckt.inductors.push(Branch2 {
+                        a,
+                        b,
+                        value: *henries,
+                    });
+                }
+                ElementKind::Vcvs { p, n, cp, cn, gain } => {
+                    let ctl = VoltCtl {
+                        p: lookup(p, &mut nodes),
+                        n: lookup(n, &mut nodes),
+                        cp: lookup(cp, &mut nodes),
+                        cn: lookup(cn, &mut nodes),
+                        gain: *gain,
+                    };
+                    ckt.vcvs.push(ctl);
+                }
+                ElementKind::Vccs { p, n, cp, cn, gm } => {
+                    let ctl = VoltCtl {
+                        p: lookup(p, &mut nodes),
+                        n: lookup(n, &mut nodes),
+                        cp: lookup(cp, &mut nodes),
+                        cn: lookup(cn, &mut nodes),
+                        gain: *gm,
+                    };
+                    ckt.vccs.push(ctl);
+                }
+                ElementKind::Cccs { p, n, ctrl, gain } => {
+                    let ctl = CurrCtl {
+                        p: lookup(p, &mut nodes),
+                        n: lookup(n, &mut nodes),
+                        ctrl: find_ctrl(&e.name, ctrl)?,
+                        gain: *gain,
+                    };
+                    ckt.cccs.push(ctl);
+                }
+                ElementKind::Ccvs { p, n, ctrl, ohms } => {
+                    let ctl = CurrCtl {
+                        p: lookup(p, &mut nodes),
+                        n: lookup(n, &mut nodes),
+                        ctrl: find_ctrl(&e.name, ctrl)?,
+                        gain: *ohms,
+                    };
+                    ckt.ccvs.push(ctl);
+                }
+                ElementKind::Diode { p, n, model, area } => {
+                    let dm =
+                        nl.diode_models
+                            .get(model)
+                            .ok_or_else(|| CircuitError::UnknownModel {
+                                element: e.name.clone(),
+                                model: model.clone(),
+                            })?;
+                    let p = lookup(p, &mut nodes);
+                    let n = lookup(n, &mut nodes);
+                    let d = Diode::from_model(dm, p, n, *area);
+                    // The zero-bias junction capacitance becomes a plain
+                    // capacitor, like MOSFET parasitics.
+                    if d.cj > 0.0 && p != n {
+                        ckt.capacitors.push(Branch2 {
+                            a: p,
+                            b: n,
+                            value: d.cj,
+                        });
+                    }
+                    ckt.diodes.push(d);
                 }
                 ElementKind::Mosfet {
                     d,
@@ -305,9 +463,29 @@ impl Circuit {
         self.nodes.iter().position(|n| n == name)
     }
 
-    /// Number of MNA unknowns (nodes + voltage-source branch currents).
+    /// Number of MNA unknowns: node voltages plus one branch current
+    /// per voltage source, inductor, VCVS and CCVS (in that order).
     pub fn dim(&self) -> usize {
-        self.nodes.len() + self.vsources.len()
+        self.nodes.len()
+            + self.vsources.len()
+            + self.inductors.len()
+            + self.vcvs.len()
+            + self.ccvs.len()
+    }
+
+    /// MNA row/column of inductor `k`'s branch current.
+    fn row_ind(&self, k: usize) -> usize {
+        self.nodes.len() + self.vsources.len() + k
+    }
+
+    /// MNA row/column of VCVS `k`'s branch current.
+    fn row_vcvs(&self, k: usize) -> usize {
+        self.nodes.len() + self.vsources.len() + self.inductors.len() + k
+    }
+
+    /// MNA row/column of CCVS `k`'s branch current.
+    fn row_ccvs(&self, k: usize) -> usize {
+        self.nodes.len() + self.vsources.len() + self.inductors.len() + self.vcvs.len() + k
     }
 
     /// Counts: `(nodes, resistors, capacitors incl. parasitics, mosfets)`.
@@ -357,6 +535,78 @@ impl Circuit {
         }
     }
 
+    /// Stamps the branch-row elements: inductors (companion resistance
+    /// `req = cap_geq · L`, an exact short at DC where `cap_geq = 0`),
+    /// and the four linear controlled-source families. Like
+    /// [`Circuit::stamp_cap_pattern`], this is always called with the
+    /// same pattern so one symbolic analysis serves the whole run.
+    fn stamp_branch_elements(&self, trips: &mut Vec<(usize, usize, f64)>, cap_geq: f64) {
+        let nn = self.nodes.len();
+        for (k, l) in self.inductors.iter().enumerate() {
+            let row = self.row_ind(k);
+            if let Some(a) = l.a {
+                trips.push((a, row, 1.0));
+                trips.push((row, a, 1.0));
+            }
+            if let Some(b) = l.b {
+                trips.push((b, row, -1.0));
+                trips.push((row, b, -1.0));
+            }
+            trips.push((row, row, -(cap_geq * l.value)));
+        }
+        for (k, e) in self.vcvs.iter().enumerate() {
+            let row = self.row_vcvs(k);
+            if let Some(p) = e.p {
+                trips.push((p, row, 1.0));
+                trips.push((row, p, 1.0));
+            }
+            if let Some(n) = e.n {
+                trips.push((n, row, -1.0));
+                trips.push((row, n, -1.0));
+            }
+            if let Some(cp) = e.cp {
+                trips.push((row, cp, -e.gain));
+            }
+            if let Some(cn) = e.cn {
+                trips.push((row, cn, e.gain));
+            }
+        }
+        for g in &self.vccs {
+            for (out, sgn) in [(g.p, 1.0), (g.n, -1.0)] {
+                if let Some(r) = out {
+                    if let Some(cp) = g.cp {
+                        trips.push((r, cp, sgn * g.gain));
+                    }
+                    if let Some(cn) = g.cn {
+                        trips.push((r, cn, -sgn * g.gain));
+                    }
+                }
+            }
+        }
+        for fsrc in &self.cccs {
+            let cv = nn + fsrc.ctrl;
+            if let Some(p) = fsrc.p {
+                trips.push((p, cv, fsrc.gain));
+            }
+            if let Some(n) = fsrc.n {
+                trips.push((n, cv, -fsrc.gain));
+            }
+        }
+        for (k, h) in self.ccvs.iter().enumerate() {
+            let row = self.row_ccvs(k);
+            let cv = nn + h.ctrl;
+            if let Some(p) = h.p {
+                trips.push((p, row, 1.0));
+                trips.push((row, p, 1.0));
+            }
+            if let Some(n) = h.n {
+                trips.push((n, row, -1.0));
+                trips.push((row, n, -1.0));
+            }
+            trips.push((row, cv, -h.gain));
+        }
+    }
+
     /// Stamps capacitor companion conductances `geq = cap_geq · C`.
     ///
     /// Always called — with `cap_geq = 0.0` at DC — so the MNA sparsity
@@ -393,8 +643,17 @@ impl Circuit {
     }
 
     /// Assembles the matrix-independent RHS: V-source values, current
-    /// sources at `t`, and capacitor companion currents.
-    fn assemble_rhs(&self, rhs: &mut [f64], vvals: &[f64], t: f64, cap_ieq: Option<&[f64]>) {
+    /// sources at `t`, capacitor companion currents, and inductor
+    /// companion branch voltages (`None` at DC, where an inductor's
+    /// branch row reads `v_a − v_b = 0`).
+    fn assemble_rhs(
+        &self,
+        rhs: &mut [f64],
+        vvals: &[f64],
+        t: f64,
+        cap_ieq: Option<&[f64]>,
+        ind_veq: Option<&[f64]>,
+    ) {
         let nn = self.nodes.len();
         for (k, _) in self.vsources.iter().enumerate() {
             rhs[nn + k] = vvals[k];
@@ -413,29 +672,40 @@ impl Circuit {
                 }
             }
         }
+        if let Some(veq) = ind_veq {
+            for k in 0..self.inductors.len() {
+                rhs[self.row_ind(k)] = veq[k];
+            }
+        }
     }
 
     /// Stamps the full linear MNA matrix (resistors + gmin, V-source
-    /// rows, capacitor companions) with structure independent of
-    /// `gmin`/`cap_geq` values.
+    /// rows, capacitor/inductor companions, controlled sources) with
+    /// structure independent of `gmin`/`cap_geq` values.
     fn assemble_linear(&self, gmin: f64, cap_geq: f64) -> Vec<(usize, usize, f64)> {
         let nn = self.nodes.len();
         let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(
-            4 * (self.resistors.len() + self.capacitors.len() + self.vsources.len()) + nn,
+            4 * (self.resistors.len() + self.capacitors.len() + self.vsources.len())
+                + 5 * (self.inductors.len() + self.vcvs.len() + self.ccvs.len())
+                + 4 * self.vccs.len()
+                + 2 * self.cccs.len()
+                + nn,
         );
         self.stamp_linear_g(&mut trips, gmin);
         self.stamp_vsource_pattern(&mut trips);
         self.stamp_cap_pattern(&mut trips, cap_geq);
+        self.stamp_branch_elements(&mut trips, cap_geq);
         trips
     }
 
     /// Solves one Newton stage at fixed linear stamps; returns the
     /// solution.
     ///
-    /// Linear circuits (no MOSFETs) take a fast path: the matrix depends
-    /// only on `(gmin, cap_geq)`, so a numeric factorization is cached
-    /// per distinct pair and a repeat step size costs one RHS assembly
-    /// plus one triangular solve — no factorization at all.
+    /// Linear circuits (no MOSFETs, no diodes) take a fast path: the
+    /// matrix depends only on `(gmin, cap_geq)` — inductor companion
+    /// resistances are `cap_geq · L` — so a numeric factorization is
+    /// cached per distinct pair and a repeat step size costs one RHS
+    /// assembly plus one triangular solve — no factorization at all.
     #[allow(clippy::too_many_arguments)]
     fn newton(
         &self,
@@ -445,15 +715,16 @@ impl Circuit {
         t: f64,
         cap_geq: f64,
         cap_ieq: Option<&[f64]>,
+        ind_veq: Option<&[f64]>,
         context: &str,
         slv: &mut SolveCtx,
         stats: &mut SimStats,
     ) -> Result<Vec<f64>, CircuitError> {
         let dim = self.dim();
         let nn = self.nodes.len();
-        if self.mosfets.is_empty() {
+        if self.mosfets.is_empty() && self.diodes.is_empty() {
             let mut rhs = vec![0.0; dim];
-            self.assemble_rhs(&mut rhs, vvals, t, cap_ieq);
+            self.assemble_rhs(&mut rhs, vvals, t, cap_ieq, ind_veq);
             let key = (gmin.to_bits(), cap_geq.to_bits());
             if let Some(pos) = slv.numeric.iter().position(|(k, _)| *k == key) {
                 // Move-to-front LRU; no factorization work at all.
@@ -476,11 +747,14 @@ impl Circuit {
         let mut x = x0.to_vec();
         for iter in 0..MAX_NEWTON {
             let mut trips = self.assemble_linear(gmin, cap_geq);
-            trips.reserve(8 * self.mosfets.len());
+            trips.reserve(8 * self.mosfets.len() + 4 * self.diodes.len());
             let mut rhs = vec![0.0; dim];
-            self.assemble_rhs(&mut rhs, vvals, t, cap_ieq);
+            self.assemble_rhs(&mut rhs, vvals, t, cap_ieq, ind_veq);
             for m in &self.mosfets {
                 stamp_level1(m, &x[..nn], &mut trips, &mut rhs);
+            }
+            for d in &self.diodes {
+                stamp_diode(d, &x[..nn], &mut trips, &mut rhs);
             }
             let a = CscMat::from_triplets(dim, dim, &trips);
             let (lu, refactored) = slv.cache.factor(&a).map_err(|_| CircuitError::Singular {
@@ -529,12 +803,86 @@ impl Circuit {
         let vvals: Vec<f64> = self.vsources.iter().map(|s| s.wave.dc_value()).collect();
         let mut x = vec![0.0; self.dim()];
         for gmin in [1e-3, 1e-5, 1e-7, 1e-9, GMIN] {
-            x = self.newton(&x, gmin, &vvals, 0.0, 0.0, None, "dc", slv, &mut stats)?;
+            x = self.newton(
+                &x, gmin, &vvals, 0.0, 0.0, None, None, "dc", slv, &mut stats,
+            )?;
         }
         stats.elapsed_seconds = start.elapsed().as_secs_f64();
         stats.modelled_memory_bytes = stats.peak_factor_nnz * 16 + self.dim() * 8 * 4;
         Ok(DcSolution {
             x,
+            nodes: self.nodes.clone(),
+            stats,
+        })
+    }
+
+    /// Runs a `.DC` source sweep: the named V or I source steps from
+    /// `start` to `stop` in increments of `step` (inclusive within half
+    /// a step) and the operating point is solved at each value. One
+    /// solver context is reused across the sweep, so the symbolic
+    /// analysis — and for linear circuits the numeric factorization —
+    /// is shared by every point.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::UnknownSource`] if no source matches, a
+    /// `Singular` error for a step that cannot reach `stop`, and any
+    /// Newton/solver failure at a sweep point.
+    pub fn dc_sweep(
+        &self,
+        source: &str,
+        start: f64,
+        stop: f64,
+        step: f64,
+    ) -> Result<DcSweepResult, CircuitError> {
+        let is_v = self
+            .vsources
+            .iter()
+            .position(|s| s.name.eq_ignore_ascii_case(source));
+        let is_i = self
+            .isources
+            .iter()
+            .position(|s| s.name.eq_ignore_ascii_case(source));
+        if is_v.is_none() && is_i.is_none() {
+            return Err(CircuitError::UnknownSource {
+                source: source.to_owned(),
+            });
+        }
+        if step == 0.0 || !step.is_finite() || (stop - start) * step < 0.0 {
+            return Err(CircuitError::Singular {
+                context: format!(".dc: step {step} cannot reach {stop} from {start}"),
+            });
+        }
+        let wall = Instant::now();
+        let mut work = self.clone();
+        let mut slv = SolveCtx::default();
+        let mut stats = SimStats::default();
+        let mut values = Vec::new();
+        let mut waves = Vec::new();
+        let npts = ((stop - start) / step).round() as usize + 1;
+        for k in 0..npts {
+            let v = start + step * k as f64;
+            if let Some(kv) = is_v {
+                work.vsources[kv].wave = Waveform::Dc(v);
+            } else if let Some(ki) = is_i {
+                work.isources[ki].wave = Waveform::Dc(v);
+            }
+            let dc = work.dc_with(&mut slv)?;
+            stats.factorizations += dc.stats.factorizations;
+            stats.refactorizations += dc.stats.refactorizations;
+            stats.newton_iterations += dc.stats.newton_iterations;
+            stats.peak_factor_nnz = stats.peak_factor_nnz.max(dc.stats.peak_factor_nnz);
+            stats.factor_nnz = dc.stats.factor_nnz;
+            stats.steps += 1;
+            values.push(v);
+            waves.push(dc.x[..self.nodes.len()].to_vec());
+        }
+        stats.elapsed_seconds = wall.elapsed().as_secs_f64();
+        stats.modelled_memory_bytes =
+            stats.peak_factor_nnz * 16 + self.dim() * 8 * 4 + waves.len() * self.nodes.len() * 8;
+        Ok(DcSweepResult {
+            values,
+            waves,
             nodes: self.nodes.clone(),
             stats,
         })
@@ -586,6 +934,12 @@ impl Circuit {
         let mut waves: Vec<Vec<f64>> = vec![x[..nn].to_vec()];
         // Per-capacitor branch current (trapezoidal memory).
         let mut icap = vec![0.0; self.capacitors.len()];
+        // Per-inductor memory: branch current (an MNA unknown, read from
+        // the committed solution) and branch voltage (trapezoidal).
+        let mut il_prev: Vec<f64> = (0..self.inductors.len())
+            .map(|k| x[self.row_ind(k)])
+            .collect();
+        let mut vl_prev: Vec<f64> = self.inductors.iter().map(|l| vab2(l, &x)).collect();
         let mut t = 0.0;
         let mut bp_idx = 0;
         // A step leaving t=0 or a breakpoint uses backward Euler
@@ -641,6 +995,22 @@ impl Circuit {
                             .collect(),
                     )
                 };
+                // Inductor companion branch voltages: the branch row
+                // reads `v_a − v_b − req·i = veq` with `req = geq·L`;
+                // BE: `veq = −req·i_prev`, trapezoidal adds `−v_prev`.
+                let ind_veqs: Vec<f64> = self
+                    .inductors
+                    .iter()
+                    .enumerate()
+                    .map(|(k, l)| {
+                        let req = geq_per_c * l.value;
+                        if use_be {
+                            -req * il_prev[k]
+                        } else {
+                            -req * il_prev[k] - vl_prev[k]
+                        }
+                    })
+                    .collect();
                 let vvals: Vec<f64> = self.vsources.iter().map(|s| s.wave.eval(tn)).collect();
                 let xn = self.newton(
                     &x,
@@ -649,6 +1019,7 @@ impl Circuit {
                     tn,
                     geq_per_c,
                     Some(&ieqs),
+                    Some(&ind_veqs),
                     &format!("transient t={tn:.3e}"),
                     &mut slv,
                     &mut stats,
@@ -699,6 +1070,10 @@ impl Circuit {
                     let dv = vab(c, &xn) - vab(c, &x);
                     let g = if use_be { 1.0 } else { 2.0 } / h * c.value;
                     icap[ci] = if use_be { g * dv } else { g * dv - icap[ci] };
+                }
+                for (k, l) in self.inductors.iter().enumerate() {
+                    il_prev[k] = xn[self.row_ind(k)];
+                    vl_prev[k] = vab2(l, &xn);
                 }
                 x = xn;
                 t = tn;
@@ -773,15 +1148,23 @@ impl Circuit {
         let dim = self.dim();
 
         // Real conductance stamps: resistors + gmin + linearized MOSFETs
-        // + V-source constraint rows (AC value 0 unless excited).
+        // and diodes + V-source constraint rows (AC value 0 unless
+        // excited) + controlled sources and inductor branch rows.
         let mut gtrips: Vec<(usize, usize, f64)> = Vec::new();
         let mut dummy_rhs = vec![0.0; dim];
         self.stamp_linear_g(&mut gtrips, GMIN);
         for m in &self.mosfets {
             stamp_level1(m, &dc.x[..nn], &mut gtrips, &mut dummy_rhs);
         }
+        for d in &self.diodes {
+            stamp_diode(d, &dc.x[..nn], &mut gtrips, &mut dummy_rhs);
+        }
         self.stamp_vsource_pattern(&mut gtrips);
-        // Capacitor susceptance pattern.
+        // `cap_geq = 0`: inductor branch rows carry their incidence and
+        // constraint entries; the `−jωL` part goes on the C side below.
+        self.stamp_branch_elements(&mut gtrips, 0.0);
+        // Capacitor susceptance pattern, plus `−L` on each inductor
+        // branch diagonal so the pencil row reads `v_a − v_b − jωL·i`.
         let mut ctrips: Vec<(usize, usize, f64)> = Vec::new();
         for c in &self.capacitors {
             match (c.a, c.b) {
@@ -794,6 +1177,10 @@ impl Circuit {
                 (Some(i), None) | (None, Some(i)) => ctrips.push((i, i, c.value)),
                 _ => {}
             }
+        }
+        for (k, l) in self.inductors.iter().enumerate() {
+            let row = self.row_ind(k);
+            ctrips.push((row, row, -l.value));
         }
         let pencil = CscPencil::from_triplets(dim, &gtrips, &ctrips);
 
@@ -1037,6 +1424,29 @@ impl DcSolution {
             return Some(0.0);
         }
         self.nodes.iter().position(|n| n == name).map(|i| self.x[i])
+    }
+}
+
+/// `.DC` sweep result: node voltages per swept source value.
+#[derive(Clone, Debug)]
+pub struct DcSweepResult {
+    /// Swept source values.
+    pub values: Vec<f64>,
+    /// Node-voltage vectors per sweep point.
+    pub waves: Vec<Vec<f64>>,
+    nodes: Vec<String>,
+    /// Aggregated work statistics across all sweep points.
+    pub stats: SimStats,
+}
+
+impl DcSweepResult {
+    /// The transfer curve of one node across the sweep.
+    pub fn voltage(&self, name: &str) -> Option<Vec<f64>> {
+        if is_ground(name) {
+            return Some(vec![0.0; self.values.len()]);
+        }
+        let i = self.nodes.iter().position(|n| n == name)?;
+        Some(self.waves.iter().map(|w| w[i]).collect())
     }
 }
 
@@ -1368,6 +1778,249 @@ C3 out 0 1p
                 assert_eq!(x.re.to_bits(), y.re.to_bits());
                 assert_eq!(x.im.to_bits(), y.im.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn rl_step_response_time_constant() {
+        // Series RL driven by a step: i(t) = (V/R)(1 − e^(−tR/L)),
+        // v(mid) = V·e^(−t/τ) with τ = L/R = 1 ns.
+        let deck = "* rl\nV1 in 0 pwl(0 0 1p 1)\nR1 in mid 1k\nL1 mid 0 1u\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(5e-12, 5e-9).unwrap();
+        let v_tau = tr.voltage_at("mid", 1.001e-9).unwrap();
+        assert!(
+            (v_tau - (-1.0f64).exp()).abs() < 0.01,
+            "v(tau) = {v_tau}, expected ~0.368"
+        );
+        // Long after the step the inductor is a short.
+        assert!(tr.voltage("mid").unwrap().last().unwrap().abs() < 0.01);
+    }
+
+    #[test]
+    fn inductor_is_dc_short_and_ac_open() {
+        let deck = "* lc\nV1 in 0 dc 1\nR1 in out 1k\nL1 out 0 1m\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        assert!(dc.voltage("out").unwrap().abs() < 1e-9, "DC short");
+        // At f >> R/(2πL) the divider passes nearly everything.
+        let ac = ckt
+            .ac_sweep(&[1e9], &AcExcitation::VSource("V1".into()))
+            .unwrap();
+        let v = ac.voltage("out").unwrap()[0];
+        assert!(v.abs() > 0.99, "|v| = {} at high f", v.abs());
+        // And at f << R/(2πL) almost nothing.
+        let ac = ckt
+            .ac_sweep(&[1e3], &AcExcitation::VSource("V1".into()))
+            .unwrap();
+        let v = ac.voltage("out").unwrap()[0];
+        assert!(v.abs() < 0.05, "|v| = {} at low f", v.abs());
+    }
+
+    #[test]
+    fn lc_resonance_peak() {
+        // Series RLC: |v(cap)| peaks near f0 = 1/(2π√(LC)) ≈ 5.03 MHz.
+        let deck = "* rlc\nV1 in 0 dc 0\nR1 in mid 10\nL1 mid out 1u\nC1 out 0 1n\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let ac = ckt
+            .ac_sweep(
+                &[f0 / 10.0, f0, f0 * 10.0],
+                &AcExcitation::VSource("V1".into()),
+            )
+            .unwrap();
+        let v = ac.voltage("out").unwrap();
+        // Q = (1/R)·√(L/C) ≈ 3.2 of gain at resonance.
+        assert!(v[1].abs() > 2.0 * v[0].abs());
+        assert!(v[1].abs() > 2.0 * v[2].abs());
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let deck = "* e\nV1 a 0 2\nR1 a 0 1k\nE1 out 0 a 0 5\nRl out 0 1k\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        assert!((dc.voltage("out").unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vccs_injects_current() {
+        // G1 drives gm·v(a) = 1e-3·2 = 2 mA into out through 1k → 2 V
+        // (current flows from n to p through the external resistor).
+        let deck = "* g\nV1 a 0 2\nG1 0 out a 0 1m\nRl out 0 1k\n.end\n";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        assert!((dc.voltage("out").unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cccs_and_ccvs_sense_branch_current() {
+        // V1 pushes 1 mA through R1; F1 mirrors 2× that into Rf.
+        // i(V1) in MNA convention flows p→n inside the source, so the
+        // branch current is −1 mA; gains below account for the sign.
+        let deck = "\
+* fh
+V1 a 0 1
+R1 a 0 1k
+F1 0 fo V1 -2
+Rf fo 0 1k
+H1 ho 0 V1 -4k
+Rh ho 0 1k
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        // F: 2·1mA into fo through 1k → 2 V.
+        assert!(
+            (dc.voltage("fo").unwrap() - 2.0).abs() < 1e-6,
+            "fo = {}",
+            dc.voltage("fo").unwrap()
+        );
+        // H: 4kΩ·1mA = 4 V source driving ho.
+        assert!(
+            (dc.voltage("ho").unwrap() - 4.0).abs() < 1e-6,
+            "ho = {}",
+            dc.voltage("ho").unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_control_is_error() {
+        let deck = "* f\nV1 a 0 1\nR1 a 0 1k\nF1 0 b V9 2\nRb b 0 1k\n.end\n";
+        let r = Circuit::from_netlist(&parse(deck).unwrap());
+        assert!(matches!(r, Err(CircuitError::UnknownControl { .. })));
+    }
+
+    #[test]
+    fn diode_rectifies_dc() {
+        let deck = "\
+* d
+.model dx d (is=1e-14 n=1)
+V1 in 0 5
+R1 in out 1k
+D1 out 0 dx
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let dc = ckt.dc_operating_point().unwrap();
+        let v = dc.voltage("out").unwrap();
+        // Forward drop of a silicon diode passing ~4.3 mA: 0.6–0.8 V.
+        assert!(v > 0.5 && v < 0.9, "forward drop = {v}");
+        // Reverse-biased: the diode blocks and out floats to the rail.
+        let deck_r = deck.replace("D1 out 0 dx", "D1 0 out dx");
+        let ckt_r = Circuit::from_netlist(&parse(&deck_r).unwrap()).unwrap();
+        let vr = ckt_r.dc_operating_point().unwrap().voltage("out").unwrap();
+        assert!(vr > 4.9, "reverse-biased node = {vr}");
+    }
+
+    #[test]
+    fn diode_clips_transient() {
+        // A sine through a resistor into a grounded diode clips the
+        // negative excursion near one forward drop.
+        let deck = "\
+* clip
+.model dx d (is=1e-14 n=1)
+V1 in 0 sin(0 5 1e6)
+R1 in out 1k
+D1 0 out dx
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(5e-9, 2e-6).unwrap();
+        let v = tr.voltage("out").unwrap();
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > 4.0, "positive half passes, max = {max}");
+        assert!(min > -1.0 && min < -0.4, "negative half clips, min = {min}");
+    }
+
+    #[test]
+    fn diode_junction_cap_loads_ac() {
+        // Reverse-biased diode: only cj0 loads the node; pole at
+        // 1/(2πRC) with C = cj0 = 10 pF, R = 1k → 15.9 MHz.
+        let deck = "\
+* djc
+.model dx d (is=1e-14 n=1 cj0=10p)
+V1 in 0 dc 0
+R1 in out 1k
+D1 0 out dx
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 10e-12);
+        let ac = ckt
+            .ac_sweep(&[f3db], &AcExcitation::VSource("V1".into()))
+            .unwrap();
+        let v = ac.voltage("out").unwrap()[0];
+        assert!(
+            (v.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+            "|v| = {} at f3db",
+            v.abs()
+        );
+    }
+
+    #[test]
+    fn dc_sweep_traces_diode_transfer() {
+        let deck = "\
+* sweep
+.model dx d (is=1e-14 n=1)
+V1 in 0 0
+R1 in out 1k
+D1 out 0 dx
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let sw = ckt.dc_sweep("V1", 0.0, 5.0, 0.5).unwrap();
+        assert_eq!(sw.values.len(), 11);
+        let v = sw.voltage("out").unwrap();
+        // Monotone rising, saturating near the diode drop.
+        assert!(v.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        assert!(v[0].abs() < 1e-6 && *v.last().unwrap() < 1.0);
+        // Unknown source name errors.
+        assert!(matches!(
+            ckt.dc_sweep("V9", 0.0, 1.0, 0.1),
+            Err(CircuitError::UnknownSource { .. })
+        ));
+    }
+
+    #[test]
+    fn linear_fast_path_covers_l_and_controlled_sources() {
+        // A deck with L + E + G (no nonlinear devices) must still take
+        // the one-symbolic-analysis fast path.
+        let deck = "\
+* lin
+V1 in 0 pwl(0 0 1p 1)
+R1 in a 100
+L1 a b 10n
+C1 b 0 1p
+E1 e 0 b 0 2
+Re e 0 1k
+G1 0 go b 0 1m
+Rg go 0 1k
+.end
+";
+        let ckt = Circuit::from_netlist(&parse(deck).unwrap()).unwrap();
+        let tr = ckt.transient(1e-11, 1e-9).unwrap();
+        // Branch-row diagonals swing from 0 (DC) to req (transient), so
+        // threshold pivoting may re-capture the analysis a few times —
+        // but repeated step sizes must hit the numeric cache: far fewer
+        // factor events than steps.
+        assert!(
+            tr.stats.factorizations <= 4,
+            "factorizations = {}",
+            tr.stats.factorizations
+        );
+        assert!(
+            tr.stats.steps > tr.stats.factorizations + tr.stats.refactorizations,
+            "numeric cache must absorb repeated step sizes: {} steps, {} factor events",
+            tr.stats.steps,
+            tr.stats.factorizations + tr.stats.refactorizations
+        );
+        // VCVS follows 2× its sensed node at every time point.
+        let vb = tr.voltage("b").unwrap();
+        let ve = tr.voltage("e").unwrap();
+        for (b, e) in vb.iter().zip(&ve) {
+            assert!((e - 2.0 * b).abs() < 1e-9);
         }
     }
 

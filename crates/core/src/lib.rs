@@ -56,6 +56,7 @@ mod admittance;
 mod backend;
 mod cutoff;
 mod error;
+pub mod extract;
 pub mod hier;
 pub mod json;
 pub mod lru;
@@ -76,6 +77,10 @@ pub use backend::{
 };
 pub use cutoff::{CutoffError, CutoffSpec};
 pub use error::PactError;
+pub use extract::{
+    collapse_chains, reduce_embedded, ChainCollapse, ChainCollapseSpec, EmbeddedReduction,
+    ExtractOptions,
+};
 pub use lru::LruCache;
 pub use matrix_free::{reduce_matrix_free, DSolver, PcgSolver};
 pub use model::ReducedModel;

@@ -97,11 +97,22 @@ impl ReducedModel {
     /// its values sit in a physical range (this is the normalization behind
     /// the paper's eq. 20, whose internal diagonal is 32 mS rather than
     /// 1 S).
+    ///
+    /// Poles whose residue row sum (nearly) cancels — every antisymmetric
+    /// mode of a structurally symmetric network — are left in the raw
+    /// `α = 1` basis: eq. 20's scaling degenerates there (`α → 0`), and
+    /// while the rescaled stamp stays algebraically exact, its
+    /// `α² ≈ 1e-33 S` internal diagonal drowns under any simulator's GMIN
+    /// and rounding floor, silently corrupting that pole's contribution.
     pub fn to_matrices_normalized(&self) -> (DMat<f64>, DMat<f64>) {
         self.matrices_with_scale(true)
     }
 
     fn matrices_with_scale(&self, normalize: bool) -> (DMat<f64>, DMat<f64>) {
+        // Smallest |α| eq. 20 is allowed to produce: keeps the internal
+        // conductance α² at or above 100 µS, ~8 decades clear of SPICE
+        // GMIN (1e-12 S) so the realized deck simulates to full accuracy.
+        const ALPHA_MIN: f64 = 1e-2;
         let m = self.num_ports();
         let k = self.num_poles();
         let dim = m + k;
@@ -115,8 +126,13 @@ impl ReducedModel {
         }
         for p in 0..k {
             let row_sum: f64 = (0..m).map(|j| self.r2[(p, j)]).sum();
-            let alpha = if normalize && self.lambdas[p] > 0.0 && row_sum != 0.0 {
-                -row_sum / self.lambdas[p]
+            let alpha = if normalize && self.lambdas[p] > 0.0 {
+                let a = -row_sum / self.lambdas[p];
+                if a.abs() >= ALPHA_MIN {
+                    a
+                } else {
+                    1.0
+                }
             } else {
                 1.0
             };

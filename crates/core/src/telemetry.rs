@@ -107,6 +107,15 @@ pub struct Counters {
     /// Moment-matching (non-spectral) candidate columns generated across
     /// all expansion points before orthonormalization.
     pub multipoint_moment_poles: u64,
+    /// Degree-2 RC chains collapsed by the series-chain pre-pass
+    /// (`pact::extract::collapse_chains`).
+    pub chains_collapsed: u64,
+    /// Internal nodes eliminated by the chain-collapse pre-pass (chain
+    /// interior nodes removed minus re-segmentation nodes added).
+    pub nodes_eliminated: u64,
+    /// Ported RC subnetworks independently reduced by the embedded
+    /// extraction pass (`pact::extract::reduce_embedded`).
+    pub extract_subnets: u64,
     /// Fresh full sparse-LU factorizations (symbolic + numeric) across
     /// sweep phases (e.g. the `--verify` exact-admittance grid).
     pub factorizations: u64,
@@ -154,6 +163,9 @@ impl Counters {
         self.multipoint_basis_columns += other.multipoint_basis_columns;
         self.multipoint_basis_dropped += other.multipoint_basis_dropped;
         self.multipoint_moment_poles += other.multipoint_moment_poles;
+        self.chains_collapsed += other.chains_collapsed;
+        self.nodes_eliminated += other.nodes_eliminated;
+        self.extract_subnets += other.extract_subnets;
         self.factorizations += other.factorizations;
         self.refactorizations += other.refactorizations;
     }
@@ -201,6 +213,9 @@ impl Counters {
             ("multipoint_basis_columns", self.multipoint_basis_columns),
             ("multipoint_basis_dropped", self.multipoint_basis_dropped),
             ("multipoint_moment_poles", self.multipoint_moment_poles),
+            ("chains_collapsed", self.chains_collapsed),
+            ("nodes_eliminated", self.nodes_eliminated),
+            ("extract_subnets", self.extract_subnets),
             ("factorizations", self.factorizations),
             ("refactorizations", self.refactorizations),
         ]

@@ -17,7 +17,11 @@
 //!   (Table 1, Figure 4);
 //! - [`power_grid_deck`] — supply-rail grids with decap and switching
 //!   current taps (the paper's introduction motivates PACT with exactly
-//!   this IR-drop workload).
+//!   this IR-drop workload);
+//! - [`chain_heavy_deck`] / [`rich_mixed_deck`] — embedded-parasitics
+//!   decks for the subnetwork-extraction and chain-collapse passes: long
+//!   RC chains between inverter stages, and a mixed
+//!   R/C/L/diode/MOSFET/VCVS deck with buried RC islands.
 //!
 //! All generators are deterministic given their seeds.
 
@@ -25,14 +29,17 @@
 #![forbid(unsafe_code)]
 
 mod adder;
+mod embedded;
 mod line;
 mod mesh;
 mod multiplier;
 mod powergrid;
 
 pub use adder::{full_adder_deck, AdderDeck};
+pub use embedded::{chain_heavy_deck, rich_mixed_deck, ChainDeckSpec, RichDeckSpec};
 pub use line::{
     add_default_models, inverter, inverter_pair_deck, no_line_deck, rc_line_elements, LineSpec,
+    Taper,
 };
 pub use mesh::{network_to_elements, substrate_mesh, MeshSpec};
 pub use multiplier::{

@@ -3,6 +3,29 @@
 
 use pact_netlist::{Element, MosModel, Netlist, Waveform};
 
+/// Per-segment scaling law for a lumped RC line.
+///
+/// Real extracted wires are rarely uniform: width tapering and via
+/// stacks skew resistance and capacitance toward one end. The taper
+/// controls how the spec's *totals* are distributed over the segments;
+/// totals always match the spec exactly, whatever the law.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Taper {
+    /// Every segment carries `r_total/n` and `c_total/n`. This is the
+    /// historical behavior and the default; decks generated with it are
+    /// byte-identical to those from before the taper existed.
+    Uniform,
+    /// Per-segment values grow (or shrink) linearly along the line.
+    /// The ratios are last-segment over first-segment; `1.0` means
+    /// uniform. Must be positive and finite.
+    Linear {
+        /// Last-over-first segment resistance ratio.
+        r_ratio: f64,
+        /// Last-over-first segment capacitance ratio.
+        c_ratio: f64,
+    },
+}
+
 /// A distributed RC line discretized into lumped segments.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LineSpec {
@@ -13,6 +36,13 @@ pub struct LineSpec {
     pub r_total: f64,
     /// Total distributed capacitance in farads (paper: 1.35 pF).
     pub c_total: f64,
+    /// How the totals are distributed over the segments.
+    pub taper: Taper,
+    /// Number of evenly spaced internal nodes renamed to
+    /// `<prefix>_tap<j>` (`j` = 1-based) so callers can attach loads at
+    /// known points along the line. `0` keeps the plain `<prefix><i>`
+    /// names. Must be less than `segments` when nonzero.
+    pub taps: usize,
 }
 
 impl Default for LineSpec {
@@ -21,6 +51,8 @@ impl Default for LineSpec {
             segments: 100,
             r_total: 250.0,
             c_total: 1.35e-12,
+            taper: Taper::Uniform,
+            taps: 0,
         }
     }
 }
@@ -30,44 +62,113 @@ impl Default for LineSpec {
 ///
 /// Each segment is an L-section (series R, shunt C at the far end), with
 /// an extra half-capacitor at the input for symmetry — total R and C
-/// match the spec exactly.
+/// match the spec exactly, for any taper.
+///
+/// With `taps > 0`, the tap positions are `j * segments / (taps + 1)`
+/// for `j = 1..=taps` (strictly interior, strictly increasing).
 pub fn rc_line_elements(spec: &LineSpec, input: &str, output: &str, prefix: &str) -> Vec<Element> {
     assert!(spec.segments >= 1, "need at least one segment");
     let n = spec.segments;
-    let rseg = spec.r_total / n as f64;
-    let cseg = spec.c_total / n as f64;
-    let node = |i: usize| -> String {
-        if i == 0 {
-            input.to_owned()
-        } else if i == n {
-            output.to_owned()
-        } else {
-            format!("{prefix}{i}")
-        }
-    };
+    assert!(
+        spec.taps == 0 || spec.taps < n,
+        "taps must leave distinct internal positions (taps < segments)"
+    );
+    let mut names: Vec<String> = (0..=n)
+        .map(|i| {
+            if i == 0 {
+                input.to_owned()
+            } else if i == n {
+                output.to_owned()
+            } else {
+                format!("{prefix}{i}")
+            }
+        })
+        .collect();
+    for j in 1..=spec.taps {
+        names[j * n / (spec.taps + 1)] = format!("{prefix}_tap{j}");
+    }
+    let node = |i: usize| names[i].clone();
     let mut out = Vec::with_capacity(2 * n + 1);
-    // Half cap at the near end, half at the far end, full in between:
-    // sums to c_total.
-    out.push(Element::capacitor(
-        format!("C{prefix}_in"),
-        node(0),
-        "0",
-        cseg / 2.0,
-    ));
-    for i in 0..n {
-        out.push(Element::resistor(
-            format!("R{prefix}{i}"),
-            node(i),
-            node(i + 1),
-            rseg,
-        ));
-        let c = if i == n - 1 { cseg / 2.0 } else { cseg };
-        out.push(Element::capacitor(
-            format!("C{prefix}{i}"),
-            node(i + 1),
-            "0",
-            c,
-        ));
+    match spec.taper {
+        // The uniform arithmetic is kept verbatim: re-deriving it from
+        // the weighted path below can differ by an ulp and decks
+        // generated with the default spec must stay byte-identical.
+        Taper::Uniform => {
+            let rseg = spec.r_total / n as f64;
+            let cseg = spec.c_total / n as f64;
+            // Half cap at the near end, half at the far end, full in
+            // between: sums to c_total.
+            out.push(Element::capacitor(
+                format!("C{prefix}_in"),
+                node(0),
+                "0",
+                cseg / 2.0,
+            ));
+            for i in 0..n {
+                out.push(Element::resistor(
+                    format!("R{prefix}{i}"),
+                    node(i),
+                    node(i + 1),
+                    rseg,
+                ));
+                let c = if i == n - 1 { cseg / 2.0 } else { cseg };
+                out.push(Element::capacitor(
+                    format!("C{prefix}{i}"),
+                    node(i + 1),
+                    "0",
+                    c,
+                ));
+            }
+        }
+        Taper::Linear { r_ratio, c_ratio } => {
+            assert!(
+                r_ratio.is_finite() && r_ratio > 0.0 && c_ratio.is_finite() && c_ratio > 0.0,
+                "taper ratios must be positive and finite"
+            );
+            // Linear weights normalized so the totals match the spec.
+            let weights = |ratio: f64, total: f64| -> Vec<f64> {
+                let w: Vec<f64> = (0..n)
+                    .map(|i| {
+                        if n == 1 {
+                            1.0
+                        } else {
+                            1.0 + (ratio - 1.0) * i as f64 / (n - 1) as f64
+                        }
+                    })
+                    .collect();
+                let sum: f64 = w.iter().sum();
+                w.into_iter().map(|wi| total * wi / sum).collect()
+            };
+            let rsegs = weights(r_ratio, spec.r_total);
+            let csegs = weights(c_ratio, spec.c_total);
+            // Each node carries half of each adjacent segment's C, the
+            // tapered generalization of the half-end convention above.
+            out.push(Element::capacitor(
+                format!("C{prefix}_in"),
+                node(0),
+                "0",
+                csegs[0] / 2.0,
+            ));
+            for i in 0..n {
+                out.push(Element::resistor(
+                    format!("R{prefix}{i}"),
+                    node(i),
+                    node(i + 1),
+                    rsegs[i],
+                ));
+                let c = if i == n - 1 {
+                    csegs[i] / 2.0
+                } else {
+                    (csegs[i] + csegs[i + 1]) / 2.0
+                };
+                out.push(Element::capacitor(
+                    format!("C{prefix}{i}"),
+                    node(i + 1),
+                    "0",
+                    c,
+                ));
+            }
+        }
     }
     out
 }
@@ -262,9 +363,113 @@ mod tests {
             segments: 1,
             r_total: 100.0,
             c_total: 1e-12,
+            ..LineSpec::default()
         };
         let els = rc_line_elements(&spec, "a", "b", "x");
         assert_eq!(els.len(), 3); // Cin/2, R, Cout/2
+    }
+
+    /// The default (uniform, no taps) spec must keep producing the exact
+    /// historical values — bench baselines and golden decks depend on
+    /// the generated bytes.
+    #[test]
+    fn default_spec_values_are_bitwise_stable() {
+        let els = rc_line_elements(&LineSpec::default(), "a", "b", "x");
+        for e in &els {
+            match &e.kind {
+                ElementKind::Resistor { ohms, .. } => assert!(*ohms == 250.0 / 100.0),
+                ElementKind::Capacitor { farads, .. } => {
+                    let cseg = 1.35e-12 / 100.0;
+                    assert!(*farads == cseg || *farads == cseg / 2.0);
+                }
+                other => panic!("unexpected element {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn linear_taper_totals_match_and_values_ramp() {
+        let spec = LineSpec {
+            segments: 20,
+            taper: Taper::Linear {
+                r_ratio: 3.0,
+                c_ratio: 0.5,
+            },
+            ..LineSpec::default()
+        };
+        let els = rc_line_elements(&spec, "a", "b", "x");
+        assert_eq!(els.len(), 41);
+        let (mut rsum, mut csum) = (0.0, 0.0);
+        let mut rvals = Vec::new();
+        for e in &els {
+            match &e.kind {
+                ElementKind::Resistor { ohms, .. } => {
+                    rsum += ohms;
+                    rvals.push(*ohms);
+                }
+                ElementKind::Capacitor { farads, .. } => csum += farads,
+                other => panic!("unexpected element {other:?}"),
+            }
+        }
+        assert!((rsum - spec.r_total).abs() < 1e-9 * spec.r_total);
+        assert!((csum - spec.c_total).abs() < 1e-9 * spec.c_total);
+        assert!(rvals.windows(2).all(|w| w[1] > w[0]), "R ramps up");
+        let ratio = rvals[rvals.len() - 1] / rvals[0];
+        assert!((ratio - 3.0).abs() < 1e-9, "end-over-start ratio: {ratio}");
+    }
+
+    /// A ratio of exactly 1.0 is the uniform line up to roundoff (not
+    /// necessarily bitwise — that is what `Taper::Uniform` is for).
+    #[test]
+    fn unity_linear_taper_matches_uniform_to_roundoff() {
+        let base = LineSpec {
+            segments: 17,
+            ..LineSpec::default()
+        };
+        let tapered = LineSpec {
+            taper: Taper::Linear {
+                r_ratio: 1.0,
+                c_ratio: 1.0,
+            },
+            ..base
+        };
+        let u = rc_line_elements(&base, "a", "b", "x");
+        let t = rc_line_elements(&tapered, "a", "b", "x");
+        assert_eq!(u.len(), t.len());
+        for (eu, et) in u.iter().zip(&t) {
+            assert_eq!(eu.name, et.name);
+            match (&eu.kind, &et.kind) {
+                (ElementKind::Resistor { ohms: a, .. }, ElementKind::Resistor { ohms: b, .. }) => {
+                    assert!((a - b).abs() <= 1e-12 * a.abs())
+                }
+                (
+                    ElementKind::Capacitor { farads: a, .. },
+                    ElementKind::Capacitor { farads: b, .. },
+                ) => assert!((a - b).abs() <= 1e-12 * a.abs()),
+                other => panic!("kind mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn taps_rename_evenly_spaced_internal_nodes() {
+        let spec = LineSpec {
+            segments: 10,
+            taps: 3,
+            ..LineSpec::default()
+        };
+        let els = rc_line_elements(&spec, "a", "b", "x");
+        assert_eq!(els.len(), 21, "taps rename nodes, never add elements");
+        let nodes: std::collections::BTreeSet<String> =
+            els.iter().flat_map(|e| e.nodes()).collect();
+        // Positions j*10/4 = 2, 5, 7 are renamed; their plain names go.
+        for tap in ["x_tap1", "x_tap2", "x_tap3"] {
+            assert!(nodes.contains(tap), "{tap} missing from {nodes:?}");
+        }
+        for gone in ["x2", "x5", "x7"] {
+            assert!(!nodes.contains(gone), "{gone} should have been renamed");
+        }
+        assert!(nodes.contains("x1") && nodes.contains("x9"));
     }
 
     #[test]

@@ -13,9 +13,11 @@ pub struct Netlist {
     pub title: String,
     /// Circuit elements in deck order.
     pub elements: Vec<Element>,
-    /// `.MODEL` cards by model name (lower-cased).
+    /// MOSFET `.MODEL` cards by model name (lower-cased).
     pub models: BTreeMap<String, MosModel>,
-    /// `.TRAN`/`.AC` analysis requests.
+    /// Diode `.MODEL` cards by model name (lower-cased).
+    pub diode_models: BTreeMap<String, DiodeModel>,
+    /// `.TRAN`/`.AC`/`.DC`/`.PRINT` analysis requests.
     pub analyses: Vec<Analysis>,
     /// `.SUBCKT` definitions by lower-cased name; expand instances with
     /// [`Netlist::flatten`].
@@ -79,6 +81,7 @@ impl Netlist {
             title: self.title.clone(),
             elements: self.elements.clone(),
             models: self.models.clone(),
+            diode_models: self.diode_models.clone(),
             analyses: self.analyses.clone(),
             subckts: BTreeMap::new(),
             instances: Vec::new(),
@@ -131,11 +134,29 @@ fn expand_instance(
         }
         format!("{path}.{name}")
     };
+    // Element names local to this body: current-controlled sources (F/H)
+    // that reference one of them must follow its flattened name; a name
+    // not defined here is a global (deck-level) reference and passes
+    // through untouched.
+    let local_names: std::collections::BTreeSet<String> = def
+        .elements
+        .iter()
+        .map(|e| e.name.to_ascii_lowercase())
+        .collect();
+    let map_ctrl = |ctrl: &str| -> String {
+        if local_names.contains(&ctrl.to_ascii_lowercase()) {
+            format!("{ctrl}.{path}")
+        } else {
+            ctrl.to_owned()
+        }
+    };
     for e in &def.elements {
         let mut e2 = e.clone();
         e2.name = format!("{}.{path}", e.name);
         match &mut e2.kind {
-            ElementKind::Resistor { a, b, .. } | ElementKind::Capacitor { a, b, .. } => {
+            ElementKind::Resistor { a, b, .. }
+            | ElementKind::Capacitor { a, b, .. }
+            | ElementKind::Inductor { a, b, .. } => {
                 *a = map_node(a);
                 *b = map_node(b);
             }
@@ -145,9 +166,22 @@ fn expand_instance(
                 *s = map_node(s);
                 *b = map_node(b);
             }
-            ElementKind::VSource { p, n, .. } | ElementKind::ISource { p, n, .. } => {
+            ElementKind::VSource { p, n, .. }
+            | ElementKind::ISource { p, n, .. }
+            | ElementKind::Diode { p, n, .. } => {
                 *p = map_node(p);
                 *n = map_node(n);
+            }
+            ElementKind::Vcvs { p, n, cp, cn, .. } | ElementKind::Vccs { p, n, cp, cn, .. } => {
+                *p = map_node(p);
+                *n = map_node(n);
+                *cp = map_node(cp);
+                *cn = map_node(cn);
+            }
+            ElementKind::Cccs { p, n, ctrl, .. } | ElementKind::Ccvs { p, n, ctrl, .. } => {
+                *p = map_node(p);
+                *n = map_node(n);
+                *ctrl = map_ctrl(ctrl);
             }
         }
         out.elements.push(e2);
@@ -292,17 +326,29 @@ impl Element {
         }
     }
 
-    /// The node names this element touches, in terminal order.
+    /// The node names this element touches, in terminal order. For
+    /// voltage/current-controlled sources the controlling node pair is
+    /// included: sensing a node voltage pins that node just as a device
+    /// terminal does (the extraction port rule relies on this).
     pub fn nodes(&self) -> Vec<String> {
         match &self.kind {
-            ElementKind::Resistor { a, b, .. } | ElementKind::Capacitor { a, b, .. } => {
+            ElementKind::Resistor { a, b, .. }
+            | ElementKind::Capacitor { a, b, .. }
+            | ElementKind::Inductor { a, b, .. } => {
                 vec![a.clone(), b.clone()]
             }
             ElementKind::Mosfet { d, g, s, b, .. } => {
                 vec![d.clone(), g.clone(), s.clone(), b.clone()]
             }
-            ElementKind::VSource { p, n, .. } | ElementKind::ISource { p, n, .. } => {
+            ElementKind::VSource { p, n, .. }
+            | ElementKind::ISource { p, n, .. }
+            | ElementKind::Diode { p, n, .. }
+            | ElementKind::Cccs { p, n, .. }
+            | ElementKind::Ccvs { p, n, .. } => {
                 vec![p.clone(), n.clone()]
+            }
+            ElementKind::Vcvs { p, n, cp, cn, .. } | ElementKind::Vccs { p, n, cp, cn, .. } => {
+                vec![p.clone(), n.clone(), cp.clone(), cn.clone()]
             }
         }
     }
@@ -373,6 +419,80 @@ pub enum ElementKind {
         n: String,
         /// Drive waveform.
         wave: Waveform,
+    },
+    /// Two-terminal inductor (`L` card).
+    Inductor {
+        /// First terminal.
+        a: String,
+        /// Second terminal.
+        b: String,
+        /// Inductance in henries.
+        henries: f64,
+    },
+    /// Voltage-controlled voltage source (`E` card):
+    /// `v(p) − v(n) = gain · (v(cp) − v(cn))`.
+    Vcvs {
+        /// Positive output terminal.
+        p: String,
+        /// Negative output terminal.
+        n: String,
+        /// Positive controlling node.
+        cp: String,
+        /// Negative controlling node.
+        cn: String,
+        /// Voltage gain (dimensionless).
+        gain: f64,
+    },
+    /// Voltage-controlled current source (`G` card): current `gm ·
+    /// (v(cp) − v(cn))` flows from `p` through the source to `n`.
+    Vccs {
+        /// Positive output terminal.
+        p: String,
+        /// Negative output terminal.
+        n: String,
+        /// Positive controlling node.
+        cp: String,
+        /// Negative controlling node.
+        cn: String,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Current-controlled current source (`F` card): current `gain ·
+    /// i(ctrl)` flows from `p` to `n`, where `ctrl` names a voltage
+    /// source whose branch current is the control.
+    Cccs {
+        /// Positive output terminal.
+        p: String,
+        /// Negative output terminal.
+        n: String,
+        /// Name of the controlling voltage source.
+        ctrl: String,
+        /// Current gain (dimensionless).
+        gain: f64,
+    },
+    /// Current-controlled voltage source (`H` card):
+    /// `v(p) − v(n) = ohms · i(ctrl)`.
+    Ccvs {
+        /// Positive output terminal.
+        p: String,
+        /// Negative output terminal.
+        n: String,
+        /// Name of the controlling voltage source.
+        ctrl: String,
+        /// Transresistance in ohms.
+        ohms: f64,
+    },
+    /// Junction diode (`D` card) referencing a `.MODEL <name> D` card.
+    /// Anode is `p`, cathode is `n`.
+    Diode {
+        /// Anode.
+        p: String,
+        /// Cathode.
+        n: String,
+        /// Model name (lower-cased).
+        model: String,
+        /// Area scale factor (multiplies `IS` and `CJ0`).
+        area: f64,
     },
 }
 
@@ -565,6 +685,32 @@ impl MosModel {
     }
 }
 
+/// Junction diode model parameters (a Shockley device with a fixed
+/// junction capacitance).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiodeModel {
+    /// Model name (lower-cased).
+    pub name: String,
+    /// Saturation current `IS` in amperes.
+    pub is: f64,
+    /// Emission coefficient `N` (ideality factor).
+    pub n: f64,
+    /// Zero-bias junction capacitance `CJ0` in farads.
+    pub cj0: f64,
+}
+
+impl DiodeModel {
+    /// A generic small-signal silicon diode.
+    pub fn default_diode(name: impl Into<String>) -> Self {
+        DiodeModel {
+            name: name.into(),
+            is: 1e-14,
+            n: 1.0,
+            cj0: 0.0,
+        }
+    }
+}
+
 /// Analysis request cards.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Analysis {
@@ -584,6 +730,27 @@ pub enum Analysis {
         /// Stop frequency (Hz).
         fstop: f64,
     },
+    /// `.DC src start stop step` — sweep an independent source's DC value
+    /// and record the operating point at each step.
+    DcSweep {
+        /// Name of the swept V or I source.
+        source: String,
+        /// First swept value.
+        start: f64,
+        /// Last swept value (inclusive up to rounding).
+        stop: f64,
+        /// Sweep increment (sign must match `stop − start`).
+        step: f64,
+    },
+    /// `.PRINT <analysis> v(node) …` — output request. The simulator
+    /// treats these as the set of signals worth reporting; unknown
+    /// variables are carried through verbatim.
+    Print {
+        /// Analysis the request applies to (`tran`, `ac`, `dc`).
+        analysis: String,
+        /// Requested output variables as written (e.g. `v(out)`).
+        vars: Vec<String>,
+    },
 }
 
 impl fmt::Display for Netlist {
@@ -600,6 +767,16 @@ impl fmt::Display for Netlist {
                 format_value(m.lambda),
                 format_value(m.cox),
                 format_value(m.cjb)
+            )?;
+        }
+        for m in self.diode_models.values() {
+            writeln!(
+                f,
+                ".model {} d (is={} n={} cj0={})",
+                m.name,
+                format_value(m.is),
+                format_value(m.n),
+                format_value(m.cj0)
             )?;
         }
         for e in &self.elements {
@@ -620,6 +797,25 @@ impl fmt::Display for Netlist {
                     format_value(*fstart),
                     format_value(*fstop)
                 )?,
+                Analysis::DcSweep {
+                    source,
+                    start,
+                    stop,
+                    step,
+                } => writeln!(
+                    f,
+                    ".dc {source} {} {} {}",
+                    format_value(*start),
+                    format_value(*stop),
+                    format_value(*step)
+                )?,
+                Analysis::Print { analysis, vars } => {
+                    write!(f, ".print {analysis}")?;
+                    for v in vars {
+                        write!(f, " {v}")?;
+                    }
+                    writeln!(f)?;
+                }
             }
         }
         writeln!(f, ".end")
@@ -657,6 +853,66 @@ impl fmt::Display for Element {
             ),
             ElementKind::VSource { p, n, wave } | ElementKind::ISource { p, n, wave } => {
                 write!(f, "{} {} {} {}", self.name, p, n, wave)
+            }
+            ElementKind::Inductor { a, b, henries } => {
+                write!(f, "{} {} {} {}", self.name, a, b, format_value(*henries))
+            }
+            ElementKind::Vcvs { p, n, cp, cn, gain } => write!(
+                f,
+                "{} {} {} {} {} {}",
+                self.name,
+                p,
+                n,
+                cp,
+                cn,
+                format_value(*gain)
+            ),
+            ElementKind::Vccs { p, n, cp, cn, gm } => write!(
+                f,
+                "{} {} {} {} {} {}",
+                self.name,
+                p,
+                n,
+                cp,
+                cn,
+                format_value(*gm)
+            ),
+            ElementKind::Cccs { p, n, ctrl, gain } => {
+                write!(
+                    f,
+                    "{} {} {} {} {}",
+                    self.name,
+                    p,
+                    n,
+                    ctrl,
+                    format_value(*gain)
+                )
+            }
+            ElementKind::Ccvs { p, n, ctrl, ohms } => {
+                write!(
+                    f,
+                    "{} {} {} {} {}",
+                    self.name,
+                    p,
+                    n,
+                    ctrl,
+                    format_value(*ohms)
+                )
+            }
+            ElementKind::Diode { p, n, model, area } => {
+                if *area == 1.0 {
+                    write!(f, "{} {} {} {}", self.name, p, n, model)
+                } else {
+                    write!(
+                        f,
+                        "{} {} {} {} area={}",
+                        self.name,
+                        p,
+                        n,
+                        model,
+                        format_value(*area)
+                    )
+                }
             }
         }
     }

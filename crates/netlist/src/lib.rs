@@ -32,7 +32,7 @@ mod units;
 mod unstamp;
 
 pub use ast::{
-    is_ground, Analysis, Element, ElementKind, FlattenError, MosModel, Netlist, Subckt,
+    is_ground, Analysis, DiodeModel, Element, ElementKind, FlattenError, MosModel, Netlist, Subckt,
     SubcktInstance, Waveform,
 };
 pub use network::{extract_rc, Branch, Extraction, NetworkError, RcNetwork, Stamped};
@@ -49,6 +49,7 @@ pub fn splice_reduced(original: &Netlist, reduced_elements: Vec<Element>) -> Net
         title: format!("{} (RC network reduced by PACT)", original.title),
         elements: Vec::new(),
         models: original.models.clone(),
+        diode_models: original.diode_models.clone(),
         analyses: original.analyses.clone(),
         subckts: original.subckts.clone(),
         instances: original.instances.clone(),

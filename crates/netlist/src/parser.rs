@@ -1,14 +1,15 @@
 //! SPICE deck parser: the "input parser" box of RCFIT's flowchart.
 //!
-//! Supports the element cards the paper's examples need (R, C, M, V, I),
-//! `.MODEL` for level-1 MOSFETs, `.TRAN`/`.AC` analyses, comments (`*`),
-//! line continuations (`+`) and case-insensitive keywords with
-//! engineering-unit values.
+//! Supports the element cards rich parasitic decks need (R, C, L, M, V,
+//! I, the E/G/F/H controlled sources, and D diodes), `.MODEL` for
+//! level-1 MOSFETs and junction diodes, `.TRAN`/`.AC`/`.DC`/`.PRINT`
+//! analyses, comments (`*`), line continuations (`+`) and
+//! case-insensitive keywords with engineering-unit values.
 
 use std::collections::BTreeMap;
 
 use crate::ast::{
-    Analysis, Element, ElementKind, MosModel, Netlist, Subckt, SubcktInstance, Waveform,
+    Analysis, DiodeModel, Element, ElementKind, MosModel, Netlist, Subckt, SubcktInstance, Waveform,
 };
 use crate::units::parse_value;
 
@@ -125,8 +126,21 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
             def.instances = scope.instances;
             // Models declared inside a subckt are hoisted to global scope
             // (HSPICE semantics for our purposes). Definitions always
-            // register globally, even when nested.
+            // register globally, even when nested — so a hoisted model
+            // colliding with an existing one is a duplicate too.
+            for name in scope.models.keys().chain(scope.diode_models.keys()) {
+                if nl.models.contains_key(name) || nl.diode_models.contains_key(name) {
+                    return Err(err(
+                        def_line,
+                        format!(
+                            "duplicate .model definition `{name}` (hoisted from subckt `{}`)",
+                            def.name
+                        ),
+                    ));
+                }
+            }
             nl.models.extend(scope.models);
+            nl.diode_models.extend(scope.diode_models);
             if nl.subckts.contains_key(&def.name) {
                 return Err(err(
                     def_line,
@@ -154,8 +168,10 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
 fn looks_like_card(line: &str) -> bool {
     let lower = line.to_ascii_lowercase();
     let first = lower.chars().next().unwrap_or(' ');
-    matches!(first, 'r' | 'c' | 'm' | 'v' | 'i' | 'x' | '.')
-        && lower.split_whitespace().count() >= 2
+    matches!(
+        first,
+        'r' | 'c' | 'l' | 'm' | 'v' | 'i' | 'x' | 'e' | 'g' | 'f' | 'h' | 'd' | '.'
+    ) && lower.split_whitespace().count() >= 2
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseNetlistError {
@@ -211,6 +227,128 @@ fn parse_card(body: &str, line: usize, nl: &mut Netlist) -> Result<(), ParseNetl
             nl.elements.push(Element {
                 name: tokens[0].to_owned(),
                 kind: ElementKind::Capacitor { a, b, farads: v },
+            });
+            Ok(())
+        }
+        'l' => {
+            let (a, b, v) = two_node_value(&tokens, body, line)?;
+            nl.elements.push(Element {
+                name: tokens[0].to_owned(),
+                kind: ElementKind::Inductor { a, b, henries: v },
+            });
+            Ok(())
+        }
+        'e' | 'g' => {
+            // Ename p n cp cn gain / Gname p n cp cn gm.
+            if tokens.len() < 6 {
+                let what = if head.starts_with('e') { "E" } else { "G" };
+                return Err(err(
+                    line,
+                    format!("expected `{what}name p n cp cn value` (controlled source)"),
+                ));
+            }
+            let v = parse_value(tokens[5])
+                .map_err(|e| err_at(line, col_of(body, tokens[5]), e.to_string()))?;
+            let (p, n, cp, cn) = (
+                tokens[1].to_owned(),
+                tokens[2].to_owned(),
+                tokens[3].to_owned(),
+                tokens[4].to_owned(),
+            );
+            let kind = if head.starts_with('e') {
+                ElementKind::Vcvs {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gain: v,
+                }
+            } else {
+                ElementKind::Vccs {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gm: v,
+                }
+            };
+            nl.elements.push(Element {
+                name: tokens[0].to_owned(),
+                kind,
+            });
+            Ok(())
+        }
+        'f' | 'h' => {
+            // Fname p n Vctrl gain / Hname p n Vctrl ohms.
+            if tokens.len() < 5 {
+                let what = if head.starts_with('f') { "F" } else { "H" };
+                return Err(err(
+                    line,
+                    format!("expected `{what}name p n vsource value` (controlled source)"),
+                ));
+            }
+            let ctrl = tokens[3].to_owned();
+            if !ctrl.to_ascii_lowercase().starts_with('v') {
+                return Err(err_at(
+                    line,
+                    col_of(body, tokens[3]),
+                    format!("controlling element `{ctrl}` must be a voltage source (V…)"),
+                ));
+            }
+            let v = parse_value(tokens[4])
+                .map_err(|e| err_at(line, col_of(body, tokens[4]), e.to_string()))?;
+            let (p, n) = (tokens[1].to_owned(), tokens[2].to_owned());
+            let kind = if head.starts_with('f') {
+                ElementKind::Cccs {
+                    p,
+                    n,
+                    ctrl,
+                    gain: v,
+                }
+            } else {
+                ElementKind::Ccvs {
+                    p,
+                    n,
+                    ctrl,
+                    ohms: v,
+                }
+            };
+            nl.elements.push(Element {
+                name: tokens[0].to_owned(),
+                kind,
+            });
+            Ok(())
+        }
+        'd' => {
+            // Dname anode cathode model [area=x | x].
+            if tokens.len() < 4 {
+                return Err(err(line, "expected `Dname anode cathode model [area=x]`"));
+            }
+            let mut area = 1.0;
+            if tokens.len() > 4 {
+                if tokens.len() >= 7 && tokens[4].eq_ignore_ascii_case("area") && tokens[5] == "=" {
+                    area = parse_value(tokens[6])
+                        .map_err(|e| err_at(line, col_of(body, tokens[6]), e.to_string()))?;
+                } else {
+                    area = parse_value(tokens[4])
+                        .map_err(|e| err_at(line, col_of(body, tokens[4]), e.to_string()))?;
+                }
+                if area <= 0.0 || !area.is_finite() {
+                    return Err(err_at(
+                        line,
+                        col_of(body, tokens[tokens.len() - 1]),
+                        format!("diode area must be positive and finite, got {area}"),
+                    ));
+                }
+            }
+            nl.elements.push(Element {
+                name: tokens[0].to_owned(),
+                kind: ElementKind::Diode {
+                    p: tokens[1].to_owned(),
+                    n: tokens[2].to_owned(),
+                    model: tokens[3].to_ascii_lowercase(),
+                    area,
+                },
             });
             Ok(())
         }
@@ -410,6 +548,40 @@ fn parse_dot_card(
             }
             let name = tokens[1].to_ascii_lowercase();
             let kind = tokens[2].to_ascii_lowercase();
+            // Duplicate-model detection spans both namespaces: a MOSFET
+            // and a diode model may not share a name either — references
+            // resolve by name alone, so a collision is always ambiguous.
+            if nl.models.contains_key(&name) || nl.diode_models.contains_key(&name) {
+                return Err(err_at(
+                    line,
+                    col_of(body, tokens[1]),
+                    format!("duplicate .model definition `{name}`"),
+                ));
+            }
+            if kind == "d" || kind == "diode" {
+                let mut model = DiodeModel::default_diode(name);
+                let params = collect_params(&tokens[3..], body, line)?;
+                for (k, v) in params {
+                    match k.as_str() {
+                        "is" => model.is = v,
+                        "n" => model.n = v,
+                        "cj0" | "cjo" => model.cj0 = v,
+                        _ => {} // ignore unknown parameters
+                    }
+                }
+                if model.is.is_nan() || model.is <= 0.0 || model.n.is_nan() || model.n <= 0.0 {
+                    return Err(err_at(
+                        line,
+                        col_of(body, tokens[1]),
+                        format!(
+                            "diode model `{}` needs positive is and n (got is={}, n={})",
+                            model.name, model.is, model.n
+                        ),
+                    ));
+                }
+                nl.diode_models.insert(model.name.clone(), model);
+                return Ok(());
+            }
             let mut model = match kind.as_str() {
                 "nmos" => MosModel::default_nmos(name.clone()),
                 "pmos" => MosModel::default_pmos(name.clone()),
@@ -465,8 +637,86 @@ fn parse_dot_card(
             });
             Ok(())
         }
+        ".dc" => {
+            // .dc SRC start stop step
+            if tokens.len() < 5 {
+                return Err(err(line, ".dc needs `source start stop step`"));
+            }
+            let source = tokens[1].to_owned();
+            let first = source.chars().next().unwrap_or(' ').to_ascii_lowercase();
+            if first != 'v' && first != 'i' {
+                return Err(err_at(
+                    line,
+                    col_of(body, tokens[1]),
+                    format!("swept element `{source}` must be a V or I source"),
+                ));
+            }
+            let start = parse_value(tokens[2])
+                .map_err(|e| err_at(line, col_of(body, tokens[2]), e.to_string()))?;
+            let stop = parse_value(tokens[3])
+                .map_err(|e| err_at(line, col_of(body, tokens[3]), e.to_string()))?;
+            let step = parse_value(tokens[4])
+                .map_err(|e| err_at(line, col_of(body, tokens[4]), e.to_string()))?;
+            if step == 0.0 || !step.is_finite() || (stop - start) * step < 0.0 {
+                return Err(err_at(
+                    line,
+                    col_of(body, tokens[4]),
+                    format!("sweep step {step} cannot reach {stop} from {start}"),
+                ));
+            }
+            nl.analyses.push(Analysis::DcSweep {
+                source,
+                start,
+                stop,
+                step,
+            });
+            Ok(())
+        }
+        ".print" => {
+            // .print [tran|ac|dc] v(node) … — the analysis keyword is
+            // optional (defaults to tran, matching classic decks).
+            let (analysis, rest) = match tokens.get(1).map(|t| t.to_ascii_lowercase()) {
+                Some(a) if a == "tran" || a == "ac" || a == "dc" => (a, &tokens[2..]),
+                _ => ("tran".to_owned(), &tokens[1..]),
+            };
+            // Re-assemble `v ( out )` token runs into `v(out)` variables.
+            let mut vars: Vec<String> = Vec::new();
+            let mut depth = 0usize;
+            for t in rest {
+                match *t {
+                    "(" => {
+                        if let Some(last) = vars.last_mut() {
+                            last.push('(');
+                            depth += 1;
+                        }
+                    }
+                    ")" => {
+                        if depth > 0 {
+                            if let Some(last) = vars.last_mut() {
+                                last.push(')');
+                            }
+                            depth -= 1;
+                        }
+                    }
+                    tok => {
+                        if depth > 0 {
+                            if let Some(last) = vars.last_mut() {
+                                last.push_str(tok);
+                            }
+                        } else {
+                            vars.push(tok.to_ascii_lowercase());
+                        }
+                    }
+                }
+            }
+            if vars.is_empty() {
+                return Err(err(line, ".print needs at least one output variable"));
+            }
+            nl.analyses.push(Analysis::Print { analysis, vars });
+            Ok(())
+        }
         ".end" => Ok(()),
-        _ => Ok(()), // ignore .options, .print, .probe, ...
+        _ => Ok(()), // ignore .options, .probe, ...
     }
 }
 
@@ -661,6 +911,174 @@ R1 a b 2k
         let nl = parse("R1 a 0 1k\n.end\n").unwrap();
         assert_eq!(nl.elements.len(), 1);
         assert!(nl.title.is_empty());
+    }
+
+    #[test]
+    fn parses_inductor_and_controlled_sources() {
+        let deck = "\
+* rich
+L1 a b 10n
+E1 p 0 cp cn 2.5
+G1 q 0 cp cn 1m
+Vref s 0 1
+F1 r 0 Vref 3
+H1 t 0 Vref 50
+.end
+";
+        let nl = parse(deck).unwrap();
+        assert_eq!(nl.elements.len(), 6);
+        match &nl.elements[0].kind {
+            ElementKind::Inductor { henries, .. } => assert!((henries - 10e-9).abs() < 1e-21),
+            other => panic!("wrong kind {other:?}"),
+        }
+        match &nl.elements[1].kind {
+            ElementKind::Vcvs { gain, cp, .. } => {
+                assert_eq!(*gain, 2.5);
+                assert_eq!(cp, "cp");
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        match &nl.elements[2].kind {
+            ElementKind::Vccs { gm, .. } => assert!((gm - 1e-3).abs() < 1e-15),
+            other => panic!("wrong kind {other:?}"),
+        }
+        match &nl.elements[4].kind {
+            ElementKind::Cccs { ctrl, gain, .. } => {
+                assert_eq!(ctrl, "Vref");
+                assert_eq!(*gain, 3.0);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        match &nl.elements[5].kind {
+            ElementKind::Ccvs { ohms, .. } => assert_eq!(*ohms, 50.0),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_diode_and_model() {
+        let deck = "\
+* d
+.model dclamp d (is=2e-15 n=1.1 cj0=10f)
+D1 a 0 dclamp
+D2 b 0 dclamp area=4
+.end
+";
+        let nl = parse(deck).unwrap();
+        assert_eq!(nl.diode_models.len(), 1);
+        let m = &nl.diode_models["dclamp"];
+        assert!((m.is - 2e-15).abs() < 1e-27);
+        assert!((m.n - 1.1).abs() < 1e-12);
+        assert!((m.cj0 - 10e-15).abs() < 1e-27);
+        match &nl.elements[1].kind {
+            ElementKind::Diode { area, model, .. } => {
+                assert_eq!(*area, 4.0);
+                assert_eq!(model, "dclamp");
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_model_is_error_with_column() {
+        let deck = "* t\n.model nch nmos()\n.model nch nmos (kp=50u)\n.end\n";
+        let e = parse(deck).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.col > 0, "duplicate model should be column-attributed");
+        assert!(e.message.contains("duplicate .model definition `nch`"));
+        // Cross-namespace duplicates are caught too.
+        let deck = "* t\n.model x nmos()\n.model x d()\n.end\n";
+        let e = parse(deck).unwrap_err();
+        assert!(e.message.contains("duplicate .model definition `x`"));
+    }
+
+    #[test]
+    fn parses_dc_sweep_and_print() {
+        let deck = "* t\nV1 a 0 1\nR1 a 0 1k\n.dc V1 0 5 0.5\n.print tran v(a) i(v1)\n.end\n";
+        let nl = parse(deck).unwrap();
+        match &nl.analyses[0] {
+            Analysis::DcSweep {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                assert_eq!(source, "V1");
+                assert_eq!((*start, *stop, *step), (0.0, 5.0, 0.5));
+            }
+            other => panic!("wrong analysis {other:?}"),
+        }
+        match &nl.analyses[1] {
+            Analysis::Print { analysis, vars } => {
+                assert_eq!(analysis, "tran");
+                assert_eq!(vars, &["v(a)".to_owned(), "i(v1)".to_owned()]);
+            }
+            other => panic!("wrong analysis {other:?}"),
+        }
+        // Bad sweep steps are rejected with a column.
+        let e = parse("* t\nV1 a 0 1\n.dc V1 0 5 -1\n.end\n").unwrap_err();
+        assert!(e.message.contains("cannot reach"));
+        assert!(e.col > 0);
+    }
+
+    #[test]
+    fn controlled_source_diagnostics_carry_position() {
+        // F referencing a non-V element: column of the bad token.
+        let e = parse("* t\nF1 a 0 R9 2\n.end\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 8);
+        assert!(e.message.contains("must be a voltage source"));
+        // Truncated E card: card-level error.
+        let e = parse("* t\nE1 a 0 cp\n.end\n").unwrap_err();
+        assert_eq!(e.col, 0);
+        assert!(e.message.contains("controlled source"));
+        // Bad inductance value: column of the value token.
+        let e = parse("* t\nL1 a b x10\n.end\n").unwrap_err();
+        assert_eq!(e.col, 8);
+    }
+
+    #[test]
+    fn new_elements_flatten_through_subckts() {
+        let deck = "\
+* nest
+.subckt tank a b
+L1 a mid 5n
+R1 mid b 10
+Vsense mid 0 0
+F1 a 0 Vsense 2
+.ends
+.subckt pair x y
+Xt1 x y tank
+Xt2 y x tank
+.ends
+X1 top bot pair
+.end
+";
+        let nl = parse(deck).unwrap().flatten().unwrap();
+        // Two tanks, four elements each.
+        assert_eq!(nl.elements.len(), 8);
+        // The F control reference follows the flattened V-source name.
+        let f = nl
+            .elements
+            .iter()
+            .find(|e| e.name.to_ascii_lowercase().starts_with("f1.x1.xt1"))
+            .expect("flattened F1 in first tank");
+        match &f.kind {
+            ElementKind::Cccs { ctrl, .. } => {
+                assert!(
+                    ctrl.to_ascii_lowercase().starts_with("vsense.x1.xt1"),
+                    "control must follow the local V source: {ctrl}"
+                );
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        // Internal nodes are path-scoped per instance.
+        let l = nl
+            .elements
+            .iter()
+            .find(|e| e.name.to_ascii_lowercase().starts_with("l1.x1.xt2"))
+            .unwrap();
+        assert!(l.nodes().iter().any(|n| n.contains("x1.xt2.mid")));
     }
 
     #[test]

@@ -33,12 +33,14 @@ pub fn unstamp(g: &DMat<f64>, c: &DMat<f64>, node_names: &[String], prefix: &str
     let gname = |i: usize, j: usize| format!("R{prefix}_{i}_{j}");
     let cname = |i: usize, j: usize| format!("C{prefix}_{i}_{j}");
 
-    let gscale = g.norm_max();
-    let cscale = c.norm_max();
     for i in 0..n {
         let mut grow_sum = 0.0;
         let mut crow_sum = 0.0;
+        let mut grow_max = 0.0f64;
+        let mut crow_max = 0.0f64;
         for j in 0..n {
+            grow_max = grow_max.max(g[(i, j)].abs());
+            crow_max = crow_max.max(c[(i, j)].abs());
             if j == i {
                 grow_sum += g[(i, i)];
                 crow_sum += c[(i, i)];
@@ -69,11 +71,14 @@ pub fn unstamp(g: &DMat<f64>, c: &DMat<f64>, node_names: &[String], prefix: &str
             }
         }
         // Residual row sum stamps to ground; sums below rounding noise
-        // would otherwise emit astronomically large resistors.
-        if grow_sum.abs() <= 1e-12 * gscale {
+        // would otherwise emit astronomically large resistors. The noise
+        // floor is the *row's* own largest entry, not the global norm:
+        // reduced-model rows legitimately span many decades, and a global
+        // threshold silently deletes the ground elements of the small ones.
+        if grow_sum.abs() <= 1e-12 * grow_max {
             grow_sum = 0.0;
         }
-        if crow_sum.abs() <= 1e-12 * cscale {
+        if crow_sum.abs() <= 1e-12 * crow_max {
             crow_sum = 0.0;
         }
         if grow_sum != 0.0 {

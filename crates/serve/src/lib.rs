@@ -35,7 +35,8 @@ pub mod server;
 pub use io::{serve_lines, serve_stdin, serve_unix};
 pub use pipeline::{
     prepare_deck, reduce_prepared, render_reduced, DeckOptions, EigenArg, PreparedDeck,
-    ReducedDeck, StrategyArg, DEFAULT_BLOCK_SIZE, DEFAULT_MAX_DEPTH, PIVOT_RELIEF,
+    ReducedDeck, StrategyArg, DEFAULT_BLOCK_SIZE, DEFAULT_CHAIN_TOL, DEFAULT_MAX_DEPTH,
+    PIVOT_RELIEF,
 };
 pub use protocol::{parse_request, DeckSource, Op, ProtocolError, Request, SCHEMA};
 pub use server::{Daemon, ReplySink, ServeConfig, ServeCounters, Submission};

@@ -12,8 +12,9 @@
 //! here for the same reason.
 
 use pact::{
-    sanitize_network, CholKernel, ComponentReduction, CutoffSpec, EigenSelect, PactError,
-    ReduceOptions, ReduceStrategy, Reduction, ReductionSession, Telemetry, Warning,
+    collapse_chains, sanitize_network, ChainCollapseSpec, CholKernel, ComponentReduction,
+    CutoffSpec, EigenSelect, PactError, ReduceOptions, ReduceStrategy, Reduction, ReductionSession,
+    Telemetry, Warning,
 };
 use pact_lanczos::LanczosConfig;
 use pact_netlist::{extract_rc, parse, splice_reduced, Element, Netlist, RcNetwork};
@@ -28,6 +29,10 @@ pub const DEFAULT_BLOCK_SIZE: usize = 2000;
 
 /// Default `--max-depth`: dissection recursion budget.
 pub const DEFAULT_MAX_DEPTH: usize = 16;
+
+/// Default `--chain-tol`: relative in-band admittance error budget for
+/// the series-chain collapse pre-pass.
+pub const DEFAULT_CHAIN_TOL: f64 = 1e-6;
 
 /// The `--eigen` flag / `"eigen"` option: which pole-analysis backend to
 /// use.
@@ -143,6 +148,19 @@ pub struct DeckOptions {
     /// Explicit multipoint expansion points in hertz (`--points` /
     /// `"points"`), validated to be finite and nonzero at the edges.
     pub points: Option<Vec<f64>>,
+    /// Reduce each maximal ported RC subnetwork independently
+    /// (`--extract` / `"extract"`): the embedded-parasitics flow, where
+    /// every RC island with its own boundary ports gets its own reduced
+    /// realization and the `extract_subnets` counter reports how many.
+    pub extract: bool,
+    /// Run the degree-2 series-chain collapse pre-pass on the sanitized
+    /// network before reduction (`--collapse-chains` /
+    /// `"collapse_chains"`).
+    pub collapse_chains: bool,
+    /// Relative in-band error budget for the chain-collapse re-segmenting
+    /// rule (`--chain-tol` / `"chain_tol"`); only meaningful with
+    /// `collapse_chains`.
+    pub chain_tol: f64,
 }
 
 impl Default for DeckOptions {
@@ -163,6 +181,9 @@ impl Default for DeckOptions {
             chol_kernel: CholKernel::Auto,
             strategy: None,
             points: None,
+            extract: false,
+            collapse_chains: false,
+            chain_tol: DEFAULT_CHAIN_TOL,
         }
     }
 }
@@ -228,11 +249,29 @@ impl DeckOptions {
         }
     }
 
+    /// The chain-collapse spec resolved from `f_max` and `chain_tol`, or
+    /// `None` when the pre-pass is off.
+    ///
+    /// # Errors
+    ///
+    /// Fails (code `internal`) when `chain_tol` is not positive and
+    /// finite.
+    pub fn collapse_spec(&self) -> Result<Option<ChainCollapseSpec>, PactError> {
+        if self.collapse_chains {
+            ChainCollapseSpec::new(self.f_max, self.chain_tol).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
     /// A canonical string of every field [`DeckOptions::reduce_options`]
     /// depends on — the daemon's warm-session pool key. Render-only
-    /// fields (`sparsify`) and deck-shaping fields (`extra_ports`, which
-    /// change the *network*, hence the topology shard, not the session)
-    /// are deliberately excluded.
+    /// fields (`sparsify`) and deck-shaping fields (`extra_ports`,
+    /// `collapse_chains`, `chain_tol`, which change the *network*, hence
+    /// the topology shard, not the session) are deliberately excluded,
+    /// as are execution-split fields (`components`, `extract`) that pick
+    /// which networks go through the session without changing its
+    /// numeric options.
     pub fn session_key(&self) -> String {
         let eigen = match self.eigen {
             Some(e) => e.name(),
@@ -303,13 +342,19 @@ impl PreparedDeck {
 }
 
 /// Runs the front half of the pipeline on deck text:
-/// parse → flatten → extract → sanitize.
+/// parse → flatten → extract → sanitize → optional chain collapse.
+///
+/// The chain-collapse pre-pass (when `opts.collapse_chains` is set)
+/// rewrites the sanitized network *before* the topology fingerprint is
+/// taken, so the daemon shards on the network that actually reduces and
+/// the `chains_collapsed`/`nodes_eliminated` counters land in the
+/// prepared telemetry.
 ///
 /// # Errors
 ///
 /// Any [`PactError`] with the usual typed codes (`parse`, `flatten`,
 /// `network`, ...).
-pub fn prepare_deck(text: &str, extra_ports: &[String]) -> Result<PreparedDeck, PactError> {
+pub fn prepare_deck(text: &str, opts: &DeckOptions) -> Result<PreparedDeck, PactError> {
     let mut tel = Telemetry::new();
     let deck = tel.time("parse", || parse(text))?;
     let deck = tel.time("flatten", || deck.flatten())?;
@@ -317,7 +362,7 @@ pub fn prepare_deck(text: &str, extra_ports: &[String]) -> Result<PreparedDeck, 
         tel.counters.duplicate_element_names += 1;
         tel.warn(Warning::DuplicateElementName { name, count });
     }
-    let port_refs: Vec<&str> = extra_ports.iter().map(String::as_str).collect();
+    let port_refs: Vec<&str> = opts.extra_ports.iter().map(String::as_str).collect();
     let ex = tel.time("extract", || extract_rc(&deck, &port_refs))?;
     let raw_ports = ex.network.num_ports;
     let raw_internal = ex.network.num_internal();
@@ -325,9 +370,20 @@ pub fn prepare_deck(text: &str, extra_ports: &[String]) -> Result<PreparedDeck, 
     let raw_capacitors = ex.network.capacitors.len();
     let sanitized = tel.time("sanitize", || sanitize_network(&ex.network))?;
     sanitized.record(&mut tel);
+    let network = match opts.collapse_spec()? {
+        Some(spec) => {
+            let cc = tel.time("collapse_chains", || {
+                collapse_chains(&sanitized.network, &spec)
+            });
+            tel.counters.chains_collapsed += cc.chains_collapsed;
+            tel.counters.nodes_eliminated += cc.nodes_eliminated;
+            cc.network
+        }
+        None => sanitized.network,
+    };
     Ok(PreparedDeck {
         deck,
-        network: sanitized.network,
+        network,
         raw_ports,
         raw_internal,
         raw_resistors,
@@ -344,7 +400,14 @@ pub enum ReducedDeck {
     /// `Reduction` is large relative to the per-component variant).
     Whole(Box<Reduction>),
     /// Independent reductions of each connected component.
-    Components(ComponentReduction),
+    Components {
+        /// The per-component reductions.
+        reduction: ComponentReduction,
+        /// Ported RC subnetworks counted by the embedded-parasitics
+        /// flow; zero under bare `components` (same execution split,
+        /// but the caller did not ask for extraction semantics).
+        extract_subnets: u64,
+    },
 }
 
 impl ReducedDeck {
@@ -352,7 +415,14 @@ impl ReducedDeck {
     pub fn telemetry(&self) -> Telemetry {
         match self {
             ReducedDeck::Whole(r) => r.telemetry.clone(),
-            ReducedDeck::Components(c) => c.telemetry(),
+            ReducedDeck::Components {
+                reduction,
+                extract_subnets,
+            } => {
+                let mut tel = reduction.telemetry();
+                tel.counters.extract_subnets = *extract_subnets;
+                tel
+            }
         }
     }
 
@@ -360,7 +430,7 @@ impl ReducedDeck {
     pub fn num_poles(&self) -> usize {
         match self {
             ReducedDeck::Whole(r) => r.model.num_poles(),
-            ReducedDeck::Components(c) => c.num_poles(),
+            ReducedDeck::Components { reduction, .. } => reduction.num_poles(),
         }
     }
 
@@ -368,13 +438,17 @@ impl ReducedDeck {
     pub fn to_netlist_elements(&self, prefix: &str, sparsify_tol: f64) -> Vec<Element> {
         match self {
             ReducedDeck::Whole(r) => r.model.to_netlist_elements(prefix, sparsify_tol),
-            ReducedDeck::Components(c) => c.to_netlist_elements(prefix, sparsify_tol),
+            ReducedDeck::Components { reduction, .. } => {
+                reduction.to_netlist_elements(prefix, sparsify_tol)
+            }
         }
     }
 }
 
-/// Reduces a prepared deck inside `session` (whole-network, or per
-/// connected component when `components` is set).
+/// Reduces a prepared deck inside `session`: whole-network by default,
+/// or per ported RC subnetwork when `opts.components` or `opts.extract`
+/// is set (the two share the execution split; `extract` additionally
+/// reports the subnetwork count through the `extract_subnets` counter).
 ///
 /// # Errors
 ///
@@ -383,13 +457,23 @@ impl ReducedDeck {
 pub fn reduce_prepared(
     prep: &PreparedDeck,
     session: &mut ReductionSession,
-    components: bool,
+    opts: &DeckOptions,
 ) -> Result<ReducedDeck, PactError> {
     let net = &prep.network;
-    if components {
+    if opts.components || opts.extract {
         session
             .reduce_network_components(net)
-            .map(ReducedDeck::Components)
+            .map(|reduction| {
+                let extract_subnets = if opts.extract {
+                    reduction.reductions.len() as u64
+                } else {
+                    0
+                };
+                ReducedDeck::Components {
+                    reduction,
+                    extract_subnets,
+                }
+            })
             .map_err(|e| PactError::from_reduce(e, net))
     } else {
         session
@@ -431,16 +515,16 @@ mod tests {
 
     #[test]
     fn pipeline_round_trips_a_deck() {
-        let prep = prepare_deck(DECK, &[]).unwrap();
+        let opts = DeckOptions::default();
+        let prep = prepare_deck(DECK, &opts).unwrap();
         assert_eq!(
             prep.network.num_ports, 1,
             "only `in` touches a non-RC device"
         );
         assert_eq!(prep.raw_resistors, 3);
         assert_eq!(prep.raw_capacitors, 2);
-        let opts = DeckOptions::default();
         let mut session = ReductionSession::new(opts.reduce_options().unwrap());
-        let red = reduce_prepared(&prep, &mut session, false).unwrap();
+        let red = reduce_prepared(&prep, &mut session, &opts).unwrap();
         let mut tel = prep.telemetry.clone();
         let (text, n) = render_reduced(&prep, &red, "rcfit", opts.sparsify, &mut tel);
         assert!(n > 0);
@@ -450,13 +534,118 @@ mod tests {
 
     #[test]
     fn prepared_decks_same_topology_share_a_shard_key() {
-        let prep = prepare_deck(DECK, &[]).unwrap();
+        let opts = DeckOptions::default();
+        let prep = prepare_deck(DECK, &opts).unwrap();
         let scaled = DECK.replace("1k", "2k").replace("1p", "3p");
-        let prep2 = prepare_deck(&scaled, &[]).unwrap();
+        let prep2 = prepare_deck(&scaled, &opts).unwrap();
         assert_eq!(prep.topology_key(), prep2.topology_key());
         let rewired = DECK.replace("C2 out 0 1p", "C2 n1 out 1p");
-        let prep3 = prepare_deck(&rewired, &[]).unwrap();
+        let prep3 = prepare_deck(&rewired, &opts).unwrap();
         assert_ne!(prep.topology_key(), prep3.topology_key());
+    }
+
+    /// A driven RC line long enough for the chain-collapse pre-pass to
+    /// re-segment at a loose tolerance.
+    fn line_deck(segments: usize) -> String {
+        let mut s = String::from("* line\nVdrv in 0 1\n");
+        let mut prev = "in".to_owned();
+        for i in 0..segments {
+            let next = if i + 1 == segments {
+                "out".to_owned()
+            } else {
+                format!("n{}", i + 1)
+            };
+            s.push_str(&format!("R{i} {prev} {next} 10\n"));
+            s.push_str(&format!("C{i} {next} 0 1p\n"));
+            prev = next;
+        }
+        s.push_str("RL out 0 1k\n.end\n");
+        s
+    }
+
+    #[test]
+    fn collapse_chains_option_shrinks_the_prepared_network() {
+        let deck = line_deck(120);
+        let plain = DeckOptions::default();
+        // 120 segments of 10 Ω / 1 pF: τ = 1.44e-7 s, so at 1 MHz
+        // ωτ ≈ 0.9 and the 1e-3 budget re-segments onto ~23 nodes.
+        let collapsing = DeckOptions {
+            collapse_chains: true,
+            chain_tol: 1e-3,
+            f_max: 1e6,
+            ..DeckOptions::default()
+        };
+        let before = prepare_deck(&deck, &plain).unwrap();
+        let after = prepare_deck(&deck, &collapsing).unwrap();
+        assert!(
+            after.network.num_internal() < before.network.num_internal(),
+            "collapse removed internal nodes: {} -> {}",
+            before.network.num_internal(),
+            after.network.num_internal()
+        );
+        assert!(after.telemetry.counters.chains_collapsed >= 1);
+        assert!(after.telemetry.counters.nodes_eliminated > 0);
+        assert_ne!(
+            before.topology_key(),
+            after.topology_key(),
+            "the shard key follows the collapsed topology"
+        );
+        assert_eq!(before.telemetry.counters.chains_collapsed, 0);
+    }
+
+    #[test]
+    fn bad_chain_tol_is_a_typed_error() {
+        let opts = DeckOptions {
+            collapse_chains: true,
+            chain_tol: 0.0,
+            ..DeckOptions::default()
+        };
+        let e = prepare_deck(DECK, &opts).unwrap_err();
+        assert_eq!(e.code(), "internal");
+        // With the pre-pass off the same tolerance is never inspected.
+        let off = DeckOptions {
+            chain_tol: 0.0,
+            ..DeckOptions::default()
+        };
+        assert!(prepare_deck(DECK, &off).is_ok());
+    }
+
+    #[test]
+    fn extract_option_counts_subnetworks() {
+        // Two RC islands separated by a voltage source: each gets its
+        // own reduced realization under `extract`.
+        let deck = "* two islands\n\
+            R1 a m1 1k\nC1 m1 0 1p\nR2 m1 b 1k\n\
+            V1 b c 1\n\
+            R3 c m2 2k\nC2 m2 0 2p\nR4 m2 d 2k\n\
+            Vd a 0 1\nRL d 0 1k\n.end\n";
+        let opts = DeckOptions {
+            extract: true,
+            ..DeckOptions::default()
+        };
+        let prep = prepare_deck(deck, &opts).unwrap();
+        let mut session = ReductionSession::new(opts.reduce_options().unwrap());
+        let red = reduce_prepared(&prep, &mut session, &opts).unwrap();
+        match &red {
+            ReducedDeck::Components {
+                reduction,
+                extract_subnets,
+            } => {
+                assert_eq!(reduction.reductions.len(), 2, "two RC islands");
+                assert_eq!(*extract_subnets, 2);
+            }
+            ReducedDeck::Whole(_) => panic!("extract must split per subnetwork"),
+        }
+        assert_eq!(red.telemetry().counters.extract_subnets, 2);
+
+        // Bare `components` takes the same split without claiming the
+        // extraction counter.
+        let comp = DeckOptions {
+            components: true,
+            ..DeckOptions::default()
+        };
+        let red = reduce_prepared(&prep, &mut session, &comp).unwrap();
+        assert_eq!(red.telemetry().counters.extract_subnets, 0);
     }
 
     #[test]
@@ -482,6 +671,17 @@ mod tests {
             ..DeckOptions::default()
         };
         assert_ne!(a.session_key(), d.session_key());
+        let e = DeckOptions {
+            extract: true,
+            collapse_chains: true,
+            chain_tol: 1e-3,
+            ..DeckOptions::default()
+        };
+        assert_eq!(
+            a.session_key(),
+            e.session_key(),
+            "deck-shaping and execution-split fields excluded"
+        );
     }
 
     #[test]

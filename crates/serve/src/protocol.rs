@@ -11,7 +11,7 @@
 //! - `options` — an object mirroring the `rcfit` flags (`fmax`, `tol`,
 //!   `sparsify`, `ports`, `threads`, `eigen`, `dense`, `components`,
 //!   `strict_pivots`, `hier`, `block_size`, `max_depth`, `chol_kernel`,
-//!   `strategy`, `points`).
+//!   `strategy`, `points`, `extract`, `collapse_chains`, `chain_tol`).
 //!
 //! Unknown request fields and unknown option keys are *rejected* (code
 //! `unknown_option`) rather than ignored: a silently dropped option
@@ -233,6 +233,19 @@ fn apply_option(
             }
             opts.points = Some(points);
         }
+        "extract" => opts.extract = as_bool(v, "extract", id)?,
+        "collapse_chains" => opts.collapse_chains = as_bool(v, "collapse_chains", id)?,
+        "chain_tol" => {
+            let tol = as_number(v, "chain_tol", id)?;
+            if !tol.is_finite() || tol <= 0.0 {
+                return Err(ProtocolError::new(
+                    id,
+                    "bad_request",
+                    "`chain_tol` needs a positive finite number",
+                ));
+            }
+            opts.chain_tol = tol;
+        }
         "chol_kernel" => {
             opts.chol_kernel = match as_str(v, "chol_kernel", id)? {
                 "auto" => CholKernel::Auto,
@@ -322,10 +335,12 @@ pub fn parse_request(line: &str, max_deck_bytes: usize) -> Result<Request, Proto
         threads: Some(1),
         ..DeckOptions::default()
     };
+    let mut chain_tol_given = false;
     if let Some(v) = doc.get("options") {
         match v {
             Value::Obj(entries) => {
                 for (k, v) in entries {
+                    chain_tol_given |= k == "chain_tol";
                     apply_option(&mut options, k, v, &id)?;
                 }
             }
@@ -347,6 +362,13 @@ pub fn parse_request(line: &str, max_deck_bytes: usize) -> Result<Request, Proto
             &id,
             "bad_request",
             "`points` requires `\"strategy\":\"multipoint\"`",
+        ));
+    }
+    if chain_tol_given && !options.collapse_chains {
+        return Err(ProtocolError::new(
+            &id,
+            "bad_request",
+            "`chain_tol` requires `\"collapse_chains\":true`",
         ));
     }
     if options.hier {
@@ -574,6 +596,51 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.options.strategy, Some(StrategyArg::Hier));
+    }
+
+    #[test]
+    fn extract_and_collapse_options_parse_and_validate() {
+        let line =
+            r#"{"deck":"x","options":{"extract":true,"collapse_chains":true,"chain_tol":1e-4}}"#;
+        let r = parse_request(line, DEFAULT_MAX_DECK_BYTES).unwrap();
+        assert!(r.options.extract);
+        assert!(r.options.collapse_chains);
+        assert_eq!(r.options.chain_tol, 1e-4);
+
+        // Defaults stay off.
+        let r = parse_request(r#"{"deck":"x"}"#, DEFAULT_MAX_DECK_BYTES).unwrap();
+        assert!(!r.options.extract && !r.options.collapse_chains);
+
+        // Strict typing: booleans must be booleans, the tolerance must
+        // be a positive finite number.
+        for bad in [
+            r#"{"deck":"x","options":{"extract":1}}"#,
+            r#"{"deck":"x","options":{"collapse_chains":"yes"}}"#,
+            r#"{"deck":"x","options":{"collapse_chains":true,"chain_tol":0}}"#,
+            r#"{"deck":"x","options":{"collapse_chains":true,"chain_tol":-1e-6}}"#,
+            r#"{"deck":"x","options":{"collapse_chains":true,"chain_tol":"tiny"}}"#,
+        ] {
+            let e = parse_request(bad, DEFAULT_MAX_DECK_BYTES).unwrap_err();
+            assert_eq!(e.code, "bad_request", "{bad}");
+        }
+
+        // A tolerance without the pass it tunes is a cross-field error,
+        // never a silent no-op.
+        let e = parse_request(
+            r#"{"deck":"x","options":{"chain_tol":1e-4}}"#,
+            DEFAULT_MAX_DECK_BYTES,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        assert!(e.message.contains("collapse_chains"));
+
+        // Misspellings keep the unknown_option contract.
+        let e = parse_request(
+            r#"{"deck":"x","options":{"collapse-chains":true}}"#,
+            DEFAULT_MAX_DECK_BYTES,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "unknown_option");
     }
 
     #[test]

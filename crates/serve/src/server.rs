@@ -284,7 +284,7 @@ impl Daemon {
         };
         // The front half runs inline: the shard key is the fingerprint
         // of the *sanitized* topology, so routing needs it.
-        let prep = match prepare_deck(&text, &req.options.extra_ports) {
+        let prep = match prepare_deck(&text, &req.options) {
             Ok(p) => p,
             Err(e) => return fail(e.code(), &e.to_string()),
         };
@@ -410,7 +410,7 @@ fn run_job(
     let session = sessions
         .get_mut(&key)
         .expect("session was just ensured present");
-    match reduce_prepared(&prep, session, opts.components) {
+    match reduce_prepared(&prep, session, opts) {
         Err(e) => {
             ServeCounters::bump(&counters.errors);
             error_response(id, e.code(), &e.to_string())

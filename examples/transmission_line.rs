@@ -15,6 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         segments: 100,
         r_total: 250.0,
         c_total: 1.35e-12,
+        ..LineSpec::default()
     });
 
     // Reduce the line (5 % to 5 GHz) and splice it back into the deck.

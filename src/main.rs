@@ -33,7 +33,7 @@ use pact::{CholKernel, PactError, ReductionSession};
 use pact_netlist::parse_value;
 use pact_serve::{
     prepare_deck, reduce_prepared, render_reduced, DeckOptions, EigenArg, ReducedDeck, StrategyArg,
-    DEFAULT_BLOCK_SIZE, DEFAULT_MAX_DEPTH,
+    DEFAULT_BLOCK_SIZE, DEFAULT_CHAIN_TOL, DEFAULT_MAX_DEPTH,
 };
 
 #[derive(Debug)]
@@ -59,6 +59,9 @@ struct Args {
     chol_kernel: CholKernel,
     strategy: Option<StrategyArg>,
     points: Option<Vec<f64>>,
+    extract: bool,
+    collapse_chains: bool,
+    chain_tol: Option<f64>,
 }
 
 fn usage() -> &'static str {
@@ -68,7 +71,8 @@ fn usage() -> &'static str {
      [--verify] [--trace] [--log-json PATH] [--strict-pivots] \
      [--hier] [--block-size N] [--max-depth N] \
      [--strategy flat|hier|multipoint] [--points HZ,HZ,...] \
-     [--chol-kernel auto|supernodal|scalar]\n\
+     [--chol-kernel auto|supernodal|scalar] \
+     [--extract] [--collapse-chains] [--chain-tol TOL]\n\
      defaults: --fmax 1g --tol 0.05 --sparsify 1e-9 --threads <all cores>\n\
      HZ accepts SPICE suffixes (500meg, 3g, ...); the reduced model is\n\
      bit-identical for every --threads value.\n\
@@ -87,7 +91,11 @@ fn usage() -> &'static str {
      accepted; positive = imaginary-axis s=j2\u{3c0}f, negative = negative real\n\
      axis s=-2\u{3c0}|f|);\n\
      --chol-kernel picks the numeric Cholesky kernel (default auto = the\n\
-     supernodal blocked kernel; scalar is the up-looking reference kernel)"
+     supernodal blocked kernel; scalar is the up-looking reference kernel);\n\
+     --extract reduces each maximal ported RC subnetwork independently (the\n\
+     embedded-parasitics flow for mixed decks); --collapse-chains runs the\n\
+     degree-2 series-chain collapse pre-pass before reduction, re-segmenting\n\
+     long RC chains within --chain-tol relative in-band error (default 1e-6)"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -113,6 +121,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         chol_kernel: CholKernel::Auto,
         strategy: None,
         points: None,
+        extract: false,
+        collapse_chains: false,
+        chain_tol: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -208,6 +219,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     }
                 };
             }
+            "--extract" => args.extract = true,
+            "--collapse-chains" => args.collapse_chains = true,
+            "--chain-tol" => {
+                let tol: f64 = next(a)?
+                    .parse()
+                    .map_err(|_| "--chain-tol needs a number".to_owned())?;
+                if !tol.is_finite() || tol <= 0.0 {
+                    return Err("--chain-tol needs a positive finite number".to_owned());
+                }
+                args.chain_tol = Some(tol);
+            }
             "-h" | "--help" => return Err(usage().to_owned()),
             other if !other.starts_with('-') => {
                 args.inputs.push(other.to_owned());
@@ -220,6 +242,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.points.is_some() && args.strategy != Some(StrategyArg::Multipoint) {
         return Err("--points requires --strategy multipoint".to_owned());
+    }
+    if args.chain_tol.is_some() && !args.collapse_chains {
+        return Err("--chain-tol requires --collapse-chains".to_owned());
     }
     if args.inputs.len() > 1 {
         if args.output.is_some() {
@@ -253,6 +278,9 @@ fn deck_options(args: &Args) -> DeckOptions {
         chol_kernel: args.chol_kernel,
         strategy: args.strategy,
         points: args.points.clone(),
+        extract: args.extract,
+        collapse_chains: args.collapse_chains,
+        chain_tol: args.chain_tol.unwrap_or(DEFAULT_CHAIN_TOL),
     }
 }
 
@@ -284,7 +312,8 @@ fn run_deck(args: &Args, input: &str, session: &mut ReductionSession) -> Result<
     // The front half (parse → flatten → extract → sanitize) and the
     // reduce/render back half are the shared pact-serve pipeline — the
     // CLI only adds progress reporting around it.
-    let prep = prepare_deck(&text, &args.extra_ports)?;
+    let opts = deck_options(args);
+    let prep = prepare_deck(&text, &opts)?;
     eprintln!(
         "rcfit: extracted RC network: {} ports, {} internal nodes, {} R, {} C",
         prep.raw_ports, prep.raw_internal, prep.raw_resistors, prep.raw_capacitors
@@ -292,18 +321,36 @@ fn run_deck(args: &Args, input: &str, session: &mut ReductionSession) -> Result<
     for w in &prep.sanitize_warnings {
         eprintln!("rcfit: warning: {w}");
     }
+    if args.collapse_chains {
+        eprintln!(
+            "rcfit: chain collapse: {} chain(s) collapsed, {} internal node(s) eliminated",
+            prep.telemetry.counters.chains_collapsed, prep.telemetry.counters.nodes_eliminated
+        );
+    }
 
-    let red = reduce_prepared(&prep, session, args.components)?;
+    let red = reduce_prepared(&prep, session, &opts)?;
     let mut tel = prep.telemetry.clone();
     tel.absorb(&red.telemetry());
     match &red {
-        ReducedDeck::Components(c) => {
-            eprintln!(
-                "rcfit: {} component(s) reduced, {} floating island(s) dropped, {} pole(s) kept",
-                c.reductions.len(),
-                c.floating_dropped,
-                c.num_poles()
-            );
+        ReducedDeck::Components {
+            reduction: c,
+            extract_subnets,
+        } => {
+            if args.extract {
+                eprintln!(
+                    "rcfit: {} embedded RC subnetwork(s) reduced, {} floating island(s) dropped, {} pole(s) kept",
+                    extract_subnets,
+                    c.floating_dropped,
+                    c.num_poles()
+                );
+            } else {
+                eprintln!(
+                    "rcfit: {} component(s) reduced, {} floating island(s) dropped, {} pole(s) kept",
+                    c.reductions.len(),
+                    c.floating_dropped,
+                    c.num_poles()
+                );
+            }
         }
         ReducedDeck::Whole(r) => {
             let cutoff = session.options().cutoff;
@@ -567,6 +614,33 @@ mod tests {
             "1g,,2g",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn extract_and_collapse_flags_parse_and_validate() {
+        let a = parse_args(&argv(&[
+            "x.sp",
+            "--extract",
+            "--collapse-chains",
+            "--chain-tol",
+            "1e-4",
+        ]))
+        .unwrap();
+        assert!(a.extract && a.collapse_chains);
+        assert_eq!(a.chain_tol, Some(1e-4));
+        let o = deck_options(&a);
+        assert!(o.extract && o.collapse_chains);
+        assert_eq!(o.chain_tol, 1e-4);
+
+        let d = parse_args(&argv(&["x.sp"])).unwrap();
+        assert!(!d.extract && !d.collapse_chains);
+        assert_eq!(deck_options(&d).chain_tol, DEFAULT_CHAIN_TOL);
+
+        let e = parse_args(&argv(&["x.sp", "--chain-tol", "1e-4"])).unwrap_err();
+        assert!(e.contains("--collapse-chains"));
+        assert!(parse_args(&argv(&["x.sp", "--collapse-chains", "--chain-tol", "0"])).is_err());
+        assert!(parse_args(&argv(&["x.sp", "--collapse-chains", "--chain-tol", "much"])).is_err());
+        assert!(parse_args(&argv(&["x.sp", "--chain-tol"])).is_err());
     }
 
     #[test]

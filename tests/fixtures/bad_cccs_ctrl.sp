@@ -1,0 +1,3 @@
+* cccs controlled by a resistor
+F1 outp 0 R3 2.0
+.end

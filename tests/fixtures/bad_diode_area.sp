@@ -1,0 +1,3 @@
+* diode with a negative area
+D1 anode 0 dclamp area=-1
+.end

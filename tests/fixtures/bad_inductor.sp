@@ -1,0 +1,3 @@
+* inductor with a bad value
+L1 a b abc
+.end

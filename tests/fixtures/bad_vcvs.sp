@@ -1,0 +1,3 @@
+* vcvs with missing control nodes
+E1 outp 0 sense
+.end

@@ -1,0 +1,4 @@
+* same model name defined twice
+.model nch nmos (vto=0.7)
+.model nch d (is=1e-14)
+.end

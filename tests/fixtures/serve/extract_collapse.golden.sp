@@ -1,0 +1,13 @@
+* embedded extract golden deck (RC network reduced by PACT)
+Vdrv in 0 dc 1.000000
+Iload out 0 dc 1.000000m
+V2 p 0 dc 1.000000
+Iload2 r 0 dc 1.000000m
+Rrcfit0_0_1 in out 240.000000
+Crcfit0_0_1 in out -3.833333p
+Crcfit0_0_0 in 0 11.500000p
+Crcfit0_1_1 out 0 12.500000p
+Rrcfit1_0_1 p r 200.000000
+Crcfit1_0_0 p 0 500.000000f
+Crcfit1_1_1 r 0 500.000000f
+.end

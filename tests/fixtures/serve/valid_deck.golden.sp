@@ -4,13 +4,15 @@ Iload out 0 dc 1.000000m
 Rrcfit_0_1 in out 350.000000
 Crcfit_0_1 in out -1.020408p
 Crcfit_0_2 in rcfit_p0 2.233793p
-Crcfit_0_3 in rcfit_p1 -13.643605f
+Crcfit_0_3 in rcfit_p1 -3.115140p
 Crcfit_0_4 in rcfit_p2 351.278783f
+Crcfit_0_0 in 0 3.101497p
 Crcfit_1_2 out rcfit_p0 2.404278p
-Crcfit_1_3 out rcfit_p1 15.044144f
+Crcfit_1_3 out rcfit_p1 3.434915p
 Crcfit_1_4 out rcfit_p2 9.249579f
-Crcfit_1_1 out 0 1.000000p
+Crcfit_1_1 out 0 -2.419871p
 Rrcfit_2_2 rcfit_p0 0 54.596743
-Rrcfit_3_3 rcfit_p1 0 52.131103k
+Rrcfit_3_3 rcfit_p1 0 1.000000
+Crcfit_3_3 rcfit_p1 0 72.691882p
 Rrcfit_4_4 rcfit_p2 0 85.728687
 .end

@@ -54,6 +54,33 @@ const GOLDEN: &[(&str, &str, &str)] = &[
         include_str!("fixtures/bad_pulse.sp"),
         "line 2, col 24: invalid SPICE number `zz`",
     ),
+    // Extended element set: the new kinds carry the same line/column
+    // attribution discipline as the original R/C/MOS cards.
+    (
+        "bad_inductor.sp",
+        include_str!("fixtures/bad_inductor.sp"),
+        "line 2, col 8: invalid SPICE number `abc`",
+    ),
+    (
+        "bad_vcvs.sp",
+        include_str!("fixtures/bad_vcvs.sp"),
+        "line 2: expected `Ename p n cp cn value` (controlled source)",
+    ),
+    (
+        "bad_cccs_ctrl.sp",
+        include_str!("fixtures/bad_cccs_ctrl.sp"),
+        "line 2, col 11: controlling element `R3` must be a voltage source (V…)",
+    ),
+    (
+        "bad_diode_area.sp",
+        include_str!("fixtures/bad_diode_area.sp"),
+        "line 2, col 24: diode area must be positive and finite, got -1",
+    ),
+    (
+        "duplicate_model.sp",
+        include_str!("fixtures/duplicate_model.sp"),
+        "line 3, col 8: duplicate .model definition `nch`",
+    ),
 ];
 
 #[test]

@@ -2,7 +2,8 @@
 //! layer.
 //!
 //! Several client threads hammer one daemon with a mix of mesh,
-//! power-grid, inverter-line and hierarchically-reduced mesh decks.
+//! power-grid, inverter-line, hierarchically-reduced mesh and
+//! extracted/chain-collapsed embedded-parasitics decks.
 //! Every response must be *bit-identical* to a one-shot run of the
 //! shared pipeline (what
 //! `rcfit` would print), regardless of worker count, queue interleaving
@@ -34,6 +35,12 @@ struct Family {
     /// `Some(max_block)` routes the request through the hierarchical
     /// strategy (the daemon's `"hier"`/`"block_size"` options).
     hier_block: Option<usize>,
+    /// Reduce per ported RC subnetwork (the daemon's `"extract"`
+    /// option).
+    extract: bool,
+    /// `Some(tol)` runs the chain-collapse pre-pass (the daemon's
+    /// `"collapse_chains"`/`"chain_tol"` options).
+    chain_tol: Option<f64>,
     /// Expected reduced deck bytes (one-shot shared pipeline).
     expected_deck: String,
     /// Expected telemetry counters with the warmth counters removed.
@@ -101,6 +108,26 @@ fn line_deck() -> (String, Vec<String>) {
     (inverter_pair_deck(&spec).to_string(), Vec::new())
 }
 
+/// Two embedded RC islands — a 60-segment chain and a tiny T — between
+/// non-RC anchors: exercises the `extract` split plus the chain-collapse
+/// pre-pass (small per-segment τ so the default 1 GHz band re-segments
+/// at the 1e-3 budget). Its own topology, like every family.
+fn chain_deck() -> (String, Vec<String>) {
+    let mut s = String::from("* soak chain deck\nVdrv in 0 1\n");
+    let mut prev = "in".to_owned();
+    for i in 0..60 {
+        let next = if i == 59 {
+            "out".to_owned()
+        } else {
+            format!("n{}", i + 1)
+        };
+        s.push_str(&format!("R{i} {prev} {next} 1\nC{i} {next} 0 2.5f\n"));
+        prev = next;
+    }
+    s.push_str("Iload out 0 1m\nV2 p 0 1\nRa p q 50\nCa q 0 2f\nRb q r 50\nIload2 r 0 1m\n.end\n");
+    (s, Vec::new())
+}
+
 /// Telemetry counters as key/value pairs, minus the two counters warm
 /// reuse legitimately moves.
 fn counters_without_warmth(tel: &Value) -> Vec<(String, Value)> {
@@ -120,17 +147,22 @@ fn one_shot(
     deck: &str,
     ports: &[String],
     hier_block: Option<usize>,
+    extract: bool,
+    chain_tol: Option<f64>,
 ) -> (String, Vec<(String, Value)>) {
     let opts = DeckOptions {
         threads: Some(1), // the daemon's per-request default
         extra_ports: ports.to_vec(),
         hier: hier_block.is_some(),
         block_size: hier_block.unwrap_or(DeckOptions::default().block_size),
+        extract,
+        collapse_chains: chain_tol.is_some(),
+        chain_tol: chain_tol.unwrap_or(DeckOptions::default().chain_tol),
         ..DeckOptions::default()
     };
-    let prep = prepare_deck(deck, ports).expect("deck prepares");
+    let prep = prepare_deck(deck, &opts).expect("deck prepares");
     let mut session = ReductionSession::new(opts.reduce_options().unwrap());
-    let red = reduce_prepared(&prep, &mut session, false).expect("deck reduces");
+    let red = reduce_prepared(&prep, &mut session, &opts).expect("deck reduces");
     let mut tel = prep.telemetry.clone();
     tel.absorb(&red.telemetry());
     let (text, _) = render_reduced(&prep, &red, "rcfit", opts.sparsify, &mut tel);
@@ -139,19 +171,23 @@ fn one_shot(
 
 fn families() -> Vec<Family> {
     [
-        ("mesh", small_mesh_deck(), None),
-        ("grid", small_grid_deck(), None),
-        ("line", line_deck(), None),
-        ("hier", hier_mesh_deck(), Some(48)),
+        ("mesh", small_mesh_deck(), None, false, None),
+        ("grid", small_grid_deck(), None, false, None),
+        ("line", line_deck(), None, false, None),
+        ("hier", hier_mesh_deck(), Some(48), false, None),
+        ("xtchain", chain_deck(), None, true, Some(1e-3)),
     ]
     .into_iter()
-    .map(|(name, (deck, ports), hier_block)| {
-        let (expected_deck, expected_counters) = one_shot(&deck, &ports, hier_block);
+    .map(|(name, (deck, ports), hier_block, extract, chain_tol)| {
+        let (expected_deck, expected_counters) =
+            one_shot(&deck, &ports, hier_block, extract, chain_tol);
         Family {
             name,
             deck,
             ports,
             hier_block,
+            extract,
+            chain_tol,
             expected_deck,
             expected_counters,
         }
@@ -164,6 +200,13 @@ fn request_line(id: &str, fam: &Family) -> String {
     if let Some(block) = fam.hier_block {
         options.push(("hier".to_owned(), Value::Bool(true)));
         options.push(("block_size".to_owned(), Value::num(block as f64)));
+    }
+    if fam.extract {
+        options.push(("extract".to_owned(), Value::Bool(true)));
+    }
+    if let Some(tol) = fam.chain_tol {
+        options.push(("collapse_chains".to_owned(), Value::Bool(true)));
+        options.push(("chain_tol".to_owned(), Value::num(tol)));
     }
     if !fam.ports.is_empty() {
         options.push((
@@ -228,8 +271,25 @@ fn run_soak(
 #[test]
 fn concurrent_mixed_decks_are_bit_identical_to_one_shot() {
     let families = families();
-    let (clients, per_client) = (3, 8);
+    let (clients, per_client) = (3, 10);
     let total = clients * per_client;
+
+    // The embedded-parasitics family must exercise its options for real:
+    // both islands extracted, both chains collapsed.
+    let xt = families.iter().find(|f| f.name == "xtchain").unwrap();
+    let xt_count = |key: &str| {
+        xt.expected_counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap()
+    };
+    assert_eq!(xt_count("extract_subnets"), 2.0);
+    assert_eq!(xt_count("chains_collapsed"), 2.0);
+    assert!(
+        xt_count("nodes_eliminated") >= 50.0,
+        "the 60-seg chain re-segments"
+    );
 
     for workers in [1, 3] {
         let (docs, counters) = run_soak(&families, workers, clients, per_client);

@@ -57,6 +57,38 @@ fn valid_deck_reduces_to_the_golden_payload() {
 }
 
 #[test]
+fn extract_collapse_deck_reduces_to_the_golden_payload() {
+    let request = include_str!("fixtures/serve/extract_collapse.jsonl");
+    let responses = serve_one(request.trim_end(), 1 << 20);
+    assert_eq!(responses.len(), 1);
+    let doc = Value::parse(&responses[0]).expect("response is valid JSON");
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+    // The embedded-parasitics counters are part of the response contract:
+    // both RC islands were collapsed, then extracted and reduced.
+    let counters = doc
+        .get("telemetry")
+        .and_then(|t| t.get("counters"))
+        .expect("telemetry counters embedded");
+    let count = |k: &str| counters.get(k).and_then(Value::as_f64).unwrap();
+    assert_eq!(count("chains_collapsed"), 2.0);
+    assert_eq!(count("nodes_eliminated"), 20.0);
+    assert_eq!(count("extract_subnets"), 2.0);
+    let deck = doc.get("deck").unwrap().as_str().unwrap();
+    let golden = include_str!("fixtures/serve/extract_collapse.golden.sp");
+    assert_eq!(deck, golden, "reduced deck drifted from the golden payload");
+}
+
+#[test]
+fn chain_tol_without_collapse_response_is_golden() {
+    let request = include_str!("fixtures/serve/bad_chain_tol.jsonl");
+    let responses = serve_one(request.trim_end(), 1 << 20);
+    assert_eq!(
+        responses,
+        vec![include_str!("fixtures/serve/bad_chain_tol.golden.jsonl").trim_end()]
+    );
+}
+
+#[test]
 fn malformed_json_response_is_golden() {
     let request = include_str!("fixtures/serve/malformed.jsonl");
     let responses = serve_one(request.trim_end(), 1 << 20);
